@@ -1,0 +1,57 @@
+"""Ablation — four-state machine vs a two-state (exact ↔ approximate) machine.
+
+The paper motivates the hybrid states (``lap/rex``, ``lex/rap``) by arguing
+that knowing *which* input is perturbed allows a cheaper reaction than
+switching both sides to the approximate operator.  This ablation disables
+the source-identification transitions (φ_2, φ_3), restricting the responder
+to the two symmetric states, and compares gain/cost/efficiency with the full
+machine on a child-only-variants test case (the case where the hybrid
+configuration should pay off).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import run_experiment
+from repro.bench.reporting import format_table
+from repro.datagen.testcases import STANDARD_TEST_CASES, generate_test_case
+
+_PARENT, _CHILD = 800, 1600
+_CASE = "few_high_child"
+
+
+def test_ablation_two_state_machine(benchmark):
+    """Compare the full four-state machine against the two-state restriction."""
+    spec = STANDARD_TEST_CASES[_CASE]
+    dataset = generate_test_case(spec, parent_size=_PARENT, child_size=_CHILD)
+
+    def run_both():
+        full = run_experiment(spec, dataset=dataset, allow_source_identification=True)
+        restricted = run_experiment(
+            spec, dataset=dataset, allow_source_identification=False
+        )
+        return full, restricted
+
+    full, restricted = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    rows = []
+    for label, outcome in (("four-state", full), ("two-state", restricted)):
+        row = {"machine": label}
+        row.update({
+            "gain": outcome.report.gain,
+            "cost": outcome.report.cost,
+            "efficiency": outcome.report.efficiency,
+            "steps_AE": outcome.adaptive.trace.steps_in("AE"),
+            "steps_EA": outcome.adaptive.trace.steps_in("EA"),
+            "steps_AA": outcome.adaptive.trace.steps_in("AA"),
+        })
+        rows.append(row)
+    print()
+    print(format_table(rows, title="== ablation: four-state vs two-state control =="))
+
+    # The restricted machine never uses the hybrid states…
+    assert restricted.adaptive.trace.steps_in("AE") == 0
+    assert restricted.adaptive.trace.steps_in("EA") == 0
+    # …and both variants stay within the cost ceiling with a real gain.
+    for outcome in (full, restricted):
+        assert outcome.report.never_worse_than_approximate
+        assert outcome.report.gain > 0.0

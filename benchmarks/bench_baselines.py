@@ -1,0 +1,86 @@
+"""Baseline sanity measurements (experiment E9).
+
+Times the two non-adaptive extremes the paper's metrics are anchored to —
+the all-exact SHJoin (result size ``r``, cost floor ``c``) and the
+all-approximate SSHJoin (result size ``R``, cost ceiling ``C``) — on one
+representative test case, and checks the relationships every other
+experiment relies on: the approximate join finds strictly more pairs than
+the exact join on perturbed data, and costs substantially more wall-clock
+time per step.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.reporting import format_table
+from repro.datagen.testcases import STANDARD_TEST_CASES, generate_test_case
+from repro.joins.shjoin import SHJoin
+from repro.joins.sshjoin import SSHJoin
+
+
+def _dataset(bench_scale):
+    parent_size, child_size = bench_scale
+    return generate_test_case(
+        STANDARD_TEST_CASES["interleaved_low_both"],
+        parent_size=min(parent_size, 1500),
+        child_size=min(child_size, 1000),
+    )
+
+
+def test_baseline_exact_join(benchmark, bench_scale):
+    """Time the all-exact SHJoin baseline."""
+    dataset = _dataset(bench_scale)
+    records = benchmark.pedantic(
+        lambda: SHJoin(dataset.parent, dataset.child, "location").run(),
+        rounds=1,
+        iterations=1,
+    )
+    clean_children = len(dataset.child) - dataset.child_variant_count
+    print(f"\nall-exact result size r = {len(records)} "
+          f"(clean child rows: {clean_children})")
+    # The exact join finds (at most) the unperturbed pairs.
+    assert len(records) <= len(dataset.true_pairs)
+    assert len(records) == len(dataset.exactly_matchable_pairs())
+
+
+def test_baseline_approximate_join(benchmark, bench_scale):
+    """Time the all-approximate SSHJoin baseline and compare against exact."""
+    dataset = _dataset(bench_scale)
+
+    started = time.perf_counter()
+    exact_records = SHJoin(dataset.parent, dataset.child, "location").run()
+    exact_seconds = time.perf_counter() - started
+
+    def timed_approximate():
+        begin = time.perf_counter()
+        records = SSHJoin(
+            dataset.parent, dataset.child, "location", similarity_threshold=0.85
+        ).run()
+        return records, time.perf_counter() - begin
+
+    approx_records, approx_seconds = benchmark.pedantic(
+        timed_approximate, rounds=1, iterations=1
+    )
+
+    rows = [
+        {
+            "strategy": "all-exact (SHJoin)",
+            "result_size": len(exact_records),
+            "wall_clock_s": exact_seconds,
+        },
+        {
+            "strategy": "all-approximate (SSHJoin)",
+            "result_size": len(approx_records),
+            "wall_clock_s": approx_seconds,
+        },
+    ]
+    print()
+    print(format_table(rows, title="== baseline result sizes and wall-clock times =="))
+
+    # The approximate join recovers strictly more pairs on perturbed data…
+    assert len(approx_records) > len(exact_records)
+    # …covering (nearly) every true pair…
+    assert len(approx_records) >= 0.95 * len(dataset.true_pairs)
+    # …at a clearly higher cost.
+    assert approx_seconds > 2.0 * exact_seconds

@@ -1,0 +1,99 @@
+"""Extension — the user-controlled gain/cost trade-off curve.
+
+The paper's conclusion suggests that, since the adaptive strategy never
+exceeds the all-approximate cost, it could be "tuned, possibly under user
+control, for a target gain … while keeping the marginal cost … within a
+predictable limit".  This benchmark explores that space with the
+:class:`~repro.core.budget.CostBudget` extension: the same workload is run
+under a sweep of cost-budget fractions and the achieved gain/cost pairs are
+reported.
+
+Expected shape: the realised relative cost tracks (and respects, up to one
+assessment interval) the requested budget fraction, and the achieved gain
+grows monotonically-ish with the allowed cost, saturating at the unbudgeted
+gain.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table
+from repro.core.adaptive import AdaptiveJoinProcessor
+from repro.core.budget import CostBudget
+from repro.core.cost_model import CostModel
+from repro.core.metrics import GainCostReport
+from repro.core.thresholds import Thresholds
+from repro.datagen.testcases import STANDARD_TEST_CASES, generate_test_case
+from repro.joins.shjoin import SHJoin
+from repro.joins.sshjoin import SSHJoin
+
+_PARENT, _CHILD = 800, 1600
+_FRACTIONS = (0.1, 0.25, 0.5, 1.0)
+
+
+def _run_sweep():
+    dataset = generate_test_case(
+        STANDARD_TEST_CASES["few_high_child"], parent_size=_PARENT, child_size=_CHILD
+    )
+    thresholds = Thresholds()
+    model = CostModel()
+    exact_size = len(SHJoin(dataset.parent, dataset.child, "location").run())
+    approx_size = len(
+        SSHJoin(
+            dataset.parent, dataset.child, "location",
+            similarity_threshold=thresholds.theta_sim,
+        ).run()
+    )
+    total_steps = len(dataset.parent) + len(dataset.child)
+
+    reports = []
+    for fraction in _FRACTIONS:
+        budget = CostBudget.relative(fraction, total_steps, model)
+        processor = AdaptiveJoinProcessor(
+            dataset.parent,
+            dataset.child,
+            "location",
+            thresholds=thresholds,
+            cost_budget=budget,
+            cost_model=model,
+        )
+        result = processor.run()
+        report = GainCostReport(
+            test_case=f"budget={fraction}",
+            exact_result_size=exact_size,
+            approximate_result_size=approx_size,
+            adaptive_result_size=result.result_size,
+            exact_cost=model.all_exact_cost(total_steps),
+            approximate_cost=model.all_approximate_cost(total_steps),
+            adaptive_cost=model.absolute_cost(result.trace),
+        )
+        reports.append((fraction, report, processor.budget_exhausted))
+    return reports
+
+
+def test_budget_tradeoff_curve(benchmark):
+    """Sweep cost-budget fractions and check the resulting trade-off curve."""
+    reports = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "budget_fraction": fraction,
+            "gain": report.gain,
+            "cost": report.cost,
+            "efficiency": report.efficiency,
+            "budget_exhausted": exhausted,
+        }
+        for fraction, report, exhausted in reports
+    ]
+    print()
+    print(format_table(rows, title="== extension: user-controlled cost budget =="))
+
+    slack = 0.05  # one assessment interval of lap/rap steps, relative units
+    for fraction, report, _ in reports:
+        # The realised relative cost respects the requested ceiling.
+        assert report.cost <= fraction + slack
+        assert 0.0 <= report.gain <= 1.0
+    # More budget never hurts completeness (monotone up to measurement noise).
+    gains = [report.gain for _, report, _ in reports]
+    assert gains[-1] >= gains[0]
+    # The loosest budget matches the unbudgeted behaviour: a real gain.
+    assert gains[-1] > 0.4

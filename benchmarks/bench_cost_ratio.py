@@ -1,0 +1,37 @@
+"""Sec. 2.3 cost analysis — SSHJoin vs SHJoin per-step cost ratio (experiment E2).
+
+Sweeps the join-attribute length and measures the run-time ratio between the
+all-approximate and the all-exact operator.  The paper's analysis bounds the
+per-step ratio by ``O((|jA| + q − 1)^2)``; the measured ratio should grow
+with the value length and stay below that bound.
+"""
+
+from __future__ import annotations
+
+from repro.bench.cost_analysis import cost_ratio_sweep
+from repro.bench.reporting import format_table
+
+
+def test_cost_ratio_grows_with_value_length(benchmark):
+    """Measure the approximate/exact cost ratio as the value length grows."""
+    points = benchmark.pedantic(
+        cost_ratio_sweep,
+        kwargs={"value_lengths": (12, 20, 28, 36), "table_size": 250},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(
+        [point.as_dict() for point in points],
+        title="== Sec. 2.3: SSHJoin / SHJoin cost ratio vs value length ==",
+    ))
+
+    ratios = [point.measured_ratio for point in points]
+    # The approximate operator is consistently more expensive...
+    assert all(ratio > 1.0 for ratio in ratios)
+    # ...the ratio grows with the join-attribute length (longest vs shortest)...
+    assert ratios[-1] > ratios[0]
+    # ...and stays below the paper's quadratic upper bound.
+    assert all(
+        point.measured_ratio < point.analytic_ratio for point in points
+    )

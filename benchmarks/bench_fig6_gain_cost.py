@@ -1,0 +1,58 @@
+"""Fig. 6 — relative gain, relative cost and efficiency per test case (experiment E6).
+
+Runs the adaptive join plus the two baselines on every one of the eight
+standard test cases (four perturbation patterns × variants in child /
+both) and prints the g_rel / c_rel / e columns of Fig. 6.
+
+Expected shape (paper Sec. 4.4): gains and costs fall in a fairly narrow
+band across patterns, every test case achieves efficiency comparable to or
+above 1, the adaptive cost never exceeds the all-approximate cost, and
+efficiency tends to be higher when variants appear only in the child table.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.bench.reporting import format_table
+
+
+def test_fig6_gain_cost_across_test_cases(benchmark, standard_outcomes):
+    """Assemble and check the Fig. 6 gain/cost/efficiency table."""
+    outcomes = benchmark.pedantic(
+        lambda: standard_outcomes, rounds=1, iterations=1
+    )
+    rows = [outcome.fig6_row() for outcome in outcomes.values()]
+    print()
+    print(format_table(rows, title="== Fig. 6: gain / cost / efficiency per test case =="))
+
+    reports = [outcome.report for outcome in outcomes.values()]
+
+    # The adaptive join recovers a substantial part of the completeness gap…
+    gains = [report.gain for report in reports]
+    assert all(gain > 0.2 for gain in gains)
+    # …at a cost below the all-approximate ceiling, for every test case.
+    assert all(report.never_worse_than_approximate for report in reports)
+    assert all(report.cost < 1.0 for report in reports)
+    # Result sizes are ordered r <= r_abs <= R.
+    for report in reports:
+        assert report.exact_result_size <= report.adaptive_result_size
+        assert report.adaptive_result_size <= report.approximate_result_size
+
+    # Efficiency: on average clearly better than paying the full approximate
+    # price for the recovered completeness.
+    mean_efficiency = statistics.mean(report.efficiency for report in reports)
+    assert mean_efficiency > 1.0
+
+    # The paper reports the higher efficiencies for the child-only variants.
+    child_eff = statistics.mean(
+        outcome.report.efficiency
+        for name, outcome in outcomes.items()
+        if name.endswith("_child")
+    )
+    both_eff = statistics.mean(
+        outcome.report.efficiency
+        for name, outcome in outcomes.items()
+        if name.endswith("_both")
+    )
+    print(f"\nmean efficiency: child-only={child_eff:.3f}  both={both_eff:.3f}")

@@ -1,0 +1,43 @@
+"""Fig. 7 — breakdown of steps per state and transition counts (experiment E7).
+
+For the same eight runs as Fig. 6, prints how many steps the adaptive join
+spent in each of the four states (EE / AE / EA / AA) and how many state
+transitions it performed.
+
+Expected shape (paper Sec. 4.4): a substantial fraction of the steps (the
+paper reports nearly 30 %) is still executed in the cheap all-exact state,
+the expensive states account for the rest, and the number of transitions is
+small compared to the number of steps.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table
+
+
+def test_fig7_state_breakdown(benchmark, standard_outcomes):
+    """Assemble and check the Fig. 7 state-occupancy table."""
+    outcomes = benchmark.pedantic(lambda: standard_outcomes, rounds=1, iterations=1)
+    rows = [outcome.fig7_row() for outcome in outcomes.values()]
+    print()
+    print(format_table(
+        rows, title="== Fig. 7: steps per state and transitions per test case =="
+    ))
+
+    for outcome in outcomes.values():
+        trace = outcome.adaptive.trace
+        # Every step is attributed to exactly one state.
+        assert sum(trace.steps_per_state.values()) == trace.total_steps
+        # The optimistic start means the run always begins with exact steps.
+        assert trace.steps_in("EE") > 0
+        # Transitions are rare events relative to steps.
+        assert trace.transition_count < trace.total_steps / 50
+        # The adaptive strategy reacted to the injected variants.
+        assert trace.transition_count >= 1
+
+    # Across the suite a visible share of the work stays exact.
+    mean_exact_fraction = sum(
+        outcome.adaptive.trace.exact_step_fraction() for outcome in outcomes.values()
+    ) / len(outcomes)
+    print(f"\nmean fraction of steps spent fully exact: {mean_exact_fraction:.3f}")
+    assert mean_exact_fraction > 0.15

@@ -1,0 +1,45 @@
+"""Fig. 8 — breakdown of relative execution costs (experiment E8).
+
+Applies the Sec. 4.3 cost model (paper-calibrated state and transition
+weights) to the Fig. 7 step counts, producing the weighted cost breakdown of
+Fig. 8 for every test case.
+
+Expected shape (paper Sec. 4.4): although ~30 % of steps are exact, their
+weighted cost share is negligible; the cost is dominated by the approximate
+states; transition costs do not contribute significantly to the total.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table
+from repro.core.cost_model import CostModel
+from repro.core.state_machine import JoinState
+
+
+def test_fig8_cost_breakdown(benchmark, standard_outcomes):
+    """Assemble and check the Fig. 8 weighted-cost table."""
+    outcomes = benchmark.pedantic(lambda: standard_outcomes, rounds=1, iterations=1)
+    model = CostModel()
+    rows = [outcome.fig8_row(model) for outcome in outcomes.values()]
+    print()
+    print(format_table(
+        rows, title="== Fig. 8: weighted execution-cost breakdown per test case =="
+    ))
+
+    for outcome in outcomes.values():
+        breakdown = model.breakdown(outcome.adaptive.trace)
+        trace = outcome.adaptive.trace
+        total = breakdown.total
+        assert total > 0
+
+        # The exact steps, although numerous, carry a negligible cost share…
+        exact_share = breakdown.state_costs[JoinState.LEX_REX] / total
+        exact_step_share = trace.exact_step_fraction()
+        assert exact_share < exact_step_share
+
+        # …the transition overhead is a small fraction of the total cost…
+        assert breakdown.total_transition_cost < 0.2 * total
+
+        # …and the weighted total never exceeds the all-approximate ceiling
+        # (the "never worse than approximate" property of Sec. 4.4).
+        assert total <= model.all_approximate_cost(trace.total_steps)

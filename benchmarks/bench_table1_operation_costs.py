@@ -1,0 +1,49 @@
+"""Table 1 — per-operation cost of SHJoin vs SSHJoin (experiment E1).
+
+Runs both symmetric operators over the same generated inputs, collects the
+elementary-operation counters and prints the measured per-probe averages
+next to the paper's analytic expressions evaluated with the measured
+``|jA|``, ``B_ex`` and ``B_ap``.
+
+Expected shape (paper Table 1): the exact operator performs one hash update
+and ``B_ex`` match lookups per probe and never touches q-grams; the
+approximate operator obtains ``|jA|+q−1`` grams, performs one hash update
+per gram and scans of the order of ``(|jA|+q−1)·B_ap`` bucket entries to
+build ``T(t)``.
+"""
+
+from __future__ import annotations
+
+from repro.bench.operation_costs import measure_operation_costs
+from repro.bench.reporting import format_mapping, format_table
+
+
+def test_table1_operation_costs(benchmark):
+    """Measure and print the Table 1 per-probe operation counts."""
+    report = benchmark.pedantic(
+        measure_operation_costs,
+        kwargs={"parent_size": 800, "child_size": 500},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_mapping(
+        {
+            "average |jA| (characters)": report.average_value_length,
+            "q": report.q,
+            "|jA| + q - 1 (grams per value)": report.grams_per_value,
+            "B_ex (average value-bucket length)": report.average_exact_bucket,
+            "B_ap (average q-gram-bucket length)": report.average_qgram_bucket,
+        },
+        title="== Table 1: measured input statistics ==",
+    ))
+    print()
+    print(format_table(report.analytic_rows(), title="== Table 1: per-probe operation costs =="))
+
+    # Sanity of the reproduction: the approximate operator must obtain about
+    # |jA|+q-1 grams per probe and the exact operator none at all.
+    assert report.shjoin["qgrams_obtained"] == 0.0
+    assert report.sshjoin["qgrams_obtained"] > report.grams_per_value * 0.5
+    # Hash updates: 1 per tuple exact, one per gram approximate.
+    assert abs(report.shjoin["hash_updates"] - 1.0) < 0.35
+    assert report.sshjoin["hash_updates"] > 5 * report.shjoin["hash_updates"]

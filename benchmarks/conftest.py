@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark suite.
+
+The figure-level benchmarks (Figs. 6-8) all analyse the *same* eight runs —
+exactly as in the paper, where one set of executions feeds all three
+figures — so those runs are produced once per session by the
+``standard_outcomes`` fixture and reused.
+
+Benchmark scale defaults to 2000 parent × 1200 child rows (laptop-friendly
+for a pure-Python all-approximate baseline); set the environment variables
+``REPRO_BENCH_PARENT_SIZE=8082`` and ``REPRO_BENCH_CHILD_SIZE=5000`` to run
+at the paper's scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import (
+    DEFAULT_BENCH_CHILD_SIZE,
+    DEFAULT_BENCH_PARENT_SIZE,
+    run_all_standard_experiments,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> tuple:
+    """(parent_size, child_size) used by the benchmark suite."""
+    return DEFAULT_BENCH_PARENT_SIZE, DEFAULT_BENCH_CHILD_SIZE
+
+
+@pytest.fixture(scope="session")
+def standard_outcomes(bench_scale):
+    """The eight standard gain/cost experiment outcomes (shared by Figs. 6-8)."""
+    parent_size, child_size = bench_scale
+    return run_all_standard_experiments(
+        parent_size=parent_size, child_size=child_size
+    )

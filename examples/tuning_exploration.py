@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Explore the threshold space of the adaptive strategy (paper Sec. 4.2).
+
+The paper tunes its thresholds empirically and reports that the best
+settings vary little across test cases.  This example repeats a small
+version of that exploration: it sweeps the assessment frequency
+``δ_adapt``, the similarity threshold ``θ_sim`` and the past-perturbation
+threshold ``θ_pastpert`` around the paper's operating point on one test
+case, printing gain, cost and efficiency for each setting.
+
+Run with::
+
+    python examples/tuning_exploration.py [test_case]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.reporting import format_table
+from repro.bench.tuning import sweep_parameter
+
+PARENT_SIZE = 1000
+CHILD_SIZE = 700
+
+SWEEPS = {
+    "delta_adapt": (25, 50, 100, 200, 400),
+    "theta_sim": (0.75, 0.80, 0.85, 0.90),
+    "theta_pastpert": (1, 2, 5, 10),
+}
+
+
+def main() -> None:
+    test_case = sys.argv[1] if len(sys.argv) > 1 else "interleaved_low_child"
+    print(f"tuning exploration on test case {test_case!r} "
+          f"({PARENT_SIZE} x {CHILD_SIZE} rows)\n")
+
+    for parameter, values in SWEEPS.items():
+        points = sweep_parameter(
+            parameter,
+            values,
+            test_case=test_case,
+            parent_size=PARENT_SIZE,
+            child_size=CHILD_SIZE,
+        )
+        rows = [point.as_dict() for point in points]
+        print(format_table(rows, title=f"-- sweep of {parameter} --"))
+        print()
+
+
+if __name__ == "__main__":
+    main()

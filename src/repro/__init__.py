@@ -1,0 +1,73 @@
+"""repro — reproduction of *Time-completeness trade-offs in record linkage
+using Adaptive Query Processing* (Lengu, Missier, Fernandes, Guerrini,
+Mesiti — EDBT 2009).
+
+The package is organised in layers, bottom-up:
+
+``repro.engine``
+    A small pipelined, iterator-based query-engine substrate: records,
+    schemas, in-memory tables, streaming sources and relational operators
+    built on the classical OPEN/NEXT/CLOSE protocol with explicit quiescent
+    states (the property that makes safe operator replacement possible).
+
+``repro.similarity``
+    String-similarity substrate: q-gram tokenisation and Jaccard similarity
+    (the measure used by the paper), plus edit-based and hybrid measures.
+
+``repro.stats``
+    Probability and streaming-statistics substrate: binomial distribution,
+    outlier detection of the observed join-result size, sliding-window
+    counters.
+
+``repro.joins``
+    The physical join operators: the exact symmetric hash join ``SHJoin``,
+    the approximate symmetric set hash join ``SSHJoin`` (pipelined SSJoin),
+    hybrid per-side configurations, the switch/catch-up machinery and the
+    non-adaptive baselines.
+
+``repro.core``
+    The paper's contribution: the Monitor-Assess-Respond adaptive control
+    loop, the four-state machine (``lex/rex``, ``lap/rex``, ``lex/rap``,
+    ``lap/rap``), the adaptive join processor, the cost model and the
+    gain/cost/efficiency metrics of Sec. 4.
+
+``repro.linkage``
+    A thin record-linkage toolkit layer (decision rules, blocking,
+    evaluation against ground truth) and a high-level ``link_tables`` API.
+
+``repro.datagen``
+    The synthetic workload generator of Sec. 4.1: municipality-style parent
+    tables, accident-style child tables, variant injection and the four
+    perturbation patterns of Fig. 5.
+
+``repro.bench``
+    The experiment drivers that regenerate every table and figure of the
+    paper's evaluation (see DESIGN.md and EXPERIMENTS.md).
+"""
+
+from repro.core.adaptive import AdaptiveJoinProcessor, AdaptiveJoinResult
+from repro.core.metrics import GainCostReport
+from repro.core.state_machine import JoinState
+from repro.core.thresholds import Thresholds
+from repro.engine.table import Table
+from repro.engine.tuples import Record, Schema
+from repro.joins.shjoin import SHJoin
+from repro.joins.sshjoin import SSHJoin
+from repro.linkage.api import link_tables
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveJoinProcessor",
+    "AdaptiveJoinResult",
+    "Thresholds",
+    "JoinState",
+    "GainCostReport",
+    "Table",
+    "Record",
+    "Schema",
+    "SHJoin",
+    "SSHJoin",
+    "link_tables",
+    "__version__",
+]

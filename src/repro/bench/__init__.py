@@ -1,0 +1,62 @@
+"""Experiment drivers shared by the ``benchmarks/`` suite.
+
+Each module here regenerates (the data behind) one of the paper's tables or
+figures; the thin pytest-benchmark files under ``benchmarks/`` call into
+these drivers and print the resulting tables.  Keeping the logic importable
+means the examples, the tests and the benchmark runner all exercise the same
+code paths.
+
+* :mod:`repro.bench.harness` — run one test case under the all-exact,
+  all-approximate and adaptive strategies and assemble a
+  :class:`~repro.core.metrics.GainCostReport` (Fig. 6) plus the execution
+  trace (Figs. 7-8).
+* :mod:`repro.bench.calibration` — measure the per-state step weights and
+  per-transition weights of Sec. 4.3 on the current machine.
+* :mod:`repro.bench.operation_costs` — measure the elementary-operation
+  counts of Table 1.
+* :mod:`repro.bench.cost_analysis` — the per-step cost-ratio analysis of
+  Sec. 2.3 (quadratic in the number of q-grams).
+* :mod:`repro.bench.tuning` — parameter sweeps around the paper's operating
+  point (Sec. 4.2).
+* :mod:`repro.bench.reporting` — plain-text table formatting.
+"""
+
+from repro.bench.export import (
+    fig6_rows,
+    outcome_to_dict,
+    outcomes_to_json,
+    rows_to_csv,
+)
+from repro.bench.harness import (
+    DEFAULT_BENCH_CHILD_SIZE,
+    DEFAULT_BENCH_PARENT_SIZE,
+    ExperimentOutcome,
+    run_all_standard_experiments,
+    run_experiment,
+)
+from repro.bench.calibration import WeightCalibration, calibrate_weights
+from repro.bench.operation_costs import OperationCostReport, measure_operation_costs
+from repro.bench.cost_analysis import CostRatioPoint, cost_ratio_sweep
+from repro.bench.tuning import SweepPoint, sweep_parameter
+from repro.bench.reporting import format_table
+
+__all__ = [
+    "outcome_to_dict",
+    "outcomes_to_json",
+    "fig6_rows",
+    "rows_to_csv",
+    "DEFAULT_BENCH_PARENT_SIZE",
+    "DEFAULT_BENCH_CHILD_SIZE",
+    "ExperimentOutcome",
+    "run_experiment",
+    "run_all_standard_experiments",
+    "WeightCalibration",
+    "calibrate_weights",
+    "OperationCostReport",
+    "measure_operation_costs",
+    "CostRatioPoint",
+    "cost_ratio_sweep",
+    "SweepPoint",
+    "sweep_parameter",
+    "format_table",
+]

@@ -1,0 +1,125 @@
+"""Per-step cost-ratio analysis (paper Sec. 2.3).
+
+Sec. 2.3 argues that the cost ratio between one SSHJoin step and one SHJoin
+step grows as ``O((|jA| + q − 1)^2)`` — quadratic in the number of q-grams of
+the join-attribute value — and that the space overhead grows linearly
+(``n·(|jA|+q−1)·p`` vs ``n·p`` pointers).
+
+This driver sweeps the join-attribute length (by generating location strings
+padded to target lengths), times a fixed number of probes with each
+operator, and reports the measured time ratio together with the analytic
+``(|jA|+q−1)^2`` curve so the quadratic shape can be verified.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.datagen.municipalities import generate_location_strings
+from repro.datagen.variants import make_variant
+from repro.engine.table import Table
+from repro.engine.tuples import Schema
+from repro.joins.shjoin import SHJoin
+from repro.joins.sshjoin import SSHJoin
+
+_SCHEMA = Schema(["row_id", "location"], name="cost_sweep")
+
+
+@dataclass(frozen=True)
+class CostRatioPoint:
+    """One point of the cost-ratio sweep."""
+
+    value_length: int
+    qgram_count: int
+    exact_seconds: float
+    approximate_seconds: float
+    measured_ratio: float
+    analytic_ratio: float  # (|jA| + q - 1)^2, the paper's upper-bound shape
+
+    def as_dict(self) -> dict:
+        """Flat row for reports."""
+        return {
+            "value_length": self.value_length,
+            "qgram_count": self.qgram_count,
+            "exact_seconds": self.exact_seconds,
+            "approx_seconds": self.approximate_seconds,
+            "measured_ratio": self.measured_ratio,
+            "analytic_(|jA|+q-1)^2": self.analytic_ratio,
+        }
+
+
+def _padded_values(base_values: Sequence[str], target_length: int,
+                   rng: random.Random) -> List[str]:
+    """Stretch or trim values to roughly ``target_length`` characters."""
+    values = []
+    for value in base_values:
+        if len(value) >= target_length:
+            values.append(value[:target_length])
+            continue
+        padding = "".join(
+            rng.choice("ABCDEFGHILMNOPRSTUV") for _ in range(target_length - len(value) - 1)
+        )
+        values.append(f"{value} {padding}")
+    return values
+
+
+def _tables_for_length(size: int, target_length: int, variant_rate: float,
+                       seed: int) -> tuple:
+    rng = random.Random(seed)
+    base = generate_location_strings(size, seed=seed)
+    values = _padded_values(base, target_length, rng)
+    left = Table(_SCHEMA, name="left")
+    right = Table(_SCHEMA, name="right")
+    for index, value in enumerate(values):
+        left.insert_values(index, value)
+        child_value = value
+        if rng.random() < variant_rate:
+            child_value = make_variant(value, rng)
+        right.insert_values(index, child_value)
+    return left, right
+
+
+def cost_ratio_sweep(
+    value_lengths: Sequence[int] = (12, 18, 24, 32, 40),
+    table_size: int = 250,
+    variant_rate: float = 0.10,
+    similarity_threshold: float = 0.85,
+    q: int = 3,
+    seed: int = 5,
+) -> List[CostRatioPoint]:
+    """Measure the SSHJoin/SHJoin per-run time ratio as the value length grows."""
+    points: List[CostRatioPoint] = []
+    for length in value_lengths:
+        left, right = _tables_for_length(table_size, length, variant_rate, seed)
+
+        started = time.perf_counter()
+        SHJoin(left, right, "location").run()
+        exact_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        SSHJoin(
+            left,
+            right,
+            "location",
+            similarity_threshold=similarity_threshold,
+            q=q,
+        ).run()
+        approx_seconds = time.perf_counter() - started
+
+        grams = length + q - 1
+        points.append(
+            CostRatioPoint(
+                value_length=length,
+                qgram_count=grams,
+                exact_seconds=exact_seconds,
+                approximate_seconds=approx_seconds,
+                measured_ratio=approx_seconds / exact_seconds
+                if exact_seconds > 0
+                else float("inf"),
+                analytic_ratio=float(grams * grams),
+            )
+        )
+    return points

@@ -1,0 +1,109 @@
+"""Serialisation of experiment outcomes.
+
+The benchmark drivers print human-readable tables; downstream analysis
+(plotting the figures, diffing runs, archiving results next to
+EXPERIMENTS.md) wants machine-readable artefacts instead.  This module turns
+:class:`~repro.bench.harness.ExperimentOutcome` objects into plain
+dictionaries and writes them as JSON or CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, Iterable, List, Mapping
+
+from repro.bench.harness import ExperimentOutcome
+from repro.core.cost_model import CostModel
+
+
+def outcome_to_dict(outcome: ExperimentOutcome,
+                    cost_model: CostModel = None) -> Dict[str, object]:
+    """Flatten one experiment outcome into a JSON-serialisable dictionary.
+
+    The dictionary contains the Fig. 6 metrics, the Fig. 7 state breakdown,
+    the Fig. 8 weighted costs, the ground-truth evaluations and the
+    wall-clock timings — everything EXPERIMENTS.md reports for one test case.
+    """
+    report = outcome.report
+    trace = outcome.adaptive.trace
+    model = cost_model or CostModel()
+    breakdown = model.breakdown(trace)
+    return {
+        "test_case": outcome.test_case,
+        "spec": {
+            "pattern": outcome.dataset.spec.pattern,
+            "variants_in": outcome.dataset.spec.variants_in,
+            "parent_size": len(outcome.dataset.parent),
+            "child_size": len(outcome.dataset.child),
+            "variant_rate": outcome.dataset.spec.variant_rate,
+            "seed": outcome.dataset.spec.seed,
+        },
+        "result_sizes": {
+            "exact": report.exact_result_size,
+            "approximate": report.approximate_result_size,
+            "adaptive": report.adaptive_result_size,
+        },
+        "metrics": {
+            "gain": report.gain,
+            "cost": report.cost,
+            "efficiency": report.efficiency,
+        },
+        "weighted_costs": {
+            "exact": report.exact_cost,
+            "approximate": report.approximate_cost,
+            "adaptive": report.adaptive_cost,
+            "per_state": {
+                state.short_label: value
+                for state, value in breakdown.state_costs.items()
+            },
+            "transitions": breakdown.total_transition_cost,
+        },
+        "state_breakdown": {
+            "steps_per_state": {
+                state.short_label: steps
+                for state, steps in trace.steps_per_state.items()
+            },
+            "transitions": trace.transition_count,
+            "assessments": trace.assessment_count(),
+            "exact_step_fraction": trace.exact_step_fraction(),
+        },
+        "evaluation": {
+            strategy: evaluation.as_dict()
+            for strategy, evaluation in outcome.evaluations.items()
+        },
+        "wall_clock_seconds": dict(outcome.wall_clock),
+    }
+
+
+def outcomes_to_json(
+    outcomes: Mapping[str, ExperimentOutcome],
+    path: str,
+    cost_model: CostModel = None,
+    indent: int = 2,
+) -> None:
+    """Write a mapping of test case → outcome to a JSON file."""
+    payload = {
+        name: outcome_to_dict(outcome, cost_model)
+        for name, outcome in outcomes.items()
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=indent, sort_keys=True)
+
+
+def fig6_rows(outcomes: Mapping[str, ExperimentOutcome]) -> List[Dict[str, object]]:
+    """The Fig. 6 table as a list of flat rows (one per test case)."""
+    return [outcome.fig6_row() for outcome in outcomes.values()]
+
+
+def rows_to_csv(rows: Iterable[Mapping[str, object]], path: str) -> None:
+    """Write flat rows (as produced by the ``fig*_row`` helpers) to CSV."""
+    rows = list(rows)
+    if not rows:
+        raise ValueError("cannot write an empty row set to CSV")
+    fieldnames = list(rows[0].keys())
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)

@@ -1,0 +1,155 @@
+"""Elementary-operation cost measurement (paper Table 1).
+
+Table 1 of the paper gives, per quiescent-state transition (i.e. per probe),
+the analytic cost of the four operation families for SHJoin vs SSHJoin:
+
+=====================================  ===========  ==========================
+operation                              SHJoin       SSHJoin
+=====================================  ===========  ==========================
+1. obtain q-grams                      —            ``|jA|``
+2. update hash table                   1            ``|jA| + q − 1``
+3. compute T(t) and counters           —            ``(|jA| + q − 1) · B_ap``
+4. find matches                        ``B_ex``     ``|T(t)|``
+=====================================  ===========  ==========================
+
+This driver runs both operators over the same generated inputs, reads the
+:class:`~repro.joins.base.OperationCounters` they accumulate and reports the
+measured per-probe averages next to the analytic expressions evaluated with
+the measured ``|jA|``, ``B_ex`` and ``B_ap``, so the reproduction of Table 1
+can be checked quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.datagen.testcases import GeneratedDataset, TestCaseSpec, generate_test_case
+from repro.joins.base import JoinSide
+from repro.joins.shjoin import SHJoin
+from repro.joins.sshjoin import SSHJoin
+
+
+@dataclass
+class OperationCostReport:
+    """Measured per-probe operation counts for both operators."""
+
+    #: Average join-attribute length |jA| over both inputs.
+    average_value_length: float
+    q: int
+    #: Average value-bucket length of the exact hash tables (B_ex).
+    average_exact_bucket: float
+    #: Average q-gram-bucket length of the approximate hash tables (B_ap).
+    average_qgram_bucket: float
+    #: Measured per-probe averages, keyed by operation name, per operator.
+    shjoin: Dict[str, float]
+    sshjoin: Dict[str, float]
+
+    @property
+    def grams_per_value(self) -> float:
+        """``|jA| + q − 1`` evaluated with the measured average length."""
+        return self.average_value_length + self.q - 1
+
+    def analytic_rows(self) -> List[Dict[str, object]]:
+        """Table 1 with the analytic expressions evaluated on measured statistics."""
+        return [
+            {
+                "operation": "1. obtain q-grams",
+                "SHJoin (analytic)": 0.0,
+                "SSHJoin (analytic)": self.grams_per_value,
+                "SHJoin (measured)": self.shjoin["qgrams_obtained"],
+                "SSHJoin (measured)": self.sshjoin["qgrams_obtained"],
+            },
+            {
+                "operation": "2. update hash table",
+                "SHJoin (analytic)": 1.0,
+                "SSHJoin (analytic)": self.grams_per_value,
+                "SHJoin (measured)": self.shjoin["hash_updates"],
+                "SSHJoin (measured)": self.sshjoin["hash_updates"],
+            },
+            {
+                "operation": "3. compute T(t)",
+                "SHJoin (analytic)": 0.0,
+                "SSHJoin (analytic)": self.grams_per_value * self.average_qgram_bucket,
+                "SHJoin (measured)": 0.0,
+                "SSHJoin (measured)": self.sshjoin["candidate_scan_work"],
+            },
+            {
+                "operation": "4. find matches",
+                "SHJoin (analytic)": self.average_exact_bucket,
+                "SSHJoin (analytic)": self.sshjoin["candidate_set_size"],
+                "SHJoin (measured)": self.shjoin["probe_work"],
+                "SSHJoin (measured)": self.sshjoin["candidate_set_size"],
+            },
+        ]
+
+
+def _per_probe(counters, probes: int) -> Dict[str, float]:
+    probes = max(probes, 1)
+    return {
+        "qgrams_obtained": counters.qgrams_obtained / probes,
+        "hash_updates": (counters.exact_hash_updates + counters.approx_hash_updates)
+        / probes,
+        "candidate_scan_work": counters.candidate_scan_work / probes,
+        "candidate_set_size": counters.candidate_set_size / probes,
+        "probe_work": (counters.exact_probe_work + counters.approx_verifications)
+        / probes,
+    }
+
+
+def measure_operation_costs(
+    parent_size: int = 800,
+    child_size: int = 500,
+    similarity_threshold: float = 0.85,
+    q: int = 3,
+    dataset: Optional[GeneratedDataset] = None,
+) -> OperationCostReport:
+    """Run both operators over one dataset and collect per-probe operation counts."""
+    if dataset is None:
+        spec = TestCaseSpec(
+            name="table1",
+            pattern="uniform",
+            variants_in="child",
+            parent_size=parent_size,
+            child_size=child_size,
+            seed=23,
+        )
+        dataset = generate_test_case(spec)
+
+    exact = SHJoin(dataset.parent, dataset.child, "location")
+    exact.run()
+    approx = SSHJoin(
+        dataset.parent,
+        dataset.child,
+        "location",
+        similarity_threshold=similarity_threshold,
+        q=q,
+    )
+    approx.run()
+
+    lengths = [len(str(v)) for v in dataset.parent.column("location")]
+    lengths += [len(str(v)) for v in dataset.child.column("location")]
+    average_length = sum(lengths) / len(lengths)
+
+    exact_sides = exact.engine.sides
+    approx_sides = approx.engine.sides
+    average_exact_bucket = sum(
+        side.average_exact_bucket_length() for side in exact_sides.values()
+    ) / 2.0
+    average_qgram_bucket = sum(
+        side.average_qgram_bucket_length() for side in approx_sides.values()
+    ) / 2.0
+
+    exact_counters = exact.operation_counters()
+    approx_counters = approx.operation_counters()
+    total_probes_exact = exact_counters.exact_probes
+    total_probes_approx = approx_counters.approx_probes
+
+    return OperationCostReport(
+        average_value_length=average_length,
+        q=q,
+        average_exact_bucket=average_exact_bucket,
+        average_qgram_bucket=average_qgram_bucket,
+        shjoin=_per_probe(exact_counters, total_probes_exact),
+        sshjoin=_per_probe(approx_counters, total_probes_approx),
+    )

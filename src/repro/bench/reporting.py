@@ -1,0 +1,69 @@
+"""Plain-text table formatting for benchmark output.
+
+The benchmark drivers return lists of dictionaries ("rows"); this module
+renders them as aligned text tables so the benchmark runs print something
+directly comparable to the paper's tables and figure data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+
+def _format_value(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render ``rows`` as an aligned plain-text table.
+
+    Parameters
+    ----------
+    rows:
+        A sequence of dictionaries; missing keys render as blanks.
+    columns:
+        Column order; defaults to the keys of the first row.
+    title:
+        Optional title printed above the table.
+    precision:
+        Decimal places for floating-point values.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: List[List[str]] = [
+        [_format_value(row.get(column, ""), precision) for column in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in rendered
+    ]
+    lines = ([title] if title else []) + [header, separator] + body
+    return "\n".join(lines)
+
+
+def format_mapping(mapping: Mapping[str, object], title: str = "",
+                   precision: int = 3) -> str:
+    """Render a flat mapping as ``key: value`` lines (for single-row reports)."""
+    lines = [title] if title else []
+    width = max((len(str(key)) for key in mapping), default=0)
+    for key, value in mapping.items():
+        lines.append(f"{str(key).ljust(width)} : {_format_value(value, precision)}")
+    return "\n".join(lines)

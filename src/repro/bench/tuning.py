@@ -1,0 +1,102 @@
+"""Parameter-tuning sweeps (paper Sec. 4.2).
+
+The paper settles on one operating point (``θ_sim = 0.85``, ``δ_adapt = W =
+100``, ``θ_out = 0.05``, ``θ_curpert = 2``, ``θ_pastpert ∈ [2, 5]``) after an
+empirical exploration of the parameter space.  This driver repeats such an
+exploration: it sweeps one parameter at a time around the operating point,
+re-runs the gain/cost experiment for a chosen test case at each value and
+reports gain, cost and efficiency so the sensitivity (or robustness — the
+paper found θ_out, for example, to matter little) can be inspected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import run_experiment
+from repro.core.thresholds import Thresholds
+from repro.datagen.testcases import (
+    STANDARD_TEST_CASES,
+    GeneratedDataset,
+    TestCaseSpec,
+    generate_test_case,
+)
+
+#: Parameters that can be swept, with the Thresholds field they map to.
+SWEEPABLE_PARAMETERS = {
+    "theta_sim": "theta_sim",
+    "delta_adapt": "delta_adapt",
+    "window_size": "window_size",
+    "theta_out": "theta_out",
+    "theta_curpert": "theta_curpert",
+    "theta_pastpert": "theta_pastpert",
+}
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Outcome of one parameter setting."""
+
+    parameter: str
+    value: float
+    gain: float
+    cost: float
+    efficiency: float
+    transitions: int
+    adaptive_result_size: int
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat row for reports."""
+        return {
+            "parameter": self.parameter,
+            "value": self.value,
+            "gain": self.gain,
+            "cost": self.cost,
+            "efficiency": self.efficiency,
+            "transitions": self.transitions,
+            "result_size": self.adaptive_result_size,
+        }
+
+
+def sweep_parameter(
+    parameter: str,
+    values: Sequence[float],
+    test_case: str = "few_high_child",
+    parent_size: Optional[int] = None,
+    child_size: Optional[int] = None,
+    base_thresholds: Optional[Thresholds] = None,
+) -> List[SweepPoint]:
+    """Re-run the gain/cost experiment for each value of ``parameter``.
+
+    The dataset is generated once and reused across settings, so the sweep
+    isolates the effect of the parameter from sampling noise.
+    """
+    if parameter not in SWEEPABLE_PARAMETERS:
+        raise ValueError(
+            f"unknown parameter {parameter!r}; sweepable: {sorted(SWEEPABLE_PARAMETERS)}"
+        )
+    spec: TestCaseSpec = STANDARD_TEST_CASES[test_case]
+    dataset: GeneratedDataset = generate_test_case(
+        spec, parent_size=parent_size, child_size=child_size
+    )
+    base = base_thresholds or Thresholds()
+
+    points: List[SweepPoint] = []
+    for value in values:
+        field_name = SWEEPABLE_PARAMETERS[parameter]
+        cast_value = int(value) if field_name in ("window_size", "delta_adapt", "q") else value
+        thresholds = base.with_overrides(**{field_name: cast_value})
+        outcome = run_experiment(spec, thresholds=thresholds, dataset=dataset)
+        points.append(
+            SweepPoint(
+                parameter=parameter,
+                value=float(value),
+                gain=outcome.report.gain,
+                cost=outcome.report.cost,
+                efficiency=outcome.report.efficiency,
+                transitions=outcome.adaptive.trace.transition_count,
+                adaptive_result_size=outcome.report.adaptive_result_size,
+            )
+        )
+    return points

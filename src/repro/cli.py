@@ -1,0 +1,240 @@
+"""Command-line interface.
+
+Four sub-commands cover the workflows a downstream user needs without
+writing Python:
+
+``generate``
+    Materialise one of the standard evaluation test cases (or a custom
+    combination of pattern / variant placement / sizes) as two CSV files
+    plus a ground-truth pair list.
+
+``link``
+    Link two CSV files on a join attribute with a chosen strategy (exact,
+    approximate, blocking or adaptive) and write the matched pairs to CSV.
+
+``experiment``
+    Run the full gain/cost experiment (all three strategies) for a standard
+    test case and print the Fig. 6 / Fig. 7 rows; optionally dump the
+    machine-readable outcome to JSON.
+
+``calibrate``
+    Measure the cost-model weights of Sec. 4.3 on this machine.
+
+Run ``python -m repro.cli --help`` (or any sub-command with ``--help``) for
+the full option list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.bench.calibration import calibrate_weights
+from repro.bench.export import outcome_to_dict
+from repro.bench.harness import run_experiment
+from repro.bench.reporting import format_mapping, format_table
+from repro.core.thresholds import Thresholds
+from repro.datagen.patterns import STANDARD_PATTERNS
+from repro.datagen.testcases import (
+    STANDARD_TEST_CASES,
+    TestCaseSpec,
+    generate_test_case,
+)
+from repro.engine.table import Table
+from repro.linkage.api import STRATEGIES, link_tables
+
+
+def _add_threshold_arguments(parser: argparse.ArgumentParser) -> None:
+    """Arguments shared by the commands that run the adaptive join."""
+    parser.add_argument("--theta-sim", type=float, default=0.85,
+                        help="similarity threshold of the approximate operator")
+    parser.add_argument("--delta-adapt", type=int, default=100,
+                        help="steps between control-loop activations")
+    parser.add_argument("--window-size", type=int, default=100,
+                        help="sliding-window size W")
+    parser.add_argument("--theta-out", type=float, default=0.05,
+                        help="outlier-detection threshold")
+    parser.add_argument("--theta-curpert", type=float, default=2.0,
+                        help="current-perturbation threshold")
+    parser.add_argument("--theta-pastpert", type=float, default=5.0,
+                        help="past-perturbation threshold")
+
+
+def _thresholds_from_args(args: argparse.Namespace) -> Thresholds:
+    return Thresholds(
+        theta_sim=args.theta_sim,
+        delta_adapt=args.delta_adapt,
+        window_size=args.window_size,
+        theta_out=args.theta_out,
+        theta_curpert=args.theta_curpert,
+        theta_pastpert=args.theta_pastpert,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Adaptive record linkage (EDBT 2009 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="generate a synthetic parent/child test case as CSV"
+    )
+    generate.add_argument("--test-case", choices=sorted(STANDARD_TEST_CASES),
+                          help="one of the paper's eight standard test cases")
+    generate.add_argument("--pattern", choices=sorted(STANDARD_PATTERNS),
+                          default="few_high", help="perturbation pattern")
+    generate.add_argument("--variants-in", choices=("child", "both", "parent"),
+                          default="child", help="where variants are injected")
+    generate.add_argument("--parent-size", type=int, default=1000)
+    generate.add_argument("--child-size", type=int, default=2000)
+    generate.add_argument("--variant-rate", type=float, default=0.10)
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("--parent-output", default="parent.csv")
+    generate.add_argument("--child-output", default="child.csv")
+    generate.add_argument("--truth-output", default="true_pairs.csv")
+
+    link = subparsers.add_parser("link", help="link two CSV files")
+    link.add_argument("left_csv", help="left (parent/reference) table")
+    link.add_argument("right_csv", help="right (child) table")
+    link.add_argument("--attribute", required=True, help="join attribute name")
+    link.add_argument("--strategy", choices=STRATEGIES, default="adaptive")
+    link.add_argument("--output", default="matches.csv",
+                      help="where to write the matched pairs")
+    _add_threshold_arguments(link)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="run the gain/cost experiment for a standard test case"
+    )
+    experiment.add_argument("--test-case", choices=sorted(STANDARD_TEST_CASES),
+                            default="few_high_child")
+    experiment.add_argument("--parent-size", type=int, default=1500)
+    experiment.add_argument("--child-size", type=int, default=3000)
+    experiment.add_argument("--json-output",
+                            help="optional path for the machine-readable outcome")
+    _add_threshold_arguments(experiment)
+
+    calibrate = subparsers.add_parser(
+        "calibrate", help="measure the Sec. 4.3 cost-model weights on this machine"
+    )
+    calibrate.add_argument("--parent-size", type=int, default=600)
+    calibrate.add_argument("--child-size", type=int, default=400)
+    calibrate.add_argument("--max-steps", type=int, default=400)
+
+    return parser
+
+
+# -- sub-command implementations -------------------------------------------------
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    if args.test_case:
+        spec = STANDARD_TEST_CASES[args.test_case].scaled(
+            args.parent_size, args.child_size
+        )
+    else:
+        spec = TestCaseSpec(
+            name="custom",
+            pattern=args.pattern,
+            variants_in=args.variants_in,
+            parent_size=args.parent_size,
+            child_size=args.child_size,
+            variant_rate=args.variant_rate,
+            seed=args.seed,
+        )
+    dataset = generate_test_case(spec)
+    dataset.parent.to_csv(args.parent_output)
+    dataset.child.to_csv(args.child_output)
+    with open(args.truth_output, "w", encoding="utf-8") as handle:
+        handle.write("parent_index,child_index\n")
+        for parent_index, child_index in dataset.true_pairs:
+            handle.write(f"{parent_index},{child_index}\n")
+    print(
+        f"wrote {len(dataset.parent)} parent rows to {args.parent_output}, "
+        f"{len(dataset.child)} child rows to {args.child_output} "
+        f"({dataset.child_variant_count} child variants, "
+        f"{dataset.parent_variant_count} parent variants), "
+        f"{len(dataset.true_pairs)} true pairs to {args.truth_output}"
+    )
+    return 0
+
+
+def _command_link(args: argparse.Namespace) -> int:
+    left = Table.from_csv(args.left_csv, name="left")
+    right = Table.from_csv(args.right_csv, name="right")
+    result = link_tables(
+        left,
+        right,
+        args.attribute,
+        strategy=args.strategy,
+        similarity_threshold=args.theta_sim,
+        thresholds=_thresholds_from_args(args),
+    )
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write("left_index,right_index\n")
+        for left_index, right_index in result.pairs:
+            handle.write(f"{left_index},{right_index}\n")
+    print(
+        f"{args.strategy}: {result.pair_count} matched pairs written to {args.output}"
+    )
+    if "trace" in result.statistics:
+        print(format_mapping(result.statistics["trace"], title="adaptive trace"))
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    spec = STANDARD_TEST_CASES[args.test_case]
+    outcome = run_experiment(
+        spec,
+        parent_size=args.parent_size,
+        child_size=args.child_size,
+        thresholds=_thresholds_from_args(args),
+    )
+    print(format_table([outcome.fig6_row()], title="-- gain / cost (Fig. 6 row) --"))
+    print()
+    print(format_table([outcome.fig7_row()], title="-- state breakdown (Fig. 7 row) --"))
+    print()
+    print(format_mapping(
+        {name: seconds for name, seconds in outcome.wall_clock.items()},
+        title="-- wall-clock seconds --",
+    ))
+    if args.json_output:
+        with open(args.json_output, "w", encoding="utf-8") as handle:
+            json.dump(outcome_to_dict(outcome), handle, indent=2, sort_keys=True)
+        print(f"\nmachine-readable outcome written to {args.json_output}")
+    return 0
+
+
+def _command_calibrate(args: argparse.Namespace) -> int:
+    calibration = calibrate_weights(
+        parent_size=args.parent_size,
+        child_size=args.child_size,
+        max_steps=args.max_steps,
+    )
+    print(format_table(calibration.as_rows(),
+                       title="-- measured vs paper cost-model weights --"))
+    print(f"\nunit (lex/rex) step time: {calibration.unit_step_seconds * 1e6:.1f} µs")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _command_generate,
+    "link": _command_link,
+    "experiment": _command_experiment,
+    "calibrate": _command_calibrate,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    sys.exit(main())

@@ -1,0 +1,323 @@
+"""The adaptive join processor (paper Sec. 3).
+
+:class:`AdaptiveJoinProcessor` ties the pieces together:
+
+1. a :class:`~repro.joins.engine.SymmetricJoinEngine` executes the join step
+   by step (one step = one quiescent-state transition);
+2. a :class:`~repro.core.monitor.Monitor` observes each step;
+3. every ``δ_adapt`` steps an :class:`~repro.core.assessor.Assessor`
+   evaluates the σ / µ / π predicates;
+4. a :class:`~repro.core.responder.Responder` maps the assessment onto the
+   four-state machine of Fig. 4 and, when a transition fires, switches the
+   engine's per-side operators (with the hash-table catch-up of Sec. 2.3);
+5. an :class:`~repro.core.trace.ExecutionTrace` records state occupancy,
+   transitions and assessments for the cost model and the Fig. 7/8
+   breakdowns.
+
+The processor starts, optimistically, in ``lex/rex`` (both sides exact).
+
+Two entry points are provided:
+
+* :meth:`AdaptiveJoinProcessor.run` — run the whole join and return an
+  :class:`AdaptiveJoinResult` (the mode used by the benchmarks);
+* :class:`AdaptiveSymmetricJoin` — an iterator-protocol operator wrapper, so
+  the adaptive join can be dropped into a query plan like any other
+  physical operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.core.assessor import Assessor
+from repro.core.budget import CostBudget
+from repro.core.cost_model import CostModel
+from repro.core.monitor import Monitor
+from repro.core.responder import Responder
+from repro.core.state_machine import JoinState, StateMachine
+from repro.core.thresholds import Thresholds
+from repro.core.trace import ExecutionTrace
+from repro.engine.iterators import Operator
+from repro.engine.streams import RecordStream, TableStream
+from repro.engine.table import Table
+from repro.engine.tuples import Record, Schema
+from repro.joins.base import JoinAttribute, JoinSide, MatchEvent, OperationCounters
+from repro.joins.engine import SymmetricJoinEngine
+
+InputLike = Union[RecordStream, Table]
+
+
+def _as_stream(source: InputLike) -> RecordStream:
+    if isinstance(source, Table):
+        return TableStream(source)
+    return source
+
+
+@dataclass
+class AdaptiveJoinResult:
+    """Everything produced by one adaptive join run."""
+
+    #: All matched pairs, in emission order.
+    matches: List[MatchEvent]
+    #: The execution trace (state occupancy, transitions, assessments).
+    trace: ExecutionTrace
+    #: Final processor state.
+    final_state: JoinState
+    #: Elementary-operation counters accumulated by the engine.
+    counters: OperationCounters
+    #: Output schema of the joined records.
+    output_schema: Schema
+
+    @property
+    def result_size(self) -> int:
+        """Number of matched pairs produced (``r_abs``)."""
+        return len(self.matches)
+
+    def output_records(self) -> List[Record]:
+        """Materialise the joined output records."""
+        return [event.output_record(self.output_schema) for event in self.matches]
+
+    def matched_pairs(self) -> List[tuple]:
+        """(left ordinal, right ordinal) pairs, useful for completeness checks."""
+        return [event.pair_key() for event in self.matches]
+
+    def weighted_cost(self, cost_model: Optional[CostModel] = None) -> float:
+        """``c_abs`` under ``cost_model`` (paper weights by default)."""
+        return (cost_model or CostModel()).absolute_cost(self.trace)
+
+
+class AdaptiveJoinProcessor:
+    """Adaptive record-linkage join with a MAR control loop.
+
+    Parameters
+    ----------
+    left, right:
+        The two inputs (tables or streams).  By default the *left* input is
+        treated as the parent/reference table of the parent-child
+        expectation (Sec. 3.2); see ``parent_side``.
+    attribute:
+        Join attribute name (same on both sides) or a
+        :class:`~repro.joins.base.JoinAttribute`.
+    thresholds:
+        The tuning parameters of Table 3; defaults to the paper's operating
+        point.
+    parent_size:
+        ``|R|``, the expected size of the parent table.  If omitted and the
+        parent input is a :class:`~repro.engine.table.Table`, its length is
+        used; for true streams the caller must provide the estimate.
+    parent_side:
+        Which input plays the parent role (default left).
+    initial_state:
+        Processor state at start (default ``lex/rex``, the optimistic
+        choice).
+    allow_source_identification:
+        Forwarded to the responder; False restricts the machine to the two
+        symmetric states (ablation).
+    cost_budget:
+        Optional :class:`~repro.core.budget.CostBudget` capping the weighted
+        execution cost.  Once the budget is exhausted (checked at every
+        control-loop activation) the processor is pinned to ``lex/rex`` for
+        the remainder of the run — the user-controlled completeness/cost
+        knob the paper's conclusions call for.
+    cost_model:
+        Cost model used to account the budget (paper weights by default).
+    """
+
+    def __init__(
+        self,
+        left: InputLike,
+        right: InputLike,
+        attribute: Union[str, JoinAttribute],
+        thresholds: Optional[Thresholds] = None,
+        parent_size: Optional[int] = None,
+        parent_side: JoinSide = JoinSide.LEFT,
+        initial_state: JoinState = JoinState.LEX_REX,
+        allow_source_identification: bool = True,
+        cost_budget: Optional[CostBudget] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self.thresholds = thresholds or Thresholds()
+        if isinstance(attribute, str):
+            attribute = JoinAttribute(attribute, attribute)
+        self.attribute = attribute
+        self.parent_side = parent_side
+
+        parent_input = left if parent_side is JoinSide.LEFT else right
+        if parent_size is None:
+            if isinstance(parent_input, Table):
+                parent_size = len(parent_input)
+            elif hasattr(parent_input, "__len__"):
+                parent_size = len(parent_input)  # type: ignore[arg-type]
+            else:
+                raise ValueError(
+                    "parent_size must be provided when the parent input is a "
+                    "stream of unknown length"
+                )
+        self.parent_size = parent_size
+
+        self.engine = SymmetricJoinEngine(
+            _as_stream(left),
+            _as_stream(right),
+            attribute,
+            similarity_threshold=self.thresholds.theta_sim,
+            q=self.thresholds.q,
+            left_mode=initial_state.left_mode,
+            right_mode=initial_state.right_mode,
+        )
+        self.monitor = Monitor(window_size=self.thresholds.window_size)
+        self.assessor = Assessor(
+            thresholds=self.thresholds,
+            parent_size=self.parent_size,
+            parent_side=parent_side,
+        )
+        self.state_machine = StateMachine(initial=initial_state)
+        self.responder = Responder(
+            self.state_machine,
+            allow_source_identification=allow_source_identification,
+        )
+        self.trace = ExecutionTrace(initial_state=initial_state)
+        self.cost_budget = cost_budget
+        self.cost_model = cost_model or CostModel()
+        self._budget_exhausted = False
+        self._matches: List[MatchEvent] = []
+        self._finished = False
+
+    # -- state ---------------------------------------------------------------------
+
+    @property
+    def state(self) -> JoinState:
+        """Current processor state."""
+        return self.state_machine.state
+
+    @property
+    def output_schema(self) -> Schema:
+        """Schema of the joined output records."""
+        return self.engine.output_schema
+
+    @property
+    def matches(self) -> List[MatchEvent]:
+        """Matched pairs produced so far."""
+        return self._matches
+
+    @property
+    def finished(self) -> bool:
+        """True once both inputs have been drained."""
+        return self._finished
+
+    # -- execution ------------------------------------------------------------------
+
+    def step(self) -> Optional[List[MatchEvent]]:
+        """Execute one join step followed (when due) by one control-loop activation.
+
+        Returns the match events produced by the step, or ``None`` when the
+        join has finished.
+        """
+        result = self.engine.step()
+        if result is None:
+            self._finished = True
+            return None
+        state = self.state_machine.state
+        self.monitor.observe_step(result)
+        self.trace.record_step(state, result.side, len(result.matches))
+        self._matches.extend(result.matches)
+
+        if self.assessor.should_assess(result.step):
+            self._activate_control_loop(result.step)
+        return result.matches
+
+    @property
+    def budget_exhausted(self) -> bool:
+        """Whether the cost budget (if any) has been used up."""
+        return self._budget_exhausted
+
+    def _activate_control_loop(self, step: int) -> None:
+        """One Monitor → Assess → Respond activation."""
+        if self.cost_budget is not None and not self._budget_exhausted:
+            if self.cost_budget.exhausted(self.trace, self.cost_model):
+                self._budget_exhausted = True
+        if self._budget_exhausted:
+            # The user-imposed cost cap overrides the responder: pin the
+            # processor to the cheap all-exact configuration.
+            state_before = self.state_machine.state
+            if state_before is not JoinState.LEX_REX:
+                self.state_machine.force(JoinState.LEX_REX, step=step)
+                switches = self.engine.set_modes(
+                    JoinState.LEX_REX.left_mode, JoinState.LEX_REX.right_mode
+                )
+                self.trace.record_transition(
+                    step, state_before, JoinState.LEX_REX, switches
+                )
+            return
+        observation = self.monitor.observation()
+        assessment = self.assessor.assess(observation)
+        state_before = self.state_machine.state
+        guards, new_state, switches = self.responder.respond(assessment, self.engine)
+        state_after = self.state_machine.state
+        self.trace.record_assessment(assessment, guards, state_before, state_after)
+        if new_state is not None:
+            self.trace.record_transition(step, state_before, new_state, switches)
+
+    def run(self) -> AdaptiveJoinResult:
+        """Run the join to completion and return the full result."""
+        while not self._finished:
+            self.step()
+        return AdaptiveJoinResult(
+            matches=self._matches,
+            trace=self.trace,
+            final_state=self.state_machine.state,
+            counters=self.engine.counters(),
+            output_schema=self.output_schema,
+        )
+
+
+class AdaptiveSymmetricJoin(Operator):
+    """Iterator-protocol wrapper around :class:`AdaptiveJoinProcessor`.
+
+    Lets the adaptive join participate in ordinary pipelined plans: each
+    ``next_record`` call advances the underlying processor until a match is
+    available and returns the joined record.
+    """
+
+    def __init__(
+        self,
+        left: InputLike,
+        right: InputLike,
+        attribute: Union[str, JoinAttribute],
+        thresholds: Optional[Thresholds] = None,
+        parent_size: Optional[int] = None,
+        parent_side: JoinSide = JoinSide.LEFT,
+        name: str = "",
+    ) -> None:
+        self._processor = AdaptiveJoinProcessor(
+            left,
+            right,
+            attribute,
+            thresholds=thresholds,
+            parent_size=parent_size,
+            parent_side=parent_side,
+        )
+        super().__init__(self._processor.output_schema, name=name or "AdaptiveJoin")
+        self._pending: List[MatchEvent] = []
+
+    @property
+    def processor(self) -> AdaptiveJoinProcessor:
+        """The wrapped adaptive processor (for inspection after the run)."""
+        return self._processor
+
+    def _do_open(self) -> None:
+        self._pending = []
+
+    def _do_next(self) -> Optional[Record]:
+        while not self._pending:
+            matches = self._processor.step()
+            if matches is None:
+                return None
+            if matches:
+                self._pending.extend(matches)
+        event = self._pending.pop(0)
+        return event.output_record(self.output_schema)
+
+    def is_quiescent(self) -> bool:
+        """Quiescent iff no produced-but-unreturned matches are pending."""
+        return not self._pending

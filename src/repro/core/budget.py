@@ -1,0 +1,100 @@
+"""Cost-budgeted adaptation (the paper's "further work" extension).
+
+Sec. 4.4 of the paper closes with the observation that, because the adaptive
+strategy never costs more than the all-approximate join, "the algorithm may
+be tuned, possibly under user control, for a target gain in terms of result
+completeness, while keeping the marginal cost over the exact join baseline
+within a predictable limit.  Further work is needed to explore this space of
+available trade-offs."
+
+This module implements that control knob.  A :class:`CostBudget` caps the
+weighted execution cost (Sec. 4.3 units) the adaptive join may spend above
+the all-exact baseline; once the budget is exhausted the responder is
+overridden and the processor is pinned to the all-exact state for the rest
+of the run.  Budgets are most conveniently expressed *relatively* — as a
+fraction of the cost gap ``C − c`` between the all-approximate and all-exact
+runs — via :meth:`CostBudget.relative`, which mirrors the ``c_rel`` metric:
+a run with budget fraction ``f`` ends with ``c_rel ≤ f`` (up to the cost of
+the single assessment interval during which the budget is detected to be
+exhausted).
+
+The trade-off curve (gain achieved as a function of the allowed cost) is
+explored by ``benchmarks/bench_budget_tradeoff.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.cost_model import CostModel
+from repro.core.trace import ExecutionTrace
+
+
+@dataclass(frozen=True)
+class CostBudget:
+    """A cap on the weighted execution cost of an adaptive run.
+
+    Attributes
+    ----------
+    max_absolute_cost:
+        Maximum allowed ``c_abs`` (weighted cost units, where one unit is
+        the cost of one all-exact step).
+    """
+
+    max_absolute_cost: float
+
+    def __post_init__(self) -> None:
+        if self.max_absolute_cost <= 0:
+            raise ValueError(
+                f"budget must be positive, got {self.max_absolute_cost}"
+            )
+
+    @classmethod
+    def relative(
+        cls,
+        fraction: float,
+        total_steps: int,
+        cost_model: Optional[CostModel] = None,
+    ) -> "CostBudget":
+        """Budget expressed as a fraction of the cost gap ``C − c``.
+
+        Parameters
+        ----------
+        fraction:
+            Target ``c_rel`` ceiling in (0, 1]; 1.0 reproduces the
+            unbudgeted behaviour (the adaptive join never exceeds ``C``).
+        total_steps:
+            Total number of steps the join will execute (the combined size
+            of both inputs).
+        cost_model:
+            Cost model supplying the state weights (paper weights by
+            default).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"budget fraction must be in (0, 1], got {fraction}")
+        if total_steps <= 0:
+            raise ValueError(f"total_steps must be positive, got {total_steps}")
+        model = cost_model or CostModel()
+        gap = model.all_approximate_cost(total_steps) - model.all_exact_cost(
+            total_steps
+        )
+        # The all-exact floor is always spent; the budget constrains the
+        # spend above that floor.
+        return cls(
+            max_absolute_cost=model.all_exact_cost(total_steps) + fraction * gap
+        )
+
+    def exhausted(
+        self, trace: ExecutionTrace, cost_model: Optional[CostModel] = None
+    ) -> bool:
+        """Whether the run described by ``trace`` has used up the budget."""
+        model = cost_model or CostModel()
+        return model.absolute_cost(trace) >= self.max_absolute_cost
+
+    def remaining(
+        self, trace: ExecutionTrace, cost_model: Optional[CostModel] = None
+    ) -> float:
+        """Budget still available for the run described by ``trace`` (≥ 0)."""
+        model = cost_model or CostModel()
+        return max(0.0, self.max_absolute_cost - model.absolute_cost(trace))

@@ -1,0 +1,152 @@
+"""The weighted cost model of Sec. 4.3.
+
+The paper expresses the cost of an adaptive run as
+
+.. math::
+
+    c_{abs} = \\sum_i sc_i + \\sum_i tc_i
+    \\qquad sc_i = t_i \\cdot w_i
+    \\qquad tc_i = tr_i \\cdot v_i
+
+where ``t_i`` is the number of steps spent in state ``i``, ``tr_i`` the
+number of transitions *into* state ``i``, and ``w_i`` / ``v_i`` are unit
+weights measured experimentally and normalised by the unit step cost of the
+all-exact state ``lex/rex``.
+
+The weights the paper reports are::
+
+    w = [w_lex/rex, w_lap/rex, w_lex/rap, w_lap/rap] = [1, 22.14, 51.8, 70.2]
+    v = [v_lex/rex, v_lap/rex, v_lex/rap, v_lap/rap] = [122.48, 37.96, 84.99, 173.42]
+
+Those values are exposed as :data:`PAPER_STATE_WEIGHTS` /
+:data:`PAPER_TRANSITION_WEIGHTS` and used by default, so that Fig. 8 can be
+reproduced with the paper's own calibration.  A machine-specific calibration
+(measuring step and transition times of this implementation) is provided by
+:mod:`repro.bench.calibration` and can be injected into :class:`CostModel`
+to compare shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.core.state_machine import JoinState
+from repro.core.trace import ExecutionTrace
+
+#: Per-state unit step weights reported by the paper (normalised to lex/rex).
+PAPER_STATE_WEIGHTS: Dict[JoinState, float] = {
+    JoinState.LEX_REX: 1.0,
+    JoinState.LAP_REX: 22.14,
+    JoinState.LEX_RAP: 51.8,
+    JoinState.LAP_RAP: 70.2,
+}
+
+#: Per-target-state transition weights reported by the paper (same unit).
+PAPER_TRANSITION_WEIGHTS: Dict[JoinState, float] = {
+    JoinState.LEX_REX: 122.48,
+    JoinState.LAP_REX: 37.96,
+    JoinState.LEX_RAP: 84.99,
+    JoinState.LAP_RAP: 173.42,
+}
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """The per-state cost decomposition of one run (the Fig. 8 bars)."""
+
+    state_costs: Dict[JoinState, float]
+    transition_costs: Dict[JoinState, float]
+
+    @property
+    def total_state_cost(self) -> float:
+        """Σ_i sc_i."""
+        return sum(self.state_costs.values())
+
+    @property
+    def total_transition_cost(self) -> float:
+        """Σ_i tc_i."""
+        return sum(self.transition_costs.values())
+
+    @property
+    def total(self) -> float:
+        """c_abs = Σ sc_i + Σ tc_i."""
+        return self.total_state_cost + self.total_transition_cost
+
+    def as_rows(self) -> Dict[str, float]:
+        """Flat mapping ``{"steps EE": …, "transitions into AA": …}`` for reports."""
+        rows: Dict[str, float] = {}
+        for state, cost in self.state_costs.items():
+            rows[f"steps {state.short_label}"] = cost
+        for state, cost in self.transition_costs.items():
+            rows[f"transitions into {state.short_label}"] = cost
+        return rows
+
+
+class CostModel:
+    """Computes weighted execution costs from execution traces.
+
+    Parameters
+    ----------
+    state_weights, transition_weights:
+        Unit weights per state; default to the paper's calibrated values.
+        A machine-measured calibration (see
+        :func:`repro.bench.calibration.calibrate_weights`) can be passed
+        instead.
+    """
+
+    def __init__(
+        self,
+        state_weights: Optional[Mapping[JoinState, float]] = None,
+        transition_weights: Optional[Mapping[JoinState, float]] = None,
+    ) -> None:
+        self.state_weights = dict(state_weights or PAPER_STATE_WEIGHTS)
+        self.transition_weights = dict(transition_weights or PAPER_TRANSITION_WEIGHTS)
+        for weights in (self.state_weights, self.transition_weights):
+            for state in JoinState:
+                if state not in weights:
+                    raise ValueError(f"missing weight for state {state}")
+                if weights[state] < 0:
+                    raise ValueError(f"negative weight for state {state}")
+
+    # -- absolute costs -----------------------------------------------------------
+
+    def breakdown(self, trace: ExecutionTrace) -> CostBreakdown:
+        """Per-state and per-transition weighted costs of a run."""
+        state_costs = {
+            state: trace.steps_per_state[state] * self.state_weights[state]
+            for state in JoinState
+        }
+        transition_costs = {
+            state: trace.transitions_into[state] * self.transition_weights[state]
+            for state in JoinState
+        }
+        return CostBreakdown(state_costs=state_costs, transition_costs=transition_costs)
+
+    def absolute_cost(self, trace: ExecutionTrace) -> float:
+        """``c_abs`` of the run described by ``trace``."""
+        return self.breakdown(trace).total
+
+    # -- baseline costs ------------------------------------------------------------
+
+    def all_exact_cost(self, total_steps: int) -> float:
+        """``c``: cost of executing every step in ``lex/rex`` (no transitions)."""
+        return total_steps * self.state_weights[JoinState.LEX_REX]
+
+    def all_approximate_cost(self, total_steps: int) -> float:
+        """``C``: cost of executing every step in ``lap/rap`` (no transitions)."""
+        return total_steps * self.state_weights[JoinState.LAP_RAP]
+
+    def relative_cost(self, trace: ExecutionTrace) -> float:
+        """``c_rel = c_abs / (C − c)`` for the run described by ``trace``.
+
+        Uses the trace's own step count for the baselines, which matches the
+        paper's procedure (all strategies scan the same inputs and therefore
+        execute the same number of steps).
+        """
+        best = self.all_exact_cost(trace.total_steps)
+        worst = self.all_approximate_cost(trace.total_steps)
+        gap = worst - best
+        if gap <= 0:
+            return 0.0
+        return self.absolute_cost(trace) / gap

@@ -1,0 +1,132 @@
+"""Gain, cost and efficiency metrics (paper Sec. 4.3-4.4).
+
+The adaptive strategy is evaluated against the two non-adaptive extremes:
+
+* ``r`` — result size of the **all-exact** run (the completeness baseline);
+* ``R`` — result size of the **all-approximate** run (the completeness
+  ceiling);
+* ``c`` — weighted cost of the all-exact run (the cost floor);
+* ``C`` — weighted cost of the all-approximate run (the cost ceiling).
+
+For an adaptive run with result size ``r_abs`` and cost ``c_abs``:
+
+.. math::
+
+    g_{rel} = \\frac{r_{abs} - r}{R - r}
+    \\qquad
+    c_{rel} = \\frac{c_{abs}}{C - c}
+    \\qquad
+    e = \\frac{g_{rel}}{c_{rel}}
+
+``g_rel`` is the fraction of the completeness gap the adaptive run
+recovered; ``c_rel`` expresses its cost relative to the cost gap; the
+efficiency index ``e`` (reported under each column of Fig. 6) is the ratio
+of the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+def relative_gain(adaptive_result_size: int, exact_result_size: int,
+                  approximate_result_size: int) -> float:
+    """``g_rel = (r_abs − r) / (R − r)``.
+
+    When the all-approximate and all-exact runs return the same number of
+    pairs (``R == r``, i.e. there was nothing to recover), the gain is
+    defined as 1.0 if the adaptive run matched that size and 0.0 otherwise.
+    """
+    gap = approximate_result_size - exact_result_size
+    if gap <= 0:
+        return 1.0 if adaptive_result_size >= exact_result_size else 0.0
+    return (adaptive_result_size - exact_result_size) / gap
+
+
+def relative_cost(adaptive_cost: float, exact_cost: float,
+                  approximate_cost: float) -> float:
+    """``c_rel = c_abs / (C − c)``; 0.0 when the cost gap is degenerate."""
+    gap = approximate_cost - exact_cost
+    if gap <= 0:
+        return 0.0
+    return adaptive_cost / gap
+
+
+def efficiency(gain: float, cost: float) -> float:
+    """``e = g_rel / c_rel``; infinite when the cost is zero and gain positive."""
+    if cost <= 0.0:
+        return float("inf") if gain > 0 else 0.0
+    return gain / cost
+
+
+@dataclass(frozen=True)
+class GainCostReport:
+    """The complete gain/cost assessment of one adaptive run (one Fig. 6 column).
+
+    Attributes mirror the paper's symbols; ``test_case`` identifies the
+    perturbation pattern / variant placement the run was executed on.
+    """
+
+    test_case: str
+    exact_result_size: int          # r
+    approximate_result_size: int    # R
+    adaptive_result_size: int       # r_abs
+    exact_cost: float               # c
+    approximate_cost: float         # C
+    adaptive_cost: float            # c_abs
+
+    @property
+    def gain(self) -> float:
+        """``g_rel``."""
+        return relative_gain(
+            self.adaptive_result_size,
+            self.exact_result_size,
+            self.approximate_result_size,
+        )
+
+    @property
+    def cost(self) -> float:
+        """``c_rel``."""
+        return relative_cost(
+            self.adaptive_cost, self.exact_cost, self.approximate_cost
+        )
+
+    @property
+    def efficiency(self) -> float:
+        """``e = g_rel / c_rel``."""
+        return efficiency(self.gain, self.cost)
+
+    @property
+    def completeness_vs_approximate(self) -> float:
+        """Adaptive result size as a fraction of the all-approximate result size."""
+        if self.approximate_result_size == 0:
+            return 1.0
+        return self.adaptive_result_size / self.approximate_result_size
+
+    @property
+    def cost_vs_approximate(self) -> float:
+        """Adaptive cost as a fraction of the all-approximate cost."""
+        if self.approximate_cost == 0:
+            return 0.0
+        return self.adaptive_cost / self.approximate_cost
+
+    @property
+    def never_worse_than_approximate(self) -> bool:
+        """The key sanity property of Sec. 4.4: ``c_abs ≤ C``."""
+        return self.adaptive_cost <= self.approximate_cost
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary used by the benchmark reports."""
+        return {
+            "test_case": self.test_case,
+            "r_exact": self.exact_result_size,
+            "R_approx": self.approximate_result_size,
+            "r_adaptive": self.adaptive_result_size,
+            "c_exact": self.exact_cost,
+            "C_approx": self.approximate_cost,
+            "c_adaptive": self.adaptive_cost,
+            "gain": self.gain,
+            "cost": self.cost,
+            "efficiency": self.efficiency,
+        }

@@ -1,0 +1,175 @@
+"""The Monitor of the MAR control loop (paper Sec. 3, Fig. 1).
+
+The monitor observes the query processor while it runs and exposes, at any
+step ``t``:
+
+* the observed result size ``O_t`` (matched pairs emitted so far);
+* how many tuples have been scanned from each input;
+* ``A_{t,W}`` — per input side, how many of the last ``W`` steps produced an
+  approximate (non-exact) match attributable to that side;
+* whether any approximate matching has actually been *possible* within the
+  window (no approximate operator active ⇒ the ``µ`` predicates carry no
+  evidence);
+* the similarity values of recent matches (the "sliding window of similarity
+  values" the paper mentions), summarised as the minimum similarity seen in
+  the window.
+
+Attribution of a non-exact match to a side follows Sec. 3.3: if the stored
+partner of the pair had already been matched exactly before, the *probing*
+(freshly scanned) tuple must be the variant and the event is attributed to
+the probing side only (and symmetrically when the probing tuple is the one
+with the exact-match flag).  Matches with no attribution evidence do not,
+by default, count against either side's window: the ``µ`` predicates are
+meant to capture *specific* evidence that one input is perturbed, and the
+"assume variants occur in both tables" default of the paper is already
+expressed by the responder's blanket transition to ``lap/rap``.  Pass
+``count_unattributed_against_both=True`` to revert to the conservative
+accounting in which unattributed approximate matches raise both windows
+(this suppresses the hybrid states almost entirely; the choice is recorded
+in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.joins.base import JoinMode, JoinSide, MatchEvent
+from repro.joins.engine import StepResult
+from repro.stats.windows import SlidingWindowCounter
+
+
+@dataclass(frozen=True)
+class Observation:
+    """A snapshot of the monitored variables at one step."""
+
+    step: int
+    observed_matches: int
+    left_scanned: int
+    right_scanned: int
+    #: Per-side count of window steps with an attributed approximate match.
+    approx_window_counts: Dict[JoinSide, int]
+    #: Per-side ``A_{t,W} / W`` fraction.
+    approx_window_fractions: Dict[JoinSide, float]
+    #: Number of window steps during which an approximate operator was active.
+    approx_active_steps: int
+    #: Lowest similarity among matches produced inside the window (1.0 when
+    #: the window holds no matches).
+    min_window_similarity: float
+
+    def scanned(self, side: JoinSide) -> int:
+        """Tuples scanned from ``side`` so far."""
+        return self.left_scanned if side is JoinSide.LEFT else self.right_scanned
+
+    @property
+    def evidence_available(self) -> bool:
+        """Whether the window could have recorded approximate matches at all."""
+        return self.approx_active_steps > 0
+
+
+class Monitor:
+    """Collects the observable quantities the assessor needs.
+
+    Parameters
+    ----------
+    window_size:
+        ``W``, the length (in steps) of the sliding windows.
+    count_unattributed_against_both:
+        Whether non-exact matches with no attribution evidence should raise
+        both sides' windows (see module docstring).  Default False.
+    """
+
+    def __init__(
+        self,
+        window_size: int,
+        count_unattributed_against_both: bool = False,
+    ) -> None:
+        if window_size <= 0:
+            raise ValueError(f"window size must be positive, got {window_size}")
+        self.window_size = window_size
+        self.count_unattributed_against_both = count_unattributed_against_both
+        self._approx_match_windows: Dict[JoinSide, SlidingWindowCounter] = {
+            side: SlidingWindowCounter(window_size) for side in JoinSide
+        }
+        self._approx_active_window = SlidingWindowCounter(window_size)
+        self._min_similarity_window: list = []
+        self._observed_matches = 0
+        self._scanned: Dict[JoinSide, int] = {JoinSide.LEFT: 0, JoinSide.RIGHT: 0}
+        self._step = 0
+
+    # -- observation -------------------------------------------------------------
+
+    def observe_step(self, result: StepResult) -> None:
+        """Record one engine step."""
+        self._step = result.step
+        self._scanned[result.side] += 1
+        self._observed_matches += len(result.matches)
+
+        attributed = {JoinSide.LEFT: False, JoinSide.RIGHT: False}
+        step_min_similarity = 1.0
+        for event in result.matches:
+            step_min_similarity = min(step_min_similarity, event.similarity)
+            if event.exact_value_match:
+                continue
+            if event.variant_evidence is not None:
+                attributed[event.variant_evidence] = True
+            elif self.count_unattributed_against_both:
+                attributed[JoinSide.LEFT] = True
+                attributed[JoinSide.RIGHT] = True
+        for side in JoinSide:
+            self._approx_match_windows[side].record(attributed[side])
+        self._approx_active_window.record(result.mode is JoinMode.APPROXIMATE)
+        # Track the lowest similarity inside the window with a bounded list
+        # (one entry per step).
+        self._min_window_similarity_append(step_min_similarity if result.matches else 1.0)
+
+    def _min_window_similarity_append(self, value: float) -> None:
+        self._min_similarity_window.append(value)
+        if len(self._min_similarity_window) > self.window_size:
+            self._min_similarity_window.pop(0)
+
+    # -- reporting ---------------------------------------------------------------
+
+    @property
+    def step(self) -> int:
+        """Most recent step observed."""
+        return self._step
+
+    @property
+    def observed_matches(self) -> int:
+        """Result size ``O_t`` observed so far."""
+        return self._observed_matches
+
+    def scanned(self, side: JoinSide) -> int:
+        """Tuples scanned from ``side`` so far."""
+        return self._scanned[side]
+
+    def observation(self) -> Observation:
+        """Return the current snapshot of all monitored variables."""
+        counts = {
+            side: self._approx_match_windows[side].positives for side in JoinSide
+        }
+        fractions = {
+            side: self._approx_match_windows[side].fraction for side in JoinSide
+        }
+        return Observation(
+            step=self._step,
+            observed_matches=self._observed_matches,
+            left_scanned=self._scanned[JoinSide.LEFT],
+            right_scanned=self._scanned[JoinSide.RIGHT],
+            approx_window_counts=counts,
+            approx_window_fractions=fractions,
+            approx_active_steps=self._approx_active_window.positives,
+            min_window_similarity=(
+                min(self._min_similarity_window)
+                if self._min_similarity_window
+                else 1.0
+            ),
+        )
+
+    def reset_windows(self) -> None:
+        """Clear the sliding windows (used by ablation variants)."""
+        for window in self._approx_match_windows.values():
+            window.reset()
+        self._approx_active_window.reset()
+        self._min_similarity_window.clear()

@@ -1,0 +1,97 @@
+"""The Responder of the MAR control loop (paper Sec. 3.4-3.5).
+
+The responder maps an :class:`~repro.core.assessor.Assessment` onto the
+transition guards ``φ_0 .. φ_3`` of the four-state machine and enacts the
+selected transition on the query processor (the switchable symmetric-join
+engine).
+
+Guard definitions (Sec. 3.5), with one documented interpretation for the
+exit from ``lex/rex`` (see :mod:`repro.core.state_machine`):
+
+* ``φ_0 = ¬σ ∧ µ_left ∧ µ_right``                     → ``lex/rex``
+* ``φ_1 = σ ∧ ¬µ_left ∧ ¬µ_right``                    → ``lap/rap``
+  — additionally raised when ``σ`` holds but the window carries no
+  approximate-match evidence at all (e.g. while running fully exact), the
+  situation the paper describes as "not possible to determine which of the
+  inputs is responsible".
+* ``φ_2 = σ ∧ ¬µ_left ∧ µ_right ∧ π_left``            → ``lap/rex``
+* ``φ_3 = σ ∧ µ_left ∧ ¬µ_right ∧ π_right``           → ``lex/rap``
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.assessor import Assessment
+from repro.core.state_machine import JoinState, StateMachine, TransitionGuards
+from repro.joins.base import JoinSide
+from repro.joins.engine import SwitchRecord, SymmetricJoinEngine
+
+
+class Responder:
+    """Evaluates transition guards and enacts operator switches.
+
+    Parameters
+    ----------
+    state_machine:
+        The state machine tracking the processor configuration.
+    allow_source_identification:
+        When False, the hybrid states ``lap/rex`` and ``lex/rap`` are never
+        entered: guards φ_2/φ_3 are suppressed and their situations fall
+        back to φ_1 (→ ``lap/rap``).  This implements the two-state
+        ablation benchmarked in ``bench_ablation_two_state``.
+    """
+
+    def __init__(
+        self,
+        state_machine: StateMachine,
+        allow_source_identification: bool = True,
+    ) -> None:
+        self.state_machine = state_machine
+        self.allow_source_identification = allow_source_identification
+
+    # -- guard evaluation -----------------------------------------------------------
+
+    def evaluate_guards(self, assessment: Assessment) -> TransitionGuards:
+        """Compute ``φ_0 .. φ_3`` for ``assessment``."""
+        sigma = assessment.sigma
+        mu_left, mu_right = assessment.mu_left, assessment.mu_right
+        pi_left, pi_right = assessment.pi_left, assessment.pi_right
+
+        phi0 = (not sigma) and mu_left and mu_right
+        phi1 = sigma and (not mu_left) and (not mu_right)
+        phi2 = sigma and (not mu_left) and mu_right and pi_left
+        phi3 = sigma and mu_left and (not mu_right) and pi_right
+
+        if sigma and not assessment.evidence_available:
+            # No approximate operator has been active in the window, so the
+            # µ predicates are vacuous: the source of the perturbation
+            # cannot be identified.  React with the blanket transition.
+            phi1, phi2, phi3 = True, False, False
+
+        if not self.allow_source_identification:
+            if phi2 or phi3:
+                phi1 = True
+            phi2 = phi3 = False
+
+        return TransitionGuards(phi0=phi0, phi1=phi1, phi2=phi2, phi3=phi3)
+
+    # -- response -------------------------------------------------------------------
+
+    def respond(
+        self,
+        assessment: Assessment,
+        engine: SymmetricJoinEngine,
+    ) -> Tuple[TransitionGuards, Optional[JoinState], List[SwitchRecord]]:
+        """Evaluate guards, update the state machine and reconfigure the engine.
+
+        Returns the evaluated guards, the new state (or ``None`` when no
+        transition happened) and the engine switch records produced by the
+        reconfiguration (one per side whose mode actually changed).
+        """
+        guards = self.evaluate_guards(assessment)
+        new_state = self.state_machine.apply(guards, step=assessment.step)
+        switches: List[SwitchRecord] = []
+        if new_state is not None:
+            switches = engine.set_modes(new_state.left_mode, new_state.right_mode)
+        return guards, new_state, switches

@@ -1,0 +1,180 @@
+"""The four-state machine controlled by the responder (paper Fig. 4).
+
+Each state fixes, for each input side, whether tuples scanned from that side
+are matched exactly or approximately:
+
+=============  =====================  ======================
+state          left-scanned tuples    right-scanned tuples
+=============  =====================  ======================
+``LEX_REX``    exact                  exact
+``LAP_REX``    approximate            exact
+``LEX_RAP``    exact                  approximate
+``LAP_RAP``    approximate            approximate
+=============  =====================  ======================
+
+The paper abbreviates the states EE, AE, EA, AA in Figs. 7-8; those labels
+are exposed as :attr:`JoinState.short_label`.
+
+Transitions are guarded by the predicates ``φ_0 .. φ_3`` of Sec. 3.5, which
+are evaluated here from an :class:`~repro.core.assessor.Assessment`:
+
+* ``φ_0 = ¬σ ∧ µ_left ∧ µ_right`` → ``LEX_REX``
+* ``φ_1 = σ ∧ ¬µ_left ∧ ¬µ_right`` → ``LAP_RAP``
+* ``φ_2 = σ ∧ ¬µ_left ∧ µ_right ∧ π_left`` → ``LAP_REX``
+* ``φ_3 = σ ∧ µ_left ∧ ¬µ_right ∧ π_right`` → ``LEX_RAP``
+
+One behavioural point is under-specified by the formalisation: in the
+initial state ``LEX_REX`` no approximate operator is running, so no
+approximate matches can be observed and both ``µ`` predicates are vacuously
+true — read literally, ``φ_1`` could then never trigger the exit from
+``LEX_REX`` even though the prose states that "σ … is specifically
+responsible for the transition out of lex/rex".  We therefore treat the
+``µ`` predicates as *inconclusive* when no approximate-match evidence could
+have been collected in the current window; with σ raised and inconclusive
+µ's, the machine moves to ``LAP_RAP`` exactly as the prose describes for
+``φ_1`` ("it is not possible to determine which of the inputs is
+responsible").  This interpretation is recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.joins.base import JoinMode, JoinSide
+
+
+class JoinState(enum.Enum):
+    """Processor states: one matching mode per input side."""
+
+    LEX_REX = ("lex/rex", JoinMode.EXACT, JoinMode.EXACT)
+    LAP_REX = ("lap/rex", JoinMode.APPROXIMATE, JoinMode.EXACT)
+    LEX_RAP = ("lex/rap", JoinMode.EXACT, JoinMode.APPROXIMATE)
+    LAP_RAP = ("lap/rap", JoinMode.APPROXIMATE, JoinMode.APPROXIMATE)
+
+    def __init__(self, label: str, left_mode: JoinMode, right_mode: JoinMode) -> None:
+        self.label = label
+        self.left_mode = left_mode
+        self.right_mode = right_mode
+
+    @property
+    def short_label(self) -> str:
+        """The two-letter label used in the paper's figures (EE/AE/EA/AA)."""
+        left = "E" if self.left_mode is JoinMode.EXACT else "A"
+        right = "E" if self.right_mode is JoinMode.EXACT else "A"
+        return left + right
+
+    def mode(self, side: JoinSide) -> JoinMode:
+        """Matching mode of ``side`` in this state."""
+        return self.left_mode if side is JoinSide.LEFT else self.right_mode
+
+    @classmethod
+    def from_modes(cls, left_mode: JoinMode, right_mode: JoinMode) -> "JoinState":
+        """The state corresponding to a (left, right) mode pair."""
+        for state in cls:
+            if state.left_mode is left_mode and state.right_mode is right_mode:
+                return state
+        raise ValueError(f"no state for modes ({left_mode}, {right_mode})")
+
+    @classmethod
+    def from_label(cls, label: str) -> "JoinState":
+        """Look a state up by its paper label (``lex/rex`` …) or short label (``EE`` …)."""
+        for state in cls:
+            if label in (state.label, state.short_label, state.name):
+                return state
+        raise ValueError(f"unknown join state label {label!r}")
+
+    @property
+    def is_fully_exact(self) -> bool:
+        """True for ``LEX_REX``."""
+        return self is JoinState.LEX_REX
+
+    @property
+    def is_fully_approximate(self) -> bool:
+        """True for ``LAP_RAP``."""
+        return self is JoinState.LAP_RAP
+
+    def __repr__(self) -> str:
+        return f"JoinState.{self.name}"
+
+
+@dataclass(frozen=True)
+class TransitionGuards:
+    """The evaluated guards ``φ_0 .. φ_3`` at one assessment point."""
+
+    phi0: bool
+    phi1: bool
+    phi2: bool
+    phi3: bool
+
+    def target(self) -> Optional[JoinState]:
+        """The state selected by the guards, or ``None`` if none fired.
+
+        ``φ_2`` / ``φ_3`` (source-specific reactions) take precedence over
+        ``φ_1`` (the blanket reaction); ``φ_0`` is only considered when no
+        evidence of perturbation fired, which is guaranteed by construction
+        because ``σ`` appears positively in ``φ_1..3`` and negatively in
+        ``φ_0``.
+        """
+        if self.phi2:
+            return JoinState.LAP_REX
+        if self.phi3:
+            return JoinState.LEX_RAP
+        if self.phi1:
+            return JoinState.LAP_RAP
+        if self.phi0:
+            return JoinState.LEX_REX
+        return None
+
+    def as_dict(self) -> Dict[str, bool]:
+        """Plain-dict view used by traces and reports."""
+        return {
+            "phi0": self.phi0,
+            "phi1": self.phi1,
+            "phi2": self.phi2,
+            "phi3": self.phi3,
+        }
+
+
+class StateMachine:
+    """Tracks the current processor state and applies guarded transitions."""
+
+    def __init__(self, initial: JoinState = JoinState.LEX_REX) -> None:
+        self._state = initial
+        self._history: List[Tuple[int, JoinState]] = [(0, initial)]
+
+    @property
+    def state(self) -> JoinState:
+        """The current state."""
+        return self._state
+
+    @property
+    def history(self) -> List[Tuple[int, JoinState]]:
+        """``(step, state)`` pairs for every state entered (including the initial one)."""
+        return list(self._history)
+
+    def apply(self, guards: TransitionGuards, step: int) -> Optional[JoinState]:
+        """Apply the guards; return the new state if a transition happened.
+
+        Self-transitions (guard target equals the current state) are not
+        recorded as transitions — they carry no switch cost.
+        """
+        target = guards.target()
+        if target is None or target is self._state:
+            return None
+        self._state = target
+        self._history.append((step, target))
+        return target
+
+    def force(self, state: JoinState, step: int) -> None:
+        """Unconditionally move to ``state`` (used by tests and ablations)."""
+        if state is self._state:
+            return
+        self._state = state
+        self._history.append((step, state))
+
+    @property
+    def transition_count(self) -> int:
+        """Number of state changes performed so far."""
+        return len(self._history) - 1

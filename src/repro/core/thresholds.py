@@ -1,0 +1,98 @@
+"""Thresholds and tuning parameters of the adaptive strategy (paper Table 3).
+
+The paper's empirically determined operating point (Sec. 4.2) is used for
+all defaults:
+
+===============  ======= =====================================================
+parameter        default meaning
+===============  ======= =====================================================
+``theta_sim``    0.85    string-similarity threshold of the approximate join
+``window_size``  100     size ``W`` of the per-input sliding window
+``delta_adapt``  100     steps between successive activations of the MAR loop
+``theta_out``    0.05    outlier-detection threshold of the σ predicate
+``theta_curpert``  2     acceptable current-perturbation threshold (µ)
+``theta_pastpert`` 5     acceptable past-perturbation threshold (π)
+``q``              3     q-gram width of the approximate operator
+===============  ======= =====================================================
+
+``theta_curpert`` is reported by the paper as "2" even though the µ
+predicate formally thresholds the *fraction* ``A_{t,W}/W``; we therefore
+accept either convention: values ≤ 1 are interpreted as fractions, values
+> 1 as absolute counts out of the window (so the paper's ``2`` means "at
+most 2 approximate matches in the last ``W`` steps").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Configuration of the adaptive join (see module docstring for defaults)."""
+
+    theta_sim: float = 0.85
+    window_size: int = 100
+    delta_adapt: int = 100
+    theta_out: float = 0.05
+    theta_curpert: float = 2.0
+    theta_pastpert: float = 5.0
+    q: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.theta_sim <= 1.0:
+            raise ValueError(f"theta_sim must be in (0, 1], got {self.theta_sim}")
+        if self.window_size <= 0:
+            raise ValueError(f"window_size must be positive, got {self.window_size}")
+        if self.delta_adapt <= 0:
+            raise ValueError(f"delta_adapt must be positive, got {self.delta_adapt}")
+        if not 0.0 < self.theta_out < 1.0:
+            raise ValueError(f"theta_out must be in (0, 1), got {self.theta_out}")
+        if self.theta_curpert < 0:
+            raise ValueError(
+                f"theta_curpert must be non-negative, got {self.theta_curpert}"
+            )
+        if self.theta_pastpert < 0:
+            raise ValueError(
+                f"theta_pastpert must be non-negative, got {self.theta_pastpert}"
+            )
+        if self.q <= 0:
+            raise ValueError(f"q must be positive, got {self.q}")
+
+    @property
+    def current_perturbation_fraction(self) -> float:
+        """The µ threshold normalised to a fraction of the window size.
+
+        Values of ``theta_curpert`` greater than 1 are treated as counts
+        out of ``window_size`` (the paper's convention in Sec. 4.2); values
+        in [0, 1] are used as fractions directly.
+        """
+        if self.theta_curpert > 1.0:
+            return self.theta_curpert / self.window_size
+        return self.theta_curpert
+
+    @property
+    def past_perturbation_limit(self) -> float:
+        """The π threshold: maximum number of past perturbed assessments."""
+        return self.theta_pastpert
+
+    def with_overrides(self, **overrides) -> "Thresholds":
+        """Return a copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **overrides)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view, used by benchmark reports."""
+        return {
+            "theta_sim": self.theta_sim,
+            "window_size": self.window_size,
+            "delta_adapt": self.delta_adapt,
+            "theta_out": self.theta_out,
+            "theta_curpert": self.theta_curpert,
+            "theta_pastpert": self.theta_pastpert,
+            "q": self.q,
+        }
+
+
+#: The paper's tuned operating point (Sec. 4.2), as a ready-made instance.
+PAPER_THRESHOLDS = Thresholds()

@@ -1,0 +1,166 @@
+"""Execution traces of adaptive join runs.
+
+Figures 7 and 8 of the paper break a run down into the number of steps spent
+in each of the four states, the number of state transitions, and the
+corresponding weighted costs.  :class:`ExecutionTrace` accumulates exactly
+that information (plus the assessment log, useful for debugging and for the
+parameter-tuning benchmarks) while the adaptive processor runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.assessor import Assessment
+from repro.core.state_machine import JoinState, TransitionGuards
+from repro.joins.base import JoinSide
+from repro.joins.engine import SwitchRecord
+
+
+@dataclass(frozen=True)
+class TransitionRecord:
+    """One state transition performed by the responder."""
+
+    step: int
+    from_state: JoinState
+    to_state: JoinState
+    #: Tuples re-indexed during the hash-table catch-up of this transition.
+    catch_up_tuples: int
+
+
+@dataclass(frozen=True)
+class AssessmentRecord:
+    """One activation of the control loop, with its outcome."""
+
+    assessment: Assessment
+    guards: TransitionGuards
+    state_before: JoinState
+    state_after: JoinState
+
+    @property
+    def transitioned(self) -> bool:
+        """Whether this activation changed the processor state."""
+        return self.state_before is not self.state_after
+
+
+@dataclass
+class ExecutionTrace:
+    """Aggregate trace of one adaptive (or baseline) join execution."""
+
+    initial_state: JoinState = JoinState.LEX_REX
+    #: Steps spent in each state (Fig. 7, left bars).
+    steps_per_state: Dict[JoinState, int] = field(
+        default_factory=lambda: {state: 0 for state in JoinState}
+    )
+    #: Transitions *into* each state (Fig. 8 transition costs are weighted by target).
+    transitions_into: Dict[JoinState, int] = field(
+        default_factory=lambda: {state: 0 for state in JoinState}
+    )
+    transitions: List[TransitionRecord] = field(default_factory=list)
+    assessments: List[AssessmentRecord] = field(default_factory=list)
+    #: Matches emitted, split by the state in force when they were produced.
+    matches_per_state: Dict[JoinState, int] = field(
+        default_factory=lambda: {state: 0 for state in JoinState}
+    )
+    total_steps: int = 0
+    total_matches: int = 0
+    left_scanned: int = 0
+    right_scanned: int = 0
+
+    # -- accumulation ----------------------------------------------------------------
+
+    def record_step(self, state: JoinState, side: JoinSide, matches: int) -> None:
+        """Record one engine step executed in ``state``."""
+        self.steps_per_state[state] += 1
+        self.matches_per_state[state] += matches
+        self.total_steps += 1
+        self.total_matches += matches
+        if side is JoinSide.LEFT:
+            self.left_scanned += 1
+        else:
+            self.right_scanned += 1
+
+    def record_transition(
+        self,
+        step: int,
+        from_state: JoinState,
+        to_state: JoinState,
+        switches: List[SwitchRecord],
+    ) -> None:
+        """Record one responder-enacted state transition."""
+        catch_up = sum(switch.catch_up_tuples for switch in switches)
+        self.transitions.append(
+            TransitionRecord(
+                step=step,
+                from_state=from_state,
+                to_state=to_state,
+                catch_up_tuples=catch_up,
+            )
+        )
+        self.transitions_into[to_state] += 1
+
+    def record_assessment(
+        self,
+        assessment: Assessment,
+        guards: TransitionGuards,
+        state_before: JoinState,
+        state_after: JoinState,
+    ) -> None:
+        """Record one activation of the control loop."""
+        self.assessments.append(
+            AssessmentRecord(
+                assessment=assessment,
+                guards=guards,
+                state_before=state_before,
+                state_after=state_after,
+            )
+        )
+
+    # -- derived quantities ------------------------------------------------------------
+
+    @property
+    def transition_count(self) -> int:
+        """Total number of state transitions (Fig. 7, right bars)."""
+        return len(self.transitions)
+
+    def steps_in(self, state) -> int:
+        """Steps spent in ``state`` (a :class:`JoinState` or a label like ``"EE"``)."""
+        if isinstance(state, str):
+            state = JoinState.from_label(state)
+        return self.steps_per_state[state]
+
+    def step_fractions(self) -> Dict[JoinState, float]:
+        """Fraction of steps spent in each state (the Fig. 7 breakdown)."""
+        if self.total_steps == 0:
+            return {state: 0.0 for state in JoinState}
+        return {
+            state: count / self.total_steps
+            for state, count in self.steps_per_state.items()
+        }
+
+    def exact_step_fraction(self) -> float:
+        """Fraction of steps executed fully exactly (the ≈30 % the paper reports)."""
+        return self.step_fractions()[JoinState.LEX_REX]
+
+    def assessment_count(self) -> int:
+        """Number of control-loop activations."""
+        return len(self.assessments)
+
+    def summary(self) -> Dict[str, object]:
+        """A flat summary dictionary used by benchmark reports."""
+        return {
+            "total_steps": self.total_steps,
+            "total_matches": self.total_matches,
+            "transitions": self.transition_count,
+            "assessments": self.assessment_count(),
+            "steps_per_state": {
+                state.short_label: count
+                for state, count in self.steps_per_state.items()
+            },
+            "transitions_into": {
+                state.short_label: count
+                for state, count in self.transitions_into.items()
+            },
+            "exact_step_fraction": self.exact_step_fraction(),
+        }

@@ -1,0 +1,56 @@
+"""Synthetic workload generation (paper Sec. 4.1, Fig. 5).
+
+The paper's evaluation joins a parent table of 8082 Italian municipalities
+(a "street atlas" of locations, each identified by a single string such as
+``TAA BZ SANTA CRISTINA VALGARDENA``) with a child table of car accidents
+referencing those locations, after injecting *variants* — one-character
+perturbations of the location string — at a fixed 10 % rate following one of
+four perturbation patterns.
+
+The original tables come from a private generator (Markl et al.); this
+package synthesises equivalent data:
+
+* :mod:`repro.datagen.municipalities` — a deterministic parent table of
+  municipality-style location strings with the same ``REGION PROVINCE NAME``
+  shape and the same default size (8082);
+* :mod:`repro.datagen.accidents` — the child table of accident records,
+  each referencing one parent location;
+* :mod:`repro.datagen.variants` — edit-distance-1 typo operators;
+* :mod:`repro.datagen.patterns` — the four perturbation patterns of Fig. 5
+  (uniform, interleaved low-intensity, few high-intensity, many
+  high-intensity regions);
+* :mod:`repro.datagen.testcases` — the eight test cases of Sec. 4
+  (four patterns × variants in the child only / in both tables).
+"""
+
+from repro.datagen.accidents import generate_accidents
+from repro.datagen.municipalities import generate_municipalities
+from repro.datagen.patterns import (
+    PerturbationPattern,
+    PerturbationRegion,
+    STANDARD_PATTERNS,
+    pattern_by_name,
+    perturbation_flags,
+)
+from repro.datagen.testcases import (
+    STANDARD_TEST_CASES,
+    GeneratedDataset,
+    TestCaseSpec,
+    generate_test_case,
+)
+from repro.datagen.variants import make_variant
+
+__all__ = [
+    "generate_municipalities",
+    "generate_accidents",
+    "make_variant",
+    "PerturbationPattern",
+    "PerturbationRegion",
+    "STANDARD_PATTERNS",
+    "pattern_by_name",
+    "perturbation_flags",
+    "TestCaseSpec",
+    "GeneratedDataset",
+    "STANDARD_TEST_CASES",
+    "generate_test_case",
+]

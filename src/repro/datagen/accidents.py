@@ -1,0 +1,89 @@
+"""Synthetic accidents child table.
+
+The child table of the paper's scenario records car accidents, each carrying
+the location string of the municipality where it occurred.  In the clean
+(unperturbed) data every accident's location matches one parent-table
+location exactly — the parent-child expectation the completeness model of
+Sec. 3.2 relies on.
+
+Accidents also carry a few payload attributes (date, severity, vehicle
+count) so that the examples and the linkage layer have something realistic
+to project and aggregate; the join itself only uses ``location``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.engine.table import Table
+from repro.engine.tuples import Schema
+
+#: Schema of the generated child table.
+ACCIDENT_SCHEMA = Schema(
+    ["accident_id", "location", "date", "severity", "vehicles"], name="accidents"
+)
+
+_SEVERITIES: Sequence[str] = ("minor", "moderate", "severe", "fatal")
+
+
+def _random_date(rng: random.Random) -> str:
+    """An ISO date within a one-year window (values only need to look plausible)."""
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    return f"2008-{month:02d}-{day:02d}"
+
+
+def generate_accidents(
+    locations: Sequence[str],
+    count: int,
+    seed: int = 11,
+    location_sampler: Optional[random.Random] = None,
+) -> Table:
+    """Generate ``count`` accident records referencing the given locations.
+
+    Parameters
+    ----------
+    locations:
+        The clean parent-table location strings to draw from.  Each accident
+        references one of them uniformly at random, so a location may be
+        referenced by zero, one or several accidents (realistic fan-out).
+    count:
+        Number of accident records to generate.
+    seed:
+        Seed for the deterministic generation.
+    location_sampler:
+        Optional dedicated RNG for the location choice; when omitted the
+        main RNG is used.  (Exposed so test cases can fix the referenced
+        locations while varying the payload.)
+
+    Returns
+    -------
+    Table
+        A table with schema ``(accident_id, location, date, severity,
+        vehicles)`` whose ``location`` values are all clean (exact copies of
+        parent values); variant injection happens separately, in
+        :mod:`repro.datagen.testcases`.
+    """
+    if not locations:
+        raise ValueError("at least one location is required")
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    rng = random.Random(seed)
+    location_rng = location_sampler or rng
+    table = Table(ACCIDENT_SCHEMA, name="accidents")
+    for identifier in range(count):
+        location = location_rng.choice(locations)
+        table.insert_values(
+            identifier,
+            location,
+            _random_date(rng),
+            rng.choice(_SEVERITIES),
+            rng.randint(1, 4),
+        )
+    return table
+
+
+def accident_locations(table: Table) -> List[str]:
+    """The location column of an accidents table (convenience for tests)."""
+    return [str(value) for value in table.column("location")]

@@ -1,0 +1,138 @@
+"""Synthetic municipality-style parent table.
+
+The paper's parent table contains "all 8082 municipalities in Italy", each
+represented by one location string of the form::
+
+    <REGION CODE> <PROVINCE CODE> <MUNICIPALITY NAME>
+
+e.g. ``TAA BZ SANTA CRISTINA VALGARDENA``.  We synthesise strings of the
+same shape deterministically: the 20 Italian region codes and a realistic
+set of two-letter province codes are combined with pronounceable synthetic
+municipality names built from Italian-sounding syllables and common
+toponymic prefixes/suffixes.  All names are distinct, so the parent table is
+a proper key table (each location string identifies one municipality).
+
+The *content* of the names is irrelevant to the algorithms under test — only
+the string lengths, the shared prefixes (which stress the q-gram index) and
+the uniqueness of the values matter — which is why this substitution
+preserves the behaviour of the paper's experiments (see DESIGN.md, Sec. 2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.engine.table import Table
+from repro.engine.tuples import Schema
+
+#: Default parent-table size: the number of Italian municipalities used in the paper.
+DEFAULT_MUNICIPALITY_COUNT = 8082
+
+#: Region codes (abbreviations of the 20 Italian regions).
+REGION_CODES: Sequence[str] = (
+    "ABR", "BAS", "CAL", "CAM", "EMR", "FVG", "LAZ", "LIG", "LOM", "MAR",
+    "MOL", "PIE", "PUG", "SAR", "SIC", "TOS", "TAA", "UMB", "VDA", "VEN",
+)
+
+#: Two-letter province codes (a representative subset per region).
+PROVINCE_CODES: Sequence[str] = (
+    "AQ", "PZ", "CZ", "NA", "BO", "TS", "RM", "GE", "MI", "AN",
+    "CB", "TO", "BA", "CA", "PA", "FI", "BZ", "PG", "AO", "VE",
+    "BG", "BS", "VR", "PD", "MO", "PR", "SA", "CE", "LE", "CT",
+)
+
+_NAME_PREFIXES: Sequence[str] = (
+    "SAN", "SANTA", "SANTO", "CASTEL", "MONTE", "VILLA", "BORGO", "PIEVE",
+    "ROCCA", "TORRE", "CIVITA", "COLLE", "POGGIO", "SERRA", "VALLE", "",
+    "", "", "", "",
+)
+
+_NAME_SYLLABLES: Sequence[str] = (
+    "BA", "BE", "BI", "BO", "BU", "CA", "CE", "CI", "CO", "CU",
+    "DA", "DE", "DI", "DO", "FA", "FE", "FI", "FO", "GA", "GE",
+    "GI", "GO", "LA", "LE", "LI", "LO", "LU", "MA", "ME", "MI",
+    "MO", "NA", "NE", "NI", "NO", "PA", "PE", "PI", "PO", "RA",
+    "RE", "RI", "RO", "RU", "SA", "SE", "SI", "SO", "TA", "TE",
+    "TI", "TO", "VA", "VE", "VI", "VO", "ZA", "ZO",
+)
+
+_NAME_SUFFIXES: Sequence[str] = (
+    "NO", "NA", "RE", "TO", "LI", "ZZO", "ZZA", "GLIA", "NZA", "RDO",
+    "LLO", "LLA", "SIO", "TTI", "NTE", "GNO",
+)
+
+_NAME_QUALIFIERS: Sequence[str] = (
+    "", "", "", "", "", "", "", "",
+    " MARITTIMA", " TERME", " SUPERIORE", " INFERIORE", " VECCHIO", " NUOVO",
+    " AL MARE", " IN COLLE", " VALGARDENA", " DEL MONTE", " SUL NAVIGLIO",
+    " DI SOTTO", " DI SOPRA",
+)
+
+#: Schema of the generated parent table.
+MUNICIPALITY_SCHEMA = Schema(["municipality_id", "location"], name="municipalities")
+
+
+def _synthesise_name(rng: random.Random) -> str:
+    """Build one Italian-sounding municipality name."""
+    prefix = rng.choice(_NAME_PREFIXES)
+    core = "".join(rng.choice(_NAME_SYLLABLES) for _ in range(rng.randint(2, 4)))
+    suffix = rng.choice(_NAME_SUFFIXES)
+    qualifier = rng.choice(_NAME_QUALIFIERS)
+    name = f"{core}{suffix}{qualifier}"
+    if prefix:
+        name = f"{prefix} {name}"
+    return name
+
+
+def generate_location_strings(
+    count: int = DEFAULT_MUNICIPALITY_COUNT, seed: int = 7
+) -> List[str]:
+    """Generate ``count`` distinct location strings, deterministically from ``seed``."""
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    rng = random.Random(seed)
+    locations: List[str] = []
+    seen = set()
+    while len(locations) < count:
+        region = rng.choice(REGION_CODES)
+        province = rng.choice(PROVINCE_CODES)
+        name = _synthesise_name(rng)
+        location = f"{region} {province} {name}"
+        if location in seen:
+            continue
+        seen.add(location)
+        locations.append(location)
+    return locations
+
+
+def generate_municipalities(
+    count: int = DEFAULT_MUNICIPALITY_COUNT,
+    seed: int = 7,
+    locations: Optional[Sequence[str]] = None,
+) -> Table:
+    """Generate the parent table of municipalities.
+
+    Parameters
+    ----------
+    count:
+        Number of municipalities (default 8082, as in the paper).
+    seed:
+        Seed for the deterministic synthesis.
+    locations:
+        Optionally, a pre-built list of location strings to wrap into a
+        table (used by tests); ``count``/``seed`` are then ignored.
+
+    Returns
+    -------
+    Table
+        A table with schema ``(municipality_id, location)`` whose
+        ``location`` values are all distinct.
+    """
+    values = list(locations) if locations is not None else generate_location_strings(
+        count, seed
+    )
+    table = Table(MUNICIPALITY_SCHEMA, name="municipalities")
+    for identifier, location in enumerate(values):
+        table.insert_values(identifier, location)
+    return table

@@ -1,0 +1,175 @@
+"""Perturbation patterns (paper Fig. 5).
+
+A perturbation pattern describes *where* in an input the variant tuples
+occur.  The paper fixes the overall variant rate at 10 % of the input and
+distributes those variants according to one of four patterns:
+
+``uniform``
+    Variants are spread uniformly over the whole input (Fig. 5.a): no
+    distinguishable perturbation regions, slow accumulation of statistical
+    evidence.
+``interleaved_low``
+    Low-intensity perturbation regions interleaved with clean stretches
+    (Fig. 5.b).
+``few_high``
+    A small number of well-separated, high-intensity perturbation regions
+    (Fig. 5.c).
+``many_high``
+    Many short, high-intensity perturbation regions (Fig. 5.d) — with the
+    total variant rate fixed, more regions means shorter regions.
+
+A pattern is described by a list of :class:`PerturbationRegion` fractions
+(start / length / intensity relative to the input length); the helper
+:func:`perturbation_flags` turns a pattern into a concrete boolean mask
+("is the i-th tuple a variant?") for a given input size and target rate,
+re-scaling region intensities so the realised rate matches the target.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class PerturbationRegion:
+    """One contiguous perturbed stretch of an input, in relative coordinates.
+
+    ``start`` and ``length`` are fractions of the input length in [0, 1];
+    ``intensity`` is the probability that a tuple inside the region is a
+    variant (before the global re-scaling that pins the overall rate).
+    """
+
+    start: float
+    length: float
+    intensity: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start <= 1.0:
+            raise ValueError(f"region start must be in [0, 1], got {self.start}")
+        if not 0.0 < self.length <= 1.0:
+            raise ValueError(f"region length must be in (0, 1], got {self.length}")
+        if not 0.0 < self.intensity <= 1.0:
+            raise ValueError(f"region intensity must be in (0, 1], got {self.intensity}")
+
+
+@dataclass(frozen=True)
+class PerturbationPattern:
+    """A named perturbation pattern: a list of regions plus a description."""
+
+    name: str
+    regions: Sequence[PerturbationRegion]
+    description: str = ""
+
+    def intensity_profile(self, size: int) -> List[float]:
+        """Per-position variant probability (before rate normalisation)."""
+        profile = [0.0] * size
+        for region in self.regions:
+            begin = int(region.start * size)
+            end = min(size, begin + max(1, int(region.length * size)))
+            for index in range(begin, end):
+                profile[index] = max(profile[index], region.intensity)
+        return profile
+
+
+def _uniform_pattern() -> PerturbationPattern:
+    return PerturbationPattern(
+        name="uniform",
+        regions=(PerturbationRegion(start=0.0, length=1.0, intensity=0.10),),
+        description="variants spread uniformly over the whole input (Fig. 5.a)",
+    )
+
+
+def _interleaved_low_pattern() -> PerturbationPattern:
+    # Six low-intensity regions, each 10% of the input, evenly interleaved
+    # with clean stretches.
+    regions = tuple(
+        PerturbationRegion(start=start, length=0.10, intensity=0.25)
+        for start in (0.05, 0.21, 0.37, 0.53, 0.69, 0.85)
+    )
+    return PerturbationPattern(
+        name="interleaved_low",
+        regions=regions,
+        description="low-intensity regions interleaved with clean stretches (Fig. 5.b)",
+    )
+
+
+def _few_high_pattern() -> PerturbationPattern:
+    regions = tuple(
+        PerturbationRegion(start=start, length=0.08, intensity=0.85)
+        for start in (0.15, 0.55, 0.85)
+    )
+    return PerturbationPattern(
+        name="few_high",
+        regions=regions,
+        description="a few well-separated high-intensity regions (Fig. 5.c)",
+    )
+
+
+def _many_high_pattern() -> PerturbationPattern:
+    regions = tuple(
+        PerturbationRegion(start=start, length=0.025, intensity=0.85)
+        for start in (0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95)
+    )
+    return PerturbationPattern(
+        name="many_high",
+        regions=regions,
+        description="many short high-intensity regions (Fig. 5.d)",
+    )
+
+
+#: The four patterns of Fig. 5, keyed by name.
+STANDARD_PATTERNS: Dict[str, PerturbationPattern] = {
+    pattern.name: pattern
+    for pattern in (
+        _uniform_pattern(),
+        _interleaved_low_pattern(),
+        _few_high_pattern(),
+        _many_high_pattern(),
+    )
+}
+
+
+def pattern_by_name(name: str) -> PerturbationPattern:
+    """Look up one of the standard patterns by name."""
+    try:
+        return STANDARD_PATTERNS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown perturbation pattern {name!r}; available: "
+            f"{sorted(STANDARD_PATTERNS)}"
+        ) from None
+
+
+def perturbation_flags(
+    pattern: PerturbationPattern,
+    size: int,
+    variant_rate: float,
+    rng: random.Random,
+) -> List[bool]:
+    """Concrete per-position variant flags for an input of ``size`` tuples.
+
+    The pattern's intensity profile says *where* variants may occur; the
+    profile is re-scaled so that the expected number of flagged positions is
+    ``variant_rate * size`` (the paper fixes this at 10 %), then sampled.
+
+    Returns a list of booleans, one per input position.
+    """
+    if size <= 0:
+        raise ValueError(f"input size must be positive, got {size}")
+    if not 0.0 <= variant_rate <= 1.0:
+        raise ValueError(f"variant rate must be in [0, 1], got {variant_rate}")
+    if variant_rate == 0.0:
+        return [False] * size
+
+    profile = pattern.intensity_profile(size)
+    profile_mass = sum(profile)
+    if profile_mass == 0.0:
+        # Degenerate pattern: fall back to uniform flags.
+        profile = [1.0] * size
+        profile_mass = float(size)
+    target = variant_rate * size
+    scale = target / profile_mass
+    flags = [rng.random() < min(1.0, probability * scale) for probability in profile]
+    return flags

@@ -1,0 +1,113 @@
+"""Variant (typo) injection.
+
+The paper perturbs a location string by introducing "a small, one-character
+variation", e.g. ``SANTA CRISTINA VALGARDENA`` → ``SANTA CRISTINx
+VALGARDENA``: an edit distance of 1 is enough to defeat an exact match while
+remaining easy to recover with a q-gram similarity threshold of 0.85.
+
+Four single-character operators are provided (substitution, deletion,
+insertion, adjacent transposition).  By default only *substitution* is used
+— matching the paper's example — but the generator can draw from all four to
+exercise the similarity function more broadly.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import Callable, Dict, Sequence
+
+#: Characters used for substituted / inserted characters.  Lower-case letters
+#: are deliberately included: they never appear in the clean (upper-case)
+#: values, so a substitution is guaranteed to change the string.
+_REPLACEMENT_ALPHABET = string.ascii_lowercase
+
+
+def substitute_character(value: str, rng: random.Random) -> str:
+    """Replace one character of ``value`` with a character not equal to it."""
+    if not value:
+        return value
+    position = rng.randrange(len(value))
+    original = value[position]
+    replacement = original
+    while replacement == original:
+        replacement = rng.choice(_REPLACEMENT_ALPHABET)
+    return value[:position] + replacement + value[position + 1 :]
+
+
+def delete_character(value: str, rng: random.Random) -> str:
+    """Delete one character of ``value`` (strings of length ≤ 1 are substituted instead)."""
+    if len(value) <= 1:
+        return substitute_character(value, rng)
+    position = rng.randrange(len(value))
+    return value[:position] + value[position + 1 :]
+
+
+def insert_character(value: str, rng: random.Random) -> str:
+    """Insert one character into ``value``."""
+    position = rng.randrange(len(value) + 1)
+    return value[:position] + rng.choice(_REPLACEMENT_ALPHABET) + value[position:]
+
+
+def transpose_characters(value: str, rng: random.Random) -> str:
+    """Swap two adjacent, different characters of ``value``.
+
+    Falls back to substitution when no two adjacent characters differ.
+    """
+    candidates = [
+        i for i in range(len(value) - 1) if value[i] != value[i + 1]
+    ]
+    if not candidates:
+        return substitute_character(value, rng)
+    position = rng.choice(candidates)
+    return (
+        value[:position]
+        + value[position + 1]
+        + value[position]
+        + value[position + 2 :]
+    )
+
+
+VariantOperator = Callable[[str, random.Random], str]
+
+#: All available single-character perturbation operators, by name.
+VARIANT_OPERATORS: Dict[str, VariantOperator] = {
+    "substitute": substitute_character,
+    "delete": delete_character,
+    "insert": insert_character,
+    "transpose": transpose_characters,
+}
+
+
+def make_variant(
+    value: str,
+    rng: random.Random,
+    operators: Sequence[str] = ("substitute",),
+) -> str:
+    """Return a one-edit variant of ``value`` that differs from it.
+
+    Parameters
+    ----------
+    value:
+        The clean string.
+    rng:
+        Source of randomness (kept external for reproducibility).
+    operators:
+        Names of the operators to draw from (see :data:`VARIANT_OPERATORS`).
+    """
+    if not value:
+        return value
+    for name in operators:
+        if name not in VARIANT_OPERATORS:
+            raise ValueError(
+                f"unknown variant operator {name!r}; available: "
+                f"{sorted(VARIANT_OPERATORS)}"
+            )
+    for _ in range(16):
+        operator = VARIANT_OPERATORS[rng.choice(list(operators))]
+        variant = operator(value, rng)
+        if variant != value:
+            return variant
+    # Degenerate values (e.g. single repeated character) may defeat delete /
+    # transpose; substitution always succeeds.
+    return substitute_character(value, rng)

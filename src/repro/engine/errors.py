@@ -1,0 +1,37 @@
+"""Exception hierarchy for the query-engine substrate.
+
+Keeping a small, explicit hierarchy lets callers distinguish programming
+errors in operator usage (protocol violations) from data-level problems
+(schema mismatches) without string-matching on messages.
+"""
+
+
+class EngineError(Exception):
+    """Base class for all errors raised by :mod:`repro.engine`."""
+
+
+class SchemaError(EngineError):
+    """A record or operation does not conform to the expected schema.
+
+    Raised, for example, when a :class:`~repro.engine.tuples.Record` is
+    constructed with missing or unexpected attributes, or when a projection
+    references an attribute that does not exist.
+    """
+
+
+class IteratorProtocolError(EngineError):
+    """The OPEN/NEXT/CLOSE protocol was violated.
+
+    Raised when ``next()`` is called on an operator that has not been
+    opened, when an operator is opened twice, or when an operator is used
+    after being closed.  These are programming errors of the caller, not
+    data errors, and therefore deserve a dedicated type.
+    """
+
+
+class SwitchError(EngineError):
+    """An adaptive operator switch was requested at an unsafe point.
+
+    Operator replacement is only sound at quiescent states; attempting a
+    switch while a probe still has outstanding matches raises this error.
+    """

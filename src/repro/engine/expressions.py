@@ -1,0 +1,190 @@
+"""A tiny expression language for selection predicates and projections.
+
+The adaptive join itself only needs equality and similarity predicates on a
+single join attribute, but the engine substrate exposes a small, composable
+expression language so that realistic plans (filter before join, project
+after join) can be written in the examples and benchmarks without resorting
+to opaque lambdas.
+
+Expressions are evaluated against a :class:`~repro.engine.tuples.Record` and
+return a Python value; comparison and boolean nodes return ``bool``.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Sequence
+
+from repro.engine.errors import SchemaError
+from repro.engine.tuples import Record
+
+
+class Expression:
+    """Base class of all expression nodes."""
+
+    def evaluate(self, record: Record) -> Any:
+        """Evaluate the expression against ``record``."""
+        raise NotImplementedError
+
+    # -- combinators ----------------------------------------------------------
+
+    def __and__(self, other: "Expression") -> "Conjunction":
+        return Conjunction([self, other])
+
+    def __or__(self, other: "Expression") -> "Disjunction":
+        return Disjunction([self, other])
+
+    def __invert__(self) -> "Negation":
+        return Negation(self)
+
+    def _compare(self, op: Callable[[Any, Any], bool], other: Any) -> "Comparison":
+        other_expr = other if isinstance(other, Expression) else Constant(other)
+        return Comparison(self, op, other_expr)
+
+    def __eq__(self, other: Any) -> "Comparison":  # type: ignore[override]
+        return self._compare(operator.eq, other)
+
+    def __ne__(self, other: Any) -> "Comparison":  # type: ignore[override]
+        return self._compare(operator.ne, other)
+
+    def __lt__(self, other: Any) -> "Comparison":
+        return self._compare(operator.lt, other)
+
+    def __le__(self, other: Any) -> "Comparison":
+        return self._compare(operator.le, other)
+
+    def __gt__(self, other: Any) -> "Comparison":
+        return self._compare(operator.gt, other)
+
+    def __ge__(self, other: Any) -> "Comparison":
+        return self._compare(operator.ge, other)
+
+    __hash__ = object.__hash__
+
+
+class AttributeRef(Expression):
+    """Reference to a record attribute by name."""
+
+    def __init__(self, attribute: str) -> None:
+        if not attribute:
+            raise SchemaError("attribute reference requires a non-empty name")
+        self.attribute = attribute
+
+    def evaluate(self, record: Record) -> Any:
+        return record[self.attribute]
+
+    def __repr__(self) -> str:
+        return f"attr({self.attribute!r})"
+
+
+class Constant(Expression):
+    """A literal value."""
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def evaluate(self, record: Record) -> Any:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"const({self.value!r})"
+
+
+class Comparison(Expression):
+    """A binary comparison between two sub-expressions."""
+
+    _SYMBOLS = {
+        operator.eq: "==",
+        operator.ne: "!=",
+        operator.lt: "<",
+        operator.le: "<=",
+        operator.gt: ">",
+        operator.ge: ">=",
+    }
+
+    def __init__(
+        self,
+        left: Expression,
+        op: Callable[[Any, Any], bool],
+        right: Expression,
+    ) -> None:
+        self.left = left
+        self.op = op
+        self.right = right
+
+    def evaluate(self, record: Record) -> bool:
+        return bool(self.op(self.left.evaluate(record), self.right.evaluate(record)))
+
+    def __repr__(self) -> str:
+        symbol = self._SYMBOLS.get(self.op, getattr(self.op, "__name__", "?"))
+        return f"({self.left!r} {symbol} {self.right!r})"
+
+
+class Conjunction(Expression):
+    """Logical AND of sub-expressions (true when all are true)."""
+
+    def __init__(self, operands: Sequence[Expression]) -> None:
+        self.operands = list(operands)
+
+    def evaluate(self, record: Record) -> bool:
+        return all(operand.evaluate(record) for operand in self.operands)
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(repr(o) for o in self.operands) + ")"
+
+
+class Disjunction(Expression):
+    """Logical OR of sub-expressions (true when any is true)."""
+
+    def __init__(self, operands: Sequence[Expression]) -> None:
+        self.operands = list(operands)
+
+    def evaluate(self, record: Record) -> bool:
+        return any(operand.evaluate(record) for operand in self.operands)
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(repr(o) for o in self.operands) + ")"
+
+
+class Negation(Expression):
+    """Logical NOT of a sub-expression."""
+
+    def __init__(self, operand: Expression) -> None:
+        self.operand = operand
+
+    def evaluate(self, record: Record) -> bool:
+        return not self.operand.evaluate(record)
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.operand!r})"
+
+
+class FunctionCall(Expression):
+    """Apply an arbitrary Python callable to sub-expression values.
+
+    Used, for example, to embed a string-similarity function in a selection
+    predicate: ``FunctionCall(jaccard, [attr("a"), attr("b")]) >= 0.85``.
+    """
+
+    def __init__(
+        self, function: Callable[..., Any], arguments: Sequence[Expression]
+    ) -> None:
+        self.function = function
+        self.arguments = list(arguments)
+
+    def evaluate(self, record: Record) -> Any:
+        return self.function(*(a.evaluate(record) for a in self.arguments))
+
+    def __repr__(self) -> str:
+        name = getattr(self.function, "__name__", repr(self.function))
+        return f"{name}({', '.join(repr(a) for a in self.arguments)})"
+
+
+def attr(name: str) -> AttributeRef:
+    """Shorthand constructor for :class:`AttributeRef`."""
+    return AttributeRef(name)
+
+
+def const(value: Any) -> Constant:
+    """Shorthand constructor for :class:`Constant`."""
+    return Constant(value)

@@ -1,0 +1,198 @@
+"""Relational operators over the iterator protocol.
+
+These are the conventional pipelined operators used to build small plans
+around the symmetric joins: table scan, selection, projection, limit, union
+and materialisation.  All of them are trivially quiescent after every
+``next_record`` call (they hold no cross-call partial work), so a plan built
+from them never blocks an adaptive switch of a downstream join.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Union as TypingUnion
+
+from repro.engine.expressions import Expression
+from repro.engine.iterators import Operator
+from repro.engine.table import Table
+from repro.engine.tuples import Record, Schema
+
+Predicate = TypingUnion[Expression, Callable[[Record], bool]]
+
+
+def _as_callable(predicate: Predicate) -> Callable[[Record], bool]:
+    """Normalise an expression or callable predicate into a callable."""
+    if isinstance(predicate, Expression):
+        return predicate.evaluate
+    return predicate
+
+
+class TableScan(Operator):
+    """Sequentially scan an in-memory :class:`~repro.engine.table.Table`."""
+
+    def __init__(self, table: Table, name: str = "") -> None:
+        super().__init__(table.schema, name=name or f"scan({table.name})")
+        self._table = table
+        self._cursor = 0
+
+    def _do_open(self) -> None:
+        self._cursor = 0
+
+    def _do_next(self) -> Optional[Record]:
+        if self._cursor >= len(self._table):
+            return None
+        record = self._table[self._cursor]
+        self._cursor += 1
+        self.stats.tuples_read_left += 1
+        return record
+
+
+class Select(Operator):
+    """Filter the child's output with a predicate."""
+
+    def __init__(self, child: Operator, predicate: Predicate, name: str = "") -> None:
+        super().__init__(child.output_schema, name=name or "select")
+        self._child = child
+        self._predicate = _as_callable(predicate)
+
+    def _do_open(self) -> None:
+        self._child.open()
+
+    def _do_next(self) -> Optional[Record]:
+        while True:
+            record = self._child.next_record()
+            if record is None:
+                return None
+            self.stats.tuples_read_left += 1
+            if self._predicate(record):
+                return record
+
+    def _do_close(self) -> None:
+        self._child.close()
+
+
+class Project(Operator):
+    """Project the child's output onto a subset of attributes."""
+
+    def __init__(
+        self, child: Operator, attributes: Sequence[str], name: str = ""
+    ) -> None:
+        schema = child.output_schema.project(attributes)
+        super().__init__(schema, name=name or f"project({', '.join(attributes)})")
+        self._child = child
+        self._attributes = list(attributes)
+
+    def _do_open(self) -> None:
+        self._child.open()
+
+    def _do_next(self) -> Optional[Record]:
+        record = self._child.next_record()
+        if record is None:
+            return None
+        self.stats.tuples_read_left += 1
+        return record.project(self._attributes)
+
+    def _do_close(self) -> None:
+        self._child.close()
+
+
+class Limit(Operator):
+    """Pass through at most ``n`` records of the child."""
+
+    def __init__(self, child: Operator, n: int, name: str = "") -> None:
+        if n < 0:
+            raise ValueError(f"limit must be non-negative, got {n}")
+        super().__init__(child.output_schema, name=name or f"limit({n})")
+        self._child = child
+        self._n = n
+        self._emitted = 0
+
+    def _do_open(self) -> None:
+        self._emitted = 0
+        self._child.open()
+
+    def _do_next(self) -> Optional[Record]:
+        if self._emitted >= self._n:
+            return None
+        record = self._child.next_record()
+        if record is None:
+            return None
+        self.stats.tuples_read_left += 1
+        self._emitted += 1
+        return record
+
+    def _do_close(self) -> None:
+        self._child.close()
+
+
+class Union(Operator):
+    """Concatenate the outputs of several children with identical schemas."""
+
+    def __init__(self, children: Sequence[Operator], name: str = "") -> None:
+        if not children:
+            raise ValueError("Union requires at least one child")
+        schema = children[0].output_schema
+        for child in children[1:]:
+            if child.output_schema.attributes != schema.attributes:
+                raise ValueError(
+                    "Union children must share a schema: "
+                    f"{schema.attributes} vs {child.output_schema.attributes}"
+                )
+        super().__init__(schema, name=name or "union")
+        self._children = list(children)
+        self._current = 0
+
+    def _do_open(self) -> None:
+        self._current = 0
+        for child in self._children:
+            child.open()
+
+    def _do_next(self) -> Optional[Record]:
+        while self._current < len(self._children):
+            record = self._children[self._current].next_record()
+            if record is not None:
+                self.stats.tuples_read_left += 1
+                return record
+            self._current += 1
+        return None
+
+    def _do_close(self) -> None:
+        for child in self._children:
+            child.close()
+
+
+class Materialise(Operator):
+    """Drain the child on open and replay its output.
+
+    Useful in benchmarks to exclude upstream cost from a timed region, and
+    as the building block for the blocking (offline) linkage baseline.
+    """
+
+    def __init__(self, child: Operator, name: str = "") -> None:
+        super().__init__(child.output_schema, name=name or "materialise")
+        self._child = child
+        self._buffer: List[Record] = []
+        self._cursor = 0
+
+    def _do_open(self) -> None:
+        self._child.open()
+        self._buffer = []
+        while True:
+            record = self._child.next_record()
+            if record is None:
+                break
+            self._buffer.append(record)
+            self.stats.tuples_read_left += 1
+        self._child.close()
+        self._cursor = 0
+
+    def _do_next(self) -> Optional[Record]:
+        if self._cursor >= len(self._buffer):
+            return None
+        record = self._buffer[self._cursor]
+        self._cursor += 1
+        return record
+
+    @property
+    def materialised(self) -> List[Record]:
+        """The buffered child output (valid after ``open``)."""
+        return self._buffer

@@ -1,0 +1,198 @@
+"""Record streams.
+
+The symmetric join operators consume their two inputs as *streams*: pull-
+based sources that deliver one record at a time and cannot be rewound.  This
+mirrors the paper's target scenario in which "a priori analysis of the
+tables involved is not feasible" because the inputs only become available at
+query time (mashup integration, continuous streams).
+
+A :class:`RecordStream` is deliberately simpler than an
+:class:`~repro.engine.iterators.Operator`: it has no lifecycle and no
+statistics of its own; it only supports :meth:`next_record`, returning
+``None`` on exhaustion.  Streams also remember how many records they have
+delivered, which the symmetric joins use for scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+from repro.engine.iterators import Operator
+from repro.engine.table import Table
+from repro.engine.tuples import Record, Schema
+
+
+class RecordStream:
+    """Abstract pull-based source of records.
+
+    Subclasses implement :meth:`_next`.  The public :meth:`next_record`
+    tracks the delivered-count and latches exhaustion (once ``None`` is
+    returned, the stream stays exhausted).
+    """
+
+    def __init__(self, schema: Schema, name: str = "") -> None:
+        self._schema = schema
+        self.name = name or type(self).__name__
+        self._delivered = 0
+        self._exhausted = False
+
+    @property
+    def schema(self) -> Schema:
+        """Schema of the records delivered by the stream."""
+        return self._schema
+
+    @property
+    def delivered(self) -> int:
+        """Number of records delivered so far."""
+        return self._delivered
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the stream has signalled exhaustion."""
+        return self._exhausted
+
+    def next_record(self) -> Optional[Record]:
+        """Return the next record, or ``None`` when the stream is exhausted."""
+        if self._exhausted:
+            return None
+        record = self._next()
+        if record is None:
+            self._exhausted = True
+            return None
+        self._delivered += 1
+        return record
+
+    def _next(self) -> Optional[Record]:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[Record]:
+        while True:
+            record = self.next_record()
+            if record is None:
+                return
+            yield record
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.name!r} delivered={self._delivered}"
+            f"{' exhausted' if self._exhausted else ''}>"
+        )
+
+
+class ListStream(RecordStream):
+    """A stream backed by an in-memory sequence of records."""
+
+    def __init__(
+        self, schema: Schema, records: Sequence[Record], name: str = ""
+    ) -> None:
+        super().__init__(schema, name=name)
+        self._records = list(records)
+        self._cursor = 0
+
+    def _next(self) -> Optional[Record]:
+        if self._cursor >= len(self._records):
+            return None
+        record = self._records[self._cursor]
+        self._cursor += 1
+        return record
+
+    @property
+    def remaining(self) -> int:
+        """Number of records not yet delivered."""
+        return len(self._records) - self._cursor
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class TableStream(ListStream):
+    """A stream over the records of a :class:`~repro.engine.table.Table`."""
+
+    def __init__(self, table: Table, name: str = "") -> None:
+        super().__init__(table.schema, table.records, name=name or table.name)
+
+
+class IteratorStream(RecordStream):
+    """A stream wrapping an arbitrary Python iterator of records."""
+
+    def __init__(
+        self, schema: Schema, iterator: Iterable[Record], name: str = ""
+    ) -> None:
+        super().__init__(schema, name=name)
+        self._iterator = iter(iterator)
+
+    def _next(self) -> Optional[Record]:
+        return next(self._iterator, None)
+
+
+class OperatorStream(RecordStream):
+    """A stream over the output of an :class:`~repro.engine.iterators.Operator`.
+
+    The operator is opened lazily on first pull and closed on exhaustion,
+    allowing pipelined plans to feed the symmetric joins.
+    """
+
+    def __init__(self, operator: Operator, name: str = "") -> None:
+        super().__init__(operator.output_schema, name=name or operator.name)
+        self._operator = operator
+        self._opened = False
+
+    def _next(self) -> Optional[Record]:
+        if not self._opened:
+            self._operator.open()
+            self._opened = True
+        record = self._operator.next_record()
+        if record is None:
+            self._operator.close()
+        return record
+
+
+class GeneratorStream(RecordStream):
+    """A stream produced lazily by a zero-argument factory of iterables.
+
+    Useful in tests and benchmarks to avoid materialising large inputs until
+    the stream is actually pulled.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        factory: Callable[[], Iterable[Record]],
+        name: str = "",
+    ) -> None:
+        super().__init__(schema, name=name)
+        self._factory = factory
+        self._iterator: Optional[Iterator[Record]] = None
+
+    def _next(self) -> Optional[Record]:
+        if self._iterator is None:
+            self._iterator = iter(self._factory())
+        return next(self._iterator, None)
+
+
+def interleave(
+    left: Sequence[Record], right: Sequence[Record]
+) -> List[tuple]:
+    """Return an alternating (side, record) schedule over two record lists.
+
+    The symmetric joins read their inputs in alternation (left, right, left,
+    right, …) until one side is exhausted, then drain the other.  This
+    helper builds that schedule explicitly — it is used by tests and by the
+    data generator to reason about the scan order the join will follow.
+
+    Returns a list of ``("left", record)`` / ``("right", record)`` pairs.
+    """
+    schedule: List[tuple] = []
+    left_iter, right_iter = iter(left), iter(right)
+    while True:
+        progressed = False
+        l_record = next(left_iter, None)
+        if l_record is not None:
+            schedule.append(("left", l_record))
+            progressed = True
+        r_record = next(right_iter, None)
+        if r_record is not None:
+            schedule.append(("right", r_record))
+            progressed = True
+        if not progressed:
+            return schedule

@@ -1,0 +1,434 @@
+"""Shared machinery of the symmetric join operators.
+
+Both SHJoin (exact) and SSHJoin (approximate) are *symmetric* hash joins:
+every input tuple is stored on its own side and used to probe the hash
+structure of the opposite side, so results stream out without waiting for
+either input to finish.  The two operators differ only in **which hash
+structure** is probed:
+
+* the exact operator hashes whole join-attribute values (one bucket entry
+  per tuple);
+* the approximate operator hashes the *q-grams* of the join-attribute value
+  (one bucket entry per (gram, tuple) pair) and matches tuples whose q-gram
+  Jaccard similarity reaches a threshold.
+
+The adaptive algorithm needs to switch between the two mid-flight, which is
+why a side keeps **both** indexes but only maintains the one currently in
+use; at a switch the lagging index is *caught up* with the tuples inserted
+since it was last current (Sec. 2.3 of the paper, "Cost of Switching
+Operators").  :class:`SideState` encapsulates all of this per-input-side
+bookkeeping.
+
+This module also defines:
+
+* :class:`MatchEvent` — one matched pair with its similarity and provenance
+  (which side probed, through which operator), consumed by the MAR monitor;
+* :class:`OperationCounters` — the elementary-operation counts of Table 1
+  (q-grams obtained, hash updates, candidate-set work, matches found);
+* :class:`StoredTuple` — a stored input tuple with the "matched at least
+  once exactly" flag of Sec. 3.3 used to attribute variants to a side.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.tuples import Record, Schema
+from repro.similarity.qgrams import qgram_set
+
+
+class JoinSide(enum.Enum):
+    """The two inputs of a symmetric join."""
+
+    LEFT = "left"
+    RIGHT = "right"
+
+    @property
+    def other(self) -> "JoinSide":
+        """The opposite side."""
+        return JoinSide.RIGHT if self is JoinSide.LEFT else JoinSide.LEFT
+
+
+class JoinMode(enum.Enum):
+    """How tuples *scanned from* a given input are matched.
+
+    ``EXACT``
+        The scanned tuple probes the opposite side's value-hash table
+        (SHJoin behaviour).
+    ``APPROXIMATE``
+        The scanned tuple probes the opposite side's q-gram hash table and
+        matches on Jaccard similarity (SSHJoin behaviour).
+    """
+
+    EXACT = "exact"
+    APPROXIMATE = "approximate"
+
+
+@dataclass(frozen=True)
+class JoinAttribute:
+    """The pair of attribute names being joined (left attribute, right attribute)."""
+
+    left: str
+    right: str
+
+    def for_side(self, side: JoinSide) -> str:
+        """The attribute name on ``side``."""
+        return self.left if side is JoinSide.LEFT else self.right
+
+
+@dataclass
+class StoredTuple:
+    """One input tuple retained in a side's tuple store.
+
+    Attributes
+    ----------
+    record:
+        The original record.
+    value:
+        The (string) join-attribute value, extracted once at insertion.
+    ordinal:
+        Position of the tuple in its side's arrival order (0-based).
+    matched_exactly:
+        The flag of Sec. 3.3: set when this tuple has taken part in at
+        least one *exact* match, and used to attribute later approximate
+        matches to the probing side.
+    """
+
+    record: Record
+    value: str
+    ordinal: int
+    matched_exactly: bool = False
+
+
+@dataclass
+class OperationCounters:
+    """Elementary-operation counts (paper Table 1).
+
+    The four operation families of Table 1 are tracked separately for the
+    exact and the approximate operator so the benchmark for Table 1 can
+    report measured counts next to the paper's analytic expressions.
+    """
+
+    #: Operation 1 — q-grams computed while probing/inserting (approx only).
+    qgrams_obtained: int = 0
+    #: Operation 2 — hash-table bucket insertions (1 per tuple exact,
+    #: one per gram approximate).
+    exact_hash_updates: int = 0
+    approx_hash_updates: int = 0
+    #: Operation 3 — work done building the candidate set T(t): one unit per
+    #: bucket entry scanned during an approximate probe.
+    candidate_scan_work: int = 0
+    #: Size of the candidate sets |T(t)| accumulated over all approximate probes.
+    candidate_set_size: int = 0
+    #: Operation 4 — matches examined: bucket entries scanned by exact
+    #: probes, candidate verifications by approximate probes.
+    exact_probe_work: int = 0
+    approx_verifications: int = 0
+    #: Probe counts, to turn the totals above into per-probe averages.
+    exact_probes: int = 0
+    approx_probes: int = 0
+    #: Matches actually emitted.
+    matches_emitted: int = 0
+
+    def merge(self, other: "OperationCounters") -> "OperationCounters":
+        """Return a new counter object summing this one and ``other``."""
+        merged = OperationCounters()
+        for name in vars(merged):
+            setattr(merged, name, getattr(self, name) + getattr(other, name))
+        return merged
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view (used by the benchmark reports)."""
+        return dict(vars(self))
+
+
+@dataclass(frozen=True)
+class MatchEvent:
+    """One matched tuple pair, as observed by the monitor.
+
+    Attributes
+    ----------
+    step:
+        Join step (quiescent-state count) at which the pair was produced.
+    probe_side:
+        The side whose freshly scanned tuple triggered the match.
+    mode:
+        Operator through which the match was found.
+    left, right:
+        The stored tuples of the pair, always reported in (left, right)
+        order regardless of which side probed.
+    similarity:
+        Join-attribute similarity of the pair: 1.0 for value-equal pairs,
+        the Jaccard q-gram similarity otherwise.
+    exact_value_match:
+        Whether the two join-attribute values are identical.
+    variant_evidence:
+        The side that the Sec. 3.3 reasoning blames for the mismatch, when
+        such evidence exists (the stored partner had previously matched
+        exactly, so the *probing* tuple must be the variant); ``None``
+        otherwise.
+    """
+
+    step: int
+    probe_side: JoinSide
+    mode: JoinMode
+    left: StoredTuple
+    right: StoredTuple
+    similarity: float
+    exact_value_match: bool
+    variant_evidence: Optional[JoinSide] = None
+
+    def output_record(self, output_schema: Schema) -> Record:
+        """Materialise the joined output record for this pair."""
+        values = list(self.left.record.values) + list(self.right.record.values)
+        return Record.from_values(output_schema, values)
+
+    def pair_key(self) -> Tuple[int, int]:
+        """A stable identity for the pair (left ordinal, right ordinal)."""
+        return (self.left.ordinal, self.right.ordinal)
+
+
+class SideState:
+    """Per-input-side state of a switchable symmetric join.
+
+    Holds the tuple store (all tuples scanned so far from this side) plus
+    the two hash indexes over those tuples:
+
+    * ``exact`` — join-attribute value → list of tuple ordinals (the SHJoin
+      hash table of Fig. 3, left);
+    * ``qgram`` — q-gram → list of tuple ordinals (the SSHJoin hash table of
+      Fig. 3, right), with per-gram frequencies.
+
+    Each index remembers how many stored tuples it has absorbed
+    (``*_synced``).  Indexing is lazy: only the index the opposite side is
+    currently probing gets updated tuple-by-tuple; the other one lags and is
+    brought up to date by :meth:`catch_up_exact` / :meth:`catch_up_qgram`
+    when an adaptive switch requires it.  The number of tuples indexed
+    during such a catch-up is exactly the switch cost of Sec. 2.3.
+    """
+
+    def __init__(
+        self,
+        side: JoinSide,
+        attribute: str,
+        q: int = 3,
+        padded_qgrams: bool = True,
+    ) -> None:
+        if q <= 0:
+            raise ValueError(f"q must be positive, got {q}")
+        self.side = side
+        self.attribute = attribute
+        self.q = q
+        self.padded_qgrams = padded_qgrams
+        self.tuples: List[StoredTuple] = []
+        self._exact_index: Dict[str, List[int]] = {}
+        self._exact_synced = 0
+        self._qgram_index: Dict[str, List[int]] = {}
+        self._qgram_synced = 0
+        # Cached q-gram sets of indexed tuples, keyed by ordinal.  Kept so
+        # that probes can verify candidates (and skip long buckets of very
+        # frequent grams) without re-tokenising stored values.
+        self._gram_sets: Dict[int, frozenset] = {}
+        self.counters = OperationCounters()
+
+    # -- insertion -------------------------------------------------------------
+
+    def add(self, record: Record) -> StoredTuple:
+        """Store a newly scanned tuple (without indexing it yet)."""
+        value = record[self.attribute]
+        if value is None:
+            value = ""
+        stored = StoredTuple(record=record, value=str(value), ordinal=len(self.tuples))
+        self.tuples.append(stored)
+        return stored
+
+    @property
+    def size(self) -> int:
+        """Number of tuples scanned from this side so far."""
+        return len(self.tuples)
+
+    # -- index maintenance -------------------------------------------------------
+
+    @property
+    def exact_lag(self) -> int:
+        """Tuples stored but not yet in the exact (value) index."""
+        return len(self.tuples) - self._exact_synced
+
+    @property
+    def qgram_lag(self) -> int:
+        """Tuples stored but not yet in the q-gram index."""
+        return len(self.tuples) - self._qgram_synced
+
+    def catch_up_exact(self) -> int:
+        """Bring the value index up to date; return the number of tuples indexed."""
+        caught_up = 0
+        while self._exact_synced < len(self.tuples):
+            stored = self.tuples[self._exact_synced]
+            self._exact_index.setdefault(stored.value, []).append(stored.ordinal)
+            self.counters.exact_hash_updates += 1
+            self._exact_synced += 1
+            caught_up += 1
+        return caught_up
+
+    def catch_up_qgram(self) -> int:
+        """Bring the q-gram index up to date; return the number of tuples indexed."""
+        caught_up = 0
+        while self._qgram_synced < len(self.tuples):
+            stored = self.tuples[self._qgram_synced]
+            grams = qgram_set(stored.value, q=self.q, padded=self.padded_qgrams)
+            self.counters.qgrams_obtained += len(grams)
+            self._gram_sets[stored.ordinal] = grams
+            for gram in grams:
+                self._qgram_index.setdefault(gram, []).append(stored.ordinal)
+                self.counters.approx_hash_updates += 1
+            self._qgram_synced += 1
+            caught_up += 1
+        return caught_up
+
+    def index_for_mode(self, probing_mode: JoinMode) -> int:
+        """Make the index required by ``probing_mode`` current.
+
+        Returns the number of tuples that had to be caught up (0 during
+        steady-state operation, > 0 immediately after a switch).
+        """
+        if probing_mode is JoinMode.EXACT:
+            return self.catch_up_exact()
+        return self.catch_up_qgram()
+
+    def gram_frequency(self, gram: str) -> int:
+        """Number of indexed tuples containing ``gram`` (bucket length)."""
+        return len(self._qgram_index.get(gram, ()))
+
+    # -- probing ---------------------------------------------------------------
+
+    def probe_exact(self, value: str) -> List[StoredTuple]:
+        """Return the stored tuples whose join-attribute value equals ``value``.
+
+        The caller must have made the exact index current (see
+        :meth:`index_for_mode`).
+        """
+        self.counters.exact_probes += 1
+        bucket = self._exact_index.get(value, ())
+        self.counters.exact_probe_work += len(bucket)
+        return [self.tuples[ordinal] for ordinal in bucket]
+
+    def probe_qgram(
+        self,
+        value: str,
+        similarity_threshold: float,
+        verify_jaccard: bool = False,
+        use_prefix_filter: bool = True,
+    ) -> List[Tuple[StoredTuple, float]]:
+        """Return stored tuples that approximately match ``value`` on q-grams.
+
+        Implements the SSJoin-style probe of Sec. 2.2 with the
+        reverse-frequency optimisation: the probe's q-grams are visited in
+        increasing bucket-length order; only the first ``g − k + 1`` grams
+        may *add* candidates to the set ``T(t)``, the remaining (frequent)
+        grams merely increment the counters of candidates already present.
+
+        The match decision follows the paper's operator literally: a
+        candidate ``t'`` matches when its shared-gram counter reaches
+        ``k = ⌈θ_sim · g⌉``, where ``g`` is the number of (distinct) q-grams
+        of the probe value ("the tuples that are retrieved at least ``k``
+        times are returned as part of the match").  With
+        ``verify_jaccard=True`` the stricter set-Jaccard test
+        ``sim(q(t), q(t')) ≥ θ_sim`` is applied on top of the counter test,
+        which makes the operator's result identical to a nested-loop
+        Jaccard similarity join (useful as a correctness oracle).
+
+        Returns ``(stored_tuple, similarity)`` pairs, where the similarity
+        reported is always the q-gram Jaccard coefficient of the pair.  The
+        caller must have made the q-gram index current.
+        """
+        self.counters.approx_probes += 1
+        probe_grams = qgram_set(value, q=self.q, padded=self.padded_qgrams)
+        self.counters.qgrams_obtained += len(probe_grams)
+        gram_count = len(probe_grams)
+        if gram_count == 0:
+            return []
+        required = max(1, math.ceil(similarity_threshold * gram_count))
+        required = min(required, gram_count)
+
+        ordered = sorted(probe_grams, key=self.gram_frequency)
+        if use_prefix_filter:
+            inserting_prefix = max(gram_count - required + 1, 1)
+        else:
+            # Ablation: disable the reverse-frequency prefix optimisation and
+            # let every probe gram add candidates (larger T(t), same result).
+            inserting_prefix = gram_count
+        candidates: Dict[int, int] = {}
+        for index, gram in enumerate(ordered):
+            bucket = self._qgram_index.get(gram, ())
+            if index < inserting_prefix:
+                self.counters.candidate_scan_work += len(bucket)
+                for ordinal in bucket:
+                    candidates[ordinal] = candidates.get(ordinal, 0) + 1
+            elif len(bucket) <= len(candidates):
+                # Short bucket: scan it and bump the counters of candidates
+                # already in T(t).
+                self.counters.candidate_scan_work += len(bucket)
+                for ordinal in bucket:
+                    if ordinal in candidates:
+                        candidates[ordinal] += 1
+            else:
+                # Long bucket of a very frequent gram: it is cheaper to ask
+                # each current candidate whether it contains the gram.  The
+                # outcome is identical (only existing candidates can be
+                # incremented); only the scanning direction changes.
+                self.counters.candidate_scan_work += len(candidates)
+                for ordinal in candidates:
+                    if gram in self._gram_sets[ordinal]:
+                        candidates[ordinal] += 1
+        self.counters.candidate_set_size += len(candidates)
+
+        matches: List[Tuple[StoredTuple, float]] = []
+        for ordinal, shared in candidates.items():
+            if shared < required:
+                continue
+            stored = self.tuples[ordinal]
+            self.counters.approx_verifications += 1
+            stored_grams = self._gram_sets.get(ordinal)
+            if stored_grams is None:
+                stored_grams = qgram_set(
+                    stored.value, q=self.q, padded=self.padded_qgrams
+                )
+            union = gram_count + len(stored_grams) - shared
+            similarity = shared / union if union else 1.0
+            if verify_jaccard and similarity < similarity_threshold:
+                continue
+            matches.append((stored, similarity))
+        return matches
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def exact_index_size(self) -> int:
+        """Number of distinct values currently in the exact index."""
+        return len(self._exact_index)
+
+    @property
+    def qgram_index_size(self) -> int:
+        """Number of distinct q-grams currently in the q-gram index."""
+        return len(self._qgram_index)
+
+    def average_exact_bucket_length(self) -> float:
+        """``B_ex`` of Table 1: average value-bucket length."""
+        if not self._exact_index:
+            return 0.0
+        return sum(len(b) for b in self._exact_index.values()) / len(self._exact_index)
+
+    def average_qgram_bucket_length(self) -> float:
+        """``B_ap`` of Table 1: average q-gram-bucket length."""
+        if not self._qgram_index:
+            return 0.0
+        return sum(len(b) for b in self._qgram_index.values()) / len(self._qgram_index)
+
+    def __repr__(self) -> str:
+        return (
+            f"SideState({self.side.value}, tuples={len(self.tuples)}, "
+            f"exact_synced={self._exact_synced}, qgram_synced={self._qgram_synced})"
+        )

@@ -1,0 +1,379 @@
+"""The switchable symmetric-join engine.
+
+The adaptive processor of :mod:`repro.core` does not drive two separate
+operators; it drives **one** symmetric join whose per-side matching mode can
+be changed between steps.  This module implements that engine.
+
+One **step** of the engine moves the join from one quiescent state to the
+next: it scans one tuple from one of the inputs (alternating while both have
+tuples left, then draining the survivor), inserts it into its own side's
+store and currently-maintained index, probes the opposite side according to
+the scanned side's current :class:`~repro.joins.base.JoinMode`, and emits
+every resulting :class:`~repro.joins.base.MatchEvent`.  Because the step
+produces *all* matches of the scanned tuple before returning, the state
+reached after each step is quiescent and a mode switch between steps is safe
+(Sec. 2.1 of the paper).
+
+Switching modes triggers the hash-table catch-up of Sec. 2.3: the index that
+the newly selected mode probes on the opposite side is brought up to date
+with the tuples scanned since that index was last current.  The engine
+records each switch as a :class:`SwitchRecord` carrying the number of tuples
+caught up, which the cost model turns into transition costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.engine.streams import RecordStream
+from repro.engine.tuples import Record, Schema
+from repro.joins.base import (
+    JoinAttribute,
+    JoinMode,
+    JoinSide,
+    MatchEvent,
+    OperationCounters,
+    SideState,
+    StoredTuple,
+)
+
+
+@dataclass
+class StepResult:
+    """Everything that happened during one engine step.
+
+    Attributes
+    ----------
+    step:
+        1-based step number (== total tuples scanned so far).
+    side:
+        The input the scanned tuple came from.
+    stored:
+        The stored tuple created for the scanned record.
+    mode:
+        The matching mode in force for that side at this step.
+    matches:
+        The match events produced by this step (possibly empty).
+    catch_up_tuples:
+        Tuples re-indexed *during* this step because the probed index was
+        stale (0 in steady state — switches normally do the catch-up).
+    """
+
+    step: int
+    side: JoinSide
+    stored: StoredTuple
+    mode: JoinMode
+    matches: List[MatchEvent] = field(default_factory=list)
+    catch_up_tuples: int = 0
+
+
+@dataclass(frozen=True)
+class SwitchRecord:
+    """One adaptive mode switch performed by the engine."""
+
+    step: int
+    side: JoinSide
+    previous_mode: JoinMode
+    new_mode: JoinMode
+    catch_up_tuples: int
+
+
+class SymmetricJoinEngine:
+    """A symmetric hash join whose per-side matching mode can change at any step.
+
+    Parameters
+    ----------
+    left, right:
+        The two input streams.
+    attribute:
+        The join attribute pair.
+    similarity_threshold:
+        ``θ_sim``: the approximate-match threshold.  By default a candidate
+        matches when it shares at least ``⌈θ_sim · g⌉`` q-grams with the
+        probe value (``g`` = probe gram count), the paper's operator
+        semantics; with ``verify_jaccard=True`` the full set-Jaccard test is
+        applied instead.
+    q:
+        q-gram width.
+    left_mode, right_mode:
+        Initial matching modes (the adaptive algorithm starts both EXACT).
+    verify_jaccard:
+        Apply the strict Jaccard test on top of the shared-gram counter
+        test (see :meth:`repro.joins.base.SideState.probe_qgram`).
+    use_prefix_filter:
+        Forwarded to the q-gram probe; False disables the reverse-frequency
+        prefix optimisation (ablation).
+    eager_indexing:
+        When True both hash indexes of both sides are kept current at every
+        step, so switches never need a catch-up.  This is the "pessimistic"
+        alternative the paper rejects (Sec. 2.3) because it taxes the exact
+        phases; exposed for the corresponding ablation benchmark.
+    deduplicate:
+        When true (default) a pair of tuples is emitted at most once even
+        if mode switches would make it discoverable twice; this enforces
+        the set semantics of the join result.
+    """
+
+    def __init__(
+        self,
+        left: RecordStream,
+        right: RecordStream,
+        attribute: JoinAttribute,
+        similarity_threshold: float = 0.85,
+        q: int = 3,
+        left_mode: JoinMode = JoinMode.EXACT,
+        right_mode: JoinMode = JoinMode.EXACT,
+        padded_qgrams: bool = True,
+        verify_jaccard: bool = False,
+        use_prefix_filter: bool = True,
+        eager_indexing: bool = False,
+        deduplicate: bool = True,
+    ) -> None:
+        if not 0.0 < similarity_threshold <= 1.0:
+            raise ValueError(
+                f"similarity threshold must be in (0, 1], got {similarity_threshold}"
+            )
+        self._streams: Dict[JoinSide, RecordStream] = {
+            JoinSide.LEFT: left,
+            JoinSide.RIGHT: right,
+        }
+        self.attribute = attribute
+        self.similarity_threshold = similarity_threshold
+        self.q = q
+        self.sides: Dict[JoinSide, SideState] = {
+            JoinSide.LEFT: SideState(
+                JoinSide.LEFT, attribute.left, q=q, padded_qgrams=padded_qgrams
+            ),
+            JoinSide.RIGHT: SideState(
+                JoinSide.RIGHT, attribute.right, q=q, padded_qgrams=padded_qgrams
+            ),
+        }
+        self.modes: Dict[JoinSide, JoinMode] = {
+            JoinSide.LEFT: left_mode,
+            JoinSide.RIGHT: right_mode,
+        }
+        self.verify_jaccard = verify_jaccard
+        self.use_prefix_filter = use_prefix_filter
+        self.eager_indexing = eager_indexing
+        self._deduplicate = deduplicate
+        self._emitted_pairs: Set[Tuple[int, int]] = set()
+        self._next_scan = JoinSide.LEFT
+        self._step = 0
+        self._matches_emitted = 0
+        self.switches: List[SwitchRecord] = []
+        self.output_schema: Schema = self._streams[JoinSide.LEFT].schema.concat(
+            self._streams[JoinSide.RIGHT].schema, name="join"
+        )
+        # The index each side must keep current depends on the *other*
+        # side's mode; make the initial configuration consistent.
+        for side in JoinSide:
+            self.sides[side].index_for_mode(self.modes[side.other])
+
+    # -- public state ------------------------------------------------------------
+
+    @property
+    def step_count(self) -> int:
+        """Number of steps executed so far (== tuples scanned)."""
+        return self._step
+
+    @property
+    def matches_emitted(self) -> int:
+        """Number of matched pairs emitted so far (the monitor's ``O_t``)."""
+        return self._matches_emitted
+
+    @property
+    def exhausted(self) -> bool:
+        """True when both inputs are exhausted."""
+        return all(stream.exhausted for stream in self._streams.values())
+
+    def scanned(self, side: JoinSide) -> int:
+        """Number of tuples scanned from ``side`` so far."""
+        return self.sides[side].size
+
+    def mode(self, side: JoinSide) -> JoinMode:
+        """Current matching mode of ``side``."""
+        return self.modes[side]
+
+    def counters(self) -> OperationCounters:
+        """Merged elementary-operation counters of both sides."""
+        return self.sides[JoinSide.LEFT].counters.merge(
+            self.sides[JoinSide.RIGHT].counters
+        )
+
+    # -- adaptive control ----------------------------------------------------------
+
+    def set_mode(self, side: JoinSide, mode: JoinMode) -> Optional[SwitchRecord]:
+        """Change the matching mode of ``side``; perform index catch-up.
+
+        Returns the :class:`SwitchRecord` describing the switch, or ``None``
+        if the side was already in the requested mode.  Safe to call between
+        any two steps (every inter-step state is quiescent).
+        """
+        previous = self.modes[side]
+        if previous is mode:
+            return None
+        self.modes[side] = mode
+        # Tuples scanned from `side` probe the OTHER side's index; that
+        # index must now be made current for the new mode.
+        caught_up = self.sides[side.other].index_for_mode(mode)
+        record = SwitchRecord(
+            step=self._step,
+            side=side,
+            previous_mode=previous,
+            new_mode=mode,
+            catch_up_tuples=caught_up,
+        )
+        self.switches.append(record)
+        return record
+
+    def set_modes(
+        self, left_mode: JoinMode, right_mode: JoinMode
+    ) -> List[SwitchRecord]:
+        """Set both sides' modes; return the switches actually performed."""
+        performed = []
+        for side, mode in ((JoinSide.LEFT, left_mode), (JoinSide.RIGHT, right_mode)):
+            switch = self.set_mode(side, mode)
+            if switch is not None:
+                performed.append(switch)
+        return performed
+
+    # -- execution ---------------------------------------------------------------
+
+    def step(self) -> Optional[StepResult]:
+        """Execute one step (one quiescent-state transition).
+
+        Returns ``None`` when both inputs are exhausted, otherwise the
+        :class:`StepResult` for the scanned tuple.
+        """
+        side, record = self._scan_next()
+        if record is None:
+            return None
+        self._step += 1
+        own = self.sides[side]
+        other = self.sides[side.other]
+        stored = own.add(record)
+        if self.eager_indexing:
+            # Pessimistic maintenance: keep every index of both sides current.
+            own.catch_up_exact()
+            own.catch_up_qgram()
+            other.catch_up_exact()
+            other.catch_up_qgram()
+            catch_up = 0
+        else:
+            # The scanned tuple joins the index its own side maintains for
+            # the opposite side's probes.
+            own.index_for_mode(self.modes[side.other])
+            # Make sure the index we are about to probe is current (normally
+            # a no-op; non-zero only if a caller changed modes without
+            # set_mode).
+            catch_up = other.index_for_mode(self.modes[side])
+        matches = self._probe(side, stored)
+        result = StepResult(
+            step=self._step,
+            side=side,
+            stored=stored,
+            mode=self.modes[side],
+            matches=matches,
+            catch_up_tuples=catch_up,
+        )
+        return result
+
+    def run_to_completion(self) -> List[MatchEvent]:
+        """Run every remaining step and return all match events produced."""
+        events: List[MatchEvent] = []
+        while True:
+            result = self.step()
+            if result is None:
+                return events
+            events.extend(result.matches)
+
+    def iter_steps(self) -> Iterator[StepResult]:
+        """Iterate over the remaining steps."""
+        while True:
+            result = self.step()
+            if result is None:
+                return
+            yield result
+
+    # -- internals ---------------------------------------------------------------
+
+    def _scan_next(self) -> Tuple[JoinSide, Optional[Record]]:
+        """Pick the next input to scan (alternating), pull one record."""
+        first = self._next_scan
+        second = first.other
+        for side in (first, second):
+            stream = self._streams[side]
+            if stream.exhausted:
+                continue
+            record = stream.next_record()
+            if record is not None:
+                self._next_scan = side.other
+                return side, record
+        return first, None
+
+    def _probe(self, side: JoinSide, stored: StoredTuple) -> List[MatchEvent]:
+        """Probe the opposite side with ``stored`` under ``side``'s mode."""
+        mode = self.modes[side]
+        other = self.sides[side.other]
+        events: List[MatchEvent] = []
+        if mode is JoinMode.EXACT:
+            partners = [(p, 1.0) for p in other.probe_exact(stored.value)]
+        else:
+            partners = other.probe_qgram(
+                stored.value,
+                self.similarity_threshold,
+                verify_jaccard=self.verify_jaccard,
+                use_prefix_filter=self.use_prefix_filter,
+            )
+        # First pass: record exact-value matches on the flags, so that the
+        # evidence reasoning below sees the complete picture for this step
+        # (a probe that matches one stored tuple exactly and another only
+        # approximately should blame the approximate partner, regardless of
+        # the order in which the two partners come out of the hash table).
+        for partner, _ in partners:
+            if partner.value == stored.value:
+                stored.matched_exactly = True
+                partner.matched_exactly = True
+
+        for partner, similarity in partners:
+            exact_value = partner.value == stored.value
+            if exact_value:
+                similarity = 1.0
+            evidence: Optional[JoinSide] = None
+            if not exact_value:
+                if partner.matched_exactly:
+                    # Sec. 3.3: the stored partner already matched exactly
+                    # with some earlier tuple, so the freshly scanned
+                    # (probing) tuple is the variant — the probing side is a
+                    # source of variants.
+                    evidence = side
+                elif stored.matched_exactly:
+                    # Mirror image of the same reasoning: the probing tuple
+                    # is known-good (it has an exact partner), so the stored
+                    # tuple must be the variant and the *stored* side is the
+                    # source.  The paper spells out only the first case; this
+                    # symmetric completion is documented in DESIGN.md.
+                    evidence = side.other
+            left, right = (
+                (stored, partner) if side is JoinSide.LEFT else (partner, stored)
+            )
+            event = MatchEvent(
+                step=self._step,
+                probe_side=side,
+                mode=mode,
+                left=left,
+                right=right,
+                similarity=similarity,
+                exact_value_match=exact_value,
+                variant_evidence=evidence,
+            )
+            if self._deduplicate:
+                key = event.pair_key()
+                if key in self._emitted_pairs:
+                    continue
+                self._emitted_pairs.add(key)
+            events.append(event)
+        self._matches_emitted += len(events)
+        self.sides[side].counters.matches_emitted += len(events)
+        return events

@@ -1,0 +1,88 @@
+"""Evaluation of linkage results against ground truth.
+
+The generator of :mod:`repro.datagen` knows the true pairs (every accident
+paired with the municipality it references); this module scores any set of
+returned pairs against that truth with the standard record-linkage metrics:
+precision (pairs returned that are true), recall / completeness (true pairs
+that were returned), F1, and the raw counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Set, Tuple
+
+Pair = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class LinkageEvaluation:
+    """Precision / recall / F-measure of one linkage result."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def returned_pairs(self) -> int:
+        """Number of pairs the linkage returned."""
+        return self.true_positives + self.false_positives
+
+    @property
+    def true_pairs(self) -> int:
+        """Number of pairs in the ground truth."""
+        return self.true_positives + self.false_negatives
+
+    @property
+    def precision(self) -> float:
+        """Fraction of returned pairs that are true (1.0 when nothing returned)."""
+        if self.returned_pairs == 0:
+            return 1.0
+        return self.true_positives / self.returned_pairs
+
+    @property
+    def recall(self) -> float:
+        """Fraction of true pairs that were returned — the paper's *completeness*."""
+        if self.true_pairs == 0:
+            return 1.0
+        return self.true_positives / self.true_pairs
+
+    #: The paper's term for recall.
+    completeness = recall
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        denominator = self.precision + self.recall
+        if denominator == 0.0:
+            return 0.0
+        return 2.0 * self.precision * self.recall / denominator
+
+    def as_dict(self) -> dict:
+        """Flat dictionary for reports."""
+        return {
+            "true_positives": self.true_positives,
+            "false_positives": self.false_positives,
+            "false_negatives": self.false_negatives,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+        }
+
+
+def evaluate_pairs(
+    returned: Iterable[Pair], truth: Iterable[Pair]
+) -> LinkageEvaluation:
+    """Score ``returned`` pairs against the ``truth`` pairs.
+
+    Both collections are treated as sets of ``(left index, right index)``
+    pairs; duplicates are ignored.
+    """
+    returned_set: Set[Pair] = set(returned)
+    truth_set: Set[Pair] = set(truth)
+    true_positives = len(returned_set & truth_set)
+    return LinkageEvaluation(
+        true_positives=true_positives,
+        false_positives=len(returned_set) - true_positives,
+        false_negatives=len(truth_set) - true_positives,
+    )

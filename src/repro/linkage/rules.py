@@ -1,0 +1,94 @@
+"""Match decision rules.
+
+Record-linkage systems classify a candidate record pair by applying a
+decision rule to its similarity value(s): the classical rule the paper
+quotes is "if ``sim(r1, r2) > θ`` then match".  Two rule shapes are
+provided:
+
+* :class:`ThresholdRule` — a single threshold separating matches from
+  non-matches (what the paper's approximate operator embeds);
+* :class:`TwoThresholdRule` — the Fellegi-Sunter-style upper/lower
+  threshold pair with an intermediate "possible match" band for clerical
+  review.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+from repro.similarity.registry import SimilarityFunction, get_similarity
+
+
+class MatchDecision(enum.Enum):
+    """Classification of a candidate pair."""
+
+    MATCH = "match"
+    POSSIBLE = "possible"
+    NON_MATCH = "non_match"
+
+
+class MatchRule:
+    """Base class of decision rules mapping a similarity value to a decision."""
+
+    def decide(self, similarity: float) -> MatchDecision:
+        """Classify a pair given its similarity value."""
+        raise NotImplementedError
+
+    def is_match(self, similarity: float) -> bool:
+        """Convenience: True iff the decision is ``MATCH``."""
+        return self.decide(similarity) is MatchDecision.MATCH
+
+
+@dataclass(frozen=True)
+class ThresholdRule(MatchRule):
+    """Single-threshold rule: match iff ``similarity >= threshold``."""
+
+    threshold: float = 0.85
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {self.threshold}")
+
+    def decide(self, similarity: float) -> MatchDecision:
+        if similarity >= self.threshold:
+            return MatchDecision.MATCH
+        return MatchDecision.NON_MATCH
+
+
+@dataclass(frozen=True)
+class TwoThresholdRule(MatchRule):
+    """Two-threshold rule with a "possible match" band.
+
+    ``similarity >= upper`` → MATCH, ``similarity < lower`` → NON_MATCH,
+    otherwise POSSIBLE.
+    """
+
+    lower: float = 0.70
+    upper: float = 0.90
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.lower <= self.upper <= 1.0:
+            raise ValueError(
+                f"thresholds must satisfy 0 <= lower <= upper <= 1, "
+                f"got lower={self.lower}, upper={self.upper}"
+            )
+
+    def decide(self, similarity: float) -> MatchDecision:
+        if similarity >= self.upper:
+            return MatchDecision.MATCH
+        if similarity < self.lower:
+            return MatchDecision.NON_MATCH
+        return MatchDecision.POSSIBLE
+
+
+def classify_pair(
+    left_value: str,
+    right_value: str,
+    rule: MatchRule,
+    similarity: Union[str, SimilarityFunction] = "jaccard_qgram",
+) -> MatchDecision:
+    """Classify a single value pair with ``rule`` under ``similarity``."""
+    function = get_similarity(similarity)
+    return rule.decide(function(str(left_value), str(right_value)))

@@ -1,0 +1,74 @@
+"""Jaro and Jaro-Winkler similarities.
+
+These edit-based hybrid measures are standard in record-linkage toolkits
+(Tailor, BigMatch) and are exposed here so the linkage layer can offer them
+alongside the q-gram Jaccard measure the paper uses.
+"""
+
+from __future__ import annotations
+
+
+def jaro_similarity(left: str, right: str) -> float:
+    """Jaro similarity between two strings, in [0, 1].
+
+    Two empty strings compare as identical (1.0); an empty string against a
+    non-empty one yields 0.0.
+    """
+    if left == right:
+        return 1.0
+    if not left or not right:
+        return 0.0
+    match_window = max(len(left), len(right)) // 2 - 1
+    match_window = max(match_window, 0)
+
+    left_matched = [False] * len(left)
+    right_matched = [False] * len(right)
+    matches = 0
+    for i, left_char in enumerate(left):
+        start = max(0, i - match_window)
+        end = min(i + match_window + 1, len(right))
+        for j in range(start, end):
+            if right_matched[j] or right[j] != left_char:
+                continue
+            left_matched[i] = True
+            right_matched[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+
+    transpositions = 0
+    j = 0
+    for i, was_matched in enumerate(left_matched):
+        if not was_matched:
+            continue
+        while not right_matched[j]:
+            j += 1
+        if left[i] != right[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+
+    return (
+        matches / len(left)
+        + matches / len(right)
+        + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler_similarity(
+    left: str, right: str, prefix_scale: float = 0.1, max_prefix: int = 4
+) -> float:
+    """Jaro-Winkler similarity: Jaro boosted by a common-prefix bonus.
+
+    ``prefix_scale`` must lie in [0, 0.25] to keep the result in [0, 1].
+    """
+    if not 0.0 <= prefix_scale <= 0.25:
+        raise ValueError(f"prefix_scale must be in [0, 0.25], got {prefix_scale}")
+    jaro = jaro_similarity(left, right)
+    prefix = 0
+    for left_char, right_char in zip(left, right):
+        if left_char != right_char or prefix >= max_prefix:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_scale * (1.0 - jaro)

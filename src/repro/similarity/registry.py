@@ -1,0 +1,76 @@
+"""A registry of named string-similarity functions.
+
+The adaptive join and the linkage toolkit accept a similarity function
+either as a callable ``(str, str) -> float`` or as a registered name.  The
+registry keeps the mapping between the two, so configuration files,
+benchmarks and the command line can refer to measures by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.similarity.editdistance import levenshtein_similarity
+from repro.similarity.jaro import jaro_similarity, jaro_winkler_similarity
+from repro.similarity.setsim import (
+    cosine_qgram_similarity,
+    dice_similarity,
+    jaccard_qgram_similarity,
+    overlap_coefficient,
+)
+from repro.similarity.qgrams import qgram_set
+
+SimilarityFunction = Callable[[str, str], float]
+
+_REGISTRY: Dict[str, SimilarityFunction] = {}
+
+
+def register_similarity(name: str, function: SimilarityFunction) -> None:
+    """Register ``function`` under ``name`` (overwriting silently is an error)."""
+    if not name:
+        raise ValueError("similarity function name must be non-empty")
+    if name in _REGISTRY:
+        raise ValueError(f"similarity function {name!r} is already registered")
+    _REGISTRY[name] = function
+
+
+def get_similarity(name_or_function) -> SimilarityFunction:
+    """Resolve ``name_or_function`` to a callable similarity function.
+
+    Callables are returned unchanged; strings are looked up in the registry.
+    """
+    if callable(name_or_function):
+        return name_or_function
+    try:
+        return _REGISTRY[name_or_function]
+    except KeyError:
+        raise KeyError(
+            f"unknown similarity function {name_or_function!r}; "
+            f"available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_similarities() -> List[str]:
+    """Names of all registered similarity functions."""
+    return sorted(_REGISTRY)
+
+
+def _qgram_overlap(left: str, right: str) -> float:
+    return overlap_coefficient(qgram_set(left), qgram_set(right))
+
+
+def _qgram_dice(left: str, right: str) -> float:
+    return dice_similarity(qgram_set(left), qgram_set(right))
+
+
+def _register_builtins() -> None:
+    register_similarity("jaccard_qgram", jaccard_qgram_similarity)
+    register_similarity("cosine_qgram", cosine_qgram_similarity)
+    register_similarity("overlap_qgram", _qgram_overlap)
+    register_similarity("dice_qgram", _qgram_dice)
+    register_similarity("levenshtein", levenshtein_similarity)
+    register_similarity("jaro", jaro_similarity)
+    register_similarity("jaro_winkler", jaro_winkler_similarity)
+
+
+_register_builtins()

@@ -1,0 +1,130 @@
+"""Result-completeness model and outlier test (paper Sec. 3.2, Eq. 1).
+
+Under the parent-child assumption, each tuple of the child table ``S``
+matches exactly one tuple of the parent table ``R`` when no variants are
+present.  If, at some point of a symmetric hash join, ``n_parent`` tuples of
+``R`` have been scanned, then the probability that a scanned child tuple has
+already met its parent is ``p = n_parent / |R|``.  The observed result size
+after scanning ``n_child`` child tuples is therefore modelled as a binomial
+random variable::
+
+    O ~ bin(n_child, n_parent / |R|)
+
+(The paper states the symmetric-scan special case ``O_n ~ bin(n, n/|R|)``,
+obtained when both sides have delivered the same number ``n`` of tuples.)
+
+The assessor flags the observation as an **outlier** — statistical evidence
+that variants are suppressing matches — when the binomial CDF at the
+observed result size falls at or below a threshold ``θ_out`` (Eq. 1)::
+
+    P(O <= observed) <= θ_out
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stats.binomial import binomial_cdf, binomial_mean
+
+
+@dataclass(frozen=True)
+class ResultSizeObservation:
+    """One monitor reading used by the assessor.
+
+    Attributes
+    ----------
+    observed_matches:
+        The number of result tuples produced so far (exact matches and
+        approximate matches both count: an approximate match recovers a
+        pair the parent-child model expects).
+    child_scanned:
+        Number of child-table tuples scanned so far.
+    parent_scanned:
+        Number of parent-table tuples scanned so far.
+    step:
+        The join step at which the observation was taken.
+    """
+
+    observed_matches: int
+    child_scanned: int
+    parent_scanned: int
+    step: int
+
+
+class CompletenessModel:
+    """Expected-result-size model for a parent-child join.
+
+    Parameters
+    ----------
+    parent_size:
+        ``|R|``, the (expected) size of the parent table.  In the streaming
+        scenario this is assumed known or estimated (e.g. the published size
+        of a reference atlas); the paper treats it as known.
+    outlier_threshold:
+        ``θ_out`` of Eq. 1; an observation is an outlier when the CDF at
+        the observation falls at or below this value.
+    """
+
+    def __init__(self, parent_size: int, outlier_threshold: float = 0.05) -> None:
+        if parent_size <= 0:
+            raise ValueError(f"parent table size must be positive, got {parent_size}")
+        if not 0.0 < outlier_threshold < 1.0:
+            raise ValueError(
+                f"outlier threshold must be in (0, 1), got {outlier_threshold}"
+            )
+        self.parent_size = parent_size
+        self.outlier_threshold = outlier_threshold
+
+    # -- model -----------------------------------------------------------------
+
+    def match_probability(self, parent_scanned: int) -> float:
+        """``p(n) = n_parent / |R|``, clamped to [0, 1]."""
+        if parent_scanned < 0:
+            raise ValueError("parent_scanned must be non-negative")
+        return min(1.0, parent_scanned / self.parent_size)
+
+    def expected_matches(self, child_scanned: int, parent_scanned: int) -> float:
+        """Expected number of matches after the given scan progress."""
+        return binomial_mean(child_scanned, self.match_probability(parent_scanned))
+
+    def observation_probability(self, observation: ResultSizeObservation) -> float:
+        """``P(O <= observed)`` under the binomial model.
+
+        This is the left-tail probability the σ predicate compares against
+        ``θ_out``.
+        """
+        probability = self.match_probability(observation.parent_scanned)
+        return binomial_cdf(
+            observation.observed_matches, observation.child_scanned, probability
+        )
+
+    def is_outlier(self, observation: ResultSizeObservation) -> bool:
+        """Eq. 1: the observation is a statistically significant shortfall."""
+        if observation.child_scanned == 0:
+            return False
+        return self.observation_probability(observation) <= self.outlier_threshold
+
+    def shortfall(self, observation: ResultSizeObservation) -> float:
+        """Expected minus observed matches (positive = lagging behind)."""
+        return (
+            self.expected_matches(
+                observation.child_scanned, observation.parent_scanned
+            )
+            - observation.observed_matches
+        )
+
+
+def binomial_outlier_probability(
+    observed: int, trials: int, probability: float
+) -> float:
+    """Stand-alone helper: ``P(X <= observed)`` for ``X ~ bin(trials, probability)``."""
+    return binomial_cdf(observed, trials, probability)
+
+
+def is_result_size_outlier(
+    observed: int, trials: int, probability: float, threshold: float = 0.05
+) -> bool:
+    """Stand-alone Eq. 1 test without constructing a :class:`CompletenessModel`."""
+    if trials == 0:
+        return False
+    return binomial_cdf(observed, trials, probability) <= threshold

@@ -1,0 +1,115 @@
+"""Small online estimators.
+
+Used by the cost-calibration benchmarks (per-state step-time averages,
+transition-time averages) and by the monitor's bookkeeping.  Welford's
+algorithm keeps the mean and variance numerically stable without storing
+samples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+
+class OnlineMeanVariance:
+    """Welford online mean / variance accumulator."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        """Incorporate one sample."""
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+
+    @property
+    def count(self) -> int:
+        """Number of samples incorporated."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self._count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than two samples)."""
+        if self._count < 2:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "OnlineMeanVariance") -> "OnlineMeanVariance":
+        """Return a new accumulator combining this one and ``other``."""
+        merged = OnlineMeanVariance()
+        total = self._count + other._count
+        if total == 0:
+            return merged
+        delta = other._mean - self._mean
+        merged._count = total
+        merged._mean = self._mean + delta * other._count / total
+        merged._m2 = (
+            self._m2
+            + other._m2
+            + delta * delta * self._count * other._count / total
+        )
+        return merged
+
+    def __repr__(self) -> str:
+        return (
+            f"OnlineMeanVariance(count={self._count}, mean={self.mean:.6g}, "
+            f"stddev={self.stddev:.6g})"
+        )
+
+
+class RateEstimator:
+    """Estimate an event rate over a count of opportunities.
+
+    A convenience wrapper (successes / trials with optional Laplace
+    smoothing) used when reporting match rates in the benchmarks.
+    """
+
+    def __init__(self, smoothing: float = 0.0) -> None:
+        if smoothing < 0.0:
+            raise ValueError(f"smoothing must be non-negative, got {smoothing}")
+        self._successes = 0
+        self._trials = 0
+        self._smoothing = smoothing
+
+    def record(self, success: bool) -> None:
+        """Record one trial."""
+        self._trials += 1
+        if success:
+            self._successes += 1
+
+    @property
+    def successes(self) -> int:
+        """Number of successful trials recorded."""
+        return self._successes
+
+    @property
+    def trials(self) -> int:
+        """Total number of trials recorded."""
+        return self._trials
+
+    @property
+    def rate(self) -> Optional[float]:
+        """Estimated success rate, or ``None`` when no trials were recorded
+        and no smoothing is configured."""
+        denominator = self._trials + 2.0 * self._smoothing
+        if denominator == 0.0:
+            return None
+        return (self._successes + self._smoothing) / denominator
+
+    def __repr__(self) -> str:
+        return f"RateEstimator({self._successes}/{self._trials})"

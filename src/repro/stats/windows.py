@@ -1,0 +1,127 @@
+"""Sliding-window counters and boolean histories.
+
+The ``µ_i`` predicates of the assessor count the number of *approximate*
+matches observed within the most recent window of ``W`` steps for each input
+side; the ``π_i`` predicates count how many past assessments found a high
+density of approximate matches.  These two small data structures implement
+exactly that bookkeeping.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable
+
+
+class SlidingWindowCounter:
+    """Count how many of the last ``window_size`` events were "positive".
+
+    Events are recorded one per join step with :meth:`record`; the counter
+    answers "how many positives in the window [t − W, t]" in O(1).
+
+    Examples
+    --------
+    >>> window = SlidingWindowCounter(3)
+    >>> for positive in (True, False, True, True):
+    ...     window.record(positive)
+    >>> window.positives
+    2
+    >>> window.fraction
+    0.6666666666666666
+    """
+
+    def __init__(self, window_size: int) -> None:
+        if window_size <= 0:
+            raise ValueError(f"window size must be positive, got {window_size}")
+        self.window_size = window_size
+        self._events: Deque[bool] = deque(maxlen=window_size)
+        self._positives = 0
+
+    def record(self, positive: bool) -> None:
+        """Record one event (``True`` = positive, e.g. an approximate match)."""
+        if len(self._events) == self.window_size and self._events[0]:
+            self._positives -= 1
+        self._events.append(bool(positive))
+        if positive:
+            self._positives += 1
+
+    def record_many(self, events: Iterable[bool]) -> None:
+        """Record a sequence of events in order."""
+        for event in events:
+            self.record(event)
+
+    @property
+    def positives(self) -> int:
+        """Number of positive events currently inside the window (``A_{t,W}``)."""
+        return self._positives
+
+    @property
+    def observed(self) -> int:
+        """Number of events currently inside the window (≤ ``window_size``)."""
+        return len(self._events)
+
+    @property
+    def fraction(self) -> float:
+        """``A_{t,W} / W`` — the ratio the µ predicate thresholds.
+
+        The denominator is the nominal window size ``W`` (as in the paper),
+        not the number of events seen so far, so early in the run the ratio
+        is conservative (small).
+        """
+        return self._positives / self.window_size
+
+    def reset(self) -> None:
+        """Forget all recorded events."""
+        self._events.clear()
+        self._positives = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        return (
+            f"SlidingWindowCounter(window={self.window_size}, "
+            f"positives={self._positives}/{len(self._events)})"
+        )
+
+
+class BooleanHistory:
+    """Count how many times a condition has held over an entire run.
+
+    Used for the ``π_i`` predicates: ``π_i(t)`` is true iff the number of
+    past assessments at which input ``i`` looked perturbed is at most
+    ``θ_pastpert``.  Only the count (and total number of records) is kept.
+    """
+
+    def __init__(self) -> None:
+        self._true_count = 0
+        self._total = 0
+
+    def record(self, value: bool) -> None:
+        """Record one evaluation of the condition."""
+        self._total += 1
+        if value:
+            self._true_count += 1
+
+    @property
+    def true_count(self) -> int:
+        """Number of recorded evaluations that were true."""
+        return self._true_count
+
+    @property
+    def total(self) -> int:
+        """Total number of recorded evaluations."""
+        return self._total
+
+    @property
+    def false_count(self) -> int:
+        """Number of recorded evaluations that were false."""
+        return self._total - self._true_count
+
+    def reset(self) -> None:
+        """Forget all recorded evaluations."""
+        self._true_count = 0
+        self._total = 0
+
+    def __repr__(self) -> str:
+        return f"BooleanHistory({self._true_count}/{self._total} true)"

@@ -1,0 +1,47 @@
+"""Tests for the cost-model weight calibration."""
+
+import pytest
+
+from repro.bench.calibration import calibrate_weights
+from repro.core.cost_model import CostModel
+from repro.core.state_machine import JoinState
+from repro.core.trace import ExecutionTrace
+from repro.joins.base import JoinSide
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    # Deliberately tiny: only the relative ordering matters for the tests.
+    return calibrate_weights(parent_size=150, child_size=100, max_steps=120)
+
+
+class TestCalibration:
+    def test_unit_state_is_normalised_to_one(self, calibration):
+        assert calibration.state_weights[JoinState.LEX_REX] == pytest.approx(1.0)
+        assert calibration.unit_step_seconds > 0
+
+    def test_approximate_states_cost_more_than_exact(self, calibration):
+        weights = calibration.state_weights
+        assert weights[JoinState.LAP_RAP] > 1.0
+        assert weights[JoinState.LAP_REX] > 1.0
+        assert weights[JoinState.LEX_RAP] > 1.0
+
+    def test_all_weights_non_negative(self, calibration):
+        assert all(value >= 0 for value in calibration.state_weights.values())
+        assert all(value >= 0 for value in calibration.transition_weights.values())
+
+    def test_rows_compare_against_paper(self, calibration):
+        rows = calibration.as_rows()
+        assert len(rows) == 4
+        assert {row["state"] for row in rows} == {s.label for s in JoinState}
+        assert all("paper_step_weight" in row for row in rows)
+
+    def test_calibrated_weights_usable_in_cost_model(self, calibration):
+        model = CostModel(
+            state_weights=calibration.state_weights,
+            transition_weights=calibration.transition_weights,
+        )
+        trace = ExecutionTrace()
+        for _ in range(10):
+            trace.record_step(JoinState.LAP_RAP, JoinSide.LEFT, matches=0)
+        assert model.absolute_cost(trace) > 10.0

@@ -1,0 +1,75 @@
+"""Tests for the experiment-outcome serialisation helpers."""
+
+import csv
+import json
+
+import pytest
+
+from repro.bench.export import (
+    fig6_rows,
+    outcome_to_dict,
+    outcomes_to_json,
+    rows_to_csv,
+)
+from repro.bench.harness import run_experiment
+from repro.core.thresholds import Thresholds
+from repro.datagen.testcases import STANDARD_TEST_CASES
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return run_experiment(
+        STANDARD_TEST_CASES["uniform_child"],
+        parent_size=150,
+        child_size=300,
+        thresholds=Thresholds(delta_adapt=25, window_size=25),
+    )
+
+
+class TestOutcomeToDict:
+    def test_contains_all_sections(self, outcome):
+        payload = outcome_to_dict(outcome)
+        assert set(payload) == {
+            "test_case",
+            "spec",
+            "result_sizes",
+            "metrics",
+            "weighted_costs",
+            "state_breakdown",
+            "evaluation",
+            "wall_clock_seconds",
+        }
+
+    def test_values_consistent_with_outcome(self, outcome):
+        payload = outcome_to_dict(outcome)
+        assert payload["result_sizes"]["adaptive"] == outcome.report.adaptive_result_size
+        assert payload["metrics"]["gain"] == pytest.approx(outcome.report.gain)
+        assert payload["state_breakdown"]["transitions"] == (
+            outcome.adaptive.trace.transition_count
+        )
+        assert payload["spec"]["parent_size"] == 150
+
+    def test_json_serialisable(self, outcome):
+        json.dumps(outcome_to_dict(outcome))
+
+
+class TestFileWriters:
+    def test_outcomes_to_json(self, outcome, tmp_path):
+        path = tmp_path / "outcomes.json"
+        outcomes_to_json({"uniform_child": outcome}, str(path))
+        payload = json.loads(path.read_text())
+        assert "uniform_child" in payload
+        assert payload["uniform_child"]["test_case"] == "uniform_child"
+
+    def test_rows_to_csv(self, outcome, tmp_path):
+        path = tmp_path / "fig6.csv"
+        rows_to_csv(fig6_rows({"uniform_child": outcome}), str(path))
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 1
+        assert rows[0]["test_case"] == "uniform_child"
+        assert float(rows[0]["gain"]) >= 0.0
+
+    def test_rows_to_csv_rejects_empty(self, tmp_path):
+        with pytest.raises(ValueError):
+            rows_to_csv([], str(tmp_path / "empty.csv"))

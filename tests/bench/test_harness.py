@@ -1,0 +1,86 @@
+"""Tests for the experiment harness (reduced scale for speed)."""
+
+import pytest
+
+from repro.bench.harness import run_experiment
+from repro.core.cost_model import CostModel
+from repro.core.thresholds import Thresholds
+from repro.datagen.testcases import STANDARD_TEST_CASES
+
+SCALE = {"parent_size": 250, "child_size": 500}
+FAST = Thresholds(delta_adapt=25, window_size=25)
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return run_experiment(
+        STANDARD_TEST_CASES["few_high_child"], thresholds=FAST, **SCALE
+    )
+
+
+class TestExperimentOutcome:
+    def test_result_size_ordering(self, outcome):
+        report = outcome.report
+        assert report.exact_result_size <= report.adaptive_result_size
+        assert report.adaptive_result_size <= report.approximate_result_size
+
+    def test_costs_anchored_to_same_step_count(self, outcome):
+        report = outcome.report
+        total_steps = outcome.adaptive.trace.total_steps
+        model = CostModel()
+        assert report.exact_cost == pytest.approx(model.all_exact_cost(total_steps))
+        assert report.approximate_cost == pytest.approx(
+            model.all_approximate_cost(total_steps)
+        )
+        assert report.adaptive_cost <= report.approximate_cost
+
+    def test_gain_and_cost_in_unit_interval(self, outcome):
+        assert 0.0 <= outcome.report.gain <= 1.0
+        assert 0.0 <= outcome.report.cost <= 1.0
+
+    def test_evaluations_cover_all_strategies(self, outcome):
+        assert set(outcome.evaluations) == {"exact", "approximate", "adaptive"}
+        assert (
+            outcome.evaluations["exact"].recall
+            <= outcome.evaluations["adaptive"].recall
+            <= outcome.evaluations["approximate"].recall
+        )
+
+    def test_wall_clock_recorded(self, outcome):
+        assert set(outcome.wall_clock) == {"exact", "approximate", "adaptive"}
+        assert all(value > 0 for value in outcome.wall_clock.values())
+
+    def test_row_builders(self, outcome):
+        fig6 = outcome.fig6_row()
+        assert fig6["test_case"] == "few_high_child"
+        assert "gain" in fig6 and "efficiency" in fig6
+        fig7 = outcome.fig7_row()
+        assert fig7["steps_EE"] + fig7["steps_AE"] + fig7["steps_EA"] + fig7[
+            "steps_AA"
+        ] == outcome.adaptive.trace.total_steps
+        fig8 = outcome.fig8_row()
+        assert fig8["total_cost"] == pytest.approx(outcome.report.adaptive_cost)
+
+
+class TestHarnessOptions:
+    def test_dataset_reuse_gives_identical_baselines(self):
+        spec = STANDARD_TEST_CASES["uniform_child"]
+        first = run_experiment(spec, thresholds=FAST, **SCALE)
+        second = run_experiment(
+            spec, thresholds=FAST, dataset=first.dataset
+        )
+        assert (
+            first.report.exact_result_size == second.report.exact_result_size
+        )
+        assert (
+            first.report.approximate_result_size
+            == second.report.approximate_result_size
+        )
+
+    def test_two_state_restriction_propagated(self):
+        spec = STANDARD_TEST_CASES["few_high_child"]
+        outcome = run_experiment(
+            spec, thresholds=FAST, allow_source_identification=False, **SCALE
+        )
+        assert outcome.adaptive.trace.steps_in("AE") == 0
+        assert outcome.adaptive.trace.steps_in("EA") == 0

@@ -1,0 +1,55 @@
+"""Tests for the benchmark report formatting."""
+
+from repro.bench.reporting import format_mapping, format_table
+
+
+class TestFormatTable:
+    def test_renders_header_and_rows(self):
+        rows = [
+            {"name": "a", "value": 1.23456},
+            {"name": "bb", "value": 2.0},
+        ]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.235" in text
+        assert "bb" in text
+
+    def test_respects_column_order(self):
+        rows = [{"b": 1, "a": 2}]
+        text = format_table(rows, columns=["a", "b"])
+        header = text.splitlines()[0]
+        assert header.index("a") < header.index("b")
+
+    def test_missing_keys_render_blank(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = format_table(rows, columns=["a", "b"])
+        assert text  # does not raise
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+        assert "title" in format_table([], title="title")
+
+    def test_boolean_rendering(self):
+        text = format_table([{"flag": True}, {"flag": False}])
+        assert "yes" in text and "no" in text
+
+    def test_precision_control(self):
+        text = format_table([{"x": 1.98765}], precision=1)
+        assert "2.0" in text
+
+
+class TestFormatMapping:
+    def test_renders_key_value_lines(self):
+        text = format_mapping({"gain": 0.75, "cost": 0.25}, title="metrics")
+        assert text.splitlines()[0] == "metrics"
+        assert "gain" in text and "0.750" in text
+
+    def test_alignment(self):
+        text = format_mapping({"a": 1, "longer_key": 2})
+        lines = text.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_empty_mapping(self):
+        assert format_mapping({}) == ""

@@ -1,0 +1,64 @@
+"""Tests for the tuning sweeps and the Sec. 2.3 cost-ratio analysis."""
+
+import pytest
+
+from repro.bench.cost_analysis import cost_ratio_sweep
+from repro.bench.tuning import SWEEPABLE_PARAMETERS, sweep_parameter
+from repro.core.thresholds import Thresholds
+
+
+class TestSweepParameter:
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_parameter("theta_unknown", [1, 2])
+
+    def test_sweep_returns_one_point_per_value(self):
+        points = sweep_parameter(
+            "theta_out",
+            (0.05, 0.2),
+            test_case="few_high_child",
+            parent_size=150,
+            child_size=300,
+            base_thresholds=Thresholds(delta_adapt=25, window_size=25),
+        )
+        assert len(points) == 2
+        assert [point.value for point in points] == [0.05, 0.2]
+        for point in points:
+            assert point.parameter == "theta_out"
+            assert 0.0 <= point.gain <= 1.0
+            assert point.cost >= 0.0
+            assert point.adaptive_result_size > 0
+            payload = point.as_dict()
+            assert payload["parameter"] == "theta_out"
+
+    def test_integer_parameters_cast(self):
+        points = sweep_parameter(
+            "delta_adapt",
+            (25, 50),
+            test_case="uniform_child",
+            parent_size=120,
+            child_size=240,
+            base_thresholds=Thresholds(window_size=25),
+        )
+        assert len(points) == 2
+
+    def test_all_declared_parameters_map_to_threshold_fields(self):
+        fields = set(Thresholds().as_dict())
+        assert set(SWEEPABLE_PARAMETERS.values()).issubset(fields)
+
+
+class TestCostRatioSweep:
+    def test_ratio_grows_with_value_length(self):
+        points = cost_ratio_sweep(value_lengths=(12, 30), table_size=80)
+        assert len(points) == 2
+        assert points[0].value_length == 12
+        assert points[1].qgram_count == 32
+        assert all(point.approximate_seconds > 0 for point in points)
+        assert all(point.measured_ratio > 1.0 for point in points)
+        assert points[1].analytic_ratio > points[0].analytic_ratio
+
+    def test_point_serialisation(self):
+        points = cost_ratio_sweep(value_lengths=(15,), table_size=50)
+        payload = points[0].as_dict()
+        assert payload["value_length"] == 15
+        assert "measured_ratio" in payload

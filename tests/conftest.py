@@ -1,0 +1,94 @@
+"""Shared fixtures for the test suite.
+
+Fixtures build *small* inputs (tens to a few hundred rows) so the whole
+suite stays fast; scale-sensitive behaviour is exercised by the benchmark
+suite instead.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datagen.testcases import TestCaseSpec, generate_test_case
+from repro.engine.table import Table
+from repro.engine.tuples import Record, Schema
+
+
+@pytest.fixture
+def location_schema() -> Schema:
+    """A two-attribute schema used by most join tests."""
+    return Schema(["row_id", "location"], name="locations")
+
+
+@pytest.fixture
+def atlas_table(location_schema) -> Table:
+    """A small, clean parent table of location strings."""
+    rows = [
+        (0, "LIG GE GENOVA"),
+        (1, "LOM MI MILANO CENTRO"),
+        (2, "LAZ RM ROMA CAPITALE"),
+        (3, "TAA BZ SANTA CRISTINA VALGARDENA"),
+        (4, "VEN VE VENEZIA MESTRE"),
+        (5, "TOS FI FIRENZE NOVOLI"),
+        (6, "CAM NA NAPOLI CENTRO"),
+        (7, "PIE TO TORINO AURORA"),
+    ]
+    return Table.from_rows(location_schema, rows, name="atlas")
+
+
+@pytest.fixture
+def accidents_table(location_schema) -> Table:
+    """A small child table: two typos ("MILANx", "TORINq"), one unknown location."""
+    rows = [
+        (100, "LIG GE GENOVA"),
+        (101, "LOM MI MILANO CENTRO"),
+        (102, "LOM MI MILANx CENTRO"),
+        (103, "LAZ RM ROMA CAPITALE"),
+        (104, "TAA BZ SANTA CRISTINx VALGARDENA"),
+        (105, "VEN VE VENEZIA MESTRE"),
+        (106, "PIE TO TORINq AURORA"),
+        (107, "SAR CA QUARTU SANT ELENA"),
+        (108, "LIG GE GENOVA"),
+    ]
+    return Table.from_rows(location_schema, rows, name="accidents")
+
+
+@pytest.fixture
+def small_dataset():
+    """A small generated test case (child-only variants, bursty pattern)."""
+    spec = TestCaseSpec(
+        name="small_few_high_child",
+        pattern="few_high",
+        variants_in="child",
+        parent_size=300,
+        child_size=500,
+        seed=17,
+    )
+    return generate_test_case(spec)
+
+
+@pytest.fixture
+def small_dataset_both():
+    """A small generated test case with variants in both tables."""
+    spec = TestCaseSpec(
+        name="small_uniform_both",
+        pattern="uniform",
+        variants_in="both",
+        parent_size=300,
+        child_size=500,
+        seed=29,
+    )
+    return generate_test_case(spec)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A seeded RNG for tests that need explicit randomness."""
+    return random.Random(1234)
+
+
+def make_records(schema: Schema, rows) -> list:
+    """Helper: build records from positional rows (importable by test modules)."""
+    return [Record.from_values(schema, list(row)) for row in rows]

@@ -1,0 +1,224 @@
+"""End-to-end tests for the adaptive join processor."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveJoinProcessor, AdaptiveSymmetricJoin
+from repro.core.state_machine import JoinState
+from repro.core.thresholds import Thresholds
+from repro.datagen.testcases import TestCaseSpec, generate_test_case
+from repro.engine.streams import IteratorStream, ListStream
+from repro.joins.base import JoinSide
+from repro.joins.shjoin import SHJoin
+from repro.joins.sshjoin import SSHJoin
+
+FAST_THRESHOLDS = Thresholds(delta_adapt=25, window_size=25)
+
+
+def run_adaptive(dataset, thresholds=FAST_THRESHOLDS, **kwargs):
+    processor = AdaptiveJoinProcessor(
+        dataset.parent,
+        dataset.child,
+        "location",
+        thresholds=thresholds,
+        parent_side=JoinSide.LEFT,
+        **kwargs,
+    )
+    return processor.run()
+
+
+class TestCleanData:
+    def test_stays_exact_on_clean_inputs(self):
+        spec = TestCaseSpec(
+            name="clean",
+            pattern="uniform",
+            variants_in="child",
+            parent_size=200,
+            child_size=300,
+            variant_rate=0.0,
+            seed=5,
+        )
+        dataset = generate_test_case(spec)
+        result = run_adaptive(dataset)
+        assert result.final_state is JoinState.LEX_REX
+        assert result.trace.transition_count == 0
+        assert result.trace.exact_step_fraction() == 1.0
+        # Every child row finds its parent.
+        assert result.result_size == len(dataset.child)
+
+    def test_result_matches_exact_join_on_clean_inputs(self):
+        spec = TestCaseSpec(
+            name="clean2",
+            pattern="uniform",
+            variants_in="child",
+            parent_size=150,
+            child_size=200,
+            variant_rate=0.0,
+            seed=6,
+        )
+        dataset = generate_test_case(spec)
+        result = run_adaptive(dataset)
+        exact = SHJoin(dataset.parent, dataset.child, "location")
+        exact.run()
+        assert set(result.matched_pairs()) == set(exact.engine._emitted_pairs)
+
+
+class TestPerturbedData:
+    def test_reacts_to_variants_and_recovers_matches(self, small_dataset):
+        result = run_adaptive(small_dataset)
+        exact = SHJoin(small_dataset.parent, small_dataset.child, "location")
+        exact_size = len(exact.run())
+        assert result.trace.transition_count >= 1
+        assert result.result_size > exact_size
+
+    def test_result_between_exact_and_approximate(self, small_dataset):
+        result = run_adaptive(small_dataset)
+        exact_size = len(SHJoin(small_dataset.parent, small_dataset.child, "location").run())
+        approx_size = len(
+            SSHJoin(
+                small_dataset.parent,
+                small_dataset.child,
+                "location",
+                similarity_threshold=FAST_THRESHOLDS.theta_sim,
+            ).run()
+        )
+        assert exact_size <= result.result_size <= approx_size
+
+    def test_exact_pairs_never_lost(self, small_dataset_both):
+        result = run_adaptive(small_dataset_both)
+        exact = SHJoin(small_dataset_both.parent, small_dataset_both.child, "location")
+        exact.run()
+        assert set(exact.engine._emitted_pairs).issubset(set(result.matched_pairs()))
+
+    def test_no_duplicate_pairs(self, small_dataset_both):
+        result = run_adaptive(small_dataset_both)
+        pairs = result.matched_pairs()
+        assert len(pairs) == len(set(pairs))
+
+    def test_trace_accounts_every_step(self, small_dataset):
+        result = run_adaptive(small_dataset)
+        total_inputs = len(small_dataset.parent) + len(small_dataset.child)
+        assert result.trace.total_steps == total_inputs
+        assert sum(result.trace.steps_per_state.values()) == total_inputs
+        assert result.trace.total_matches == result.result_size
+
+    def test_child_only_variants_prefer_right_approximate_states(self, small_dataset):
+        result = run_adaptive(small_dataset)
+        trace = result.trace
+        # The child (right) input carries the variants, so the adaptive
+        # machine should never need the left-approximate/right-exact state.
+        assert trace.steps_per_state[JoinState.LAP_REX] == 0
+        assert (
+            trace.steps_per_state[JoinState.LEX_RAP]
+            + trace.steps_per_state[JoinState.LAP_RAP]
+            > 0
+        )
+
+    def test_two_state_restriction_never_uses_hybrid_states(self, small_dataset):
+        result = run_adaptive(small_dataset, allow_source_identification=False)
+        assert result.trace.steps_per_state[JoinState.LAP_REX] == 0
+        assert result.trace.steps_per_state[JoinState.LEX_RAP] == 0
+
+    def test_weighted_cost_below_all_approximate(self, small_dataset):
+        result = run_adaptive(small_dataset)
+        from repro.core.cost_model import CostModel
+
+        model = CostModel()
+        assert result.weighted_cost(model) <= model.all_approximate_cost(
+            result.trace.total_steps
+        )
+
+    def test_parent_only_variants_use_left_approximate_state(self):
+        spec = TestCaseSpec(
+            name="parent_variants",
+            pattern="few_high",
+            variants_in="parent",
+            parent_size=250,
+            child_size=500,
+            seed=31,
+        )
+        dataset = generate_test_case(spec)
+        result = run_adaptive(dataset)
+        trace = result.trace
+        # Variants live in the parent (left) input only: if any hybrid state
+        # is used at all it must be lap/rex, never lex/rap.
+        assert trace.steps_per_state[JoinState.LEX_RAP] == 0
+
+
+class TestConfiguration:
+    def test_parent_size_required_for_unbounded_streams(self, small_dataset):
+        parent_stream = IteratorStream(
+            small_dataset.parent.schema, iter(small_dataset.parent.records)
+        )
+        child_stream = IteratorStream(
+            small_dataset.child.schema, iter(small_dataset.child.records)
+        )
+        with pytest.raises(ValueError):
+            AdaptiveJoinProcessor(parent_stream, child_stream, "location",
+                                  parent_size=None)
+
+    def test_parent_size_inferred_from_bounded_stream(self, small_dataset):
+        parent_stream = ListStream(
+            small_dataset.parent.schema, small_dataset.parent.records
+        )
+        child_stream = ListStream(
+            small_dataset.child.schema, small_dataset.child.records
+        )
+        processor = AdaptiveJoinProcessor(parent_stream, child_stream, "location")
+        assert processor.parent_size == len(small_dataset.parent)
+
+    def test_parent_size_inferred_from_table(self, small_dataset):
+        processor = AdaptiveJoinProcessor(
+            small_dataset.parent, small_dataset.child, "location"
+        )
+        assert processor.parent_size == len(small_dataset.parent)
+
+    def test_initial_state_configurable(self, small_dataset):
+        processor = AdaptiveJoinProcessor(
+            small_dataset.parent,
+            small_dataset.child,
+            "location",
+            thresholds=FAST_THRESHOLDS,
+            initial_state=JoinState.LAP_RAP,
+        )
+        assert processor.state is JoinState.LAP_RAP
+
+    def test_step_by_step_interface(self, small_dataset):
+        processor = AdaptiveJoinProcessor(
+            small_dataset.parent,
+            small_dataset.child,
+            "location",
+            thresholds=FAST_THRESHOLDS,
+        )
+        matches = []
+        while not processor.finished:
+            produced = processor.step()
+            if produced:
+                matches.extend(produced)
+        assert len(matches) == len(processor.matches)
+        assert processor.step() is None
+
+
+class TestOperatorWrapper:
+    def test_adaptive_operator_streams_records(self, small_dataset):
+        operator = AdaptiveSymmetricJoin(
+            small_dataset.parent,
+            small_dataset.child,
+            "location",
+            thresholds=FAST_THRESHOLDS,
+        )
+        records = operator.run()
+        assert len(records) == len(operator.processor.matches)
+        assert operator.processor.finished
+
+    def test_adaptive_operator_quiescence(self, small_dataset):
+        operator = AdaptiveSymmetricJoin(
+            small_dataset.parent,
+            small_dataset.child,
+            "location",
+            thresholds=FAST_THRESHOLDS,
+        )
+        operator.open()
+        operator.next_record()
+        # The wrapper only buffers matches it has not returned yet.
+        assert operator.is_quiescent() or len(operator._pending) > 0
+        operator.close()

@@ -1,0 +1,101 @@
+"""Property-based tests for the adaptive join processor.
+
+Random small workloads (random fan-out, variant rate and threshold
+configuration) are generated and the invariants that must hold for *every*
+run of the adaptive algorithm are checked:
+
+* the result size lies between the all-exact and all-approximate result
+  sizes computed on the same inputs;
+* every exactly matching pair is present regardless of the switch schedule;
+* no pair is emitted twice;
+* the trace accounts for every executed step exactly once;
+* the weighted cost never exceeds the all-approximate ceiling.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptive import AdaptiveJoinProcessor
+from repro.core.cost_model import CostModel
+from repro.core.thresholds import Thresholds
+from repro.datagen.municipalities import generate_location_strings
+from repro.datagen.variants import make_variant
+from repro.engine.table import Table
+from repro.engine.tuples import Schema
+from repro.joins.shjoin import SHJoin
+from repro.joins.sshjoin import SSHJoin
+
+SCHEMA = Schema(["row_id", "location"], name="rows")
+
+
+@st.composite
+def workloads(draw):
+    """A random small parent/child workload plus an adaptive configuration."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    parent_size = draw(st.integers(min_value=5, max_value=60))
+    child_size = draw(st.integers(min_value=5, max_value=120))
+    variant_rate = draw(st.sampled_from([0.0, 0.1, 0.3]))
+    delta_adapt = draw(st.sampled_from([5, 10, 25]))
+    theta_sim = draw(st.sampled_from([0.75, 0.85]))
+
+    rng = random.Random(seed)
+    locations = generate_location_strings(parent_size, seed=seed)
+    parent = Table(SCHEMA, name="parent")
+    for index, location in enumerate(locations):
+        parent.insert_values(index, location)
+    child = Table(SCHEMA, name="child")
+    for index in range(child_size):
+        location = rng.choice(locations)
+        if rng.random() < variant_rate:
+            location = make_variant(location, rng)
+        child.insert_values(index, location)
+
+    thresholds = Thresholds(
+        theta_sim=theta_sim, delta_adapt=delta_adapt, window_size=delta_adapt
+    )
+    return parent, child, thresholds
+
+
+@settings(max_examples=25, deadline=None)
+@given(workloads())
+def test_adaptive_result_bounded_by_baselines(workload):
+    parent, child, thresholds = workload
+    exact = SHJoin(parent, child, "location")
+    exact.run()
+    approx = SSHJoin(
+        parent, child, "location", similarity_threshold=thresholds.theta_sim
+    )
+    approx.run()
+    processor = AdaptiveJoinProcessor(parent, child, "location", thresholds=thresholds)
+    result = processor.run()
+
+    exact_pairs = set(exact.engine._emitted_pairs)
+    approx_pairs = set(approx.engine._emitted_pairs)
+    adaptive_pairs = set(result.matched_pairs())
+
+    assert exact_pairs.issubset(adaptive_pairs)
+    assert adaptive_pairs.issubset(approx_pairs)
+
+
+@settings(max_examples=25, deadline=None)
+@given(workloads())
+def test_adaptive_trace_and_cost_invariants(workload):
+    parent, child, thresholds = workload
+    processor = AdaptiveJoinProcessor(parent, child, "location", thresholds=thresholds)
+    result = processor.run()
+
+    # Every step is accounted for exactly once.
+    assert result.trace.total_steps == len(parent) + len(child)
+    assert sum(result.trace.steps_per_state.values()) == result.trace.total_steps
+    # No duplicate pairs.
+    pairs = result.matched_pairs()
+    assert len(pairs) == len(set(pairs))
+    # Matches recorded in the trace agree with the result.
+    assert result.trace.total_matches == result.result_size
+    # Weighted cost never exceeds the all-approximate ceiling.
+    model = CostModel()
+    assert model.absolute_cost(result.trace) <= model.all_approximate_cost(
+        result.trace.total_steps
+    ) + 1e-9

@@ -1,0 +1,100 @@
+"""Tests for the cost-budgeted adaptation extension."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveJoinProcessor
+from repro.core.budget import CostBudget
+from repro.core.cost_model import CostModel
+from repro.core.state_machine import JoinState
+from repro.core.thresholds import Thresholds
+from repro.core.trace import ExecutionTrace
+from repro.joins.base import JoinSide
+
+FAST = Thresholds(delta_adapt=25, window_size=25)
+
+
+def run(dataset, budget=None):
+    processor = AdaptiveJoinProcessor(
+        dataset.parent,
+        dataset.child,
+        "location",
+        thresholds=FAST,
+        cost_budget=budget,
+    )
+    return processor, processor.run()
+
+
+class TestCostBudget:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostBudget(max_absolute_cost=0.0)
+        with pytest.raises(ValueError):
+            CostBudget.relative(0.0, total_steps=100)
+        with pytest.raises(ValueError):
+            CostBudget.relative(1.5, total_steps=100)
+        with pytest.raises(ValueError):
+            CostBudget.relative(0.5, total_steps=0)
+
+    def test_relative_budget_value(self):
+        model = CostModel()
+        budget = CostBudget.relative(0.5, total_steps=100, cost_model=model)
+        gap = model.all_approximate_cost(100) - model.all_exact_cost(100)
+        assert budget.max_absolute_cost == pytest.approx(
+            model.all_exact_cost(100) + 0.5 * gap
+        )
+
+    def test_exhausted_and_remaining(self):
+        budget = CostBudget(max_absolute_cost=50.0)
+        trace = ExecutionTrace()
+        for _ in range(10):
+            trace.record_step(JoinState.LEX_REX, JoinSide.LEFT, matches=0)
+        assert not budget.exhausted(trace)
+        assert budget.remaining(trace) == pytest.approx(40.0)
+        for _ in range(1):
+            trace.record_step(JoinState.LAP_RAP, JoinSide.LEFT, matches=0)
+        assert budget.exhausted(trace)
+        assert budget.remaining(trace) == 0.0
+
+
+class TestBudgetedAdaptiveJoin:
+    def test_tight_budget_limits_cost(self, small_dataset):
+        total_steps = len(small_dataset.parent) + len(small_dataset.child)
+        model = CostModel()
+        budget = CostBudget.relative(0.15, total_steps, model)
+        processor, result = run(small_dataset, budget)
+        assert processor.budget_exhausted
+        # The budget can only be overshot by the cost accrued within one
+        # assessment interval after exhaustion is detected.
+        slack = FAST.delta_adapt * model.state_weights[JoinState.LAP_RAP]
+        assert result.weighted_cost(model) <= budget.max_absolute_cost + slack
+        # Once exhausted the processor runs (and ends) fully exact.
+        assert result.final_state is JoinState.LEX_REX
+
+    def test_tight_budget_costs_less_and_gains_less_than_unbudgeted(
+        self, small_dataset
+    ):
+        total_steps = len(small_dataset.parent) + len(small_dataset.child)
+        budget = CostBudget.relative(0.15, total_steps)
+        _, limited = run(small_dataset, budget)
+        _, unlimited = run(small_dataset, None)
+        model = CostModel()
+        assert limited.weighted_cost(model) <= unlimited.weighted_cost(model)
+        assert limited.result_size <= unlimited.result_size
+
+    def test_generous_budget_changes_nothing(self, small_dataset):
+        total_steps = len(small_dataset.parent) + len(small_dataset.child)
+        budget = CostBudget.relative(1.0, total_steps)
+        processor, limited = run(small_dataset, budget)
+        _, unlimited = run(small_dataset, None)
+        assert not processor.budget_exhausted
+        assert limited.result_size == unlimited.result_size
+        assert limited.trace.steps_per_state == unlimited.trace.steps_per_state
+
+    def test_budget_exhaustion_recorded_as_transition(self, small_dataset):
+        total_steps = len(small_dataset.parent) + len(small_dataset.child)
+        budget = CostBudget.relative(0.1, total_steps)
+        processor, result = run(small_dataset, budget)
+        if processor.budget_exhausted and result.trace.transition_count >= 2:
+            # The forced return to lex/rex appears in the trace like any
+            # other transition, so the cost model accounts for its catch-up.
+            assert result.trace.transitions[-1].to_state is JoinState.LEX_REX

@@ -1,0 +1,113 @@
+"""Tests for the Sec. 4.3 weighted cost model."""
+
+import pytest
+
+from repro.core.cost_model import (
+    PAPER_STATE_WEIGHTS,
+    PAPER_TRANSITION_WEIGHTS,
+    CostModel,
+)
+from repro.core.state_machine import JoinState
+from repro.core.trace import ExecutionTrace
+from repro.joins.base import JoinMode, JoinSide
+from repro.joins.engine import SwitchRecord
+
+
+def trace_with(steps_per_state, transitions_into=None):
+    trace = ExecutionTrace()
+    for state, count in steps_per_state.items():
+        for _ in range(count):
+            trace.record_step(state, JoinSide.LEFT, matches=0)
+    for state, count in (transitions_into or {}).items():
+        for i in range(count):
+            trace.record_transition(
+                i,
+                JoinState.LEX_REX,
+                state,
+                [
+                    SwitchRecord(
+                        step=i,
+                        side=JoinSide.LEFT,
+                        previous_mode=JoinMode.EXACT,
+                        new_mode=state.left_mode,
+                        catch_up_tuples=0,
+                    )
+                ],
+            )
+    return trace
+
+
+class TestPaperWeights:
+    def test_paper_values(self):
+        assert PAPER_STATE_WEIGHTS[JoinState.LEX_REX] == 1.0
+        assert PAPER_STATE_WEIGHTS[JoinState.LAP_REX] == pytest.approx(22.14)
+        assert PAPER_STATE_WEIGHTS[JoinState.LEX_RAP] == pytest.approx(51.8)
+        assert PAPER_STATE_WEIGHTS[JoinState.LAP_RAP] == pytest.approx(70.2)
+        assert PAPER_TRANSITION_WEIGHTS[JoinState.LAP_RAP] == pytest.approx(173.42)
+
+    def test_default_model_uses_paper_weights(self):
+        model = CostModel()
+        assert model.state_weights == PAPER_STATE_WEIGHTS
+        assert model.transition_weights == PAPER_TRANSITION_WEIGHTS
+
+
+class TestCostComputation:
+    def test_pure_exact_run(self):
+        model = CostModel()
+        trace = trace_with({JoinState.LEX_REX: 100})
+        assert model.absolute_cost(trace) == pytest.approx(100.0)
+
+    def test_paper_example_one_lap_rap_step_costs_seventy_times_exact(self):
+        model = CostModel()
+        exact = model.absolute_cost(trace_with({JoinState.LEX_REX: 1}))
+        approx = model.absolute_cost(trace_with({JoinState.LAP_RAP: 1}))
+        assert approx / exact == pytest.approx(70.2)
+
+    def test_mixed_run_with_transitions(self):
+        model = CostModel()
+        trace = trace_with(
+            {JoinState.LEX_REX: 50, JoinState.LAP_RAP: 10},
+            transitions_into={JoinState.LAP_RAP: 1, JoinState.LEX_REX: 1},
+        )
+        breakdown = model.breakdown(trace)
+        assert breakdown.state_costs[JoinState.LEX_REX] == pytest.approx(50.0)
+        assert breakdown.state_costs[JoinState.LAP_RAP] == pytest.approx(702.0)
+        assert breakdown.total_transition_cost == pytest.approx(173.42 + 122.48)
+        assert breakdown.total == pytest.approx(50 + 702 + 173.42 + 122.48)
+        rows = breakdown.as_rows()
+        assert rows["steps AA"] == pytest.approx(702.0)
+        assert rows["transitions into EE"] == pytest.approx(122.48)
+
+    def test_baseline_costs(self):
+        model = CostModel()
+        assert model.all_exact_cost(1000) == pytest.approx(1000.0)
+        assert model.all_approximate_cost(1000) == pytest.approx(70200.0)
+
+    def test_relative_cost_between_zero_and_one_for_hybrid_runs(self):
+        model = CostModel()
+        trace = trace_with({JoinState.LEX_REX: 700, JoinState.LAP_RAP: 300},
+                           transitions_into={JoinState.LAP_RAP: 1})
+        relative = model.relative_cost(trace)
+        assert 0.0 < relative < 1.0
+
+    def test_relative_cost_of_degenerate_trace(self):
+        model = CostModel()
+        assert model.relative_cost(ExecutionTrace()) == 0.0
+
+
+class TestCustomWeights:
+    def test_custom_weights_accepted(self):
+        flat = {state: 1.0 for state in JoinState}
+        model = CostModel(state_weights=flat, transition_weights=flat)
+        trace = trace_with({JoinState.LAP_RAP: 10})
+        assert model.absolute_cost(trace) == pytest.approx(10.0)
+
+    def test_missing_weight_rejected(self):
+        incomplete = {JoinState.LEX_REX: 1.0}
+        with pytest.raises(ValueError):
+            CostModel(state_weights=incomplete)
+
+    def test_negative_weight_rejected(self):
+        bad = {state: -1.0 for state in JoinState}
+        with pytest.raises(ValueError):
+            CostModel(state_weights=bad)

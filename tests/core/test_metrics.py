@@ -1,0 +1,99 @@
+"""Tests for the gain / cost / efficiency metrics (Sec. 4.3)."""
+
+import pytest
+
+from repro.core.metrics import GainCostReport, efficiency, relative_cost, relative_gain
+
+
+class TestRelativeGain:
+    def test_full_recovery(self):
+        assert relative_gain(1000, 900, 1000) == pytest.approx(1.0)
+
+    def test_no_recovery(self):
+        assert relative_gain(900, 900, 1000) == pytest.approx(0.0)
+
+    def test_partial_recovery(self):
+        assert relative_gain(950, 900, 1000) == pytest.approx(0.5)
+
+    def test_degenerate_gap(self):
+        assert relative_gain(900, 900, 900) == 1.0
+        assert relative_gain(880, 900, 900) == 0.0
+
+
+class TestRelativeCost:
+    def test_proportional_to_cost_gap(self):
+        assert relative_cost(500.0, 100.0, 1100.0) == pytest.approx(0.5)
+
+    def test_degenerate_gap(self):
+        assert relative_cost(500.0, 100.0, 100.0) == 0.0
+
+
+class TestEfficiency:
+    def test_ratio(self):
+        assert efficiency(0.8, 0.4) == pytest.approx(2.0)
+
+    def test_zero_cost(self):
+        assert efficiency(0.5, 0.0) == float("inf")
+        assert efficiency(0.0, 0.0) == 0.0
+
+
+class TestGainCostReport:
+    @pytest.fixture
+    def report(self):
+        return GainCostReport(
+            test_case="few_high_child",
+            exact_result_size=900,
+            approximate_result_size=1000,
+            adaptive_result_size=980,
+            exact_cost=1000.0,
+            approximate_cost=70200.0,
+            adaptive_cost=15000.0,
+        )
+
+    def test_gain(self, report):
+        assert report.gain == pytest.approx(0.8)
+
+    def test_cost(self, report):
+        assert report.cost == pytest.approx(15000.0 / 69200.0)
+
+    def test_efficiency(self, report):
+        assert report.efficiency == pytest.approx(report.gain / report.cost)
+
+    def test_completeness_and_cost_fractions(self, report):
+        assert report.completeness_vs_approximate == pytest.approx(0.98)
+        assert report.cost_vs_approximate == pytest.approx(15000.0 / 70200.0)
+
+    def test_never_worse_than_approximate(self, report):
+        assert report.never_worse_than_approximate is True
+        worse = GainCostReport(
+            test_case="x",
+            exact_result_size=1,
+            approximate_result_size=2,
+            adaptive_result_size=2,
+            exact_cost=1.0,
+            approximate_cost=2.0,
+            adaptive_cost=3.0,
+        )
+        assert worse.never_worse_than_approximate is False
+
+    def test_as_dict(self, report):
+        payload = report.as_dict()
+        assert payload["test_case"] == "few_high_child"
+        assert payload["gain"] == pytest.approx(0.8)
+        assert payload["r_exact"] == 900
+        assert payload["C_approx"] == pytest.approx(70200.0)
+
+    def test_degenerate_report(self):
+        degenerate = GainCostReport(
+            test_case="clean",
+            exact_result_size=100,
+            approximate_result_size=100,
+            adaptive_result_size=100,
+            exact_cost=0.0,
+            approximate_cost=0.0,
+            adaptive_cost=0.0,
+        )
+        assert degenerate.gain == 1.0
+        assert degenerate.cost == 0.0
+        assert degenerate.completeness_vs_approximate == 1.0
+        assert degenerate.cost_vs_approximate == 0.0

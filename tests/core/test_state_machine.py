@@ -1,0 +1,121 @@
+"""Tests for the four-state machine and its transition guards (Fig. 4)."""
+
+import pytest
+
+from repro.core.state_machine import JoinState, StateMachine, TransitionGuards
+from repro.joins.base import JoinMode, JoinSide
+
+
+class TestJoinState:
+    def test_modes_per_state(self):
+        assert JoinState.LEX_REX.left_mode is JoinMode.EXACT
+        assert JoinState.LEX_REX.right_mode is JoinMode.EXACT
+        assert JoinState.LAP_REX.left_mode is JoinMode.APPROXIMATE
+        assert JoinState.LAP_REX.right_mode is JoinMode.EXACT
+        assert JoinState.LEX_RAP.left_mode is JoinMode.EXACT
+        assert JoinState.LEX_RAP.right_mode is JoinMode.APPROXIMATE
+        assert JoinState.LAP_RAP.left_mode is JoinMode.APPROXIMATE
+        assert JoinState.LAP_RAP.right_mode is JoinMode.APPROXIMATE
+
+    def test_labels(self):
+        assert JoinState.LEX_REX.label == "lex/rex"
+        assert JoinState.LAP_RAP.short_label == "AA"
+        assert JoinState.LAP_REX.short_label == "AE"
+        assert JoinState.LEX_RAP.short_label == "EA"
+
+    def test_mode_by_side(self):
+        assert JoinState.LEX_RAP.mode(JoinSide.LEFT) is JoinMode.EXACT
+        assert JoinState.LEX_RAP.mode(JoinSide.RIGHT) is JoinMode.APPROXIMATE
+
+    def test_from_modes(self):
+        for state in JoinState:
+            assert JoinState.from_modes(state.left_mode, state.right_mode) is state
+
+    def test_from_label(self):
+        assert JoinState.from_label("lex/rex") is JoinState.LEX_REX
+        assert JoinState.from_label("AA") is JoinState.LAP_RAP
+        assert JoinState.from_label("LEX_RAP") is JoinState.LEX_RAP
+        with pytest.raises(ValueError):
+            JoinState.from_label("nonsense")
+
+    def test_predicates(self):
+        assert JoinState.LEX_REX.is_fully_exact
+        assert JoinState.LAP_RAP.is_fully_approximate
+        assert not JoinState.LAP_REX.is_fully_exact
+        assert not JoinState.LAP_REX.is_fully_approximate
+
+
+class TestTransitionGuards:
+    def test_phi0_targets_lex_rex(self):
+        guards = TransitionGuards(phi0=True, phi1=False, phi2=False, phi3=False)
+        assert guards.target() is JoinState.LEX_REX
+
+    def test_phi1_targets_lap_rap(self):
+        guards = TransitionGuards(phi0=False, phi1=True, phi2=False, phi3=False)
+        assert guards.target() is JoinState.LAP_RAP
+
+    def test_phi2_targets_lap_rex_and_beats_phi1(self):
+        guards = TransitionGuards(phi0=False, phi1=True, phi2=True, phi3=False)
+        assert guards.target() is JoinState.LAP_REX
+
+    def test_phi3_targets_lex_rap(self):
+        guards = TransitionGuards(phi0=False, phi1=False, phi2=False, phi3=True)
+        assert guards.target() is JoinState.LEX_RAP
+
+    def test_no_guard_means_no_target(self):
+        guards = TransitionGuards(phi0=False, phi1=False, phi2=False, phi3=False)
+        assert guards.target() is None
+
+    def test_as_dict(self):
+        guards = TransitionGuards(phi0=True, phi1=False, phi2=False, phi3=False)
+        assert guards.as_dict() == {
+            "phi0": True,
+            "phi1": False,
+            "phi2": False,
+            "phi3": False,
+        }
+
+
+class TestStateMachine:
+    def test_starts_in_initial_state(self):
+        machine = StateMachine()
+        assert machine.state is JoinState.LEX_REX
+        assert machine.transition_count == 0
+
+    def test_apply_transitions_and_history(self):
+        machine = StateMachine()
+        new_state = machine.apply(
+            TransitionGuards(phi0=False, phi1=True, phi2=False, phi3=False), step=100
+        )
+        assert new_state is JoinState.LAP_RAP
+        assert machine.state is JoinState.LAP_RAP
+        assert machine.history == [(0, JoinState.LEX_REX), (100, JoinState.LAP_RAP)]
+        assert machine.transition_count == 1
+
+    def test_self_transition_not_recorded(self):
+        machine = StateMachine()
+        result = machine.apply(
+            TransitionGuards(phi0=True, phi1=False, phi2=False, phi3=False), step=100
+        )
+        assert result is None
+        assert machine.transition_count == 0
+
+    def test_no_guard_keeps_state(self):
+        machine = StateMachine(initial=JoinState.LAP_RAP)
+        result = machine.apply(
+            TransitionGuards(phi0=False, phi1=False, phi2=False, phi3=False), step=50
+        )
+        assert result is None
+        assert machine.state is JoinState.LAP_RAP
+
+    def test_force(self):
+        machine = StateMachine()
+        machine.force(JoinState.LEX_RAP, step=10)
+        assert machine.state is JoinState.LEX_RAP
+        machine.force(JoinState.LEX_RAP, step=20)  # no-op
+        assert machine.transition_count == 1
+
+    def test_history_is_a_copy(self):
+        machine = StateMachine()
+        machine.history.append(("bogus", None))
+        assert len(machine.history) == 1

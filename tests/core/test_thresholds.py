@@ -1,0 +1,76 @@
+"""Tests for the Thresholds configuration (paper Table 3)."""
+
+import pytest
+
+from repro.core.thresholds import PAPER_THRESHOLDS, Thresholds
+
+
+class TestDefaults:
+    def test_paper_operating_point(self):
+        thresholds = Thresholds()
+        assert thresholds.theta_sim == pytest.approx(0.85)
+        assert thresholds.window_size == 100
+        assert thresholds.delta_adapt == 100
+        assert thresholds.theta_out == pytest.approx(0.05)
+        assert thresholds.theta_curpert == pytest.approx(2.0)
+        assert thresholds.theta_pastpert == pytest.approx(5.0)
+        assert thresholds.q == 3
+
+    def test_paper_thresholds_constant(self):
+        assert PAPER_THRESHOLDS == Thresholds()
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("theta_sim", 0.0),
+            ("theta_sim", 1.5),
+            ("window_size", 0),
+            ("delta_adapt", 0),
+            ("theta_out", 0.0),
+            ("theta_out", 1.0),
+            ("theta_curpert", -1.0),
+            ("theta_pastpert", -0.5),
+            ("q", 0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            Thresholds(**{field: value})
+
+    def test_frozen(self):
+        thresholds = Thresholds()
+        with pytest.raises(AttributeError):
+            thresholds.theta_sim = 0.5
+
+
+class TestDerivedValues:
+    def test_curpert_count_convention(self):
+        # A value above 1 is a count out of the window size.
+        thresholds = Thresholds(theta_curpert=2, window_size=100)
+        assert thresholds.current_perturbation_fraction == pytest.approx(0.02)
+
+    def test_curpert_fraction_convention(self):
+        thresholds = Thresholds(theta_curpert=0.1)
+        assert thresholds.current_perturbation_fraction == pytest.approx(0.1)
+
+    def test_past_perturbation_limit(self):
+        assert Thresholds(theta_pastpert=3).past_perturbation_limit == 3
+
+    def test_with_overrides(self):
+        base = Thresholds()
+        derived = base.with_overrides(theta_sim=0.75, delta_adapt=50)
+        assert derived.theta_sim == pytest.approx(0.75)
+        assert derived.delta_adapt == 50
+        assert base.theta_sim == pytest.approx(0.85)
+
+    def test_with_overrides_revalidates(self):
+        with pytest.raises(ValueError):
+            Thresholds().with_overrides(theta_sim=2.0)
+
+    def test_as_dict_round_trip(self):
+        thresholds = Thresholds(theta_sim=0.8)
+        payload = thresholds.as_dict()
+        assert payload["theta_sim"] == pytest.approx(0.8)
+        assert Thresholds(**payload) == thresholds

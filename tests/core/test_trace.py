@@ -1,0 +1,109 @@
+"""Tests for the execution trace."""
+
+import pytest
+
+from repro.core.assessor import Assessment
+from repro.core.state_machine import JoinState, TransitionGuards
+from repro.core.trace import ExecutionTrace
+from repro.joins.base import JoinMode, JoinSide
+from repro.joins.engine import SwitchRecord
+
+
+def switch(step, side, catch_up):
+    return SwitchRecord(
+        step=step,
+        side=side,
+        previous_mode=JoinMode.EXACT,
+        new_mode=JoinMode.APPROXIMATE,
+        catch_up_tuples=catch_up,
+    )
+
+
+def dummy_assessment(step):
+    return Assessment(
+        step=step,
+        sigma=True,
+        mu={JoinSide.LEFT: True, JoinSide.RIGHT: False},
+        pi={JoinSide.LEFT: True, JoinSide.RIGHT: True},
+        evidence_available=True,
+        outlier_probability=0.01,
+        shortfall=5.0,
+    )
+
+
+class TestStepAccounting:
+    def test_steps_counted_per_state_and_side(self):
+        trace = ExecutionTrace()
+        trace.record_step(JoinState.LEX_REX, JoinSide.LEFT, matches=1)
+        trace.record_step(JoinState.LEX_REX, JoinSide.RIGHT, matches=0)
+        trace.record_step(JoinState.LAP_RAP, JoinSide.RIGHT, matches=2)
+        assert trace.total_steps == 3
+        assert trace.total_matches == 3
+        assert trace.steps_per_state[JoinState.LEX_REX] == 2
+        assert trace.steps_per_state[JoinState.LAP_RAP] == 1
+        assert trace.matches_per_state[JoinState.LAP_RAP] == 2
+        assert trace.left_scanned == 1
+        assert trace.right_scanned == 2
+
+    def test_steps_in_accepts_labels(self):
+        trace = ExecutionTrace()
+        trace.record_step(JoinState.LEX_RAP, JoinSide.LEFT, matches=0)
+        assert trace.steps_in("EA") == 1
+        assert trace.steps_in(JoinState.LEX_RAP) == 1
+        assert trace.steps_in("AA") == 0
+
+    def test_fractions(self):
+        trace = ExecutionTrace()
+        for _ in range(3):
+            trace.record_step(JoinState.LEX_REX, JoinSide.LEFT, matches=0)
+        trace.record_step(JoinState.LAP_RAP, JoinSide.LEFT, matches=0)
+        assert trace.exact_step_fraction() == pytest.approx(0.75)
+        assert trace.step_fractions()[JoinState.LAP_RAP] == pytest.approx(0.25)
+
+    def test_fractions_of_empty_trace(self):
+        trace = ExecutionTrace()
+        assert trace.exact_step_fraction() == 0.0
+        assert all(value == 0.0 for value in trace.step_fractions().values())
+
+
+class TestTransitionAccounting:
+    def test_transitions_recorded_with_catch_up(self):
+        trace = ExecutionTrace()
+        trace.record_transition(
+            100,
+            JoinState.LEX_REX,
+            JoinState.LAP_RAP,
+            [switch(100, JoinSide.LEFT, 40), switch(100, JoinSide.RIGHT, 42)],
+        )
+        assert trace.transition_count == 1
+        assert trace.transitions_into[JoinState.LAP_RAP] == 1
+        assert trace.transitions[0].catch_up_tuples == 82
+
+    def test_assessments_recorded(self):
+        trace = ExecutionTrace()
+        guards = TransitionGuards(phi0=False, phi1=True, phi2=False, phi3=False)
+        trace.record_assessment(
+            dummy_assessment(100), guards, JoinState.LEX_REX, JoinState.LAP_RAP
+        )
+        trace.record_assessment(
+            dummy_assessment(200), guards, JoinState.LAP_RAP, JoinState.LAP_RAP
+        )
+        assert trace.assessment_count() == 2
+        assert trace.assessments[0].transitioned is True
+        assert trace.assessments[1].transitioned is False
+
+
+class TestSummary:
+    def test_summary_structure(self):
+        trace = ExecutionTrace()
+        trace.record_step(JoinState.LEX_REX, JoinSide.LEFT, matches=1)
+        trace.record_transition(
+            1, JoinState.LEX_REX, JoinState.LEX_RAP, [switch(1, JoinSide.RIGHT, 1)]
+        )
+        summary = trace.summary()
+        assert summary["total_steps"] == 1
+        assert summary["total_matches"] == 1
+        assert summary["transitions"] == 1
+        assert summary["steps_per_state"]["EE"] == 1
+        assert summary["transitions_into"]["EA"] == 1
+        assert summary["exact_step_fraction"] == 1.0

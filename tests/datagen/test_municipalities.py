@@ -1,0 +1,75 @@
+"""Tests for the municipality-style parent-table generator."""
+
+import pytest
+
+from repro.datagen.municipalities import (
+    DEFAULT_MUNICIPALITY_COUNT,
+    MUNICIPALITY_SCHEMA,
+    PROVINCE_CODES,
+    REGION_CODES,
+    generate_location_strings,
+    generate_municipalities,
+)
+
+
+class TestLocationStrings:
+    def test_requested_count(self):
+        assert len(generate_location_strings(500, seed=1)) == 500
+
+    def test_all_distinct(self):
+        locations = generate_location_strings(2000, seed=2)
+        assert len(set(locations)) == len(locations)
+
+    def test_deterministic_for_same_seed(self):
+        assert generate_location_strings(100, seed=3) == generate_location_strings(
+            100, seed=3
+        )
+
+    def test_different_seed_changes_output(self):
+        assert generate_location_strings(100, seed=3) != generate_location_strings(
+            100, seed=4
+        )
+
+    def test_structure_region_province_name(self):
+        for location in generate_location_strings(200, seed=5):
+            region, province, name = location.split(" ", 2)
+            assert region in REGION_CODES
+            assert province in PROVINCE_CODES
+            assert len(name) >= 3
+            assert name.upper() == name
+
+    def test_lengths_resemble_paper_values(self):
+        locations = generate_location_strings(500, seed=6)
+        lengths = [len(value) for value in locations]
+        average = sum(lengths) / len(lengths)
+        # The paper's example value is 32 characters long; our synthetic
+        # values average in the same 15-40 character band.
+        assert 15 <= average <= 40
+
+    def test_default_count_matches_paper(self):
+        assert DEFAULT_MUNICIPALITY_COUNT == 8082
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            generate_location_strings(0)
+
+
+class TestMunicipalityTable:
+    def test_schema(self):
+        table = generate_municipalities(50, seed=7)
+        assert table.schema == MUNICIPALITY_SCHEMA
+        assert table.schema.attributes == ("municipality_id", "location")
+
+    def test_ids_are_sequential(self):
+        table = generate_municipalities(20, seed=8)
+        assert table.column("municipality_id") == list(range(20))
+
+    def test_locations_are_key_values(self):
+        table = generate_municipalities(300, seed=9)
+        locations = table.column("location")
+        assert len(set(locations)) == len(locations)
+
+    def test_explicit_locations_override(self):
+        table = generate_municipalities(locations=["A ONE", "B TWO"])
+        assert len(table) == 2
+        assert table.column("location") == ["A ONE", "B TWO"]

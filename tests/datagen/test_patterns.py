@@ -1,0 +1,123 @@
+"""Tests for the perturbation patterns of Fig. 5."""
+
+import random
+
+import pytest
+
+from repro.datagen.patterns import (
+    STANDARD_PATTERNS,
+    PerturbationPattern,
+    PerturbationRegion,
+    pattern_by_name,
+    perturbation_flags,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(123)
+
+
+class TestRegions:
+    def test_valid_region(self):
+        region = PerturbationRegion(start=0.1, length=0.2, intensity=0.5)
+        assert region.start == 0.1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"start": -0.1, "length": 0.2, "intensity": 0.5},
+            {"start": 1.5, "length": 0.2, "intensity": 0.5},
+            {"start": 0.1, "length": 0.0, "intensity": 0.5},
+            {"start": 0.1, "length": 0.2, "intensity": 0.0},
+            {"start": 0.1, "length": 0.2, "intensity": 1.5},
+        ],
+    )
+    def test_invalid_region_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            PerturbationRegion(**kwargs)
+
+
+class TestStandardPatterns:
+    def test_four_patterns_defined(self):
+        assert set(STANDARD_PATTERNS) == {
+            "uniform",
+            "interleaved_low",
+            "few_high",
+            "many_high",
+        }
+
+    def test_lookup_by_name(self):
+        assert pattern_by_name("uniform").name == "uniform"
+        with pytest.raises(KeyError):
+            pattern_by_name("unknown")
+
+    def test_uniform_covers_whole_input(self):
+        profile = pattern_by_name("uniform").intensity_profile(100)
+        assert all(value > 0 for value in profile)
+
+    def test_bursty_patterns_leave_clean_stretches(self):
+        for name in ("interleaved_low", "few_high", "many_high"):
+            profile = pattern_by_name(name).intensity_profile(1000)
+            assert any(value == 0.0 for value in profile)
+            assert any(value > 0.0 for value in profile)
+
+    def test_many_high_has_more_regions_than_few_high(self):
+        assert len(pattern_by_name("many_high").regions) > len(
+            pattern_by_name("few_high").regions
+        )
+
+    def test_high_intensity_patterns_are_denser_inside_regions(self):
+        few = pattern_by_name("few_high")
+        interleaved = pattern_by_name("interleaved_low")
+        assert max(r.intensity for r in few.regions) > max(
+            r.intensity for r in interleaved.regions
+        )
+
+
+class TestPerturbationFlags:
+    @pytest.mark.parametrize("name", list(STANDARD_PATTERNS))
+    def test_realised_rate_close_to_target(self, name, rng):
+        size, rate = 5000, 0.10
+        flags = perturbation_flags(pattern_by_name(name), size, rate, rng)
+        assert len(flags) == size
+        realised = sum(flags) / size
+        assert realised == pytest.approx(rate, abs=0.03)
+
+    def test_zero_rate_gives_no_flags(self, rng):
+        flags = perturbation_flags(pattern_by_name("uniform"), 100, 0.0, rng)
+        assert not any(flags)
+
+    def test_flags_respect_pattern_regions(self, rng):
+        pattern = pattern_by_name("few_high")
+        size = 2000
+        flags = perturbation_flags(pattern, size, 0.10, rng)
+        profile = pattern.intensity_profile(size)
+        outside_regions = [f for f, p in zip(flags, profile) if p == 0.0]
+        assert not any(outside_regions)
+
+    def test_uniform_flags_spread_over_the_input(self, rng):
+        flags = perturbation_flags(pattern_by_name("uniform"), 4000, 0.10, rng)
+        halves = (sum(flags[:2000]), sum(flags[2000:]))
+        # Both halves carry a comparable share of the variants.
+        assert min(halves) > 0.25 * sum(halves)
+
+    def test_reproducible_given_seeded_rng(self):
+        pattern = pattern_by_name("many_high")
+        first = perturbation_flags(pattern, 500, 0.1, random.Random(5))
+        second = perturbation_flags(pattern, 500, 0.1, random.Random(5))
+        assert first == second
+
+    def test_invalid_arguments_rejected(self, rng):
+        with pytest.raises(ValueError):
+            perturbation_flags(pattern_by_name("uniform"), 0, 0.1, rng)
+        with pytest.raises(ValueError):
+            perturbation_flags(pattern_by_name("uniform"), 10, 1.5, rng)
+
+    def test_custom_pattern(self, rng):
+        pattern = PerturbationPattern(
+            name="front_loaded",
+            regions=(PerturbationRegion(start=0.0, length=0.25, intensity=0.8),),
+        )
+        flags = perturbation_flags(pattern, 1000, 0.10, rng)
+        assert sum(flags[:250]) == sum(flags)

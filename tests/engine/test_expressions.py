@@ -1,0 +1,96 @@
+"""Tests for the expression mini-language."""
+
+import pytest
+
+from repro.engine.errors import SchemaError
+from repro.engine.expressions import (
+    AttributeRef,
+    Constant,
+    FunctionCall,
+    attr,
+    const,
+)
+from repro.engine.tuples import Record, Schema
+
+
+@pytest.fixture
+def record():
+    schema = Schema(["name", "age", "city"])
+    return Record(schema, {"name": "ada", "age": 36, "city": "GENOVA"})
+
+
+class TestLeaves:
+    def test_attribute_ref(self, record):
+        assert attr("name").evaluate(record) == "ada"
+
+    def test_attribute_ref_requires_name(self):
+        with pytest.raises(SchemaError):
+            AttributeRef("")
+
+    def test_constant(self, record):
+        assert const(42).evaluate(record) == 42
+
+    def test_reprs(self):
+        assert "name" in repr(attr("name"))
+        assert "42" in repr(Constant(42))
+
+
+class TestComparisons:
+    def test_equality(self, record):
+        assert (attr("name") == const("ada")).evaluate(record) is True
+        assert (attr("name") == "bob").evaluate(record) is False
+
+    def test_inequality(self, record):
+        assert (attr("age") != 40).evaluate(record) is True
+
+    def test_ordering(self, record):
+        assert (attr("age") < 40).evaluate(record) is True
+        assert (attr("age") <= 36).evaluate(record) is True
+        assert (attr("age") > 36).evaluate(record) is False
+        assert (attr("age") >= 36).evaluate(record) is True
+
+    def test_plain_values_are_wrapped_as_constants(self, record):
+        comparison = attr("age") == 36
+        assert comparison.evaluate(record) is True
+
+
+class TestBooleanCombinators:
+    def test_conjunction(self, record):
+        expression = (attr("age") > 30) & (attr("city") == "GENOVA")
+        assert expression.evaluate(record) is True
+
+    def test_conjunction_short_circuit_semantics(self, record):
+        expression = (attr("age") > 100) & (attr("city") == "GENOVA")
+        assert expression.evaluate(record) is False
+
+    def test_disjunction(self, record):
+        expression = (attr("age") > 100) | (attr("name") == "ada")
+        assert expression.evaluate(record) is True
+
+    def test_negation(self, record):
+        assert (~(attr("age") > 100)).evaluate(record) is True
+
+    def test_nested_combination(self, record):
+        expression = ~((attr("age") < 10) | (attr("city") == "ROMA")) & (
+            attr("name") == "ada"
+        )
+        assert expression.evaluate(record) is True
+
+    def test_repr_of_combinators(self, record):
+        expression = (attr("a") == 1) & (attr("b") == 2)
+        assert "AND" in repr(expression)
+        assert "OR" in repr((attr("a") == 1) | (attr("b") == 2))
+        assert "NOT" in repr(~(attr("a") == 1))
+
+
+class TestFunctionCall:
+    def test_applies_callable_to_arguments(self, record):
+        expression = FunctionCall(lambda a, b: a + b, [attr("age"), const(4)])
+        assert expression.evaluate(record) == 40
+
+    def test_usable_inside_comparison(self, record):
+        expression = FunctionCall(len, [attr("city")]) > 3
+        assert expression.evaluate(record) is True
+
+    def test_repr_contains_function_name(self):
+        assert "len" in repr(FunctionCall(len, [attr("city")]))

@@ -1,0 +1,114 @@
+"""Tests for the OPEN/NEXT/CLOSE protocol and operator lifecycle."""
+
+import pytest
+
+from repro.engine.errors import IteratorProtocolError
+from repro.engine.iterators import Operator, OperatorState
+from repro.engine.tuples import Record, Schema
+
+
+class CountingSource(Operator):
+    """A tiny operator producing the integers 0..n-1."""
+
+    def __init__(self, n: int):
+        super().__init__(Schema(["value"]), name=f"count({n})")
+        self._n = n
+        self._next = 0
+
+    def _do_open(self):
+        self._next = 0
+
+    def _do_next(self):
+        if self._next >= self._n:
+            return None
+        record = Record(self.output_schema, {"value": self._next})
+        self._next += 1
+        return record
+
+
+class TestLifecycle:
+    def test_initial_state_is_created(self):
+        assert CountingSource(3).state is OperatorState.CREATED
+
+    def test_open_moves_to_open(self):
+        operator = CountingSource(3)
+        operator.open()
+        assert operator.state is OperatorState.OPEN
+
+    def test_next_before_open_raises(self):
+        with pytest.raises(IteratorProtocolError):
+            CountingSource(3).next_record()
+
+    def test_double_open_raises(self):
+        operator = CountingSource(3)
+        operator.open()
+        with pytest.raises(IteratorProtocolError):
+            operator.open()
+
+    def test_close_before_open_raises(self):
+        with pytest.raises(IteratorProtocolError):
+            CountingSource(3).close()
+
+    def test_double_close_raises(self):
+        operator = CountingSource(3)
+        operator.open()
+        operator.close()
+        with pytest.raises(IteratorProtocolError):
+            operator.close()
+
+    def test_exhaustion_latches(self):
+        operator = CountingSource(1)
+        operator.open()
+        assert operator.next_record() is not None
+        assert operator.next_record() is None
+        assert operator.state is OperatorState.EXHAUSTED
+        # Further calls keep returning None without error.
+        assert operator.next_record() is None
+
+    def test_next_after_close_raises(self):
+        operator = CountingSource(1)
+        operator.open()
+        operator.close()
+        with pytest.raises(IteratorProtocolError):
+            operator.next_record()
+
+
+class TestIterationHelpers:
+    def test_run_returns_all_records(self):
+        assert [r["value"] for r in CountingSource(4).run()] == [0, 1, 2, 3]
+
+    def test_iteration_opens_and_closes(self):
+        operator = CountingSource(2)
+        values = [r["value"] for r in operator]
+        assert values == [0, 1]
+        assert operator.state is OperatorState.CLOSED
+
+    def test_empty_source(self):
+        assert CountingSource(0).run() == []
+
+
+class TestStats:
+    def test_counts_next_calls_and_produced(self):
+        operator = CountingSource(3)
+        operator.run()
+        assert operator.stats.tuples_produced == 3
+        # One extra NEXT call observes exhaustion.
+        assert operator.stats.next_calls == 4
+        assert operator.stats.open_calls == 1
+        assert operator.stats.close_calls == 1
+
+    def test_snapshot_is_independent(self):
+        operator = CountingSource(3)
+        operator.run()
+        snapshot = operator.stats.snapshot()
+        operator.stats.tuples_produced = 99
+        assert snapshot.tuples_produced == 3
+
+    def test_tuples_read_totals_both_sides(self):
+        operator = CountingSource(1)
+        operator.stats.tuples_read_left = 2
+        operator.stats.tuples_read_right = 3
+        assert operator.stats.tuples_read == 5
+
+    def test_default_quiescence(self):
+        assert CountingSource(1).is_quiescent() is True

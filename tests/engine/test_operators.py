@@ -1,0 +1,117 @@
+"""Tests for the relational operators (scan, select, project, limit, union)."""
+
+import pytest
+
+from repro.engine.expressions import attr, const
+from repro.engine.operators import Limit, Materialise, Project, Select, TableScan, Union
+from repro.engine.table import Table
+from repro.engine.tuples import Schema
+
+
+@pytest.fixture
+def numbers_table():
+    schema = Schema(["n", "parity"], name="numbers")
+    return Table.from_rows(
+        schema, [(i, "even" if i % 2 == 0 else "odd") for i in range(10)]
+    )
+
+
+class TestTableScan:
+    def test_scan_produces_all_rows_in_order(self, numbers_table):
+        records = TableScan(numbers_table).run()
+        assert [r["n"] for r in records] == list(range(10))
+
+    def test_scan_tracks_reads(self, numbers_table):
+        scan = TableScan(numbers_table)
+        scan.run()
+        assert scan.stats.tuples_read == 10
+
+    def test_scan_of_empty_table(self):
+        empty = Table(Schema(["x"]))
+        assert TableScan(empty).run() == []
+
+
+class TestSelect:
+    def test_select_with_expression(self, numbers_table):
+        plan = Select(TableScan(numbers_table), attr("parity") == const("even"))
+        assert [r["n"] for r in plan.run()] == [0, 2, 4, 6, 8]
+
+    def test_select_with_callable(self, numbers_table):
+        plan = Select(TableScan(numbers_table), lambda r: r["n"] > 6)
+        assert [r["n"] for r in plan.run()] == [7, 8, 9]
+
+    def test_select_nothing_matches(self, numbers_table):
+        plan = Select(TableScan(numbers_table), lambda r: False)
+        assert plan.run() == []
+
+    def test_select_preserves_schema(self, numbers_table):
+        plan = Select(TableScan(numbers_table), lambda r: True)
+        assert plan.output_schema == numbers_table.schema
+
+
+class TestProject:
+    def test_project_restricts_attributes(self, numbers_table):
+        plan = Project(TableScan(numbers_table), ["parity"])
+        records = plan.run()
+        assert records[0].schema.attributes == ("parity",)
+        assert len(records) == 10
+
+    def test_project_reorders_attributes(self, numbers_table):
+        plan = Project(TableScan(numbers_table), ["parity", "n"])
+        assert plan.output_schema.attributes == ("parity", "n")
+
+
+class TestLimit:
+    def test_limit_truncates(self, numbers_table):
+        plan = Limit(TableScan(numbers_table), 3)
+        assert [r["n"] for r in plan.run()] == [0, 1, 2]
+
+    def test_limit_zero(self, numbers_table):
+        assert Limit(TableScan(numbers_table), 0).run() == []
+
+    def test_limit_larger_than_input(self, numbers_table):
+        assert len(Limit(TableScan(numbers_table), 100).run()) == 10
+
+    def test_negative_limit_rejected(self, numbers_table):
+        with pytest.raises(ValueError):
+            Limit(TableScan(numbers_table), -1)
+
+
+class TestUnion:
+    def test_union_concatenates(self, numbers_table):
+        plan = Union([TableScan(numbers_table), TableScan(numbers_table)])
+        assert len(plan.run()) == 20
+
+    def test_union_requires_children(self):
+        with pytest.raises(ValueError):
+            Union([])
+
+    def test_union_requires_matching_schemas(self, numbers_table):
+        other = Table(Schema(["different"]))
+        with pytest.raises(ValueError):
+            Union([TableScan(numbers_table), TableScan(other)])
+
+
+class TestMaterialise:
+    def test_materialise_replays_child_output(self, numbers_table):
+        plan = Materialise(Select(TableScan(numbers_table), lambda r: r["n"] < 3))
+        records = plan.run()
+        assert [r["n"] for r in records] == [0, 1, 2]
+
+    def test_materialised_buffer_available_after_open(self, numbers_table):
+        plan = Materialise(TableScan(numbers_table))
+        plan.open()
+        assert len(plan.materialised) == 10
+        plan.close()
+
+
+class TestComposition:
+    def test_pipeline_of_operators(self, numbers_table):
+        plan = Limit(
+            Project(
+                Select(TableScan(numbers_table), attr("n") >= const(4)),
+                ["n"],
+            ),
+            2,
+        )
+        assert [r["n"] for r in plan.run()] == [4, 5]

@@ -1,0 +1,121 @@
+"""Tests for the in-memory Table."""
+
+import random
+
+import pytest
+
+from repro.engine.errors import SchemaError
+from repro.engine.table import Table
+from repro.engine.tuples import Record, Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema(["id", "name"], name="people")
+
+
+class TestConstruction:
+    def test_empty_table(self, schema):
+        table = Table(schema)
+        assert len(table) == 0
+        assert table.schema is schema
+
+    def test_from_dicts(self, schema):
+        table = Table.from_dicts(schema, [{"id": 1, "name": "a"}, {"id": 2, "name": "b"}])
+        assert len(table) == 2
+        assert table[1]["name"] == "b"
+
+    def test_from_rows(self, schema):
+        table = Table.from_rows(schema, [(1, "a"), (2, "b")])
+        assert table.column("id") == [1, 2]
+
+    def test_name_falls_back_to_schema_name(self, schema):
+        assert Table(schema).name == "people"
+        assert Table(schema, name="custom").name == "custom"
+
+    def test_csv_round_trip(self, tmp_path, schema):
+        table = Table.from_rows(schema, [(1, "a"), (2, "b")])
+        path = tmp_path / "table.csv"
+        table.to_csv(str(path))
+        loaded = Table.from_csv(str(path))
+        assert len(loaded) == 2
+        # CSV loses types (everything is a string) but keeps values.
+        assert loaded.column("name") == ["a", "b"]
+
+
+class TestInsertion:
+    def test_insert_record(self, schema):
+        table = Table(schema)
+        table.insert(Record(schema, {"id": 1, "name": "a"}))
+        assert len(table) == 1
+
+    def test_insert_dict_and_values(self, schema):
+        table = Table(schema)
+        table.insert_dict({"id": 1, "name": "a"})
+        table.insert_values(2, "b")
+        assert table.column("name") == ["a", "b"]
+
+    def test_insert_wrong_schema_rejected(self, schema):
+        table = Table(schema)
+        other = Record(Schema(["x"]), {"x": 1})
+        with pytest.raises(SchemaError):
+            table.insert(other)
+
+    def test_extend(self, schema):
+        table = Table(schema)
+        table.extend(Record(schema, {"id": i, "name": str(i)}) for i in range(5))
+        assert len(table) == 5
+
+    def test_insertion_order_preserved(self, schema):
+        table = Table(schema)
+        for i in (3, 1, 2):
+            table.insert_values(i, str(i))
+        assert table.column("id") == [3, 1, 2]
+
+
+class TestQueries:
+    def test_column(self, schema):
+        table = Table.from_rows(schema, [(1, "a"), (2, "b")])
+        assert table.column("name") == ["a", "b"]
+
+    def test_column_unknown_attribute_raises(self, schema):
+        with pytest.raises(SchemaError):
+            Table(schema).column("zzz")
+
+    def test_distinct_preserves_first_seen_order(self, schema):
+        table = Table.from_rows(schema, [(1, "b"), (2, "a"), (3, "b")])
+        assert table.distinct("name") == ["b", "a"]
+
+    def test_filter(self, schema):
+        table = Table.from_rows(schema, [(1, "a"), (2, "b"), (3, "a")])
+        filtered = table.filter(lambda r: r["name"] == "a")
+        assert len(filtered) == 2
+        assert len(table) == 3  # original untouched
+
+    def test_head(self, schema):
+        table = Table.from_rows(schema, [(i, str(i)) for i in range(10)])
+        assert table.head(3).column("id") == [0, 1, 2]
+
+    def test_sample_is_reproducible(self, schema):
+        table = Table.from_rows(schema, [(i, str(i)) for i in range(50)])
+        first = table.sample(10, random.Random(7)).column("id")
+        second = table.sample(10, random.Random(7)).column("id")
+        assert first == second
+        assert len(first) == 10
+
+    def test_sample_larger_than_table_returns_all(self, schema):
+        table = Table.from_rows(schema, [(1, "a")])
+        assert len(table.sample(10, random.Random(0))) == 1
+
+    def test_to_dicts(self, schema):
+        table = Table.from_rows(schema, [(1, "a")])
+        assert table.to_dicts() == [{"id": 1, "name": "a"}]
+
+    def test_iteration_and_indexing(self, schema):
+        table = Table.from_rows(schema, [(1, "a"), (2, "b")])
+        assert [r["id"] for r in table] == [1, 2]
+        assert table[0]["name"] == "a"
+
+    def test_repr_mentions_size(self, schema):
+        table = Table.from_rows(schema, [(1, "a")])
+        assert "1 record" in repr(table)

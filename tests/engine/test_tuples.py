@@ -1,0 +1,164 @@
+"""Tests for records and schemas."""
+
+import pytest
+
+from repro.engine.errors import SchemaError
+from repro.engine.tuples import Record, Schema, records_from_dicts
+
+
+class TestSchema:
+    def test_attributes_preserved_in_order(self):
+        schema = Schema(["b", "a", "c"])
+        assert schema.attributes == ("b", "a", "c")
+
+    def test_position_lookup(self):
+        schema = Schema(["x", "y"])
+        assert schema.position("x") == 0
+        assert schema.position("y") == 1
+
+    def test_unknown_attribute_position_raises(self):
+        schema = Schema(["x"])
+        with pytest.raises(SchemaError):
+            schema.position("missing")
+
+    def test_contains(self):
+        schema = Schema(["x", "y"])
+        assert "x" in schema
+        assert "z" not in schema
+
+    def test_len_and_iteration(self):
+        schema = Schema(["a", "b", "c"])
+        assert len(schema) == 3
+        assert list(schema) == ["a", "b", "c"]
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "a"])
+
+    def test_non_string_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", 3])
+
+    def test_empty_string_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([""])
+
+    def test_equality_ignores_name(self):
+        assert Schema(["a", "b"], name="x") == Schema(["a", "b"], name="y")
+        assert Schema(["a"]) != Schema(["b"])
+
+    def test_hashable(self):
+        assert len({Schema(["a"]), Schema(["a"]), Schema(["b"])}) == 2
+
+    def test_project(self):
+        schema = Schema(["a", "b", "c"])
+        projected = schema.project(["c", "a"])
+        assert projected.attributes == ("c", "a")
+
+    def test_project_unknown_attribute_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).project(["b"])
+
+    def test_rename(self):
+        schema = Schema(["a", "b"])
+        renamed = schema.rename({"a": "x"})
+        assert renamed.attributes == ("x", "b")
+
+    def test_concat_disjoint(self):
+        merged = Schema(["a"]).concat(Schema(["b"]))
+        assert merged.attributes == ("a", "b")
+
+    def test_concat_with_overlap_uses_other_name(self):
+        left = Schema(["id", "value"], name="left")
+        right = Schema(["id", "extra"], name="right")
+        merged = left.concat(right)
+        assert merged.attributes == ("id", "value", "right.id", "extra")
+
+    def test_concat_with_overlap_without_name_uses_suffix(self):
+        merged = Schema(["id"]).concat(Schema(["id"]))
+        assert merged.attributes == ("id", "id_2")
+
+    def test_validate_missing_and_extra(self):
+        schema = Schema(["a", "b"])
+        with pytest.raises(SchemaError):
+            schema.validate({"a": 1})
+        with pytest.raises(SchemaError):
+            schema.validate({"a": 1, "b": 2, "c": 3})
+
+
+class TestRecord:
+    def test_value_access_by_attribute(self):
+        schema = Schema(["id", "location"])
+        record = Record(schema, {"id": 7, "location": "GENOVA"})
+        assert record["id"] == 7
+        assert record["location"] == "GENOVA"
+
+    def test_values_follow_schema_order(self):
+        schema = Schema(["b", "a"])
+        record = Record(schema, {"a": 1, "b": 2})
+        assert record.values == (2, 1)
+
+    def test_from_values(self):
+        schema = Schema(["x", "y"])
+        record = Record.from_values(schema, [10, 20])
+        assert record["x"] == 10
+        assert record["y"] == 20
+
+    def test_from_values_wrong_arity_raises(self):
+        with pytest.raises(SchemaError):
+            Record.from_values(Schema(["x", "y"]), [1])
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(SchemaError):
+            Record(Schema(["a", "b"]), {"a": 1})
+
+    def test_get_with_default(self):
+        record = Record(Schema(["a"]), {"a": 1})
+        assert record.get("a") == 1
+        assert record.get("zzz", "fallback") == "fallback"
+
+    def test_as_dict_round_trip(self):
+        schema = Schema(["a", "b"])
+        original = {"a": 1, "b": "two"}
+        assert Record(schema, original).as_dict() == original
+
+    def test_equality_and_hash_by_value(self):
+        schema = Schema(["a"])
+        first = Record(schema, {"a": 1})
+        second = Record(schema, {"a": 1})
+        third = Record(schema, {"a": 2})
+        assert first == second
+        assert first != third
+        assert len({first, second, third}) == 2
+
+    def test_project(self):
+        schema = Schema(["a", "b", "c"])
+        record = Record(schema, {"a": 1, "b": 2, "c": 3})
+        projected = record.project(["c", "a"])
+        assert projected.values == (3, 1)
+
+    def test_concat(self):
+        left = Record(Schema(["a"], name="l"), {"a": 1})
+        right = Record(Schema(["b"], name="r"), {"b": 2})
+        joined = left.concat(right)
+        assert joined.values == (1, 2)
+        assert joined.schema.attributes == ("a", "b")
+
+    def test_len_and_iter(self):
+        record = Record(Schema(["a", "b"]), {"a": 1, "b": 2})
+        assert len(record) == 2
+        assert list(record) == [1, 2]
+
+    def test_repr_contains_values(self):
+        record = Record(Schema(["a"]), {"a": 42})
+        assert "42" in repr(record)
+
+
+def test_records_from_dicts_yields_records():
+    schema = Schema(["a"])
+    records = list(records_from_dicts(schema, [{"a": 1}, {"a": 2}]))
+    assert [r["a"] for r in records] == [1, 2]

@@ -1,0 +1,87 @@
+"""Integration tests: the full pipeline from data generation to metrics.
+
+These tests exercise the complete path a benchmark run takes —
+generator → baselines → adaptive join → gain/cost metrics — at a reduced
+scale and assert the qualitative properties the paper reports in Sec. 4.4.
+"""
+
+import pytest
+
+from repro.bench.harness import run_experiment
+from repro.core.cost_model import CostModel
+from repro.core.state_machine import JoinState
+from repro.core.thresholds import Thresholds
+from repro.datagen.testcases import STANDARD_TEST_CASES
+
+SCALE = {"parent_size": 400, "child_size": 800}
+FAST = Thresholds(delta_adapt=50, window_size=50)
+
+
+@pytest.fixture(scope="module")
+def all_outcomes():
+    return {
+        name: run_experiment(spec, thresholds=FAST, **SCALE)
+        for name, spec in STANDARD_TEST_CASES.items()
+    }
+
+
+class TestPaperLevelProperties:
+    def test_adaptive_recovers_part_of_the_gap_everywhere(self, all_outcomes):
+        for name, outcome in all_outcomes.items():
+            assert outcome.report.gain > 0.1, name
+
+    def test_cost_never_exceeds_all_approximate(self, all_outcomes):
+        for name, outcome in all_outcomes.items():
+            assert outcome.report.never_worse_than_approximate, name
+            assert outcome.report.cost < 1.0, name
+
+    def test_adaptive_reacts_in_every_perturbed_case(self, all_outcomes):
+        for name, outcome in all_outcomes.items():
+            assert outcome.adaptive.trace.transition_count >= 1, name
+
+    def test_a_useful_share_of_steps_stays_exact(self, all_outcomes):
+        fractions = [
+            outcome.adaptive.trace.exact_step_fraction()
+            for outcome in all_outcomes.values()
+        ]
+        assert sum(fractions) / len(fractions) > 0.15
+
+    def test_transition_cost_is_minor_share_of_total(self, all_outcomes):
+        model = CostModel()
+        for name, outcome in all_outcomes.items():
+            breakdown = model.breakdown(outcome.adaptive.trace)
+            assert breakdown.total_transition_cost < 0.25 * breakdown.total, name
+
+    def test_child_only_cases_use_right_approximate_not_left(self, all_outcomes):
+        for name, outcome in all_outcomes.items():
+            if not name.endswith("_child"):
+                continue
+            trace = outcome.adaptive.trace
+            assert trace.steps_per_state[JoinState.LAP_REX] == 0, name
+
+    def test_adaptive_recall_between_baselines(self, all_outcomes):
+        for name, outcome in all_outcomes.items():
+            evaluations = outcome.evaluations
+            assert (
+                evaluations["exact"].recall
+                <= evaluations["adaptive"].recall
+                <= evaluations["approximate"].recall
+            ), name
+
+    def test_approximate_baseline_is_nearly_complete(self, all_outcomes):
+        for name, outcome in all_outcomes.items():
+            assert outcome.evaluations["approximate"].recall > 0.93, name
+
+    def test_exact_baseline_misses_about_the_variant_rate(self, all_outcomes):
+        for name, outcome in all_outcomes.items():
+            recall = outcome.evaluations["exact"].recall
+            if name.endswith("_child"):
+                assert 0.82 <= recall <= 0.97, name
+            else:
+                # Variants in both tables remove more exact matches.
+                assert 0.70 <= recall <= 0.95, name
+
+    def test_precision_is_never_sacrificed(self, all_outcomes):
+        for name, outcome in all_outcomes.items():
+            for strategy, evaluation in outcome.evaluations.items():
+                assert evaluation.precision > 0.95, (name, strategy)

@@ -1,0 +1,51 @@
+"""Smoke tests for the example scripts.
+
+The examples are part of the public surface of the repository; each one must
+run end-to-end (at a reduced scale where it accepts arguments) and print its
+headline output.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_examples_directory_contents(self):
+        names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "accidents_mashup.py",
+            "streaming_linkage.py",
+            "tuning_exploration.py",
+        }.issubset(names)
+
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "adaptive" in output
+        assert "recall" in output
+
+    def test_accidents_mashup_reduced_scale(self):
+        output = run_example("accidents_mashup.py", "400", "250")
+        assert "completeness / cost trade-off" in output
+        assert "efficiency" in output
+
+    def test_streaming_linkage(self):
+        output = run_example("streaming_linkage.py")
+        assert "finished in state" in output
+        assert "state transitions" in output

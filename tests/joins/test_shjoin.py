@@ -1,0 +1,145 @@
+"""Tests for the exact symmetric hash join (SHJoin)."""
+
+import pytest
+
+from repro.engine.streams import ListStream
+from repro.engine.tuples import Record, Schema
+from repro.joins.base import JoinAttribute
+from repro.joins.baselines import NestedLoopJoin, hash_join_pairs
+from repro.joins.shjoin import SHJoin
+
+
+class TestResultCorrectness:
+    def test_matches_nested_loop_oracle(self, atlas_table, accidents_table):
+        symmetric = SHJoin(atlas_table, accidents_table, "location").run()
+        oracle = NestedLoopJoin(atlas_table, accidents_table, "location").run()
+        assert len(symmetric) == len(oracle)
+        assert {tuple(r.values) for r in symmetric} == {tuple(r.values) for r in oracle}
+
+    def test_pair_identities_match_oracle(self, atlas_table, accidents_table):
+        join = SHJoin(atlas_table, accidents_table, "location")
+        join.run()
+        pairs = set(join.engine._emitted_pairs)
+        assert pairs == set(hash_join_pairs(atlas_table, accidents_table, "location"))
+
+    def test_misses_variants_by_design(self, atlas_table, accidents_table):
+        records = SHJoin(atlas_table, accidents_table, "location").run()
+        # The child row_id is the third output value (after the two atlas
+        # attributes).
+        joined_child_ids = {r.values[2] for r in records}
+        # The typo'd accidents (102, 104, 106) and the unknown location (107)
+        # cannot match exactly.
+        assert joined_child_ids.isdisjoint({102, 104, 106, 107})
+
+    def test_duplicate_values_produce_all_pairs(self):
+        schema = Schema(["row_id", "key"])
+        left = [Record(schema, {"row_id": i, "key": "X"}) for i in range(3)]
+        right = [Record(schema, {"row_id": 10 + i, "key": "X"}) for i in range(2)]
+        join = SHJoin(
+            ListStream(schema, left, name="l"),
+            ListStream(schema, right, name="r"),
+            "key",
+        )
+        assert len(join.run()) == 6
+
+    def test_empty_inputs(self):
+        schema = Schema(["key"])
+        join = SHJoin(ListStream(schema, []), ListStream(schema, []), "key")
+        assert join.run() == []
+
+    def test_one_empty_input(self, atlas_table):
+        schema = atlas_table.schema
+        join = SHJoin(atlas_table, ListStream(schema, []), "location")
+        assert join.run() == []
+
+    def test_different_attribute_names_per_side(self, atlas_table):
+        schema = Schema(["code", "place"], name="reports")
+        from repro.engine.table import Table
+
+        reports = Table.from_rows(schema, [(900, "LIG GE GENOVA")])
+        join = SHJoin(
+            atlas_table, reports, JoinAttribute("location", "place")
+        )
+        records = join.run()
+        assert len(records) == 1
+        assert records[0]["place"] == "LIG GE GENOVA"
+
+
+class TestOutputSchema:
+    def test_output_concatenates_both_schemas(self, atlas_table, accidents_table):
+        join = SHJoin(atlas_table, accidents_table, "location")
+        attributes = join.output_schema.attributes
+        assert attributes[: len(atlas_table.schema)] == atlas_table.schema.attributes
+        assert len(attributes) == len(atlas_table.schema) + len(accidents_table.schema)
+
+    def test_overlapping_attribute_names_are_disambiguated(
+        self, atlas_table, accidents_table
+    ):
+        join = SHJoin(atlas_table, accidents_table, "location")
+        assert len(set(join.output_schema.attributes)) == len(
+            join.output_schema.attributes
+        )
+
+
+class TestPipelining:
+    def test_results_stream_before_inputs_are_exhausted(self):
+        schema = Schema(["key"])
+        left = [Record(schema, {"key": str(i)}) for i in range(100)]
+        right = [Record(schema, {"key": str(i)}) for i in range(100)]
+        join = SHJoin(ListStream(schema, left), ListStream(schema, right), "key")
+        join.open()
+        first = join.next_record()
+        assert first is not None
+        # Far fewer than all 200 input tuples were consumed to produce it.
+        assert join.stats.tuples_read < 20
+        join.close()
+
+    def test_quiescence_between_fully_drained_probes(self, atlas_table, accidents_table):
+        join = SHJoin(atlas_table, accidents_table, "location")
+        join.open()
+        while True:
+            record = join.next_record()
+            if record is None:
+                break
+            # This small dataset has no duplicate keys, so every produced
+            # match fully drains its probe: the operator is quiescent after
+            # each call.
+            assert join.is_quiescent()
+        join.close()
+
+    def test_non_quiescent_while_matches_pending(self):
+        schema = Schema(["key"])
+        # Both left "X" rows are scanned before the matching right "X" row
+        # (its predecessor "Z" keeps the alternation going), so that one
+        # probe produces two matches.
+        left = [Record(schema, {"key": "X"}), Record(schema, {"key": "X"})]
+        right = [Record(schema, {"key": "Z"}), Record(schema, {"key": "X"})]
+        join = SHJoin(ListStream(schema, left), ListStream(schema, right), "key")
+        join.open()
+        join.next_record()
+        # The probe that produced the first match has a second match pending.
+        assert not join.is_quiescent()
+        join.next_record()
+        assert join.is_quiescent()
+        join.close()
+
+
+class TestStatistics:
+    def test_reads_both_inputs_completely(self, atlas_table, accidents_table):
+        join = SHJoin(atlas_table, accidents_table, "location")
+        join.run()
+        assert join.stats.tuples_read_left == len(atlas_table)
+        assert join.stats.tuples_read_right == len(accidents_table)
+
+    def test_operation_counters_exact_only(self, atlas_table, accidents_table):
+        join = SHJoin(atlas_table, accidents_table, "location")
+        join.run()
+        counters = join.operation_counters()
+        assert counters.exact_probes == len(atlas_table) + len(accidents_table)
+        assert counters.approx_probes == 0
+        assert counters.qgrams_obtained == 0
+
+    def test_matches_emitted_property(self, atlas_table, accidents_table):
+        join = SHJoin(atlas_table, accidents_table, "location")
+        records = join.run()
+        assert join.matches_emitted == len(records)

@@ -1,0 +1,97 @@
+"""Tests for the high-level link_tables API."""
+
+import pytest
+
+from repro.core.thresholds import Thresholds
+from repro.linkage.api import STRATEGIES, link_tables
+from repro.linkage.evaluation import evaluate_pairs
+
+
+class TestStrategies:
+    def test_unknown_strategy_rejected(self, atlas_table, accidents_table):
+        with pytest.raises(ValueError):
+            link_tables(atlas_table, accidents_table, "location", strategy="magic")
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_every_strategy_returns_pairs_and_records(
+        self, strategy, atlas_table, accidents_table
+    ):
+        result = link_tables(
+            atlas_table,
+            accidents_table,
+            "location",
+            strategy=strategy,
+            similarity_threshold=0.8,
+        )
+        assert result.strategy == strategy
+        assert result.pair_count == len(result.pairs)
+        assert len(result.records) == len(result.pairs)
+        assert result.statistics["result_size"] == len(result.records)
+
+    def test_exact_strategy_finds_only_exact_pairs(self, atlas_table, accidents_table):
+        result = link_tables(atlas_table, accidents_table, "location", strategy="exact")
+        assert result.pair_count == 5
+
+    def test_approximate_strategy_recovers_variants(self, atlas_table, accidents_table):
+        exact = link_tables(atlas_table, accidents_table, "location", strategy="exact")
+        approx = link_tables(
+            atlas_table,
+            accidents_table,
+            "location",
+            strategy="approximate",
+            similarity_threshold=0.8,
+        )
+        assert approx.pair_count > exact.pair_count
+        assert set(exact.pairs).issubset(set(approx.pairs))
+
+    def test_adaptive_strategy_reports_trace(self, small_dataset):
+        result = link_tables(
+            small_dataset.parent,
+            small_dataset.child,
+            "location",
+            strategy="adaptive",
+            thresholds=Thresholds(delta_adapt=25, window_size=25),
+        )
+        trace = result.statistics["trace"]
+        assert trace["total_steps"] == len(small_dataset.parent) + len(
+            small_dataset.child
+        )
+        assert result.statistics["final_state"] in (
+            "lex/rex",
+            "lap/rex",
+            "lex/rap",
+            "lap/rap",
+        )
+
+    def test_blocking_strategy_reports_comparisons(self, atlas_table, accidents_table):
+        result = link_tables(
+            atlas_table, accidents_table, "location", strategy="blocking"
+        )
+        assert result.statistics["comparisons"] > 0
+
+
+class TestEndToEndQuality:
+    def test_adaptive_quality_between_exact_and_approximate(self, small_dataset):
+        thresholds = Thresholds(delta_adapt=25, window_size=25)
+        truth = small_dataset.true_pairs
+        recalls = {}
+        for strategy in ("exact", "approximate", "adaptive"):
+            result = link_tables(
+                small_dataset.parent,
+                small_dataset.child,
+                "location",
+                strategy=strategy,
+                thresholds=thresholds,
+            )
+            recalls[strategy] = evaluate_pairs(result.pairs, truth).recall
+        assert recalls["exact"] <= recalls["adaptive"] <= recalls["approximate"]
+        assert recalls["approximate"] > recalls["exact"]
+
+    def test_precision_stays_high_for_all_strategies(self, small_dataset):
+        truth = small_dataset.true_pairs
+        for strategy in ("exact", "approximate", "adaptive"):
+            result = link_tables(
+                small_dataset.parent, small_dataset.child, "location", strategy=strategy
+            )
+            evaluation = evaluate_pairs(result.pairs, truth)
+            assert evaluation.precision > 0.95

@@ -1,0 +1,111 @@
+"""Tests for the blocking strategies."""
+
+import pytest
+
+from repro.engine.table import Table
+from repro.engine.tuples import Schema
+from repro.linkage.blocking import (
+    FirstCharactersBlocking,
+    QGramBlocking,
+    SortedNeighbourhoodBlocking,
+    candidate_pairs,
+)
+
+SCHEMA = Schema(["row_id", "location"])
+
+
+@pytest.fixture
+def left():
+    return Table.from_rows(
+        SCHEMA,
+        [
+            (0, "LIG GE GENOVA"),
+            (1, "LIG GE GENOVA PEGLI"),
+            (2, "LOM MI MILANO"),
+            (3, "SIC PA PALERMO"),
+        ],
+    )
+
+
+@pytest.fixture
+def right():
+    return Table.from_rows(
+        SCHEMA,
+        [
+            (0, "LIG GE GENOVy"),
+            (1, "LOM MI MILANx"),
+            (2, "VEN VE VENEZIA"),
+        ],
+    )
+
+
+class TestFirstCharactersBlocking:
+    def test_groups_by_prefix(self, left, right):
+        pairs = FirstCharactersBlocking(prefix_length=4).pairs(
+            left, right, "location", "location"
+        )
+        # GENOVy lands in the same "LIG " block as both GENOVA rows.
+        assert (0, 0) in pairs and (1, 0) in pairs
+        # MILANx lands with MILANO.
+        assert (2, 1) in pairs
+        # VENEZIA has no LIG/LOM/SIC partner.
+        assert not any(right_index == 2 for _, right_index in pairs)
+
+    def test_prefix_length_validation(self):
+        with pytest.raises(ValueError):
+            FirstCharactersBlocking(prefix_length=0)
+
+    def test_candidate_pairs_helper(self, left, right):
+        strategy = FirstCharactersBlocking(prefix_length=4)
+        assert candidate_pairs(strategy, left, right, "location") == strategy.pairs(
+            left, right, "location", "location"
+        )
+
+
+class TestQGramBlocking:
+    def test_finds_typo_pairs(self, left, right):
+        pairs = QGramBlocking(q=3, min_shared=3).pairs(
+            left, right, "location", "location"
+        )
+        assert (0, 0) in pairs
+        assert (2, 1) in pairs
+
+    def test_min_shared_controls_candidate_volume(self, left, right):
+        loose = QGramBlocking(q=3, min_shared=1).pairs(left, right, "location", "location")
+        strict = QGramBlocking(q=3, min_shared=8).pairs(left, right, "location", "location")
+        assert len(strict) <= len(loose)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QGramBlocking(q=0)
+        with pytest.raises(ValueError):
+            QGramBlocking(min_shared=0)
+
+
+class TestSortedNeighbourhoodBlocking:
+    def test_nearby_values_become_candidates(self, left, right):
+        pairs = SortedNeighbourhoodBlocking(window=3).pairs(
+            left, right, "location", "location"
+        )
+        assert (0, 0) in pairs or (1, 0) in pairs
+
+    def test_pairs_always_cross_tables(self, left, right):
+        pairs = SortedNeighbourhoodBlocking(window=4).pairs(
+            left, right, "location", "location"
+        )
+        for left_index, right_index in pairs:
+            assert 0 <= left_index < len(left)
+            assert 0 <= right_index < len(right)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            SortedNeighbourhoodBlocking(window=1)
+
+    def test_larger_window_never_reduces_candidates(self, left, right):
+        small = SortedNeighbourhoodBlocking(window=2).pairs(
+            left, right, "location", "location"
+        )
+        large = SortedNeighbourhoodBlocking(window=6).pairs(
+            left, right, "location", "location"
+        )
+        assert small.issubset(large)

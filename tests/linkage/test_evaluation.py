@@ -1,0 +1,79 @@
+"""Tests for linkage evaluation against ground truth."""
+
+import pytest
+
+from repro.linkage.evaluation import LinkageEvaluation, evaluate_pairs
+
+
+class TestEvaluatePairs:
+    def test_perfect_linkage(self):
+        truth = [(0, 0), (1, 1), (2, 2)]
+        evaluation = evaluate_pairs(truth, truth)
+        assert evaluation.precision == 1.0
+        assert evaluation.recall == 1.0
+        assert evaluation.f1 == 1.0
+        assert evaluation.true_positives == 3
+
+    def test_partial_linkage(self):
+        truth = [(0, 0), (1, 1), (2, 2), (3, 3)]
+        returned = [(0, 0), (1, 1), (9, 9)]
+        evaluation = evaluate_pairs(returned, truth)
+        assert evaluation.true_positives == 2
+        assert evaluation.false_positives == 1
+        assert evaluation.false_negatives == 2
+        assert evaluation.precision == pytest.approx(2 / 3)
+        assert evaluation.recall == pytest.approx(0.5)
+
+    def test_duplicates_ignored(self):
+        truth = [(0, 0)]
+        returned = [(0, 0), (0, 0), (0, 0)]
+        evaluation = evaluate_pairs(returned, truth)
+        assert evaluation.true_positives == 1
+        assert evaluation.false_positives == 0
+
+    def test_empty_returned(self):
+        evaluation = evaluate_pairs([], [(0, 0)])
+        assert evaluation.precision == 1.0
+        assert evaluation.recall == 0.0
+        assert evaluation.f1 == 0.0
+
+    def test_empty_truth(self):
+        evaluation = evaluate_pairs([(0, 0)], [])
+        assert evaluation.recall == 1.0
+        assert evaluation.precision == 0.0
+
+    def test_both_empty(self):
+        evaluation = evaluate_pairs([], [])
+        assert evaluation.precision == 1.0
+        assert evaluation.recall == 1.0
+        assert evaluation.f1 == 1.0
+
+
+class TestEvaluationProperties:
+    def test_derived_counts(self):
+        evaluation = LinkageEvaluation(
+            true_positives=8, false_positives=2, false_negatives=4
+        )
+        assert evaluation.returned_pairs == 10
+        assert evaluation.true_pairs == 12
+
+    def test_completeness_is_recall(self):
+        evaluation = LinkageEvaluation(
+            true_positives=3, false_positives=0, false_negatives=1
+        )
+        assert evaluation.completeness == evaluation.recall == pytest.approx(0.75)
+
+    def test_f1_harmonic_mean(self):
+        evaluation = LinkageEvaluation(
+            true_positives=6, false_positives=2, false_negatives=6
+        )
+        precision, recall = 0.75, 0.5
+        assert evaluation.f1 == pytest.approx(2 * precision * recall / (precision + recall))
+
+    def test_as_dict(self):
+        evaluation = LinkageEvaluation(1, 2, 3)
+        payload = evaluation.as_dict()
+        assert payload["true_positives"] == 1
+        assert payload["false_positives"] == 2
+        assert payload["false_negatives"] == 3
+        assert "precision" in payload and "recall" in payload and "f1" in payload

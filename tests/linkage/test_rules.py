@@ -1,0 +1,75 @@
+"""Tests for match decision rules."""
+
+import pytest
+
+from repro.linkage.rules import (
+    MatchDecision,
+    ThresholdRule,
+    TwoThresholdRule,
+    classify_pair,
+)
+
+
+class TestThresholdRule:
+    def test_match_at_or_above_threshold(self):
+        rule = ThresholdRule(threshold=0.85)
+        assert rule.decide(0.9) is MatchDecision.MATCH
+        assert rule.decide(0.85) is MatchDecision.MATCH
+
+    def test_non_match_below_threshold(self):
+        rule = ThresholdRule(threshold=0.85)
+        assert rule.decide(0.84) is MatchDecision.NON_MATCH
+
+    def test_is_match_helper(self):
+        assert ThresholdRule(0.5).is_match(0.7)
+        assert not ThresholdRule(0.5).is_match(0.2)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ThresholdRule(threshold=1.5)
+
+
+class TestTwoThresholdRule:
+    def test_three_bands(self):
+        rule = TwoThresholdRule(lower=0.6, upper=0.9)
+        assert rule.decide(0.95) is MatchDecision.MATCH
+        assert rule.decide(0.75) is MatchDecision.POSSIBLE
+        assert rule.decide(0.5) is MatchDecision.NON_MATCH
+
+    def test_boundaries(self):
+        rule = TwoThresholdRule(lower=0.6, upper=0.9)
+        assert rule.decide(0.9) is MatchDecision.MATCH
+        assert rule.decide(0.6) is MatchDecision.POSSIBLE
+
+    def test_invalid_ordering(self):
+        with pytest.raises(ValueError):
+            TwoThresholdRule(lower=0.9, upper=0.6)
+
+    def test_is_match_only_for_upper_band(self):
+        rule = TwoThresholdRule(lower=0.6, upper=0.9)
+        assert rule.is_match(0.95)
+        assert not rule.is_match(0.75)
+
+
+class TestClassifyPair:
+    def test_identical_values_match(self):
+        decision = classify_pair("LIG GE GENOVA", "LIG GE GENOVA", ThresholdRule(0.85))
+        assert decision is MatchDecision.MATCH
+
+    def test_variant_with_appropriate_threshold(self):
+        decision = classify_pair(
+            "TAA BZ SANTA CRISTINA VALGARDENA",
+            "TAA BZ SANTA CRISTINx VALGARDENA",
+            ThresholdRule(0.8),
+        )
+        assert decision is MatchDecision.MATCH
+
+    def test_unrelated_values_do_not_match(self):
+        decision = classify_pair("LIG GE GENOVA", "SIC PA PALERMO", ThresholdRule(0.5))
+        assert decision is MatchDecision.NON_MATCH
+
+    def test_alternative_similarity_function(self):
+        decision = classify_pair(
+            "LIG GE GENOVA", "LIG GE GENOVy", ThresholdRule(0.9), similarity="levenshtein"
+        )
+        assert decision is MatchDecision.MATCH

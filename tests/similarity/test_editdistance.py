@@ -1,0 +1,80 @@
+"""Tests for edit-based string distances."""
+
+import pytest
+
+from repro.similarity.editdistance import (
+    damerau_levenshtein_distance,
+    levenshtein_distance,
+    levenshtein_similarity,
+)
+
+
+class TestLevenshtein:
+    def test_identical_strings(self):
+        assert levenshtein_distance("GENOVA", "GENOVA") == 0
+
+    def test_single_substitution(self):
+        assert levenshtein_distance("GENOVA", "GENOVX") == 1
+
+    def test_single_insertion_and_deletion(self):
+        assert levenshtein_distance("GENOVA", "GENOVVA") == 1
+        assert levenshtein_distance("GENOVA", "GENOA") == 1
+
+    def test_empty_strings(self):
+        assert levenshtein_distance("", "") == 0
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "") == 3
+
+    def test_classic_example(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+
+    def test_symmetry(self):
+        assert levenshtein_distance("abcdef", "azced") == levenshtein_distance(
+            "azced", "abcdef"
+        )
+
+    def test_triangle_inequality_spot_check(self):
+        a, b, c = "ROMA", "ROMANO", "MILANO"
+        assert levenshtein_distance(a, c) <= (
+            levenshtein_distance(a, b) + levenshtein_distance(b, c)
+        )
+
+    def test_transposition_costs_two(self):
+        assert levenshtein_distance("AB", "BA") == 2
+
+
+class TestDamerauLevenshtein:
+    def test_transposition_costs_one(self):
+        assert damerau_levenshtein_distance("AB", "BA") == 1
+
+    def test_matches_levenshtein_without_transpositions(self):
+        assert damerau_levenshtein_distance("kitten", "sitting") == 3
+
+    def test_identical_and_empty(self):
+        assert damerau_levenshtein_distance("x", "x") == 0
+        assert damerau_levenshtein_distance("", "ab") == 2
+
+    def test_never_exceeds_levenshtein(self):
+        pairs = [("GENOVA", "GENOAV"), ("MILANO", "MLIANO"), ("ROMA", "AMOR")]
+        for left, right in pairs:
+            assert damerau_levenshtein_distance(left, right) <= levenshtein_distance(
+                left, right
+            )
+
+
+class TestLevenshteinSimilarity:
+    def test_identical(self):
+        assert levenshtein_similarity("abc", "abc") == 1.0
+
+    def test_empty_pair(self):
+        assert levenshtein_similarity("", "") == 1.0
+
+    def test_single_typo_in_long_string(self):
+        value = levenshtein_similarity("TAA BZ SANTA CRISTINA", "TAA BZ SANTA CRISTINx")
+        assert value == pytest.approx(1 - 1 / 21)
+
+    def test_completely_different(self):
+        assert levenshtein_similarity("aaa", "bbb") == 0.0
+
+    def test_bounded(self):
+        assert 0.0 <= levenshtein_similarity("abc", "xyzw") <= 1.0

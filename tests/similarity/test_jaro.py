@@ -1,0 +1,61 @@
+"""Tests for Jaro and Jaro-Winkler similarities."""
+
+import pytest
+
+from repro.similarity.jaro import jaro_similarity, jaro_winkler_similarity
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro_similarity("MARTHA", "MARTHA") == 1.0
+
+    def test_empty_vs_nonempty(self):
+        assert jaro_similarity("", "abc") == 0.0
+        assert jaro_similarity("abc", "") == 0.0
+
+    def test_both_empty(self):
+        assert jaro_similarity("", "") == 1.0
+
+    def test_classic_martha_marhta(self):
+        assert jaro_similarity("MARTHA", "MARHTA") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_classic_dixon_dicksonx(self):
+        assert jaro_similarity("DIXON", "DICKSONX") == pytest.approx(0.7667, abs=1e-3)
+
+    def test_no_common_characters(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    def test_symmetric(self):
+        assert jaro_similarity("CRATE", "TRACE") == pytest.approx(
+            jaro_similarity("TRACE", "CRATE")
+        )
+
+    def test_bounded(self):
+        assert 0.0 <= jaro_similarity("GENOVA", "GENOVa") <= 1.0
+
+
+class TestJaroWinkler:
+    def test_prefix_bonus_increases_similarity(self):
+        plain = jaro_similarity("MARTHA", "MARHTA")
+        boosted = jaro_winkler_similarity("MARTHA", "MARHTA")
+        assert boosted > plain
+
+    def test_classic_value(self):
+        assert jaro_winkler_similarity("MARTHA", "MARHTA") == pytest.approx(
+            0.9611, abs=1e-3
+        )
+
+    def test_no_common_prefix_equals_jaro(self):
+        assert jaro_winkler_similarity("DWAYNE", "UWAYNE") == pytest.approx(
+            jaro_similarity("DWAYNE", "UWAYNE")
+        )
+
+    def test_identical(self):
+        assert jaro_winkler_similarity("abc", "abc") == 1.0
+
+    def test_invalid_prefix_scale_rejected(self):
+        with pytest.raises(ValueError):
+            jaro_winkler_similarity("a", "a", prefix_scale=0.5)
+
+    def test_result_never_exceeds_one(self):
+        assert jaro_winkler_similarity("AAAA", "AAAA", prefix_scale=0.25) <= 1.0

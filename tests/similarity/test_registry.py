@@ -1,0 +1,61 @@
+"""Tests for the similarity-function registry."""
+
+import pytest
+
+from repro.similarity.registry import (
+    available_similarities,
+    get_similarity,
+    register_similarity,
+)
+
+
+class TestBuiltins:
+    def test_expected_builtins_present(self):
+        names = available_similarities()
+        for expected in (
+            "jaccard_qgram",
+            "cosine_qgram",
+            "overlap_qgram",
+            "dice_qgram",
+            "levenshtein",
+            "jaro",
+            "jaro_winkler",
+        ):
+            assert expected in names
+
+    def test_lookup_by_name_returns_callable(self):
+        function = get_similarity("jaccard_qgram")
+        assert callable(function)
+        assert function("GENOVA", "GENOVA") == 1.0
+
+    @pytest.mark.parametrize("name", ["jaccard_qgram", "levenshtein", "jaro_winkler",
+                                      "overlap_qgram", "dice_qgram", "cosine_qgram"])
+    def test_all_builtins_return_floats_in_unit_interval(self, name):
+        function = get_similarity(name)
+        value = function("LIG GE GENOVA", "LIG GE GENOVy")
+        assert 0.0 <= value <= 1.0
+
+    def test_callable_passthrough(self):
+        sentinel = lambda a, b: 0.5  # noqa: E731 - deliberate inline stub
+        assert get_similarity(sentinel) is sentinel
+
+    def test_unknown_name_raises_with_candidates(self):
+        with pytest.raises(KeyError) as excinfo:
+            get_similarity("no_such_function")
+        assert "jaccard_qgram" in str(excinfo.value)
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        name = "test_only_constant_similarity"
+        if name not in available_similarities():
+            register_similarity(name, lambda a, b: 1.0)
+        assert get_similarity(name)("x", "y") == 1.0
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_similarity("jaccard_qgram", lambda a, b: 0.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            register_similarity("", lambda a, b: 0.0)

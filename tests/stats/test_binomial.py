@@ -1,0 +1,108 @@
+"""Tests for the binomial distribution utilities (cross-checked against scipy)."""
+
+import math
+
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.stats.binomial import (
+    binomial_cdf,
+    binomial_mean,
+    binomial_pmf,
+    binomial_sf,
+    binomial_variance,
+    log_binomial_coefficient,
+    normal_approx_cdf,
+)
+
+
+class TestLogBinomialCoefficient:
+    def test_small_values(self):
+        assert math.isclose(math.exp(log_binomial_coefficient(5, 2)), 10.0)
+        assert math.isclose(math.exp(log_binomial_coefficient(10, 0)), 1.0)
+        assert math.isclose(math.exp(log_binomial_coefficient(10, 10)), 1.0)
+
+    def test_out_of_range_is_minus_infinity(self):
+        assert log_binomial_coefficient(5, 6) == float("-inf")
+        assert log_binomial_coefficient(5, -1) == float("-inf")
+
+    def test_symmetry(self):
+        assert log_binomial_coefficient(20, 7) == pytest.approx(
+            log_binomial_coefficient(20, 13)
+        )
+
+
+class TestPmf:
+    @pytest.mark.parametrize("n,p", [(10, 0.3), (50, 0.5), (200, 0.05), (17, 0.9)])
+    def test_matches_scipy(self, n, p):
+        for k in range(0, n + 1, max(1, n // 7)):
+            assert binomial_pmf(k, n, p) == pytest.approx(
+                scipy_stats.binom.pmf(k, n, p), rel=1e-9, abs=1e-12
+            )
+
+    def test_sums_to_one(self):
+        total = sum(binomial_pmf(k, 40, 0.37) for k in range(41))
+        assert total == pytest.approx(1.0)
+
+    def test_out_of_range_is_zero(self):
+        assert binomial_pmf(-1, 10, 0.5) == 0.0
+        assert binomial_pmf(11, 10, 0.5) == 0.0
+
+    def test_degenerate_probabilities(self):
+        assert binomial_pmf(0, 10, 0.0) == 1.0
+        assert binomial_pmf(10, 10, 1.0) == 1.0
+        assert binomial_pmf(3, 10, 0.0) == 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            binomial_pmf(1, -1, 0.5)
+        with pytest.raises(ValueError):
+            binomial_pmf(1, 10, 1.5)
+
+
+class TestCdf:
+    @pytest.mark.parametrize("n,p", [(10, 0.3), (100, 0.5), (500, 0.02), (37, 0.77)])
+    def test_matches_scipy(self, n, p):
+        for k in range(0, n + 1, max(1, n // 9)):
+            assert binomial_cdf(k, n, p) == pytest.approx(
+                scipy_stats.binom.cdf(k, n, p), rel=1e-7, abs=1e-10
+            )
+
+    def test_boundaries(self):
+        assert binomial_cdf(-1, 10, 0.5) == 0.0
+        assert binomial_cdf(10, 10, 0.5) == 1.0
+        assert binomial_cdf(25, 10, 0.5) == 1.0
+
+    def test_monotone_in_k(self):
+        values = [binomial_cdf(k, 60, 0.4) for k in range(61)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_degenerate_probabilities(self):
+        assert binomial_cdf(5, 10, 0.0) == 1.0
+        assert binomial_cdf(5, 10, 1.0) == 0.0
+
+    def test_survival_function_complements_cdf(self):
+        assert binomial_sf(7, 20, 0.4) == pytest.approx(1 - binomial_cdf(7, 20, 0.4))
+
+    def test_normal_approximation_close_for_large_n(self):
+        n, p = 50_000, 0.3
+        k = int(n * p - 2 * math.sqrt(n * p * (1 - p)))
+        exact = scipy_stats.binom.cdf(k, n, p)
+        approx = normal_approx_cdf(k, n, p)
+        assert approx == pytest.approx(exact, abs=5e-3)
+
+    def test_cdf_switches_to_normal_approximation_above_cutoff(self):
+        n, p = 30_000, 0.4
+        k = int(n * p)
+        assert binomial_cdf(k, n, p) == pytest.approx(normal_approx_cdf(k, n, p))
+
+    def test_exact_cutoff_can_be_forced(self):
+        n, p, k = 25_000, 0.5, 12_400
+        forced_exact = binomial_cdf(k, n, p, exact_cutoff=10**9)
+        assert forced_exact == pytest.approx(scipy_stats.binom.cdf(k, n, p), rel=1e-6)
+
+
+class TestMoments:
+    def test_mean_and_variance(self):
+        assert binomial_mean(100, 0.3) == pytest.approx(30.0)
+        assert binomial_variance(100, 0.3) == pytest.approx(21.0)

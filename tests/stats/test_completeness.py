@@ -1,0 +1,120 @@
+"""Tests for the result-completeness model and the outlier test (Eq. 1)."""
+
+import pytest
+
+from repro.stats.completeness import (
+    CompletenessModel,
+    ResultSizeObservation,
+    binomial_outlier_probability,
+    is_result_size_outlier,
+)
+
+
+def observation(observed, child, parent, step=0):
+    return ResultSizeObservation(
+        observed_matches=observed,
+        child_scanned=child,
+        parent_scanned=parent,
+        step=step,
+    )
+
+
+class TestModelBasics:
+    def test_match_probability_is_scan_fraction(self):
+        model = CompletenessModel(parent_size=1000)
+        assert model.match_probability(0) == 0.0
+        assert model.match_probability(250) == 0.25
+        assert model.match_probability(1000) == 1.0
+
+    def test_match_probability_clamped_above_parent_size(self):
+        model = CompletenessModel(parent_size=100)
+        assert model.match_probability(150) == 1.0
+
+    def test_negative_scan_count_rejected(self):
+        with pytest.raises(ValueError):
+            CompletenessModel(parent_size=10).match_probability(-1)
+
+    def test_expected_matches(self):
+        model = CompletenessModel(parent_size=1000)
+        assert model.expected_matches(400, 500) == pytest.approx(200.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            CompletenessModel(parent_size=0)
+        with pytest.raises(ValueError):
+            CompletenessModel(parent_size=10, outlier_threshold=0.0)
+        with pytest.raises(ValueError):
+            CompletenessModel(parent_size=10, outlier_threshold=1.0)
+
+
+class TestOutlierDetection:
+    def test_on_track_observation_is_not_outlier(self):
+        model = CompletenessModel(parent_size=1000, outlier_threshold=0.05)
+        # Expected 200 matches; observing 195 is well within noise.
+        assert not model.is_outlier(observation(195, 400, 500))
+
+    def test_large_shortfall_is_outlier(self):
+        model = CompletenessModel(parent_size=1000, outlier_threshold=0.05)
+        # Expected 200 matches; observing 150 is far below expectation.
+        assert model.is_outlier(observation(150, 400, 500))
+
+    def test_exceeding_expectation_is_never_outlier(self):
+        model = CompletenessModel(parent_size=1000, outlier_threshold=0.05)
+        assert not model.is_outlier(observation(230, 400, 500))
+
+    def test_no_children_scanned_is_not_outlier(self):
+        model = CompletenessModel(parent_size=1000)
+        assert not model.is_outlier(observation(0, 0, 100))
+
+    def test_threshold_monotonicity(self):
+        strict = CompletenessModel(parent_size=1000, outlier_threshold=0.01)
+        lenient = CompletenessModel(parent_size=1000, outlier_threshold=0.20)
+        borderline = observation(185, 400, 500)
+        if strict.is_outlier(borderline):
+            assert lenient.is_outlier(borderline)
+
+    def test_observation_probability_decreases_with_shortfall(self):
+        model = CompletenessModel(parent_size=1000)
+        better = model.observation_probability(observation(195, 400, 500))
+        worse = model.observation_probability(observation(170, 400, 500))
+        assert worse < better
+
+    def test_shortfall_sign(self):
+        model = CompletenessModel(parent_size=1000)
+        assert model.shortfall(observation(150, 400, 500)) > 0
+        assert model.shortfall(observation(230, 400, 500)) < 0
+
+
+class TestStandaloneHelpers:
+    def test_outlier_probability_is_binomial_cdf(self):
+        assert binomial_outlier_probability(3, 10, 0.5) == pytest.approx(0.171875)
+
+    def test_is_result_size_outlier(self):
+        assert is_result_size_outlier(10, 100, 0.5, threshold=0.05)
+        assert not is_result_size_outlier(48, 100, 0.5, threshold=0.05)
+        assert not is_result_size_outlier(0, 0, 0.5)
+
+
+class TestPaperScaleBehaviour:
+    """The detection dynamics the adaptive algorithm relies on."""
+
+    def test_ten_percent_variant_rate_detected_at_scale(self):
+        # With |R| = 8082 and half of each table scanned, a 10% loss of
+        # matches is a clear statistical outlier.
+        model = CompletenessModel(parent_size=8082, outlier_threshold=0.05)
+        child_scanned = 4000
+        parent_scanned = 4000
+        expected = model.expected_matches(child_scanned, parent_scanned)
+        observed = int(expected * 0.90)
+        assert model.is_outlier(observation(observed, child_scanned, parent_scanned))
+
+    def test_small_prefix_gives_no_false_alarm(self):
+        # Early in the join the expected count is small and noisy: a clean
+        # run must not trigger the outlier test.
+        model = CompletenessModel(parent_size=8082, outlier_threshold=0.05)
+        child_scanned = 100
+        parent_scanned = 100
+        expected = model.expected_matches(child_scanned, parent_scanned)
+        assert not model.is_outlier(
+            observation(int(expected), child_scanned, parent_scanned)
+        )

@@ -1,0 +1,89 @@
+"""Tests for the online estimators (Welford mean/variance, rate estimator)."""
+
+import statistics
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.online import OnlineMeanVariance, RateEstimator
+
+
+class TestOnlineMeanVariance:
+    def test_empty_accumulator(self):
+        acc = OnlineMeanVariance()
+        assert acc.count == 0
+        assert acc.mean == 0.0
+        assert acc.variance == 0.0
+        assert acc.stddev == 0.0
+
+    def test_single_sample(self):
+        acc = OnlineMeanVariance()
+        acc.add(4.2)
+        assert acc.mean == pytest.approx(4.2)
+        assert acc.variance == 0.0
+
+    def test_matches_statistics_module(self):
+        samples = [1.5, 2.5, 2.5, 4.0, 10.0, -3.0]
+        acc = OnlineMeanVariance()
+        for sample in samples:
+            acc.add(sample)
+        assert acc.mean == pytest.approx(statistics.fmean(samples))
+        assert acc.variance == pytest.approx(statistics.variance(samples))
+        assert acc.stddev == pytest.approx(statistics.stdev(samples))
+
+    def test_merge_equals_sequential(self):
+        left_samples = [1.0, 2.0, 3.0]
+        right_samples = [10.0, 20.0]
+        left = OnlineMeanVariance()
+        right = OnlineMeanVariance()
+        for sample in left_samples:
+            left.add(sample)
+        for sample in right_samples:
+            right.add(sample)
+        merged = left.merge(right)
+        assert merged.count == 5
+        assert merged.mean == pytest.approx(statistics.fmean(left_samples + right_samples))
+        assert merged.variance == pytest.approx(
+            statistics.variance(left_samples + right_samples)
+        )
+
+    def test_merge_with_empty(self):
+        acc = OnlineMeanVariance()
+        acc.add(1.0)
+        merged = acc.merge(OnlineMeanVariance())
+        assert merged.count == 1
+        assert merged.mean == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=50))
+    def test_property_matches_statistics(self, samples):
+        acc = OnlineMeanVariance()
+        for sample in samples:
+            acc.add(sample)
+        assert acc.mean == pytest.approx(statistics.fmean(samples), rel=1e-9, abs=1e-6)
+        assert acc.variance == pytest.approx(
+            statistics.variance(samples), rel=1e-6, abs=1e-6
+        )
+
+
+class TestRateEstimator:
+    def test_no_trials_without_smoothing(self):
+        assert RateEstimator().rate is None
+
+    def test_simple_rate(self):
+        estimator = RateEstimator()
+        for success in (True, True, False, False, True):
+            estimator.record(success)
+        assert estimator.rate == pytest.approx(0.6)
+        assert estimator.successes == 3
+        assert estimator.trials == 5
+
+    def test_laplace_smoothing(self):
+        estimator = RateEstimator(smoothing=1.0)
+        assert estimator.rate == pytest.approx(0.5)
+        estimator.record(True)
+        assert estimator.rate == pytest.approx(2 / 3)
+
+    def test_negative_smoothing_rejected(self):
+        with pytest.raises(ValueError):
+            RateEstimator(smoothing=-1.0)

@@ -1,0 +1,90 @@
+"""Tests for sliding-window counters and boolean histories."""
+
+import pytest
+
+from repro.stats.windows import BooleanHistory, SlidingWindowCounter
+
+
+class TestSlidingWindowCounter:
+    def test_counts_positives_within_window(self):
+        window = SlidingWindowCounter(3)
+        window.record_many([True, False, True])
+        assert window.positives == 2
+        assert window.observed == 3
+
+    def test_old_events_fall_out_of_window(self):
+        window = SlidingWindowCounter(3)
+        window.record_many([True, True, True])
+        window.record(False)
+        window.record(False)
+        assert window.positives == 1
+        window.record(False)
+        assert window.positives == 0
+
+    def test_fraction_uses_nominal_window_size(self):
+        window = SlidingWindowCounter(10)
+        window.record_many([True, True])
+        # 2 positives over the nominal window of 10, not over 2 events seen.
+        assert window.fraction == pytest.approx(0.2)
+
+    def test_fraction_when_window_full(self):
+        window = SlidingWindowCounter(4)
+        window.record_many([True, False, True, False])
+        assert window.fraction == pytest.approx(0.5)
+
+    def test_len_is_bounded_by_window_size(self):
+        window = SlidingWindowCounter(2)
+        window.record_many([True] * 5)
+        assert len(window) == 2
+        assert window.positives == 2
+
+    def test_reset(self):
+        window = SlidingWindowCounter(3)
+        window.record_many([True, True])
+        window.reset()
+        assert window.positives == 0
+        assert window.observed == 0
+
+    def test_invalid_window_size_rejected(self):
+        with pytest.raises(ValueError):
+            SlidingWindowCounter(0)
+
+    def test_truthiness_of_inputs(self):
+        window = SlidingWindowCounter(3)
+        window.record(1)      # truthy
+        window.record("")     # falsy
+        assert window.positives == 1
+
+    def test_long_alternating_sequence(self):
+        window = SlidingWindowCounter(10)
+        for i in range(1000):
+            window.record(i % 2 == 0)
+        assert window.positives == 5
+        assert window.observed == 10
+
+
+class TestBooleanHistory:
+    def test_counts_true_and_false(self):
+        history = BooleanHistory()
+        for value in (True, False, True, True):
+            history.record(value)
+        assert history.true_count == 3
+        assert history.false_count == 1
+        assert history.total == 4
+
+    def test_empty_history(self):
+        history = BooleanHistory()
+        assert history.true_count == 0
+        assert history.total == 0
+
+    def test_reset(self):
+        history = BooleanHistory()
+        history.record(True)
+        history.reset()
+        assert history.true_count == 0
+        assert history.total == 0
+
+    def test_repr(self):
+        history = BooleanHistory()
+        history.record(True)
+        assert "1/1" in repr(history)

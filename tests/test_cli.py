@@ -1,0 +1,151 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate"])
+        assert args.command == "generate"
+        assert args.pattern == "few_high"
+        assert args.variants_in == "child"
+
+    def test_link_requires_attribute(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["link", "a.csv", "b.csv"])
+
+    def test_experiment_test_case_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "--test-case", "bogus"])
+
+
+class TestGenerateCommand:
+    def test_generates_csv_files(self, tmp_path, capsys):
+        parent = tmp_path / "parent.csv"
+        child = tmp_path / "child.csv"
+        truth = tmp_path / "truth.csv"
+        exit_code = main([
+            "generate",
+            "--pattern", "uniform",
+            "--parent-size", "80",
+            "--child-size", "120",
+            "--parent-output", str(parent),
+            "--child-output", str(child),
+            "--truth-output", str(truth),
+        ])
+        assert exit_code == 0
+        assert parent.exists() and child.exists() and truth.exists()
+        assert len(parent.read_text().splitlines()) == 81
+        assert len(child.read_text().splitlines()) == 121
+        assert len(truth.read_text().splitlines()) == 121
+        assert "wrote 80 parent rows" in capsys.readouterr().out
+
+    def test_generates_standard_test_case(self, tmp_path):
+        exit_code = main([
+            "generate",
+            "--test-case", "few_high_both",
+            "--parent-size", "60",
+            "--child-size", "90",
+            "--parent-output", str(tmp_path / "p.csv"),
+            "--child-output", str(tmp_path / "c.csv"),
+            "--truth-output", str(tmp_path / "t.csv"),
+        ])
+        assert exit_code == 0
+
+
+class TestLinkCommand:
+    def test_links_generated_files(self, tmp_path, capsys):
+        parent = tmp_path / "parent.csv"
+        child = tmp_path / "child.csv"
+        truth = tmp_path / "truth.csv"
+        main([
+            "generate",
+            "--pattern", "few_high",
+            "--parent-size", "100",
+            "--child-size", "200",
+            "--parent-output", str(parent),
+            "--child-output", str(child),
+            "--truth-output", str(truth),
+        ])
+        matches = tmp_path / "matches.csv"
+        exit_code = main([
+            "link", str(parent), str(child),
+            "--attribute", "location",
+            "--strategy", "adaptive",
+            "--delta-adapt", "25",
+            "--window-size", "25",
+            "--output", str(matches),
+        ])
+        assert exit_code == 0
+        lines = matches.read_text().splitlines()
+        assert lines[0] == "left_index,right_index"
+        assert len(lines) > 150
+        output = capsys.readouterr().out
+        assert "matched pairs written" in output
+        assert "adaptive trace" in output
+
+    @pytest.mark.parametrize("strategy", ["exact", "approximate", "blocking"])
+    def test_non_adaptive_strategies(self, tmp_path, strategy):
+        parent = tmp_path / "parent.csv"
+        child = tmp_path / "child.csv"
+        main([
+            "generate",
+            "--parent-size", "60",
+            "--child-size", "90",
+            "--parent-output", str(parent),
+            "--child-output", str(child),
+            "--truth-output", str(tmp_path / "t.csv"),
+        ])
+        matches = tmp_path / f"{strategy}.csv"
+        exit_code = main([
+            "link", str(parent), str(child),
+            "--attribute", "location",
+            "--strategy", strategy,
+            "--output", str(matches),
+        ])
+        assert exit_code == 0
+        assert matches.exists()
+
+
+class TestExperimentCommand:
+    def test_experiment_prints_rows_and_writes_json(self, tmp_path, capsys):
+        json_path = tmp_path / "outcome.json"
+        exit_code = main([
+            "experiment",
+            "--test-case", "uniform_child",
+            "--parent-size", "150",
+            "--child-size", "300",
+            "--delta-adapt", "25",
+            "--window-size", "25",
+            "--json-output", str(json_path),
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "gain / cost" in output
+        assert "state breakdown" in output
+        payload = json.loads(json_path.read_text())
+        assert payload["test_case"] == "uniform_child"
+        assert payload["result_sizes"]["adaptive"] >= payload["result_sizes"]["exact"]
+        assert 0.0 <= payload["metrics"]["gain"] <= 1.0
+
+
+class TestCalibrateCommand:
+    def test_calibrate_prints_weights(self, capsys):
+        exit_code = main([
+            "calibrate",
+            "--parent-size", "120",
+            "--child-size", "80",
+            "--max-steps", "80",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "paper_step_weight" in output
+        assert "lap/rap" in output
