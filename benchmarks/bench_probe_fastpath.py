@@ -1,0 +1,216 @@
+#!/usr/bin/env python
+"""Trajectory benchmark for the fast-path probe pipeline.
+
+Measures, at several input scales (default 5k and 20k total tuples):
+
+* the **probe path** — time to index one side and probe it with a fixed
+  sample of values, for the fast-path :class:`~repro.joins.base.SideState`
+  vs. the pre-refactor reference
+  (:class:`~repro.joins.fastpath.NaiveQGramProber`), asserting that both
+  return byte-identical match sets;
+* the **length-filter ablation** — the fast probe with the Jaccard length
+  filter on vs. off;
+* **end-to-end runs** — exact (SHJoin), approximate (SSHJoin) and adaptive
+  joins over the same generated dataset.
+
+Results are appended to a ``BENCH_probe_fastpath.json`` trajectory file
+(one entry per invocation) so future PRs can track regressions.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_probe_fastpath.py           # full
+    PYTHONPATH=src python benchmarks/bench_probe_fastpath.py --smoke   # CI
+
+The smoke run uses one small scale and finishes well under a minute; see
+PERFORMANCE.md for how to read the output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List
+
+from repro.core.adaptive import AdaptiveJoinProcessor
+from repro.datagen.testcases import STANDARD_TEST_CASES, generate_test_case
+from repro.engine.tuples import Record, Schema
+from repro.joins.base import JoinSide, SideState
+from repro.joins.fastpath import NaiveQGramProber
+from repro.joins.shjoin import SHJoin
+from repro.joins.sshjoin import SSHJoin
+
+DEFAULT_SIZES = (5_000, 20_000)
+SMOKE_SIZES = (2_000,)
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_probe_fastpath.json"
+SIMILARITY_THRESHOLD = 0.85
+PROBE_SAMPLE = 2_000
+
+_VALUE_SCHEMA = Schema(["value"], name="bench")
+
+
+def _probe_records(values: List[str]) -> List[Record]:
+    return [Record(_VALUE_SCHEMA, {"value": value}) for value in values]
+
+
+def bench_probe_path(
+    stored_values: List[str], probe_values: List[str]
+) -> Dict[str, object]:
+    """Index + probe timings: fast path (filter on/off) vs. naive reference."""
+    records = _probe_records(stored_values)
+
+    def run_fast(use_length_filter: bool):
+        side = SideState(JoinSide.LEFT, "value")
+        for record in records:
+            side.add(record)
+        started = time.perf_counter()
+        side.catch_up_qgram()
+        pairs = []
+        for probe in probe_values:
+            for stored, _ in side.probe_qgram(
+                probe, SIMILARITY_THRESHOLD, use_length_filter=use_length_filter
+            ):
+                pairs.append(stored.ordinal)
+        return time.perf_counter() - started, pairs
+
+    fast_seconds, fast_pairs = run_fast(use_length_filter=True)
+    nofilter_seconds, nofilter_pairs = run_fast(use_length_filter=False)
+
+    naive = NaiveQGramProber()
+    started = time.perf_counter()
+    for value in stored_values:
+        naive.add(value)
+    naive_pairs = []
+    for probe in probe_values:
+        for ordinal, _ in naive.probe(probe, SIMILARITY_THRESHOLD):
+            naive_pairs.append(ordinal)
+    naive_seconds = time.perf_counter() - started
+
+    if fast_pairs != naive_pairs or nofilter_pairs != naive_pairs:
+        raise AssertionError(
+            "fast-path probe diverged from the naive reference "
+            f"({len(fast_pairs)}/{len(nofilter_pairs)}/{len(naive_pairs)} matches)"
+        )
+    return {
+        "stored": len(stored_values),
+        "probes": len(probe_values),
+        "matches": len(fast_pairs),
+        "fast_seconds": round(fast_seconds, 4),
+        "fast_no_length_filter_seconds": round(nofilter_seconds, 4),
+        "naive_seconds": round(naive_seconds, 4),
+        "speedup": round(naive_seconds / fast_seconds, 2) if fast_seconds else None,
+    }
+
+
+def bench_end_to_end(dataset) -> Dict[str, float]:
+    """Wall-clock of the three whole-input strategies over ``dataset``."""
+    timings: Dict[str, float] = {}
+
+    started = time.perf_counter()
+    exact = SHJoin(dataset.parent, dataset.child, "location")
+    exact.run()
+    timings["exact_seconds"] = round(time.perf_counter() - started, 4)
+
+    started = time.perf_counter()
+    approx = SSHJoin(
+        dataset.parent,
+        dataset.child,
+        "location",
+        similarity_threshold=SIMILARITY_THRESHOLD,
+    )
+    approx.run()
+    timings["approximate_seconds"] = round(time.perf_counter() - started, 4)
+
+    started = time.perf_counter()
+    processor = AdaptiveJoinProcessor(dataset.parent, dataset.child, "location")
+    processor.run()
+    timings["adaptive_seconds"] = round(time.perf_counter() - started, 4)
+    return timings
+
+
+def run_benchmark(sizes, probe_sample: int) -> Dict[str, object]:
+    entries = []
+    for total_size in sizes:
+        parent_size = total_size // 2
+        child_size = total_size - parent_size
+        dataset = generate_test_case(
+            STANDARD_TEST_CASES["uniform_child"],
+            parent_size=parent_size,
+            child_size=child_size,
+        )
+        stored_values = [record["location"] for record in dataset.parent.records]
+        probe_values = [record["location"] for record in dataset.child.records]
+        probe_values = probe_values[:probe_sample]
+
+        entry: Dict[str, object] = {"total_tuples": total_size}
+        entry["probe_path"] = bench_probe_path(stored_values, probe_values)
+        entry["end_to_end"] = bench_end_to_end(dataset)
+        entries.append(entry)
+
+        probe = entry["probe_path"]
+        print(
+            f"[{total_size:>6} tuples] probe path: fast={probe['fast_seconds']}s "
+            f"naive={probe['naive_seconds']}s speedup={probe['speedup']}x "
+            f"(no-length-filter={probe['fast_no_length_filter_seconds']}s); "
+            f"end-to-end: {entry['end_to_end']}"
+        )
+    return {
+        "run_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "similarity_threshold": SIMILARITY_THRESHOLD,
+        "entries": entries,
+    }
+
+
+def append_trajectory(result: Dict[str, object], output: Path) -> None:
+    trajectory = []
+    if output.exists():
+        try:
+            trajectory = json.loads(output.read_text())
+        except (ValueError, OSError):
+            trajectory = []
+        if not isinstance(trajectory, list):
+            trajectory = [trajectory]
+    trajectory.append(result)
+    output.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"trajectory appended to {output} ({len(trajectory)} runs recorded)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small, fast configuration for CI (single 2k-tuple scale)",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        help=f"total tuple counts to benchmark (default {list(DEFAULT_SIZES)})",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help="trajectory JSON file to append to",
+    )
+    args = parser.parse_args(argv)
+    if args.sizes is not None:
+        if any(size < 2 for size in args.sizes):
+            parser.error("--sizes values must be at least 2 (one tuple per side)")
+        sizes = tuple(args.sizes)
+    elif args.smoke:
+        sizes = SMOKE_SIZES
+    else:
+        sizes = DEFAULT_SIZES
+    probe_sample = 500 if args.smoke else PROBE_SAMPLE
+    result = run_benchmark(sizes, probe_sample)
+    append_trajectory(result, args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

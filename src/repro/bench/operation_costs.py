@@ -124,6 +124,12 @@ def measure_operation_costs(
         "location",
         similarity_threshold=similarity_threshold,
         q=q,
+        # This driver reproduces the *paper's* Table 1, so the measured
+        # counters must come from the paper's SSJoin-style operator; the
+        # fast path's Jaccard length filter (an extension that shrinks
+        # |T(t)|) is switched off here and benchmarked separately in
+        # benchmarks/bench_probe_fastpath.py.
+        use_length_filter=False,
     )
     approx.run()
 

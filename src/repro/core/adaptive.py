@@ -259,9 +259,38 @@ class AdaptiveJoinProcessor:
             self.trace.record_transition(step, state_before, new_state, switches)
 
     def run(self) -> AdaptiveJoinResult:
-        """Run the join to completion and return the full result."""
+        """Run the join to completion and return the full result.
+
+        Drives the engine through its batched stepping API: between two
+        control-loop activations the processor state cannot change, so the
+        engine is asked for the whole run of steps up to the next ``δ_adapt``
+        boundary at once (:meth:`SymmetricJoinEngine.run_steps`) and the
+        per-step observations are replayed over the batch.  The monitor
+        window, the trace and the activation points are identical to
+        stepping one tuple at a time via :meth:`step`.
+        """
+        delta = self.thresholds.delta_adapt
+        engine = self.engine
+        observe = self.monitor.observe_step
+        record_step = self.trace.record_step
+        matches_extend = self._matches.extend
         while not self._finished:
-            self.step()
+            chunk = delta - (engine.step_count % delta)
+            batch = engine.run_steps(chunk)
+            if not batch:
+                self._finished = True
+                break
+            state = self.state_machine.state
+            for result in batch:
+                observe(result)
+                record_step(state, result.side, len(result.matches))
+                if result.matches:
+                    matches_extend(result.matches)
+            last_step = batch[-1].step
+            if self.assessor.should_assess(last_step):
+                self._activate_control_loop(last_step)
+            if len(batch) < chunk:
+                self._finished = True
         return AdaptiveJoinResult(
             matches=self._matches,
             trace=self.trace,

@@ -30,6 +30,13 @@ class RecordStream:
     returned, the stream stays exhausted).
     """
 
+    #: Whether :meth:`next_records` is cheaper than repeated
+    #: :meth:`next_record` calls.  Only true for in-memory streams; consumers
+    #: that buffer ahead (the symmetric join engine's read-ahead) must not
+    #: bulk-pull lazy streams, where asking for ``n`` records *blocks* until
+    #: all ``n`` are produced — fatal for live/continuous sources.
+    supports_bulk_pull = False
+
     def __init__(self, schema: Schema, name: str = "") -> None:
         self._schema = schema
         self.name = name or type(self).__name__
@@ -65,6 +72,26 @@ class RecordStream:
     def _next(self) -> Optional[Record]:
         raise NotImplementedError
 
+    def next_records(self, limit: int) -> List[Record]:
+        """Pull up to ``limit`` records in one call (bulk pull).
+
+        Returns fewer than ``limit`` records exactly when the stream runs
+        dry, in which case exhaustion is latched just as with
+        :meth:`next_record`.  The base implementation loops over
+        :meth:`next_record`; in-memory streams override it with a slice to
+        amortise the per-record dispatch (used by the batched stepping of
+        the symmetric join engine).
+        """
+        if limit < 0:
+            raise ValueError(f"limit must be non-negative, got {limit}")
+        records: List[Record] = []
+        for _ in range(limit):
+            record = self.next_record()
+            if record is None:
+                break
+            records.append(record)
+        return records
+
     def __iter__(self) -> Iterator[Record]:
         while True:
             record = self.next_record()
@@ -82,6 +109,8 @@ class RecordStream:
 class ListStream(RecordStream):
     """A stream backed by an in-memory sequence of records."""
 
+    supports_bulk_pull = True
+
     def __init__(
         self, schema: Schema, records: Sequence[Record], name: str = ""
     ) -> None:
@@ -95,6 +124,21 @@ class ListStream(RecordStream):
         record = self._records[self._cursor]
         self._cursor += 1
         return record
+
+    def next_records(self, limit: int) -> List[Record]:
+        """Bulk pull via a list slice (no per-record dispatch)."""
+        if limit < 0:
+            raise ValueError(f"limit must be non-negative, got {limit}")
+        if self._exhausted or limit == 0:
+            return []
+        records = self._records[self._cursor : self._cursor + limit]
+        self._cursor += len(records)
+        self._delivered += len(records)
+        if len(records) < limit:
+            # The slice came up short, so the stream is drained: latch
+            # exhaustion exactly as a ``None`` pull would have.
+            self._exhausted = True
+        return records
 
     @property
     def remaining(self) -> int:

@@ -192,6 +192,15 @@ class Record:
     def __getitem__(self, attribute: str) -> Any:
         return self._values[self._schema.position(attribute)]
 
+    def value_at(self, position: int) -> Any:
+        """Positional access without the name→position lookup.
+
+        Hot-path helper for callers that resolve an attribute's position
+        once per schema (e.g. the join tuple stores) and then read it for
+        every record.
+        """
+        return self._values[position]
+
     def get(self, attribute: str, default: Any = None) -> Any:
         """Return the value of ``attribute`` or ``default`` if unknown."""
         if attribute not in self._schema:

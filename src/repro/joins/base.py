@@ -33,11 +33,16 @@ from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass, field
+from array import array
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.engine.tuples import Record, Schema
-from repro.similarity.qgrams import qgram_set
+from repro.joins.fastpath import GramInterner, jaccard_length_bounds
+
+#: Upper bound on cached frequency-ordered probe plans per side; the cache
+#: is cleared wholesale when it fills (plans are cheap to rebuild).
+_PLAN_CACHE_LIMIT = 8192
 
 
 class JoinSide(enum.Enum):
@@ -79,9 +84,16 @@ class JoinAttribute:
         return self.left if side is JoinSide.LEFT else self.right
 
 
-@dataclass
+@dataclass(slots=True)
 class StoredTuple:
     """One input tuple retained in a side's tuple store.
+
+    A slotted dataclass: one instance exists per scanned tuple, so the
+    per-instance ``__dict__`` the default layout would carry is pure
+    overhead on the hot path.  The q-gram set of the value is *not* stored
+    here — it is materialised lazily by the side's q-gram catch-up and
+    cached in the side state, so tuples scanned during exact-only phases
+    never pay for tokenisation.
 
     Attributes
     ----------
@@ -145,9 +157,14 @@ class OperationCounters:
         return dict(vars(self))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MatchEvent:
     """One matched tuple pair, as observed by the monitor.
+
+    Slotted like :class:`StoredTuple` (one event per emitted pair), and
+    deliberately lazy: the joined output record is only materialised when
+    :meth:`output_record` is called, so monitor-only consumers never build
+    it.
 
     Attributes
     ----------
@@ -199,8 +216,9 @@ class SideState:
 
     * ``exact`` — join-attribute value → list of tuple ordinals (the SHJoin
       hash table of Fig. 3, left);
-    * ``qgram`` — q-gram → list of tuple ordinals (the SSHJoin hash table of
-      Fig. 3, right), with per-gram frequencies.
+    * ``qgram`` — interned q-gram id → ``array('i')`` of tuple ordinals (the
+      SSHJoin hash table of Fig. 3, right), with per-gram frequencies.  See
+      :mod:`repro.joins.fastpath` for the interner and the probe fast path.
 
     Each index remembers how many stored tuples it has absorbed
     (``*_synced``).  Indexing is lazy: only the index the opposite side is
@@ -216,6 +234,7 @@ class SideState:
         attribute: str,
         q: int = 3,
         padded_qgrams: bool = True,
+        interner: Optional[GramInterner] = None,
     ) -> None:
         if q <= 0:
             raise ValueError(f"q must be positive, got {q}")
@@ -223,22 +242,51 @@ class SideState:
         self.attribute = attribute
         self.q = q
         self.padded_qgrams = padded_qgrams
+        if interner is None:
+            interner = GramInterner(q=q, padded=padded_qgrams)
+        elif interner.q != q or interner.padded != padded_qgrams:
+            raise ValueError(
+                f"interner tokenises (q={interner.q}, padded={interner.padded}), "
+                f"side expects (q={q}, padded={padded_qgrams})"
+            )
+        #: Shared gram↔id mapping; the engine passes one interner to both
+        #: sides so a value interned at insertion is a cache hit when it
+        #: probes the opposite side.
+        self.interner = interner
         self.tuples: List[StoredTuple] = []
         self._exact_index: Dict[str, List[int]] = {}
         self._exact_synced = 0
-        self._qgram_index: Dict[str, List[int]] = {}
+        # q-gram index over dense gram ids: gram id → array of ordinals.
+        self._qgram_index: Dict[int, array] = {}
         self._qgram_synced = 0
-        # Cached q-gram sets of indexed tuples, keyed by ordinal.  Kept so
-        # that probes can verify candidates (and skip long buckets of very
-        # frequent grams) without re-tokenising stored values.
-        self._gram_sets: Dict[int, frozenset] = {}
+        # Cached q-gram bitsets of indexed tuples, keyed by ordinal: bit
+        # ``i`` is set iff the value contains the gram with interned id
+        # ``i``.  Probes recover the exact shared-gram count of a candidate
+        # with one C-level ``(probe_bits & stored_bits).bit_count()``
+        # instead of per-gram counter bumping.
+        self._gram_bits: Dict[int, int] = {}
+        # Distinct-gram count per ordinal (dense, append-ordered with the
+        # catch-up) — the length filter reads this in the hot loop.
+        self._gram_counts: array = array("i")
+        # Frequency-ordered probe plans: value → (index stamp, ordered ids,
+        # gram bitset).  A plan's ordering is valid while the q-gram index
+        # has not grown since it was built (the stamp is the synced-tuple
+        # count at build time); the bitset never goes stale.
+        self._plan_cache: Dict[str, Tuple[int, List[int], int]] = {}
+        # Attribute position, resolved once per schema identity.
+        self._attr_schema: Optional[Schema] = None
+        self._attr_position = 0
         self.counters = OperationCounters()
 
     # -- insertion -------------------------------------------------------------
 
     def add(self, record: Record) -> StoredTuple:
         """Store a newly scanned tuple (without indexing it yet)."""
-        value = record[self.attribute]
+        schema = record.schema
+        if schema is not self._attr_schema:
+            self._attr_position = schema.position(self.attribute)
+            self._attr_schema = schema
+        value = record.value_at(self._attr_position)
         if value is None:
             value = ""
         stored = StoredTuple(record=record, value=str(value), ordinal=len(self.tuples))
@@ -276,14 +324,30 @@ class SideState:
     def catch_up_qgram(self) -> int:
         """Bring the q-gram index up to date; return the number of tuples indexed."""
         caught_up = 0
-        while self._qgram_synced < len(self.tuples):
-            stored = self.tuples[self._qgram_synced]
-            grams = qgram_set(stored.value, q=self.q, padded=self.padded_qgrams)
-            self.counters.qgrams_obtained += len(grams)
-            self._gram_sets[stored.ordinal] = grams
-            for gram in grams:
-                self._qgram_index.setdefault(gram, []).append(stored.ordinal)
-                self.counters.approx_hash_updates += 1
+        tuples = self.tuples
+        total = len(tuples)
+        if self._qgram_synced >= total:
+            return 0
+        index = self._qgram_index
+        gram_bits = self._gram_bits
+        gram_counts = self._gram_counts
+        counters = self.counters
+        intern_value = self.interner.intern_value
+        while self._qgram_synced < total:
+            stored = tuples[self._qgram_synced]
+            ordinal = stored.ordinal
+            gram_ids = intern_value(stored.value)
+            counters.qgrams_obtained += len(gram_ids)
+            counters.approx_hash_updates += len(gram_ids)
+            gram_counts.append(len(gram_ids))
+            bits = 0
+            for gram_id in gram_ids:
+                bits |= 1 << gram_id
+                bucket = index.get(gram_id)
+                if bucket is None:
+                    index[gram_id] = bucket = array("i")
+                bucket.append(ordinal)
+            gram_bits[ordinal] = bits
             self._qgram_synced += 1
             caught_up += 1
         return caught_up
@@ -300,7 +364,44 @@ class SideState:
 
     def gram_frequency(self, gram: str) -> int:
         """Number of indexed tuples containing ``gram`` (bucket length)."""
-        return len(self._qgram_index.get(gram, ()))
+        gram_id = self.interner.lookup(gram)
+        if gram_id is None:
+            return 0
+        return len(self._qgram_index.get(gram_id, ()))
+
+    def _probe_plan(self, value: str) -> Tuple[List[int], int]:
+        """The probe plan for ``value``: ``(ordered gram ids, gram bitset)``.
+
+        The ordering is the probe's distinct gram ids sorted by increasing
+        bucket length — the reverse-frequency order of Sec. 2.2 — with ties
+        broken by first-occurrence position (a stable, deterministic order).
+        Plans are cached per value and reused while the q-gram index has not
+        absorbed new tuples; tokenisation itself is cached in the interner
+        either way, so a stale plan only pays for the re-sort.
+        """
+        stamp = self._qgram_synced
+        cached = self._plan_cache.get(value)
+        if cached is not None and cached[0] == stamp:
+            return cached[1], cached[2]
+        gram_ids = self.interner.intern_value(value)
+        index = self._qgram_index
+        get = index.get
+        # Decorate-sort-undecorate with a (length, position) key: cheaper
+        # than a key function calling gram_frequency per element, and the
+        # position component reproduces stable-sort tie-breaking.
+        decorated = sorted(
+            (len(get(gram_id) or ()), position, gram_id)
+            for position, gram_id in enumerate(gram_ids)
+        )
+        ordered = [entry[2] for entry in decorated]
+        if cached is not None:
+            probe_bits = cached[2]
+        else:
+            probe_bits = GramInterner.bits_of(gram_ids)
+        if len(self._plan_cache) >= _PLAN_CACHE_LIMIT:
+            self._plan_cache.clear()
+        self._plan_cache[value] = (stamp, ordered, probe_bits)
+        return ordered, probe_bits
 
     # -- probing ---------------------------------------------------------------
 
@@ -321,6 +422,7 @@ class SideState:
         similarity_threshold: float,
         verify_jaccard: bool = False,
         use_prefix_filter: bool = True,
+        use_length_filter: bool = True,
     ) -> List[Tuple[StoredTuple, float]]:
         """Return stored tuples that approximately match ``value`` on q-grams.
 
@@ -340,67 +442,113 @@ class SideState:
         which makes the operator's result identical to a nested-loop
         Jaccard similarity join (useful as a correctness oracle).
 
+        ``use_length_filter`` layers the Jaccard length filter under the
+        prefix filter: a bucket entry whose distinct-gram count ``g'`` falls
+        outside :func:`~repro.joins.fastpath.jaccard_length_bounds` is never
+        admitted into ``T(t)``.  Filtered entries still count one unit of
+        candidate-scan work (the entry *was* scanned) but could never pass
+        the match decision anyway, so the match set is identical with the
+        filter on or off; only ``|T(t)|`` (and, under ``verify_jaccard``,
+        the number of doomed verifications) shrinks.  Disable it for the
+        ablation benchmarks.
+
         Returns ``(stored_tuple, similarity)`` pairs, where the similarity
         reported is always the q-gram Jaccard coefficient of the pair.  The
         caller must have made the q-gram index current.
         """
-        self.counters.approx_probes += 1
-        probe_grams = qgram_set(value, q=self.q, padded=self.padded_qgrams)
-        self.counters.qgrams_obtained += len(probe_grams)
-        gram_count = len(probe_grams)
+        counters = self.counters
+        counters.approx_probes += 1
+        ordered, probe_bits = self._probe_plan(value)
+        gram_count = len(ordered)
+        counters.qgrams_obtained += gram_count
         if gram_count == 0:
             return []
         required = max(1, math.ceil(similarity_threshold * gram_count))
         required = min(required, gram_count)
 
-        ordered = sorted(probe_grams, key=self.gram_frequency)
         if use_prefix_filter:
             inserting_prefix = max(gram_count - required + 1, 1)
         else:
             # Ablation: disable the reverse-frequency prefix optimisation and
             # let every probe gram add candidates (larger T(t), same result).
             inserting_prefix = gram_count
+        index = self._qgram_index
+        gram_bits = self._gram_bits
+        scan_work = 0
+
+        # -- candidate generation: scan the ``g − k + 1`` rarest grams'
+        # buckets; only these may add members to T(t).  The per-candidate
+        # shared-gram *count* is not accumulated here — it is recovered
+        # exactly below with one C-level bitset AND per candidate, which
+        # replaces the seed's per-entry counter bumping over the frequent
+        # grams' buckets (the old dominant cost).
         candidates: Dict[int, int] = {}
-        for index, gram in enumerate(ordered):
-            bucket = self._qgram_index.get(gram, ())
-            if index < inserting_prefix:
-                self.counters.candidate_scan_work += len(bucket)
+        if use_length_filter:
+            min_grams, max_grams = jaccard_length_bounds(
+                gram_count, similarity_threshold, verify_jaccard, required=required
+            )
+            gram_counts = self._gram_counts
+            for gram_id in ordered[:inserting_prefix]:
+                bucket = index.get(gram_id)
+                if bucket is None:
+                    # Unseen gram: the seed scanned an empty bucket here,
+                    # contributing no work and no candidates either way.
+                    continue
+                scan_work += len(bucket)
                 for ordinal in bucket:
-                    candidates[ordinal] = candidates.get(ordinal, 0) + 1
-            elif len(bucket) <= len(candidates):
-                # Short bucket: scan it and bump the counters of candidates
-                # already in T(t).
-                self.counters.candidate_scan_work += len(bucket)
+                    if ordinal not in candidates and (
+                        min_grams <= gram_counts[ordinal] <= max_grams
+                    ):
+                        candidates[ordinal] = 0
+        else:
+            for gram_id in ordered[:inserting_prefix]:
+                bucket = index.get(gram_id)
+                if bucket is None:
+                    continue
+                scan_work += len(bucket)
                 for ordinal in bucket:
-                    if ordinal in candidates:
-                        candidates[ordinal] += 1
-            else:
-                # Long bucket of a very frequent gram: it is cheaper to ask
-                # each current candidate whether it contains the gram.  The
-                # outcome is identical (only existing candidates can be
-                # incremented); only the scanning direction changes.
-                self.counters.candidate_scan_work += len(candidates)
-                for ordinal in candidates:
-                    if gram in self._gram_sets[ordinal]:
-                        candidates[ordinal] += 1
-        self.counters.candidate_set_size += len(candidates)
+                    candidates[ordinal] = 0
+
+        # -- frequent-gram accounting: the seed scanned each remaining
+        # bucket (or, for very long buckets, the candidate set — whichever
+        # is shorter) purely to bump counters of *existing* candidates; the
+        # candidate set itself no longer changes.  The intersection below
+        # subsumes that work, so only Table 1's operation-3 work units are
+        # charged here, exactly as the scan would have counted them.
+        n_candidates = len(candidates)
+        for gram_id in ordered[inserting_prefix:]:
+            bucket = index.get(gram_id)
+            bucket_length = len(bucket) if bucket is not None else 0
+            scan_work += (
+                bucket_length if bucket_length <= n_candidates else n_candidates
+            )
+        counters.candidate_scan_work += scan_work
+        counters.candidate_set_size += n_candidates
 
         matches: List[Tuple[StoredTuple, float]] = []
-        for ordinal, shared in candidates.items():
+        tuples = self.tuples
+        gram_counts = self._gram_counts
+        for ordinal in candidates:
+            stored_bits = gram_bits.get(ordinal)
+            if stored_bits is not None:
+                stored_count = gram_counts[ordinal]
+            else:
+                # Defensive fallback (candidates always come from the index,
+                # which populates the cache): re-tokenise the stored value
+                # and account for the grams obtained, as Table 1 requires.
+                gram_ids = self.interner.intern_value(tuples[ordinal].value)
+                counters.qgrams_obtained += len(gram_ids)
+                stored_count = len(gram_ids)
+                stored_bits = gram_bits[ordinal] = GramInterner.bits_of(gram_ids)
+            shared = (probe_bits & stored_bits).bit_count()
             if shared < required:
                 continue
-            stored = self.tuples[ordinal]
-            self.counters.approx_verifications += 1
-            stored_grams = self._gram_sets.get(ordinal)
-            if stored_grams is None:
-                stored_grams = qgram_set(
-                    stored.value, q=self.q, padded=self.padded_qgrams
-                )
-            union = gram_count + len(stored_grams) - shared
+            counters.approx_verifications += 1
+            union = gram_count + stored_count - shared
             similarity = shared / union if union else 1.0
             if verify_jaccard and similarity < similarity_threshold:
                 continue
-            matches.append((stored, similarity))
+            matches.append((tuples[ordinal], similarity))
         return matches
 
     # -- introspection -------------------------------------------------------------

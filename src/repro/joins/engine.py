@@ -23,8 +23,9 @@ caught up, which the cost model turns into transition costs.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Deque, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.engine.streams import RecordStream
 from repro.engine.tuples import Record, Schema
@@ -37,9 +38,13 @@ from repro.joins.base import (
     SideState,
     StoredTuple,
 )
+from repro.joins.fastpath import GramInterner
+
+#: Step-batch size used by :meth:`SymmetricJoinEngine.run_to_completion`.
+_RUN_BATCH = 1024
 
 
-@dataclass
+@dataclass(slots=True)
 class StepResult:
     """Everything that happened during one engine step.
 
@@ -68,7 +73,7 @@ class StepResult:
     catch_up_tuples: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SwitchRecord:
     """One adaptive mode switch performed by the engine."""
 
@@ -104,6 +109,20 @@ class SymmetricJoinEngine:
     use_prefix_filter:
         Forwarded to the q-gram probe; False disables the reverse-frequency
         prefix optimisation (ablation).
+    use_length_filter:
+        Forwarded to the q-gram probe; False disables the Jaccard length
+        filter layered under the prefix filter (ablation).  Either way the
+        match set is unchanged (see
+        :meth:`repro.joins.base.SideState.probe_qgram`).
+    scan_batch:
+        How many records :meth:`step` pulls from an input stream at a time
+        into a per-side read-ahead buffer.  Bulk pulls amortise the
+        per-record stream dispatch; scheduling (strict alternation while
+        both inputs last) and every per-step observable are unaffected.
+        Only streams advertising ``supports_bulk_pull`` (in-memory sources)
+        are read ahead — lazy/live streams are always pulled one record at
+        a time so the join never blocks waiting for future input.  ``1``
+        disables read-ahead entirely.
     eager_indexing:
         When True both hash indexes of both sides are kept current at every
         step, so switches never need a catch-up.  This is the "pessimistic"
@@ -127,6 +146,8 @@ class SymmetricJoinEngine:
         padded_qgrams: bool = True,
         verify_jaccard: bool = False,
         use_prefix_filter: bool = True,
+        use_length_filter: bool = True,
+        scan_batch: int = 32,
         eager_indexing: bool = False,
         deduplicate: bool = True,
     ) -> None:
@@ -134,6 +155,8 @@ class SymmetricJoinEngine:
             raise ValueError(
                 f"similarity threshold must be in (0, 1], got {similarity_threshold}"
             )
+        if scan_batch < 1:
+            raise ValueError(f"scan_batch must be at least 1, got {scan_batch}")
         self._streams: Dict[JoinSide, RecordStream] = {
             JoinSide.LEFT: left,
             JoinSide.RIGHT: right,
@@ -141,12 +164,23 @@ class SymmetricJoinEngine:
         self.attribute = attribute
         self.similarity_threshold = similarity_threshold
         self.q = q
+        # One interner for both sides: a value interned when stored on one
+        # side is a tokenisation-cache hit when it probes the other.
+        interner = GramInterner(q=q, padded=padded_qgrams)
         self.sides: Dict[JoinSide, SideState] = {
             JoinSide.LEFT: SideState(
-                JoinSide.LEFT, attribute.left, q=q, padded_qgrams=padded_qgrams
+                JoinSide.LEFT,
+                attribute.left,
+                q=q,
+                padded_qgrams=padded_qgrams,
+                interner=interner,
             ),
             JoinSide.RIGHT: SideState(
-                JoinSide.RIGHT, attribute.right, q=q, padded_qgrams=padded_qgrams
+                JoinSide.RIGHT,
+                attribute.right,
+                q=q,
+                padded_qgrams=padded_qgrams,
+                interner=interner,
             ),
         }
         self.modes: Dict[JoinSide, JoinMode] = {
@@ -155,6 +189,12 @@ class SymmetricJoinEngine:
         }
         self.verify_jaccard = verify_jaccard
         self.use_prefix_filter = use_prefix_filter
+        self.use_length_filter = use_length_filter
+        self._scan_batch = scan_batch
+        self._scan_buffers: Dict[JoinSide, Deque[Record]] = {
+            JoinSide.LEFT: deque(),
+            JoinSide.RIGHT: deque(),
+        }
         self.eager_indexing = eager_indexing
         self._deduplicate = deduplicate
         self._emitted_pairs: Set[Tuple[int, int]] = set()
@@ -184,8 +224,10 @@ class SymmetricJoinEngine:
 
     @property
     def exhausted(self) -> bool:
-        """True when both inputs are exhausted."""
-        return all(stream.exhausted for stream in self._streams.values())
+        """True when both inputs are exhausted (and no read-ahead remains)."""
+        return all(stream.exhausted for stream in self._streams.values()) and not any(
+            self._scan_buffers.values()
+        )
 
     def scanned(self, side: JoinSide) -> int:
         """Number of tuples scanned from ``side`` so far."""
@@ -279,14 +321,41 @@ class SymmetricJoinEngine:
         )
         return result
 
+    def run_steps(self, limit: int) -> List[StepResult]:
+        """Execute up to ``limit`` steps and return their results.
+
+        The batched counterpart of :meth:`step`: the returned list is
+        shorter than ``limit`` exactly when the inputs ran dry.  Per-step
+        semantics are untouched — the engine passes through the same
+        quiescent states in the same order — batching merely amortises the
+        per-tuple dispatch for whole-input consumers (the adaptive
+        processor's ``run``, :meth:`run_to_completion`, the CLI ``link``
+        command and the bench harness).  Mode switches remain legal between
+        batches, never inside one.
+        """
+        if limit < 0:
+            raise ValueError(f"limit must be non-negative, got {limit}")
+        results: List[StepResult] = []
+        append = results.append
+        step = self.step
+        for _ in range(limit):
+            result = step()
+            if result is None:
+                break
+            append(result)
+        return results
+
     def run_to_completion(self) -> List[MatchEvent]:
         """Run every remaining step and return all match events produced."""
         events: List[MatchEvent] = []
+        extend = events.extend
         while True:
-            result = self.step()
-            if result is None:
+            batch = self.run_steps(_RUN_BATCH)
+            for result in batch:
+                if result.matches:
+                    extend(result.matches)
+            if len(batch) < _RUN_BATCH:
                 return events
-            events.extend(result.matches)
 
     def iter_steps(self) -> Iterator[StepResult]:
         """Iterate over the remaining steps."""
@@ -299,17 +368,35 @@ class SymmetricJoinEngine:
     # -- internals ---------------------------------------------------------------
 
     def _scan_next(self) -> Tuple[JoinSide, Optional[Record]]:
-        """Pick the next input to scan (alternating), pull one record."""
+        """Pick the next input to scan (alternating), pull one record.
+
+        Records are pulled from the streams through per-side read-ahead
+        buffers of ``scan_batch`` records (bulk pull); the schedule — strict
+        alternation while both inputs last, then draining the survivor — is
+        identical to pulling one record at a time.
+        """
         first = self._next_scan
         second = first.other
         for side in (first, second):
-            stream = self._streams[side]
-            if stream.exhausted:
-                continue
-            record = stream.next_record()
-            if record is not None:
-                self._next_scan = side.other
-                return side, record
+            buffer = self._scan_buffers[side]
+            if not buffer:
+                stream = self._streams[side]
+                if stream.exhausted:
+                    continue
+                if stream.supports_bulk_pull and self._scan_batch > 1:
+                    buffer.extend(stream.next_records(self._scan_batch))
+                    if not buffer:
+                        continue
+                else:
+                    # Lazy/live source: never read ahead — asking for a
+                    # batch would block until the producer yields it all.
+                    record = stream.next_record()
+                    if record is None:
+                        continue
+                    self._next_scan = side.other
+                    return side, record
+            self._next_scan = side.other
+            return side, buffer.popleft()
         return first, None
 
     def _probe(self, side: JoinSide, stored: StoredTuple) -> List[MatchEvent]:
@@ -325,6 +412,7 @@ class SymmetricJoinEngine:
                 self.similarity_threshold,
                 verify_jaccard=self.verify_jaccard,
                 use_prefix_filter=self.use_prefix_filter,
+                use_length_filter=self.use_length_filter,
             )
         # First pass: record exact-value matches on the flags, so that the
         # evidence reasoning below sees the complete picture for this step

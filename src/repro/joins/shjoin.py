@@ -19,7 +19,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Optional, Union
 
-from repro.engine.iterators import Operator
+from repro.engine.iterators import Operator, OperatorState
 from repro.engine.streams import RecordStream, TableStream
 from repro.engine.table import Table
 from repro.engine.tuples import Record
@@ -49,6 +49,7 @@ class _SymmetricJoinOperator(Operator):
         similarity_threshold: float = 0.85,
         q: int = 3,
         verify_jaccard: bool = False,
+        use_length_filter: bool = True,
         name: str = "",
     ) -> None:
         left_stream = _as_stream(left)
@@ -64,6 +65,7 @@ class _SymmetricJoinOperator(Operator):
             left_mode=self._mode,
             right_mode=self._mode,
             verify_jaccard=verify_jaccard,
+            use_length_filter=use_length_filter,
         )
         super().__init__(self._engine.output_schema, name=name or type(self).__name__)
         self._pending: Deque[MatchEvent] = deque()
@@ -89,6 +91,33 @@ class _SymmetricJoinOperator(Operator):
     def is_quiescent(self) -> bool:
         """Quiescent iff the most recent scanned tuple has no pending matches."""
         return not self._pending
+
+    def run(self) -> list:
+        """Open, drain and close the operator, returning all output records.
+
+        Overrides the generic record-at-a-time drain with the engine's
+        batched stepping (:meth:`SymmetricJoinEngine.run_steps`), which
+        amortises the per-tuple iterator dispatch for whole-input runs.
+        Matches already pending from earlier incremental consumption come
+        first, so the output is identical to ``list(self)``.
+        """
+        if self._state is OperatorState.CREATED:
+            self.open()
+        if self._state is not OperatorState.OPEN:
+            return list(self)  # EXHAUSTED/CLOSED: defer to the generic path
+        events = list(self._pending)
+        self._pending.clear()
+        events.extend(self._engine.run_to_completion())
+        schema = self.output_schema
+        records = [event.output_record(schema) for event in events]
+        stats = self.stats
+        stats.next_calls += len(records) + 1
+        stats.tuples_produced += len(records)
+        stats.tuples_read_left = self._engine.scanned(JoinSide.LEFT)
+        stats.tuples_read_right = self._engine.scanned(JoinSide.RIGHT)
+        self._state = OperatorState.EXHAUSTED
+        self.close()
+        return records
 
     # -- introspection ----------------------------------------------------------
 

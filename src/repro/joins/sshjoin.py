@@ -43,6 +43,9 @@ class SSHJoin(_SymmetricJoinOperator):
         q-gram width (paper: 3).
     verify_jaccard:
         Apply the strict Jaccard verification on top of the counter test.
+    use_length_filter:
+        False disables the Jaccard length filter of the probe pipeline
+        (ablation; the match set is unchanged either way).
 
     Examples
     --------
@@ -65,6 +68,7 @@ class SSHJoin(_SymmetricJoinOperator):
         similarity_threshold: float = 0.85,
         q: int = 3,
         verify_jaccard: bool = False,
+        use_length_filter: bool = True,
         name: str = "",
     ) -> None:
         super().__init__(
@@ -74,5 +78,6 @@ class SSHJoin(_SymmetricJoinOperator):
             similarity_threshold=similarity_threshold,
             q=q,
             verify_jaccard=verify_jaccard,
+            use_length_filter=use_length_filter,
             name=name or "SSHJoin",
         )

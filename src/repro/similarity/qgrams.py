@@ -47,13 +47,11 @@ def qgrams(text: str, q: int = 3, padded: bool = True) -> List[str]:
         raise ValueError(f"q must be a positive integer, got {q}")
     if text is None:
         text = ""
-    if padded:
-        framed = PADDING_CHAR * (q - 1) + text + PADDING_CHAR * (q - 1)
-        if not text:
-            return []
-        return [framed[i : i + q] for i in range(len(text) + q - 1)]
     if not text:
         return []
+    if padded:
+        framed = PADDING_CHAR * (q - 1) + text + PADDING_CHAR * (q - 1)
+        return [framed[i : i + q] for i in range(len(text) + q - 1)]
     if len(text) < q:
         return [text]
     return [text[i : i + q] for i in range(len(text) - q + 1)]

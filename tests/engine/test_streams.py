@@ -24,6 +24,45 @@ def _records(schema, values):
     return [Record(schema, {"value": v}) for v in values]
 
 
+class TestBulkPull:
+    def test_next_records_returns_up_to_limit(self, schema):
+        stream = ListStream(schema, _records(schema, [1, 2, 3]))
+        batch = stream.next_records(2)
+        assert [r["value"] for r in batch] == [1, 2]
+        assert stream.delivered == 2
+        assert not stream.exhausted
+
+    def test_short_batch_latches_exhaustion(self, schema):
+        stream = ListStream(schema, _records(schema, [1, 2, 3]))
+        batch = stream.next_records(10)
+        assert [r["value"] for r in batch] == [1, 2, 3]
+        assert stream.exhausted
+        assert stream.next_records(5) == []
+
+    def test_bulk_and_single_pulls_interleave(self, schema):
+        stream = ListStream(schema, _records(schema, [1, 2, 3, 4]))
+        assert stream.next_record()["value"] == 1
+        assert [r["value"] for r in stream.next_records(2)] == [2, 3]
+        assert stream.next_record()["value"] == 4
+
+    def test_generic_fallback_on_iterator_stream(self, schema):
+        stream = IteratorStream(schema, iter(_records(schema, [1, 2])))
+        assert [r["value"] for r in stream.next_records(5)] == [1, 2]
+        assert stream.exhausted
+
+    def test_negative_limit_rejected(self, schema):
+        stream = ListStream(schema, _records(schema, [1]))
+        with pytest.raises(ValueError):
+            stream.next_records(-1)
+        with pytest.raises(ValueError):
+            IteratorStream(schema, iter(())).next_records(-1)
+
+    def test_zero_limit_is_a_no_op(self, schema):
+        stream = ListStream(schema, _records(schema, [1]))
+        assert stream.next_records(0) == []
+        assert not stream.exhausted
+
+
 class TestListStream:
     def test_delivers_in_order(self, schema):
         stream = ListStream(schema, _records(schema, [1, 2, 3]))

@@ -52,6 +52,82 @@ class TestStepping:
         events = engine.run_to_completion()
         assert engine.matches_emitted == len(events)
 
+    def test_run_steps_batches_without_changing_semantics(
+        self, atlas_table, accidents_table
+    ):
+        batched = make_engine(atlas_table, accidents_table)
+        stepped = make_engine(atlas_table, accidents_table)
+        first = batched.run_steps(3)
+        assert [r.step for r in first] == [1, 2, 3]
+        rest = batched.run_steps(10_000)
+        assert batched.exhausted
+        assert batched.run_steps(5) == []
+        stepped_results = list(stepped.iter_steps())
+        assert [(r.step, r.side) for r in first + rest] == [
+            (r.step, r.side) for r in stepped_results
+        ]
+        assert batched.counters().as_dict() == stepped.counters().as_dict()
+
+    def test_run_steps_rejects_negative_limit(self, atlas_table, accidents_table):
+        engine = make_engine(atlas_table, accidents_table)
+        with pytest.raises(ValueError):
+            engine.run_steps(-1)
+
+    def test_scan_batch_one_matches_default_read_ahead(
+        self, atlas_table, accidents_table
+    ):
+        unbuffered = make_engine(atlas_table, accidents_table, scan_batch=1)
+        buffered = make_engine(atlas_table, accidents_table)
+        assert [e.pair_key() for e in unbuffered.run_to_completion()] == [
+            e.pair_key() for e in buffered.run_to_completion()
+        ]
+
+    def test_invalid_scan_batch_rejected(self, atlas_table, accidents_table):
+        with pytest.raises(ValueError):
+            make_engine(atlas_table, accidents_table, scan_batch=0)
+
+    def test_lazy_streams_are_never_read_ahead(self, atlas_table, accidents_table):
+        """A live source must not be asked for records beyond the next step."""
+        from repro.engine.streams import IteratorStream
+
+        pulled = {"left": 0, "right": 0}
+
+        def counting(records, key):
+            for record in records:
+                pulled[key] += 1
+                yield record
+
+        engine = SymmetricJoinEngine(
+            IteratorStream(atlas_table.schema, counting(atlas_table.records, "left")),
+            IteratorStream(
+                accidents_table.schema, counting(accidents_table.records, "right")
+            ),
+            JoinAttribute("location", "location"),
+        )
+        engine.step()
+        assert pulled == {"left": 1, "right": 0}
+        engine.step()
+        assert pulled == {"left": 1, "right": 1}
+
+    def test_length_filter_ablation_same_result(self, atlas_table, accidents_table):
+        with_filter = make_engine(
+            atlas_table,
+            accidents_table,
+            left_mode=JoinMode.APPROXIMATE,
+            right_mode=JoinMode.APPROXIMATE,
+            use_length_filter=True,
+        )
+        without_filter = make_engine(
+            atlas_table,
+            accidents_table,
+            left_mode=JoinMode.APPROXIMATE,
+            right_mode=JoinMode.APPROXIMATE,
+            use_length_filter=False,
+        )
+        assert sorted(e.pair_key() for e in with_filter.run_to_completion()) == sorted(
+            e.pair_key() for e in without_filter.run_to_completion()
+        )
+
 
 class TestModeSwitching:
     def test_switch_reports_catch_up_size(self, atlas_table, accidents_table):
