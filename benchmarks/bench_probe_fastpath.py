@@ -11,7 +11,12 @@ Measures, at several input scales (default 5k and 20k total tuples):
 * the **length-filter ablation** — the fast probe with the Jaccard length
   filter on vs. off;
 * **end-to-end runs** — exact (SHJoin), approximate (SSHJoin) and adaptive
-  joins over the same generated dataset.
+  joins over the same generated dataset;
+* the **session overhead** — the runtime layer's tax: the same all-exact
+  join driven by a bare ``SymmetricJoinEngine`` loop vs. a ``JoinSession``
+  (event bus + monitor/trace subscribers + fixed policy).  The acceptance
+  bar is ≤ 5 % on the end-to-end adaptive timings across trajectory
+  entries (see PERFORMANCE.md).
 
 Results are appended to a ``BENCH_probe_fastpath.json`` trajectory file
 (one entry per invocation) so future PRs can track regressions.
@@ -36,11 +41,15 @@ from typing import Dict, List
 
 from repro.core.adaptive import AdaptiveJoinProcessor
 from repro.datagen.testcases import STANDARD_TEST_CASES, generate_test_case
+from repro.engine.streams import TableStream
 from repro.engine.tuples import Record, Schema
-from repro.joins.base import JoinSide, SideState
+from repro.joins.base import JoinAttribute, JoinSide, SideState
+from repro.joins.engine import SymmetricJoinEngine
 from repro.joins.fastpath import NaiveQGramProber
 from repro.joins.shjoin import SHJoin
 from repro.joins.sshjoin import SSHJoin
+from repro.runtime.config import RunConfig
+from repro.runtime.session import JoinSession
 
 DEFAULT_SIZES = (5_000, 20_000)
 SMOKE_SIZES = (2_000,)
@@ -130,6 +139,48 @@ def bench_end_to_end(dataset) -> Dict[str, float]:
     return timings
 
 
+def bench_session_overhead(dataset, repeats: int = 3) -> Dict[str, object]:
+    """Runtime-layer tax: bare engine loop vs. JoinSession (fixed policy).
+
+    Both runs execute the identical all-exact join (cheapest per-step work,
+    so the per-step session cost — bus dispatch into the monitor, trace and
+    match-accumulation subscribers — is maximally visible).  The best of
+    ``repeats`` runs is reported for each side to suppress scheduler noise.
+    """
+    attribute = JoinAttribute("location", "location")
+
+    def run_engine() -> float:
+        engine = SymmetricJoinEngine(
+            TableStream(dataset.parent), TableStream(dataset.child), attribute
+        )
+        started = time.perf_counter()
+        engine.run_to_completion()
+        return time.perf_counter() - started
+
+    def run_session() -> float:
+        session = JoinSession(
+            dataset.parent,
+            dataset.child,
+            "location",
+            RunConfig(policy="fixed"),
+        )
+        started = time.perf_counter()
+        session.run()
+        return time.perf_counter() - started
+
+    engine_seconds = min(run_engine() for _ in range(repeats))
+    session_seconds = min(run_session() for _ in range(repeats))
+    return {
+        "engine_seconds": round(engine_seconds, 4),
+        "session_seconds": round(session_seconds, 4),
+        "overhead_fraction": (
+            round(session_seconds / engine_seconds - 1.0, 4)
+            if engine_seconds
+            else None
+        ),
+    }
+
+
 def run_benchmark(sizes, probe_sample: int) -> Dict[str, object]:
     entries = []
     for total_size in sizes:
@@ -147,14 +198,19 @@ def run_benchmark(sizes, probe_sample: int) -> Dict[str, object]:
         entry: Dict[str, object] = {"total_tuples": total_size}
         entry["probe_path"] = bench_probe_path(stored_values, probe_values)
         entry["end_to_end"] = bench_end_to_end(dataset)
+        entry["session_overhead"] = bench_session_overhead(dataset)
         entries.append(entry)
 
         probe = entry["probe_path"]
+        overhead = entry["session_overhead"]
         print(
             f"[{total_size:>6} tuples] probe path: fast={probe['fast_seconds']}s "
             f"naive={probe['naive_seconds']}s speedup={probe['speedup']}x "
             f"(no-length-filter={probe['fast_no_length_filter_seconds']}s); "
-            f"end-to-end: {entry['end_to_end']}"
+            f"end-to-end: {entry['end_to_end']}; "
+            f"session overhead: {overhead['overhead_fraction']} "
+            f"(engine={overhead['engine_seconds']}s "
+            f"session={overhead['session_seconds']}s)"
         )
     return {
         "run_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),

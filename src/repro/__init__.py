@@ -31,6 +31,14 @@ The package is organised in layers, bottom-up:
     ``lap/rap``), the adaptive join processor, the cost model and the
     gain/cost/efficiency metrics of Sec. 4.
 
+``repro.runtime``
+    The composition layer: ``RunConfig`` (one declarative description of
+    an execution), ``JoinSession`` (builds and drives engine + control
+    stack; the single construction path used by the processor façade,
+    ``link_tables``, the bench harness and the CLI), the pluggable
+    ``SwitchPolicy`` registry (``mar``, ``fixed``, ``budget-greedy``) and
+    the ``EventBus`` the engine publishes step/match/switch events onto.
+
 ``repro.linkage``
     A thin record-linkage toolkit layer (decision rules, blocking,
     evaluation against ground truth) and a high-level ``link_tables`` API.
@@ -54,8 +62,12 @@ from repro.engine.tuples import Record, Schema
 from repro.joins.shjoin import SHJoin
 from repro.joins.sshjoin import SSHJoin
 from repro.linkage.api import link_tables
+from repro.runtime.config import RunConfig
+from repro.runtime.events import EventBus
+from repro.runtime.policy import available_policies, register_policy
+from repro.runtime.session import JoinSession
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AdaptiveJoinProcessor",
@@ -69,5 +81,10 @@ __all__ = [
     "SHJoin",
     "SSHJoin",
     "link_tables",
+    "RunConfig",
+    "JoinSession",
+    "EventBus",
+    "register_policy",
+    "available_policies",
     "__version__",
 ]

@@ -28,7 +28,7 @@ from typing import Dict, Optional
 from repro.core.state_machine import JoinState
 from repro.datagen.testcases import GeneratedDataset, TestCaseSpec, generate_test_case
 from repro.engine.streams import TableStream
-from repro.joins.base import JoinAttribute, JoinSide
+from repro.joins.base import JoinAttribute
 from repro.joins.engine import SymmetricJoinEngine
 
 

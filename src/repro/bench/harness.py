@@ -35,7 +35,6 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.core.adaptive import AdaptiveJoinProcessor, AdaptiveJoinResult
 from repro.core.cost_model import CostModel
 from repro.core.metrics import GainCostReport
 from repro.core.thresholds import Thresholds
@@ -49,6 +48,8 @@ from repro.joins.base import JoinSide
 from repro.joins.shjoin import SHJoin
 from repro.joins.sshjoin import SSHJoin
 from repro.linkage.evaluation import LinkageEvaluation, evaluate_pairs
+from repro.runtime.config import RunConfig
+from repro.runtime.session import AdaptiveJoinResult, JoinSession
 
 
 def _environment_size(name: str, default: int) -> int:
@@ -124,6 +125,8 @@ def run_experiment(
     cost_model: Optional[CostModel] = None,
     allow_source_identification: bool = True,
     dataset: Optional[GeneratedDataset] = None,
+    policy: str = "mar",
+    budget: Optional[float] = None,
 ) -> ExperimentOutcome:
     """Run the three strategies for one test case and assemble the outcome.
 
@@ -139,10 +142,16 @@ def run_experiment(
         Cost model used for ``c``, ``C`` and ``c_abs`` (defaults to the
         paper-calibrated weights).
     allow_source_identification:
-        Forwarded to the adaptive processor (False = two-state ablation).
+        Forwarded to the adaptive run (False = two-state ablation).
     dataset:
         Pre-generated dataset to reuse (skips regeneration); must match the
         spec when provided.
+    policy:
+        Switch policy for the adaptive run (default ``"mar"``; the other
+        registered policies open non-paper scenarios, e.g.
+        ``"budget-greedy"``).
+    budget:
+        Optional relative cost budget in ``(0, 1]`` for the adaptive run.
     """
     if dataset is None:
         dataset = generate_test_case(
@@ -178,15 +187,20 @@ def run_experiment(
 
     # -- adaptive run ---------------------------------------------------------------
     started = time.perf_counter()
-    processor = AdaptiveJoinProcessor(
+    session = JoinSession(
         dataset.parent,
         dataset.child,
         "location",
-        thresholds=thresholds,
-        parent_side=JoinSide.LEFT,
-        allow_source_identification=allow_source_identification,
+        RunConfig.from_thresholds(
+            thresholds,
+            parent_side=JoinSide.LEFT,
+            allow_source_identification=allow_source_identification,
+            cost_model=model,
+            policy=policy,
+            budget_fraction=budget,
+        ),
     )
-    adaptive_result = processor.run()
+    adaptive_result = session.run()
     wall_clock["adaptive"] = time.perf_counter() - started
 
     total_steps = adaptive_result.trace.total_steps

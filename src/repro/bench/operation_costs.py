@@ -25,7 +25,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.datagen.testcases import GeneratedDataset, TestCaseSpec, generate_test_case
-from repro.joins.base import JoinSide
 from repro.joins.shjoin import SHJoin
 from repro.joins.sshjoin import SSHJoin
 

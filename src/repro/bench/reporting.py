@@ -7,7 +7,7 @@ directly comparable to the paper's tables and figure data.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 
 def _format_value(value: object, precision: int) -> str:

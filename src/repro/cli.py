@@ -11,6 +11,9 @@ writing Python:
 ``link``
     Link two CSV files on a join attribute with a chosen strategy (exact,
     approximate, blocking or adaptive) and write the matched pairs to CSV.
+    The adaptive strategy accepts ``--policy`` (any registered switch
+    policy: ``mar``, ``fixed``, ``budget-greedy``, …) and ``--budget`` (a
+    relative cost cap).
 
 ``experiment``
     Run the full gain/cost experiment (all three strategies) for a standard
@@ -29,7 +32,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.bench.calibration import calibrate_weights
 from repro.bench.export import outcome_to_dict
@@ -44,6 +47,7 @@ from repro.datagen.testcases import (
 )
 from repro.engine.table import Table
 from repro.linkage.api import STRATEGIES, link_tables
+from repro.runtime.policy import available_policies
 
 
 def _add_threshold_arguments(parser: argparse.ArgumentParser) -> None:
@@ -60,6 +64,13 @@ def _add_threshold_arguments(parser: argparse.ArgumentParser) -> None:
                         help="current-perturbation threshold")
     parser.add_argument("--theta-pastpert", type=float, default=5.0,
                         help="past-perturbation threshold")
+    parser.add_argument("--policy", choices=available_policies(), default="mar",
+                        help="switch policy driving the adaptive run "
+                             "(mar = the paper's control loop)")
+    parser.add_argument("--budget", type=float, default=None, metavar="FRACTION",
+                        help="relative cost budget in (0, 1]: fraction of the "
+                             "all-approximate/all-exact cost gap the adaptive "
+                             "run may spend before being pinned to exact")
 
 
 def _thresholds_from_args(args: argparse.Namespace) -> Thresholds:
@@ -173,6 +184,8 @@ def _command_link(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         similarity_threshold=args.theta_sim,
         thresholds=_thresholds_from_args(args),
+        policy=args.policy,
+        budget=args.budget,
     )
     with open(args.output, "w", encoding="utf-8") as handle:
         handle.write("left_index,right_index\n")
@@ -193,6 +206,8 @@ def _command_experiment(args: argparse.Namespace) -> int:
         parent_size=args.parent_size,
         child_size=args.child_size,
         thresholds=_thresholds_from_args(args),
+        policy=args.policy,
+        budget=args.budget,
     )
     print(format_table([outcome.fig6_row()], title="-- gain / cost (Fig. 6 row) --"))
     print()

@@ -14,8 +14,10 @@ Secs. 2-3 of the paper on top of the switchable symmetric-join engine of
   Table 2.
 * :mod:`repro.core.responder` — mapping of assessments onto state
   transitions.
-* :mod:`repro.core.adaptive` — :class:`AdaptiveJoinProcessor`, the driver
-  that puts the loop together, plus an iterator-operator wrapper.
+* :mod:`repro.core.adaptive` — :class:`AdaptiveJoinProcessor`, the
+  paper-facing façade over :class:`repro.runtime.JoinSession` (which
+  composes the loop from a declarative config), plus an iterator-operator
+  wrapper.
 * :mod:`repro.core.trace` — per-run execution traces (state occupancy,
   transitions, assessments) feeding Figs. 7-8.
 * :mod:`repro.core.cost_model` — the weighted cost model of Sec. 4.3.

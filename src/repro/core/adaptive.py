@@ -1,18 +1,25 @@
 """The adaptive join processor (paper Sec. 3).
 
-:class:`AdaptiveJoinProcessor` ties the pieces together:
+:class:`AdaptiveJoinProcessor` is the paper-facing entry point for the
+MAR-controlled adaptive join.  Since the runtime refactor it is a thin
+façade over :class:`~repro.runtime.session.JoinSession`: the session
+builds the engine + control stack from a
+:class:`~repro.runtime.config.RunConfig` and drives it, with
 
-1. a :class:`~repro.joins.engine.SymmetricJoinEngine` executes the join step
-   by step (one step = one quiescent-state transition);
-2. a :class:`~repro.core.monitor.Monitor` observes each step;
-3. every ``δ_adapt`` steps an :class:`~repro.core.assessor.Assessor`
-   evaluates the σ / µ / π predicates;
-4. a :class:`~repro.core.responder.Responder` maps the assessment onto the
-   four-state machine of Fig. 4 and, when a transition fires, switches the
+1. a :class:`~repro.joins.engine.SymmetricJoinEngine` executing the join
+   step by step (one step = one quiescent-state transition) and
+   publishing every step onto the session's event bus;
+2. a :class:`~repro.core.monitor.Monitor` observing each step as a bus
+   subscriber;
+3. a :class:`~repro.runtime.policy.SwitchPolicy` — by default the paper's
+   MAR loop (:class:`~repro.runtime.policy.MarPolicy`): every ``δ_adapt``
+   steps an :class:`~repro.core.assessor.Assessor` evaluates the σ / µ / π
+   predicates and a :class:`~repro.core.responder.Responder` maps the
+   assessment onto the four-state machine of Fig. 4, switching the
    engine's per-side operators (with the hash-table catch-up of Sec. 2.3);
-5. an :class:`~repro.core.trace.ExecutionTrace` records state occupancy,
-   transitions and assessments for the cost model and the Fig. 7/8
-   breakdowns.
+4. an :class:`~repro.core.trace.ExecutionTrace` recording state occupancy,
+   transitions and assessments (also a bus subscriber) for the cost model
+   and the Fig. 7/8 breakdowns.
 
 The processor starts, optimistically, in ``lex/rex`` (both sides exact).
 
@@ -20,71 +27,37 @@ Two entry points are provided:
 
 * :meth:`AdaptiveJoinProcessor.run` — run the whole join and return an
   :class:`AdaptiveJoinResult` (the mode used by the benchmarks);
-* :class:`AdaptiveSymmetricJoin` — an iterator-protocol operator wrapper, so
-  the adaptive join can be dropped into a query plan like any other
+* :class:`AdaptiveSymmetricJoin` — an iterator-protocol operator wrapper,
+  so the adaptive join can be dropped into a query plan like any other
   physical operator.
+
+Code that needs more control — a different switch policy, extra event
+subscribers, declarative configuration — should use
+:class:`~repro.runtime.session.JoinSession` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import List, Optional, Tuple, Union
 
-from repro.core.assessor import Assessor
 from repro.core.budget import CostBudget
 from repro.core.cost_model import CostModel
 from repro.core.monitor import Monitor
-from repro.core.responder import Responder
 from repro.core.state_machine import JoinState, StateMachine
 from repro.core.thresholds import Thresholds
 from repro.core.trace import ExecutionTrace
 from repro.engine.iterators import Operator
-from repro.engine.streams import RecordStream, TableStream
-from repro.engine.table import Table
 from repro.engine.tuples import Record, Schema
-from repro.joins.base import JoinAttribute, JoinSide, MatchEvent, OperationCounters
+from repro.joins.base import JoinAttribute, JoinSide, MatchEvent
 from repro.joins.engine import SymmetricJoinEngine
+from repro.runtime.config import RunConfig
+from repro.runtime.session import AdaptiveJoinResult, InputLike, JoinSession
 
-InputLike = Union[RecordStream, Table]
-
-
-def _as_stream(source: InputLike) -> RecordStream:
-    if isinstance(source, Table):
-        return TableStream(source)
-    return source
-
-
-@dataclass
-class AdaptiveJoinResult:
-    """Everything produced by one adaptive join run."""
-
-    #: All matched pairs, in emission order.
-    matches: List[MatchEvent]
-    #: The execution trace (state occupancy, transitions, assessments).
-    trace: ExecutionTrace
-    #: Final processor state.
-    final_state: JoinState
-    #: Elementary-operation counters accumulated by the engine.
-    counters: OperationCounters
-    #: Output schema of the joined records.
-    output_schema: Schema
-
-    @property
-    def result_size(self) -> int:
-        """Number of matched pairs produced (``r_abs``)."""
-        return len(self.matches)
-
-    def output_records(self) -> List[Record]:
-        """Materialise the joined output records."""
-        return [event.output_record(self.output_schema) for event in self.matches]
-
-    def matched_pairs(self) -> List[tuple]:
-        """(left ordinal, right ordinal) pairs, useful for completeness checks."""
-        return [event.pair_key() for event in self.matches]
-
-    def weighted_cost(self, cost_model: Optional[CostModel] = None) -> float:
-        """``c_abs`` under ``cost_model`` (paper weights by default)."""
-        return (cost_model or CostModel()).absolute_cost(self.trace)
+__all__ = [
+    "AdaptiveJoinProcessor",
+    "AdaptiveJoinResult",
+    "AdaptiveSymmetricJoin",
+]
 
 
 class AdaptiveJoinProcessor:
@@ -103,14 +76,15 @@ class AdaptiveJoinProcessor:
         The tuning parameters of Table 3; defaults to the paper's operating
         point.
     parent_size:
-        ``|R|``, the expected size of the parent table.  If omitted and the
-        parent input is a :class:`~repro.engine.table.Table`, its length is
-        used; for true streams the caller must provide the estimate.
+        ``|R|``, the expected size of the parent table.  If omitted it is
+        resolved from the parent input when it is sized (a table or a
+        bounded stream); for true streams the caller must provide the
+        estimate (see :meth:`RunConfig.resolve_parent_size`).
     parent_side:
         Which input plays the parent role (default left).
     initial_state:
-        Processor state at start (default ``lex/rex``, the optimistic
-        choice).
+        Processor state at start; ``None`` (the default) lets the policy
+        choose (``lex/rex`` for MAR, the optimistic choice).
     allow_source_identification:
         Forwarded to the responder; False restricts the machine to the two
         symmetric states (ablation).
@@ -122,6 +96,10 @@ class AdaptiveJoinProcessor:
         knob the paper's conclusions call for.
     cost_model:
         Cost model used to account the budget (paper weights by default).
+    policy:
+        Name of the registered switch policy to drive the run (default
+        ``"mar"``, the paper's control loop; see
+        :mod:`repro.runtime.policy`).
     """
 
     def __init__(
@@ -132,78 +110,128 @@ class AdaptiveJoinProcessor:
         thresholds: Optional[Thresholds] = None,
         parent_size: Optional[int] = None,
         parent_side: JoinSide = JoinSide.LEFT,
-        initial_state: JoinState = JoinState.LEX_REX,
+        initial_state: Optional[JoinState] = None,
         allow_source_identification: bool = True,
         cost_budget: Optional[CostBudget] = None,
         cost_model: Optional[CostModel] = None,
+        policy: str = "mar",
     ) -> None:
-        self.thresholds = thresholds or Thresholds()
-        if isinstance(attribute, str):
-            attribute = JoinAttribute(attribute, attribute)
-        self.attribute = attribute
-        self.parent_side = parent_side
-
-        parent_input = left if parent_side is JoinSide.LEFT else right
-        if parent_size is None:
-            if isinstance(parent_input, Table):
-                parent_size = len(parent_input)
-            elif hasattr(parent_input, "__len__"):
-                parent_size = len(parent_input)  # type: ignore[arg-type]
-            else:
-                raise ValueError(
-                    "parent_size must be provided when the parent input is a "
-                    "stream of unknown length"
-                )
-        self.parent_size = parent_size
-
-        self.engine = SymmetricJoinEngine(
-            _as_stream(left),
-            _as_stream(right),
-            attribute,
-            similarity_threshold=self.thresholds.theta_sim,
-            q=self.thresholds.q,
-            left_mode=initial_state.left_mode,
-            right_mode=initial_state.right_mode,
-        )
-        self.monitor = Monitor(window_size=self.thresholds.window_size)
-        self.assessor = Assessor(
-            thresholds=self.thresholds,
-            parent_size=self.parent_size,
+        config = RunConfig(
+            thresholds=thresholds or Thresholds(),
+            policy=policy,
             parent_side=parent_side,
-        )
-        self.state_machine = StateMachine(initial=initial_state)
-        self.responder = Responder(
-            self.state_machine,
+            parent_size=parent_size,
+            initial_state=initial_state,
             allow_source_identification=allow_source_identification,
+            cost_budget=cost_budget,
+            cost_model=cost_model or CostModel(),
         )
-        self.trace = ExecutionTrace(initial_state=initial_state)
-        self.cost_budget = cost_budget
-        self.cost_model = cost_model or CostModel()
-        self._budget_exhausted = False
-        self._matches: List[MatchEvent] = []
-        self._finished = False
+        self.session = JoinSession(left, right, attribute, config)
+
+    # -- configuration views --------------------------------------------------------
+
+    @property
+    def config(self) -> RunConfig:
+        """The declarative configuration the session was built from."""
+        return self.session.config
+
+    @property
+    def thresholds(self) -> Thresholds:
+        """The tuning parameters of Table 3."""
+        return self.session.config.thresholds
+
+    @property
+    def attribute(self) -> JoinAttribute:
+        """The join attribute pair."""
+        return self.session.attribute
+
+    @property
+    def parent_side(self) -> JoinSide:
+        """Which input plays the parent role."""
+        return self.session.config.parent_side
+
+    @property
+    def parent_size(self) -> int:
+        """``|R|``, the resolved parent-table size."""
+        return self.session.parent_size
+
+    @property
+    def cost_budget(self) -> Optional[CostBudget]:
+        """The effective cost budget, if any."""
+        return self.session.cost_budget
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The cost model used for budget accounting."""
+        return self.session.config.cost_model
+
+    # -- component views (kept for introspection and tests) --------------------------
+
+    @property
+    def engine(self) -> SymmetricJoinEngine:
+        """The underlying switchable symmetric-join engine."""
+        return self.session.engine
+
+    @property
+    def monitor(self) -> Monitor:
+        """The monitor observing the run."""
+        return self.session.monitor
+
+    @property
+    def state_machine(self) -> StateMachine:
+        """The four-state machine tracking the processor configuration."""
+        return self.session.state_machine
+
+    @property
+    def trace(self) -> ExecutionTrace:
+        """The execution trace accumulated so far."""
+        return self.session.trace
+
+    @property
+    def assessor(self):
+        """The MAR assessor (``None`` for policies without one)."""
+        return getattr(self.session.policy, "assessor", None)
+
+    @property
+    def responder(self):
+        """The MAR responder (``None`` for policies without one)."""
+        return getattr(self.session.policy, "responder", None)
 
     # -- state ---------------------------------------------------------------------
 
     @property
     def state(self) -> JoinState:
         """Current processor state."""
-        return self.state_machine.state
+        return self.session.state
 
     @property
     def output_schema(self) -> Schema:
         """Schema of the joined output records."""
-        return self.engine.output_schema
+        return self.session.output_schema
 
     @property
-    def matches(self) -> List[MatchEvent]:
-        """Matched pairs produced so far."""
-        return self._matches
+    def matches(self) -> Tuple[MatchEvent, ...]:
+        """Matched pairs produced so far (immutable snapshot).
+
+        Each access copies the accumulator (O(matches so far)); callers
+        polling per step should read :attr:`match_count` instead.
+        """
+        return self.session.matches
+
+    @property
+    def match_count(self) -> int:
+        """Number of matched pairs produced so far (no snapshot cost)."""
+        return self.session.match_count
 
     @property
     def finished(self) -> bool:
         """True once both inputs have been drained."""
-        return self._finished
+        return self.session.finished
+
+    @property
+    def budget_exhausted(self) -> bool:
+        """Whether the cost budget (if any) has been used up."""
+        return self.session.budget_exhausted
 
     # -- execution ------------------------------------------------------------------
 
@@ -213,91 +241,11 @@ class AdaptiveJoinProcessor:
         Returns the match events produced by the step, or ``None`` when the
         join has finished.
         """
-        result = self.engine.step()
-        if result is None:
-            self._finished = True
-            return None
-        state = self.state_machine.state
-        self.monitor.observe_step(result)
-        self.trace.record_step(state, result.side, len(result.matches))
-        self._matches.extend(result.matches)
-
-        if self.assessor.should_assess(result.step):
-            self._activate_control_loop(result.step)
-        return result.matches
-
-    @property
-    def budget_exhausted(self) -> bool:
-        """Whether the cost budget (if any) has been used up."""
-        return self._budget_exhausted
-
-    def _activate_control_loop(self, step: int) -> None:
-        """One Monitor → Assess → Respond activation."""
-        if self.cost_budget is not None and not self._budget_exhausted:
-            if self.cost_budget.exhausted(self.trace, self.cost_model):
-                self._budget_exhausted = True
-        if self._budget_exhausted:
-            # The user-imposed cost cap overrides the responder: pin the
-            # processor to the cheap all-exact configuration.
-            state_before = self.state_machine.state
-            if state_before is not JoinState.LEX_REX:
-                self.state_machine.force(JoinState.LEX_REX, step=step)
-                switches = self.engine.set_modes(
-                    JoinState.LEX_REX.left_mode, JoinState.LEX_REX.right_mode
-                )
-                self.trace.record_transition(
-                    step, state_before, JoinState.LEX_REX, switches
-                )
-            return
-        observation = self.monitor.observation()
-        assessment = self.assessor.assess(observation)
-        state_before = self.state_machine.state
-        guards, new_state, switches = self.responder.respond(assessment, self.engine)
-        state_after = self.state_machine.state
-        self.trace.record_assessment(assessment, guards, state_before, state_after)
-        if new_state is not None:
-            self.trace.record_transition(step, state_before, new_state, switches)
+        return self.session.step()
 
     def run(self) -> AdaptiveJoinResult:
-        """Run the join to completion and return the full result.
-
-        Drives the engine through its batched stepping API: between two
-        control-loop activations the processor state cannot change, so the
-        engine is asked for the whole run of steps up to the next ``δ_adapt``
-        boundary at once (:meth:`SymmetricJoinEngine.run_steps`) and the
-        per-step observations are replayed over the batch.  The monitor
-        window, the trace and the activation points are identical to
-        stepping one tuple at a time via :meth:`step`.
-        """
-        delta = self.thresholds.delta_adapt
-        engine = self.engine
-        observe = self.monitor.observe_step
-        record_step = self.trace.record_step
-        matches_extend = self._matches.extend
-        while not self._finished:
-            chunk = delta - (engine.step_count % delta)
-            batch = engine.run_steps(chunk)
-            if not batch:
-                self._finished = True
-                break
-            state = self.state_machine.state
-            for result in batch:
-                observe(result)
-                record_step(state, result.side, len(result.matches))
-                if result.matches:
-                    matches_extend(result.matches)
-            last_step = batch[-1].step
-            if self.assessor.should_assess(last_step):
-                self._activate_control_loop(last_step)
-            if len(batch) < chunk:
-                self._finished = True
-        return AdaptiveJoinResult(
-            matches=self._matches,
-            trace=self.trace,
-            final_state=self.state_machine.state,
-            counters=self.engine.counters(),
-            output_schema=self.output_schema,
-        )
+        """Run the join to completion and return the full result."""
+        return self.session.run()
 
 
 class AdaptiveSymmetricJoin(Operator):
@@ -316,6 +264,7 @@ class AdaptiveSymmetricJoin(Operator):
         thresholds: Optional[Thresholds] = None,
         parent_size: Optional[int] = None,
         parent_side: JoinSide = JoinSide.LEFT,
+        policy: str = "mar",
         name: str = "",
     ) -> None:
         self._processor = AdaptiveJoinProcessor(
@@ -325,6 +274,7 @@ class AdaptiveSymmetricJoin(Operator):
             thresholds=thresholds,
             parent_size=parent_size,
             parent_side=parent_side,
+            policy=policy,
         )
         super().__init__(self._processor.output_schema, name=name or "AdaptiveJoin")
         self._pending: List[MatchEvent] = []

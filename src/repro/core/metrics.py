@@ -27,7 +27,7 @@ of the two.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 
 def relative_gain(adaptive_result_size: int, exact_result_size: int,

@@ -32,9 +32,9 @@ in DESIGN.md).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
-from repro.joins.base import JoinMode, JoinSide, MatchEvent
+from repro.joins.base import JoinMode, JoinSide
 from repro.joins.engine import StepResult
 from repro.stats.windows import SlidingWindowCounter
 
@@ -98,6 +98,21 @@ class Monitor:
         self._step = 0
 
     # -- observation -------------------------------------------------------------
+
+    def attach(self, bus) -> "Monitor":
+        """Subscribe this monitor to a runtime event bus.
+
+        After attachment every :class:`~repro.joins.engine.StepResult` the
+        engine publishes flows into :meth:`observe_step`; the session loop
+        no longer calls the monitor explicitly.  Returns ``self`` so
+        construction and attachment chain.
+        """
+        bus.subscribe(StepResult, self.observe_step)
+        return self
+
+    def detach(self, bus) -> None:
+        """Remove this monitor's subscription from ``bus`` (no-op if absent)."""
+        bus.unsubscribe(StepResult, self.observe_step)
 
     def observe_step(self, result: StepResult) -> None:
         """Record one engine step."""

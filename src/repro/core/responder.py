@@ -16,6 +16,12 @@ exit from ``lex/rex`` (see :mod:`repro.core.state_machine`):
   inputs is responsible".
 * ``φ_2 = σ ∧ ¬µ_left ∧ µ_right ∧ π_left``            → ``lap/rex``
 * ``φ_3 = σ ∧ µ_left ∧ ¬µ_right ∧ π_right``           → ``lex/rap``
+
+Since the runtime refactor the responder is driven by
+:class:`~repro.runtime.policy.MarPolicy` (one call per control-loop
+activation); it remains engine-enacting — evaluating guards, updating the
+state machine and reconfiguring the engine are one atomic response, always
+performed between engine steps (i.e. in a quiescent state).
 """
 
 from __future__ import annotations
@@ -24,7 +30,6 @@ from typing import List, Optional, Tuple
 
 from repro.core.assessor import Assessment
 from repro.core.state_machine import JoinState, StateMachine, TransitionGuards
-from repro.joins.base import JoinSide
 from repro.joins.engine import SwitchRecord, SymmetricJoinEngine
 
 

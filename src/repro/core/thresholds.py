@@ -24,7 +24,7 @@ most 2 approximate matches in the last ``W`` steps").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict
 
 

@@ -10,12 +10,13 @@ parameter-tuning benchmarks) while the adaptive processor runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.core.assessor import Assessment
 from repro.core.state_machine import JoinState, TransitionGuards
 from repro.joins.base import JoinSide
-from repro.joins.engine import SwitchRecord
+from repro.joins.engine import StepResult, SwitchRecord
+from repro.runtime.events import AssessmentEvent, TransitionEvent
 
 
 @dataclass(frozen=True)
@@ -69,6 +70,46 @@ class ExecutionTrace:
     right_scanned: int = 0
 
     # -- accumulation ----------------------------------------------------------------
+
+    def attach(self, bus, state_machine) -> "ExecutionTrace":
+        """Subscribe this trace to a runtime event bus.
+
+        Steps, transitions and assessments are recorded from the published
+        events instead of explicit calls from the processor loop.  The
+        ``state_machine`` supplies the state in force for each step (the
+        engine does not know it); activations happen between steps, so the
+        state read at publish time is exactly the state the step ran in.
+        Returns ``self`` so construction and attachment chain.
+        """
+
+        record_step = self.record_step
+
+        def on_step(result: StepResult) -> None:
+            record_step(state_machine.state, result.side, len(result.matches))
+
+        def on_transition(event: TransitionEvent) -> None:
+            self.record_transition(
+                event.step, event.from_state, event.to_state, list(event.switches)
+            )
+
+        def on_assessment(event: AssessmentEvent) -> None:
+            self.record_assessment(
+                event.assessment, event.guards, event.state_before, event.state_after
+            )
+
+        subscriptions = [
+            (StepResult, bus.subscribe(StepResult, on_step)),
+            (TransitionEvent, bus.subscribe(TransitionEvent, on_transition)),
+            (AssessmentEvent, bus.subscribe(AssessmentEvent, on_assessment)),
+        ]
+        self._subscriptions = getattr(self, "_subscriptions", []) + subscriptions
+        return self
+
+    def detach(self, bus) -> None:
+        """Remove every subscription :meth:`attach` registered (no-op if none)."""
+        for event_type, handler in getattr(self, "_subscriptions", ()):
+            bus.unsubscribe(event_type, handler)
+        self._subscriptions = []
 
     def record_step(self, state: JoinState, side: JoinSide, matches: int) -> None:
         """Record one engine step executed in ``state``."""

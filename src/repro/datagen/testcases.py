@@ -16,8 +16,8 @@ tests can verify the generator itself.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.datagen.accidents import ACCIDENT_SCHEMA
 from repro.datagen.municipalities import (

@@ -14,7 +14,7 @@ from typing import Callable, List, Optional, Sequence, Union as TypingUnion
 from repro.engine.expressions import Expression
 from repro.engine.iterators import Operator
 from repro.engine.table import Table
-from repro.engine.tuples import Record, Schema
+from repro.engine.tuples import Record
 
 Predicate = TypingUnion[Expression, Callable[[Record], bool]]
 

@@ -15,7 +15,7 @@ delivered, which the symmetric joins use for scheduling.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.engine.iterators import Operator
 from repro.engine.table import Table
@@ -240,3 +240,14 @@ def interleave(
             progressed = True
         if not progressed:
             return schedule
+
+
+#: A join/stream input: a live record stream or an in-memory table.
+InputLike = Union[RecordStream, Table]
+
+
+def as_stream(source: InputLike) -> RecordStream:
+    """Accept either a stream or a table as a stream source."""
+    if isinstance(source, Table):
+        return TableStream(source)
+    return source

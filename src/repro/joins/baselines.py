@@ -27,7 +27,6 @@ from repro.engine.table import Table
 from repro.engine.tuples import Record, Schema
 from repro.joins.base import JoinAttribute
 from repro.similarity.registry import SimilarityFunction, get_similarity
-from repro.similarity.setsim import jaccard_qgram_similarity
 
 
 def _resolve_attribute(attribute: Union[str, JoinAttribute]) -> JoinAttribute:

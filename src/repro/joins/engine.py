@@ -25,7 +25,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterator, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, Iterator, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (runtime wires the bus in)
+    from repro.runtime.events import EventBus
 
 from repro.engine.streams import RecordStream
 from repro.engine.tuples import Record, Schema
@@ -132,6 +135,15 @@ class SymmetricJoinEngine:
         When true (default) a pair of tuples is emitted at most once even
         if mode switches would make it discoverable twice; this enforces
         the set semantics of the join result.
+    bus:
+        Optional :class:`~repro.runtime.events.EventBus` the engine
+        publishes onto: every :class:`StepResult` (after the step
+        completes), every :class:`~repro.joins.base.MatchEvent` of the
+        step (only when the bus has ``MatchEvent`` subscribers — the hot
+        loop never pays for unobserved matches) and every
+        :class:`SwitchRecord` performed by :meth:`set_mode`.  ``None``
+        (the default) keeps the engine observer-free, as the non-adaptive
+        operators use it.
     """
 
     def __init__(
@@ -150,6 +162,7 @@ class SymmetricJoinEngine:
         scan_batch: int = 32,
         eager_indexing: bool = False,
         deduplicate: bool = True,
+        bus: Optional["EventBus"] = None,
     ) -> None:
         if not 0.0 < similarity_threshold <= 1.0:
             raise ValueError(
@@ -197,6 +210,15 @@ class SymmetricJoinEngine:
         }
         self.eager_indexing = eager_indexing
         self._deduplicate = deduplicate
+        self.bus = bus
+        # Hot-path channels: live handler lists cached once (see
+        # EventBus.channel); an engine without a bus publishes nothing.
+        if bus is not None:
+            self._step_channel = bus.channel(StepResult)
+            self._match_channel = bus.channel(MatchEvent)
+        else:
+            self._step_channel = None
+            self._match_channel = None
         self._emitted_pairs: Set[Tuple[int, int]] = set()
         self._next_scan = JoinSide.LEFT
         self._step = 0
@@ -267,6 +289,8 @@ class SymmetricJoinEngine:
             catch_up_tuples=caught_up,
         )
         self.switches.append(record)
+        if self.bus is not None:
+            self.bus.publish(record)
         return record
 
     def set_modes(
@@ -319,6 +343,15 @@ class SymmetricJoinEngine:
             matches=matches,
             catch_up_tuples=catch_up,
         )
+        step_channel = self._step_channel
+        if step_channel is not None:
+            for handler in step_channel:
+                handler(result)
+            if matches and self._match_channel:
+                match_channel = self._match_channel
+                for event in matches:
+                    for handler in match_channel:
+                        handler(event)
         return result
 
     def run_steps(self, limit: int) -> List[StepResult]:

@@ -20,20 +20,14 @@ from collections import deque
 from typing import Deque, Optional, Union
 
 from repro.engine.iterators import Operator, OperatorState
-from repro.engine.streams import RecordStream, TableStream
-from repro.engine.table import Table
+from repro.engine.streams import InputLike as _InputLike
+from repro.engine.streams import as_stream
 from repro.engine.tuples import Record
 from repro.joins.base import JoinAttribute, JoinMode, JoinSide, MatchEvent, OperationCounters
 from repro.joins.engine import SymmetricJoinEngine
 
-InputLike = Union[RecordStream, Table]
-
-
-def _as_stream(source: InputLike) -> RecordStream:
-    """Accept either a stream or a table as a join input."""
-    if isinstance(source, Table):
-        return TableStream(source)
-    return source
+#: Re-exported for back-compat; canonical home is :mod:`repro.engine.streams`.
+InputLike = _InputLike
 
 
 class _SymmetricJoinOperator(Operator):
@@ -52,8 +46,8 @@ class _SymmetricJoinOperator(Operator):
         use_length_filter: bool = True,
         name: str = "",
     ) -> None:
-        left_stream = _as_stream(left)
-        right_stream = _as_stream(right)
+        left_stream = as_stream(left)
+        right_stream = as_stream(right)
         if isinstance(attribute, str):
             attribute = JoinAttribute(attribute, attribute)
         self._engine = SymmetricJoinEngine(
@@ -150,8 +144,8 @@ class SHJoin(_SymmetricJoinOperator):
 
     Examples
     --------
-    >>> from repro.engine.tuples import Schema
     >>> from repro.engine.table import Table
+    >>> from repro.engine.tuples import Schema
     >>> schema = Schema(["loc"])
     >>> atlas = Table.from_rows(schema, [["GENOVA"], ["MILANO"]], name="atlas")
     >>> accidents = Table.from_rows(schema, [["GENOVA"]], name="accidents")

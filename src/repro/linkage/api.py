@@ -29,13 +29,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.core.adaptive import AdaptiveJoinProcessor
 from repro.core.thresholds import Thresholds
 from repro.engine.table import Table
 from repro.joins.base import JoinAttribute, JoinSide
 from repro.joins.baselines import BlockingLinkageJoin
 from repro.joins.shjoin import SHJoin
 from repro.joins.sshjoin import SSHJoin
+from repro.runtime.config import RunConfig
+from repro.runtime.session import JoinSession
 
 #: The strategies accepted by :func:`link_tables`.
 STRATEGIES = ("exact", "approximate", "adaptive", "blocking")
@@ -68,6 +69,9 @@ def link_tables(
     similarity_threshold: float = 0.85,
     thresholds: Optional[Thresholds] = None,
     parent_side: JoinSide = JoinSide.LEFT,
+    policy: str = "mar",
+    budget: Optional[float] = None,
+    config: Optional[RunConfig] = None,
 ) -> LinkageResult:
     """Link two tables on ``attribute`` with the chosen strategy.
 
@@ -89,6 +93,17 @@ def link_tables(
     thresholds:
         Full adaptive configuration; defaults to the paper's operating
         point with ``theta_sim`` set to ``similarity_threshold``.
+    policy:
+        Switch policy for the adaptive strategy (default ``"mar"``, the
+        paper's control loop; see :func:`repro.runtime.available_policies`).
+    budget:
+        Optional relative cost budget in ``(0, 1]`` for the adaptive
+        strategy: the fraction of the all-approximate/all-exact cost gap
+        the run may spend before being pinned to the exact configuration.
+    config:
+        Full :class:`~repro.runtime.config.RunConfig` for the adaptive
+        strategy; overrides ``thresholds`` / ``parent_side`` / ``policy`` /
+        ``budget`` when provided.
     """
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}; available: {STRATEGIES}")
@@ -96,15 +111,14 @@ def link_tables(
         attribute = JoinAttribute(attribute, attribute)
 
     if strategy == "adaptive":
-        configuration = thresholds or Thresholds(theta_sim=similarity_threshold)
-        processor = AdaptiveJoinProcessor(
-            left,
-            right,
-            attribute,
-            thresholds=configuration,
+        run_config = config or RunConfig.from_thresholds(
+            thresholds or Thresholds(theta_sim=similarity_threshold),
             parent_side=parent_side,
+            policy=policy,
+            budget_fraction=budget,
         )
-        outcome = processor.run()
+        session = JoinSession(left, right, attribute, run_config)
+        outcome = session.run()
         return LinkageResult(
             strategy=strategy,
             pairs=outcome.matched_pairs(),
@@ -113,6 +127,8 @@ def link_tables(
                 "trace": outcome.trace.summary(),
                 "final_state": outcome.final_state.label,
                 "result_size": outcome.result_size,
+                "policy": session.policy.name,
+                "budget_exhausted": session.budget_exhausted,
             },
         )
 

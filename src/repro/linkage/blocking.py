@@ -19,7 +19,7 @@ Three classical strategies are provided:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.engine.table import Table
 from repro.similarity.qgrams import qgram_set

@@ -1,0 +1,80 @@
+"""The layered runtime: sessions, switch policies and the event bus.
+
+This package is the composition layer between the switchable join engine
+(:mod:`repro.joins`) and every consumer (``AdaptiveJoinProcessor``,
+``link_tables``, the bench harness, the CLI):
+
+* :mod:`repro.runtime.config` — :class:`RunConfig`, one frozen dataclass
+  describing an execution (thresholds, parent role, budget, engine knobs);
+* :mod:`repro.runtime.session` — :class:`JoinSession`, which builds the
+  engine + control stack from a config and drives it to completion;
+* :mod:`repro.runtime.policy` — the :class:`SwitchPolicy` protocol and the
+  ``@register_policy`` registry (``"mar"``, ``"fixed"``,
+  ``"budget-greedy"``);
+* :mod:`repro.runtime.events` — the :class:`EventBus` the engine and the
+  policies publish step / match / switch / transition events onto;
+* :mod:`repro.runtime.collectors` — optional ready-made subscribers.
+
+Exports are resolved lazily (PEP 562) so low-level modules — e.g.
+:mod:`repro.joins.engine`, which publishes onto the bus — can import
+``repro.runtime.events`` without dragging the whole session stack (and an
+import cycle) in.
+"""
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
+    from repro.runtime.collectors import (
+        MatchTap,
+        StateDwellCollector,
+        SwitchLog,
+        ThroughputCollector,
+    )
+    from repro.runtime.config import RunConfig, input_size
+    from repro.runtime.events import AssessmentEvent, EventBus, TransitionEvent
+    from repro.runtime.policy import (
+        BudgetGreedyPolicy,
+        FixedStatePolicy,
+        MarPolicy,
+        SwitchPolicy,
+        available_policies,
+        create_policy,
+        register_policy,
+    )
+    from repro.runtime.session import AdaptiveJoinResult, JoinSession
+
+_EXPORTS = {
+    "RunConfig": "repro.runtime.config",
+    "input_size": "repro.runtime.config",
+    "EventBus": "repro.runtime.events",
+    "TransitionEvent": "repro.runtime.events",
+    "AssessmentEvent": "repro.runtime.events",
+    "SwitchPolicy": "repro.runtime.policy",
+    "MarPolicy": "repro.runtime.policy",
+    "FixedStatePolicy": "repro.runtime.policy",
+    "BudgetGreedyPolicy": "repro.runtime.policy",
+    "register_policy": "repro.runtime.policy",
+    "create_policy": "repro.runtime.policy",
+    "available_policies": "repro.runtime.policy",
+    "JoinSession": "repro.runtime.session",
+    "AdaptiveJoinResult": "repro.runtime.session",
+    "MatchTap": "repro.runtime.collectors",
+    "SwitchLog": "repro.runtime.collectors",
+    "StateDwellCollector": "repro.runtime.collectors",
+    "ThroughputCollector": "repro.runtime.collectors",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

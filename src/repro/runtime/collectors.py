@@ -1,0 +1,134 @@
+"""Ready-made event-bus subscribers (metrics collectors).
+
+The monitor and the execution trace are the two *built-in* subscribers
+every session wires up; the collectors here are optional extras a caller
+attaches to the same bus for ad-hoc measurement, without touching the
+session loop::
+
+    bus = EventBus()
+    tap = MatchTap().attach(bus)
+    rates = StateDwellCollector().attach(bus)
+    JoinSession(left, right, "location", config, bus=bus).run()
+    tap.events          # every MatchEvent, in emission order
+    rates.dwell_steps   # steps spent between consecutive transitions
+
+Collectors follow one convention: ``attach(bus)`` subscribes and returns
+``self`` so construction and attachment chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.joins.base import JoinMode, MatchEvent
+from repro.joins.engine import StepResult, SwitchRecord
+from repro.runtime.events import EventBus, TransitionEvent
+
+
+@dataclass
+class MatchTap:
+    """Collects every :class:`MatchEvent` published on the bus.
+
+    Subscribing to per-match events is what *enables* their publication
+    (the engine skips unobserved match streams), so attach the tap before
+    the session runs.
+    """
+
+    events: List[MatchEvent] = field(default_factory=list)
+
+    def attach(self, bus: EventBus) -> "MatchTap":
+        bus.subscribe(MatchEvent, self.events.append)
+        return self
+
+    @property
+    def approximate_count(self) -> int:
+        """Matches found through the approximate operator."""
+        return sum(1 for event in self.events if event.mode is JoinMode.APPROXIMATE)
+
+
+@dataclass
+class SwitchLog:
+    """Collects every per-side :class:`SwitchRecord` the engine performs."""
+
+    records: List[SwitchRecord] = field(default_factory=list)
+
+    def attach(self, bus: EventBus) -> "SwitchLog":
+        bus.subscribe(SwitchRecord, self.records.append)
+        return self
+
+    @property
+    def total_catch_up_tuples(self) -> int:
+        """Tuples re-indexed across all switches (the Sec. 2.3 cost)."""
+        return sum(record.catch_up_tuples for record in self.records)
+
+
+@dataclass
+class StateDwellCollector:
+    """Measures how long the session dwells between consecutive transitions.
+
+    Complements the trace's per-state totals (Fig. 7) with the *runs*: one
+    ``(state, steps)`` entry per maximal span spent in a state, in order.
+    Useful for spotting oscillation (many short dwells) that per-state
+    totals hide.
+
+    The collector learns states from :class:`TransitionEvent`s; pass
+    ``initial_label`` (the session's initial state label) at construction
+    so the first dwell — which no transition precedes — is labelled too.
+    """
+
+    initial_label: str = ""
+    dwell_steps: List[Tuple[str, int]] = field(default_factory=list)
+    _steps_in_current: int = 0
+    _current_label: str = ""
+
+    def __post_init__(self) -> None:
+        self._current_label = self.initial_label
+
+    def attach(self, bus: EventBus) -> "StateDwellCollector":
+        bus.subscribe(StepResult, self._on_step)
+        bus.subscribe(TransitionEvent, self._on_transition)
+        return self
+
+    def _on_step(self, result: StepResult) -> None:
+        self._steps_in_current += 1
+
+    def _on_transition(self, event: TransitionEvent) -> None:
+        self.dwell_steps.append((event.from_state.label, self._steps_in_current))
+        self._steps_in_current = 0
+        self._current_label = event.to_state.label
+
+    def finish(self, final_state_label: str = "") -> List[Tuple[str, int]]:
+        """Close the last open dwell and return the completed list.
+
+        The label of the closing dwell is tracked from the transitions
+        observed (or ``initial_label`` when none fired); an explicit
+        ``final_state_label`` overrides it.
+        """
+        if self._steps_in_current:
+            label = final_state_label or self._current_label
+            self.dwell_steps.append((label, self._steps_in_current))
+            self._steps_in_current = 0
+        return self.dwell_steps
+
+
+@dataclass
+class ThroughputCollector:
+    """Counts steps and matches per state label (a cheap live dashboard feed)."""
+
+    steps: int = 0
+    matches: int = 0
+    matches_by_mode: Dict[str, int] = field(
+        default_factory=lambda: {mode.value: 0 for mode in JoinMode}
+    )
+
+    def attach(self, bus: EventBus) -> "ThroughputCollector":
+        bus.subscribe(StepResult, self._on_step)
+        return self
+
+    def _on_step(self, result: StepResult) -> None:
+        self.steps += 1
+        produced = len(result.matches)
+        if produced:
+            self.matches += produced
+            self.matches_by_mode[result.mode.value] += produced

@@ -1,0 +1,146 @@
+"""The event bus of the layered runtime.
+
+Executions built by :class:`~repro.runtime.session.JoinSession` no longer
+call their observers directly: the engine and the switch policy *publish*
+typed events onto an :class:`EventBus`, and every interested component —
+the :class:`~repro.core.monitor.Monitor`, the
+:class:`~repro.core.trace.ExecutionTrace`, ad-hoc metrics collectors —
+*subscribes* to the event types it cares about.  This decouples the four
+layers (engine → runtime → linkage/bench/cli): new observers attach
+without touching the execution loop, and the loop never grows
+observer-specific plumbing again.
+
+Event taxonomy
+--------------
+Events are dispatched **by concrete type**; any object can be an event.
+The runtime publishes:
+
+* :class:`~repro.joins.engine.StepResult` — one per engine step, emitted
+  by the engine itself (the quiescent-state transition of Sec. 2.1);
+* :class:`~repro.joins.base.MatchEvent` — one per matched pair, emitted by
+  the engine *only when at least one subscriber is registered* (so the hot
+  probe loop never pays for unobserved matches);
+* :class:`~repro.joins.engine.SwitchRecord` — one per per-side operator
+  switch performed by the engine;
+* :class:`TransitionEvent` — one per state-machine transition enacted by a
+  switch policy (a transition groups the per-side switches it caused);
+* :class:`AssessmentEvent` — one per control-loop activation of the MAR
+  policy, with the σ/µ/π verdict and the evaluated guards.
+
+Ordering guarantee: for one engine step, the ``StepResult`` is published
+first, then the step's ``MatchEvent``s in emission order.  Subscribers to
+the same event type run in subscription order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Tuple, Type
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.core.assessor import Assessment
+    from repro.core.state_machine import JoinState, TransitionGuards
+    from repro.joins.engine import SwitchRecord
+
+Handler = Callable[[object], None]
+
+
+@dataclass(frozen=True, slots=True)
+class TransitionEvent:
+    """One state-machine transition enacted by a switch policy."""
+
+    step: int
+    from_state: "JoinState"
+    to_state: "JoinState"
+    #: The per-side engine switches the transition caused (with catch-up).
+    switches: Tuple["SwitchRecord", ...]
+
+    @property
+    def catch_up_tuples(self) -> int:
+        """Tuples re-indexed by the hash-table catch-up of this transition."""
+        return sum(switch.catch_up_tuples for switch in self.switches)
+
+
+@dataclass(frozen=True, slots=True)
+class AssessmentEvent:
+    """One control-loop activation (assessment + guard evaluation)."""
+
+    assessment: "Assessment"
+    guards: "TransitionGuards"
+    state_before: "JoinState"
+    state_after: "JoinState"
+
+
+class EventBus:
+    """A minimal synchronous, type-keyed publish/subscribe bus.
+
+    Handlers are registered per concrete event type and invoked in
+    subscription order, synchronously, on :meth:`publish`.  The bus is the
+    runtime's hot path (one ``StepResult`` per scanned tuple flows through
+    it), so dispatch is a single dict lookup plus a loop — no inheritance
+    walking, no filtering, no queues.
+    """
+
+    __slots__ = ("_handlers",)
+
+    def __init__(self) -> None:
+        self._handlers: Dict[Type, List[Handler]] = {}
+
+    def subscribe(self, event_type: Type, handler: Handler) -> Handler:
+        """Register ``handler`` for events of exactly ``event_type``.
+
+        Returns the handler so the call can be used to keep a reference
+        for :meth:`unsubscribe`.
+        """
+        if not callable(handler):
+            raise TypeError(f"handler must be callable, got {handler!r}")
+        self._handlers.setdefault(event_type, []).append(handler)
+        return handler
+
+    def unsubscribe(self, event_type: Type, handler: Handler) -> None:
+        """Remove a previously registered handler (no-op if absent).
+
+        The handler list object itself survives (emptied, not dropped), so
+        publishers holding a :meth:`channel` reference stay current.
+        """
+        handlers = self._handlers.get(event_type)
+        if handlers is None:
+            return
+        try:
+            handlers.remove(handler)
+        except ValueError:
+            return
+
+    def has_subscribers(self, event_type: Type) -> bool:
+        """Whether any handler is registered for ``event_type``.
+
+        Publishers of high-volume events (per-match events) check this
+        before constructing/publishing, so unobserved event streams cost
+        nothing.
+        """
+        return bool(self._handlers.get(event_type))
+
+    def channel(self, event_type: Type) -> List[Handler]:
+        """The *live* handler list for ``event_type`` (hot-path accessor).
+
+        High-frequency publishers (the engine publishes one ``StepResult``
+        per scanned tuple) may cache this list once and iterate it
+        directly, skipping the per-event dict lookup of :meth:`publish`.
+        The list object is stable for the lifetime of the bus — later
+        ``subscribe`` / ``unsubscribe`` calls mutate it in place — and an
+        empty list is falsy, so ``if channel:`` doubles as the
+        has-subscribers check.
+        """
+        return self._handlers.setdefault(event_type, [])
+
+    def subscriber_count(self, event_type: Type) -> int:
+        """Number of handlers registered for ``event_type``."""
+        return len(self._handlers.get(event_type, ()))
+
+    def publish(self, event: object) -> None:
+        """Dispatch ``event`` to every handler of its concrete type."""
+        handlers = self._handlers.get(type(event))
+        if handlers is None:
+            return
+        for handler in handlers:
+            handler(event)

@@ -1,0 +1,327 @@
+"""JoinSession — the single way adaptive join executions are built and driven.
+
+A session takes two inputs, a join attribute and a
+:class:`~repro.runtime.config.RunConfig` and assembles the whole stack:
+
+* the switchable :class:`~repro.joins.engine.SymmetricJoinEngine`;
+* an :class:`~repro.runtime.events.EventBus` the engine publishes
+  :class:`~repro.joins.engine.StepResult` /
+  :class:`~repro.joins.base.MatchEvent` /
+  :class:`~repro.joins.engine.SwitchRecord` events onto;
+* the :class:`~repro.core.monitor.Monitor` and
+  :class:`~repro.core.trace.ExecutionTrace`, attached as bus subscribers
+  rather than hard-wired callees;
+* the four-state machine and a named
+  :class:`~repro.runtime.policy.SwitchPolicy` (``"mar"`` by default)
+  deciding the operator switches.
+
+``AdaptiveJoinProcessor``, :func:`repro.linkage.api.link_tables`, the
+bench harness and the CLI all construct executions through this class, so
+parameter plumbing lives in exactly one place.  A session is also the unit
+of future parallelism: it owns its engine, bus and policy and shares no
+mutable state with other sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.core.cost_model import CostModel
+from repro.core.monitor import Monitor
+from repro.core.state_machine import JoinState, StateMachine
+from repro.core.trace import ExecutionTrace
+from repro.engine.streams import InputLike, as_stream
+from repro.engine.tuples import Record, Schema
+from repro.joins.base import JoinAttribute, JoinSide, MatchEvent, OperationCounters
+from repro.joins.engine import StepResult, SymmetricJoinEngine
+from repro.runtime.config import RunConfig, input_size
+from repro.runtime.events import EventBus, TransitionEvent
+from repro.runtime.policy import SwitchPolicy, create_policy
+
+#: Batch size used to drain the remaining input once a policy reports no
+#: further activation boundary (``next_activation_step() is None``).
+_DRAIN_BATCH = 1024
+
+
+@dataclass
+class AdaptiveJoinResult:
+    """Everything produced by one adaptive join run."""
+
+    #: All matched pairs, in emission order.  Immutable: callers get a
+    #: snapshot, never the session's internal accumulator.
+    matches: Tuple[MatchEvent, ...]
+    #: The execution trace (state occupancy, transitions, assessments).
+    trace: ExecutionTrace
+    #: Final processor state.
+    final_state: JoinState
+    #: Elementary-operation counters accumulated by the engine.
+    counters: OperationCounters
+    #: Output schema of the joined records.
+    output_schema: Schema
+
+    @property
+    def result_size(self) -> int:
+        """Number of matched pairs produced (``r_abs``)."""
+        return len(self.matches)
+
+    def output_records(self) -> List[Record]:
+        """Materialise the joined output records."""
+        return [event.output_record(self.output_schema) for event in self.matches]
+
+    def matched_pairs(self) -> List[tuple]:
+        """(left ordinal, right ordinal) pairs, useful for completeness checks."""
+        return [event.pair_key() for event in self.matches]
+
+    def weighted_cost(self, cost_model: Optional[CostModel] = None) -> float:
+        """``c_abs`` under ``cost_model`` (paper weights by default)."""
+        return (cost_model or CostModel()).absolute_cost(self.trace)
+
+
+class JoinSession:
+    """One adaptive join execution: engine + event bus + control stack.
+
+    Parameters
+    ----------
+    left, right:
+        The two inputs (tables or streams).
+    attribute:
+        Join attribute name (same on both sides) or a
+        :class:`~repro.joins.base.JoinAttribute`.
+    config:
+        The complete run configuration (paper defaults when omitted).
+    bus:
+        Optional pre-built event bus.  Subscribe observers *before*
+        constructing the session — or at any quiescent point — and they
+        see every subsequent event.
+    policy:
+        Optional policy override: an unbound :class:`SwitchPolicy`
+        instance or a registered name; defaults to ``config.policy``.
+        Passing an instance is the hook for parameterised or ad-hoc
+        policies that the pure-data config cannot describe.
+    """
+
+    def __init__(
+        self,
+        left: InputLike,
+        right: InputLike,
+        attribute: Union[str, JoinAttribute],
+        config: Optional[RunConfig] = None,
+        bus: Optional[EventBus] = None,
+        policy: Optional[Union[str, SwitchPolicy]] = None,
+    ) -> None:
+        self.config = config = config or RunConfig()
+        if isinstance(attribute, str):
+            attribute = JoinAttribute(attribute, attribute)
+        self.attribute = attribute
+        self.bus = bus if bus is not None else EventBus()
+
+        # Parent size resolves lazily (first access of `parent_size`): only
+        # policies that actually consume |R| — MAR's assessor binds it —
+        # force the resolution, so size-free policies (fixed,
+        # budget-greedy with an absolute budget) run over unsized streams.
+        self._parent_input = left if config.parent_side is JoinSide.LEFT else right
+        self._parent_size: Optional[int] = None
+        left_size, right_size = input_size(left), input_size(right)
+        total_steps = (
+            left_size + right_size
+            if left_size is not None and right_size is not None
+            else None
+        )
+        self.cost_budget = config.resolve_budget(total_steps)
+
+        if policy is None:
+            policy = create_policy(config.policy)
+        elif isinstance(policy, str):
+            policy = create_policy(policy)
+        self.policy = policy
+        # Reflect an overriding policy back into the config so reports
+        # built from config.as_dict() name the policy actually driving
+        # the run (ad-hoc unregistered instances report their class name).
+        effective_name = policy.name or type(policy).__name__
+        if effective_name != config.policy:
+            self.config = config = config.with_overrides(policy=effective_name)
+        initial = policy.resolve_initial_state(config)
+        self.initial_state = initial
+
+        thresholds = config.thresholds
+        self.engine = SymmetricJoinEngine(
+            as_stream(left),
+            as_stream(right),
+            attribute,
+            similarity_threshold=thresholds.theta_sim,
+            q=thresholds.q,
+            left_mode=initial.left_mode,
+            right_mode=initial.right_mode,
+            padded_qgrams=config.padded_qgrams,
+            verify_jaccard=config.verify_jaccard,
+            use_prefix_filter=config.use_prefix_filter,
+            use_length_filter=config.use_length_filter,
+            scan_batch=config.scan_batch,
+            eager_indexing=config.eager_indexing,
+            deduplicate=config.deduplicate,
+            bus=self.bus,
+        )
+        self.monitor = Monitor(window_size=thresholds.window_size)
+        self.state_machine = StateMachine(initial=initial)
+        self.trace = ExecutionTrace(initial_state=initial)
+        self._matches: List[MatchEvent] = []
+        self._finished = False
+
+        # Subscription order fixes the per-step observer order: monitor
+        # first, then trace, then match accumulation — the same order the
+        # pre-runtime processor loop used (kept for bit-identical traces).
+        self.monitor.attach(self.bus)
+        self.trace.attach(self.bus, self.state_machine)
+
+        matches_extend = self._matches.extend
+
+        def accumulate(result: StepResult) -> None:
+            if result.matches:
+                matches_extend(result.matches)
+
+        self._accumulate_handler = self.bus.subscribe(StepResult, accumulate)
+        self._detached = False
+        self.policy.bind(self)
+
+    # -- state ---------------------------------------------------------------------
+
+    @property
+    def parent_size(self) -> int:
+        """``|R|``, resolved on first access (see ``RunConfig.resolve_parent_size``)."""
+        if self._parent_size is None:
+            self._parent_size = self.config.resolve_parent_size(self._parent_input)
+        return self._parent_size
+
+    @property
+    def state(self) -> JoinState:
+        """Current processor state."""
+        return self.state_machine.state
+
+    @property
+    def output_schema(self) -> Schema:
+        """Schema of the joined output records."""
+        return self.engine.output_schema
+
+    @property
+    def matches(self) -> Tuple[MatchEvent, ...]:
+        """Matched pairs produced so far (immutable snapshot)."""
+        return tuple(self._matches)
+
+    @property
+    def match_count(self) -> int:
+        """Number of matched pairs produced so far (no snapshot cost)."""
+        return len(self._matches)
+
+    @property
+    def finished(self) -> bool:
+        """True once both inputs have been drained."""
+        return self._finished
+
+    @property
+    def budget_exhausted(self) -> bool:
+        """Whether the policy reports the cost budget as used up."""
+        return bool(getattr(self.policy, "budget_exhausted", False))
+
+    # -- control-plane helpers (used by policies) ------------------------------------
+
+    def detach(self) -> None:
+        """Remove this session's own subscribers from the bus (idempotent).
+
+        Called automatically when the session finishes, so a caller-owned
+        bus can be handed to the *next* session (keeping long-lived
+        collectors attached) without the completed session's monitor,
+        trace and match accumulator cross-recording the new run.  Running
+        two sessions on one bus *concurrently* remains unsupported.
+        """
+        if self._detached:
+            return
+        self._detached = True
+        self.monitor.detach(self.bus)
+        self.trace.detach(self.bus)
+        self.bus.unsubscribe(StepResult, self._accumulate_handler)
+
+    def _mark_finished(self) -> None:
+        self._finished = True
+        self.detach()
+
+    def force_state(self, state: JoinState, step: int) -> None:
+        """Unconditionally move the session to ``state`` (policy override).
+
+        Bypasses guard evaluation: the state machine is forced, the engine
+        modes are switched (with catch-up) and a
+        :class:`~repro.runtime.events.TransitionEvent` is published.  A
+        no-op when already in ``state``.
+        """
+        state_before = self.state_machine.state
+        if state_before is state:
+            return
+        self.state_machine.force(state, step=step)
+        switches = self.engine.set_modes(state.left_mode, state.right_mode)
+        self.bus.publish(
+            TransitionEvent(step, state_before, state, tuple(switches))
+        )
+
+    # -- execution ------------------------------------------------------------------
+
+    def step(self) -> Optional[List[MatchEvent]]:
+        """Execute one engine step followed (when due) by one policy activation.
+
+        Returns the match events produced by the step, or ``None`` when
+        the join has finished.  Observers (monitor, trace, collectors) are
+        notified through the bus during the engine step.
+        """
+        result = self.engine.step()
+        if result is None:
+            self._mark_finished()
+            return None
+        if self.policy.should_activate(result.step):
+            self.policy.activate(result.step)
+        return result.matches
+
+    def run(self) -> AdaptiveJoinResult:
+        """Run the join to completion and return the full result.
+
+        Drives the engine through its batched stepping API: between two
+        policy activations the processor state cannot change, so the
+        engine is asked for the whole run of steps up to the policy's next
+        activation boundary (:meth:`SwitchPolicy.next_activation_step`) at
+        once (:meth:`SymmetricJoinEngine.run_steps`); every step still
+        flows through the event bus individually, so the monitor window,
+        the trace and the activation points are identical to stepping one
+        tuple at a time via :meth:`step`.
+        """
+        engine = self.engine
+        policy = self.policy
+        while not self._finished:
+            boundary = policy.next_activation_step(engine.step_count)
+            if boundary is None:
+                chunk = _DRAIN_BATCH
+            elif boundary <= engine.step_count:
+                raise ValueError(
+                    f"policy {policy.name or type(policy).__name__!r} returned "
+                    f"next_activation_step {boundary} ≤ current step "
+                    f"{engine.step_count}"
+                )
+            else:
+                chunk = boundary - engine.step_count
+            batch = engine.run_steps(chunk)
+            if not batch:
+                self._mark_finished()
+                break
+            last_step = batch[-1].step
+            if policy.should_activate(last_step):
+                policy.activate(last_step)
+            if len(batch) < chunk:
+                self._mark_finished()
+        return self.result()
+
+    def result(self) -> AdaptiveJoinResult:
+        """Snapshot the current outcome (also valid mid-run)."""
+        return AdaptiveJoinResult(
+            matches=tuple(self._matches),
+            trace=self.trace,
+            final_state=self.state_machine.state,
+            counters=self.engine.counters(),
+            output_schema=self.engine.output_schema,
+        )

@@ -1,7 +1,5 @@
 """Tests for the MAR responder (guard evaluation and enacted switches)."""
 
-import pytest
-
 from repro.core.assessor import Assessment
 from repro.core.responder import Responder
 from repro.core.state_machine import JoinState, StateMachine

@@ -9,8 +9,6 @@ import pathlib
 import subprocess
 import sys
 
-import pytest
-
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
 
 
@@ -33,6 +31,7 @@ class TestExamples:
             "accidents_mashup.py",
             "streaming_linkage.py",
             "tuning_exploration.py",
+            "runtime_policies.py",
         }.issubset(names)
 
     def test_quickstart(self):
@@ -49,3 +48,10 @@ class TestExamples:
         output = run_example("streaming_linkage.py")
         assert "finished in state" in output
         assert "state transitions" in output
+
+    def test_runtime_policies(self):
+        output = run_example("runtime_policies.py")
+        assert "mar" in output
+        assert "budget-greedy" in output
+        assert "after-1000" in output
+        assert "event bus:" in output

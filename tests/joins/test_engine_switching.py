@@ -8,7 +8,6 @@ from repro.engine.tuples import Schema
 from repro.joins.base import JoinAttribute, JoinMode, JoinSide
 from repro.joins.engine import SymmetricJoinEngine
 from repro.joins.shjoin import SHJoin
-from repro.joins.sshjoin import SSHJoin
 
 
 def make_engine(left_table, right_table, **kwargs):

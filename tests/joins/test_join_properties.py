@@ -10,7 +10,6 @@ relies on:
 * pair uniqueness (no duplicates) under arbitrary mode-switch schedules.
 """
 
-import random
 import string
 
 from hypothesis import given, settings

@@ -1,7 +1,5 @@
 """Tests for the exact symmetric hash join (SHJoin)."""
 
-import pytest
-
 from repro.engine.streams import ListStream
 from repro.engine.tuples import Record, Schema
 from repro.joins.base import JoinAttribute

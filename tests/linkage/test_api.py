@@ -44,6 +44,45 @@ class TestStrategies:
         assert approx.pair_count > exact.pair_count
         assert set(exact.pairs).issubset(set(approx.pairs))
 
+    def test_adaptive_strategy_accepts_policy_and_budget(self, small_dataset):
+        fast = Thresholds(delta_adapt=25, window_size=25)
+        fixed = link_tables(
+            small_dataset.parent,
+            small_dataset.child,
+            "location",
+            strategy="adaptive",
+            thresholds=fast,
+            policy="fixed",
+        )
+        assert fixed.statistics["policy"] == "fixed"
+        assert fixed.statistics["trace"]["transitions"] == 0
+        greedy = link_tables(
+            small_dataset.parent,
+            small_dataset.child,
+            "location",
+            strategy="adaptive",
+            thresholds=fast,
+            policy="budget-greedy",
+            budget=0.3,
+        )
+        assert greedy.statistics["policy"] == "budget-greedy"
+        assert greedy.statistics["budget_exhausted"] is True
+        assert greedy.pair_count >= fixed.pair_count
+
+    def test_adaptive_strategy_accepts_a_full_run_config(self, small_dataset):
+        from repro.runtime.config import RunConfig
+
+        result = link_tables(
+            small_dataset.parent,
+            small_dataset.child,
+            "location",
+            strategy="adaptive",
+            config=RunConfig.from_thresholds(
+                Thresholds(delta_adapt=25, window_size=25), policy="fixed"
+            ),
+        )
+        assert result.statistics["policy"] == "fixed"
+
     def test_adaptive_strategy_reports_trace(self, small_dataset):
         result = link_tables(
             small_dataset.parent,

@@ -26,6 +26,33 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "--test-case", "bogus"])
 
+    def test_policy_defaults_to_mar(self):
+        args = build_parser().parse_args(
+            ["link", "a.csv", "b.csv", "--attribute", "location"]
+        )
+        assert args.policy == "mar"
+        assert args.budget is None
+
+    def test_policy_choices_cover_the_registry(self):
+        from repro.runtime.policy import available_policies
+
+        for name in available_policies():
+            args = build_parser().parse_args(
+                ["link", "a.csv", "b.csv", "--attribute", "x", "--policy", name]
+            )
+            assert args.policy == name
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["link", "a.csv", "b.csv", "--attribute", "x", "--policy", "bogus"]
+            )
+
+    def test_experiment_accepts_policy_and_budget(self):
+        args = build_parser().parse_args(
+            ["experiment", "--policy", "budget-greedy", "--budget", "0.4"]
+        )
+        assert args.policy == "budget-greedy"
+        assert args.budget == 0.4
+
 
 class TestGenerateCommand:
     def test_generates_csv_files(self, tmp_path, capsys):
@@ -91,6 +118,33 @@ class TestLinkCommand:
         output = capsys.readouterr().out
         assert "matched pairs written" in output
         assert "adaptive trace" in output
+
+    def test_links_with_fixed_policy_and_budget(self, tmp_path, capsys):
+        parent = tmp_path / "parent.csv"
+        child = tmp_path / "child.csv"
+        main([
+            "generate",
+            "--pattern", "few_high",
+            "--parent-size", "80",
+            "--child-size", "160",
+            "--parent-output", str(parent),
+            "--child-output", str(child),
+            "--truth-output", str(tmp_path / "t.csv"),
+        ])
+        matches = tmp_path / "matches.csv"
+        exit_code = main([
+            "link", str(parent), str(child),
+            "--attribute", "location",
+            "--strategy", "adaptive",
+            "--policy", "budget-greedy",
+            "--budget", "0.5",
+            "--delta-adapt", "25",
+            "--window-size", "25",
+            "--output", str(matches),
+        ])
+        assert exit_code == 0
+        assert len(matches.read_text().splitlines()) > 1
+        assert "matched pairs written" in capsys.readouterr().out
 
     @pytest.mark.parametrize("strategy", ["exact", "approximate", "blocking"])
     def test_non_adaptive_strategies(self, tmp_path, strategy):
