@@ -1,0 +1,221 @@
+#!/usr/bin/env python
+"""Trajectory benchmark for the sharded execution layer.
+
+Runs the same adaptive (MAR) join at several shard counts (default
+1/2/4/8) on every execution backend (serial / thread / process) and
+records, per shard count:
+
+* wall-clock seconds per backend, plus the within-run **speedup ratios**
+  ``serial_seconds / thread_seconds`` and ``serial_seconds /
+  process_seconds`` (compare ratios across trajectory entries, not
+  absolute times — machine noise is ±10–15 %);
+* the merged match count and the match *overlap* with the unsharded
+  reference run (hash partitioning preserves equi-matches exactly; a few
+  cross-shard variant matches are expected to drop — the recorded
+  ``match_recall_vs_unsharded`` makes that visible so it can't silently
+  regress);
+* partition skew (min/max shard sizes).
+
+Sanity bars enforced every run: the serial backend must be
+bit-deterministic (two runs, identical pair sets), every backend must
+produce the identical merged result at every shard count, and 1-shard
+serial must reproduce the unsharded session exactly.
+
+Results are appended to ``BENCH_shard_scaling.json`` (one entry per
+invocation), the shard-layer counterpart of ``BENCH_probe_fastpath.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_shard_scaling.py           # full
+    PYTHONPATH=src python benchmarks/bench_shard_scaling.py --smoke   # CI
+
+The smoke run does 1 vs 2 shards on the serial backend only and finishes
+in seconds; see PERFORMANCE.md for how to read the output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List
+
+from repro.datagen.testcases import STANDARD_TEST_CASES, generate_test_case
+from repro.runtime.config import RunConfig
+from repro.runtime.parallel import run_sharded
+from repro.runtime.session import JoinSession
+from repro.runtime.sharding import ShardPlan
+
+DEFAULT_TOTAL_TUPLES = 12_000
+SMOKE_TOTAL_TUPLES = 2_000
+DEFAULT_SHARD_COUNTS = (1, 2, 4, 8)
+SMOKE_SHARD_COUNTS = (1, 2)
+DEFAULT_BACKENDS = ("serial", "thread", "process")
+SMOKE_BACKENDS = ("serial",)
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_shard_scaling.json"
+
+
+def _run(dataset, config, shards: int, backend: str):
+    started = time.perf_counter()
+    result = run_sharded(
+        dataset.parent, dataset.child, "location", config,
+        shards=shards, backend=backend,
+    )
+    return time.perf_counter() - started, result
+
+
+def bench_shard_counts(dataset, config, shard_counts, backends) -> List[Dict]:
+    # Unsharded reference: the completeness and determinism oracle.
+    started = time.perf_counter()
+    reference = JoinSession(dataset.parent, dataset.child, "location", config).run()
+    unsharded_seconds = time.perf_counter() - started
+    reference_pairs = frozenset(reference.matched_pairs())
+
+    entries: List[Dict] = []
+    for shards in shard_counts:
+        plan = ShardPlan.build(dataset.parent, dataset.child, "location", shards)
+        sizes = plan.shard_sizes()
+        entry: Dict[str, object] = {
+            "shards": shards,
+            "unsharded_seconds": round(unsharded_seconds, 4),
+            "shard_sizes_min": min(left + right for left, right in sizes),
+            "shard_sizes_max": max(left + right for left, right in sizes),
+        }
+        pair_sets = {}
+        for backend in backends:
+            seconds, result = _run(dataset, config, shards, backend)
+            entry[f"{backend}_seconds"] = round(seconds, 4)
+            pair_sets[backend] = result.pair_set()
+            if backend == "serial":
+                entry["matches"] = result.result_size
+                entry["match_recall_vs_unsharded"] = (
+                    round(len(pair_sets["serial"] & reference_pairs)
+                          / len(reference_pairs), 4)
+                    if reference_pairs else 1.0
+                )
+                # Bit-determinism bar: a repeat serial run must agree.
+                _, repeat = _run(dataset, config, shards, "serial")
+                if repeat.pair_set() != pair_sets["serial"]:
+                    raise AssertionError(
+                        f"serial backend is not deterministic at {shards} shards"
+                    )
+        if len(set(pair_sets.values())) != 1:
+            raise AssertionError(
+                f"backends disagree at {shards} shards: "
+                f"{ {name: len(pairs) for name, pairs in pair_sets.items()} }"
+            )
+        if shards == 1 and pair_sets["serial"] != reference_pairs:
+            raise AssertionError("1-shard run diverged from the unsharded session")
+        serial_seconds = entry["serial_seconds"]
+        for backend in backends:
+            if backend != "serial" and entry[f"{backend}_seconds"]:
+                entry[f"{backend}_speedup"] = round(
+                    serial_seconds / entry[f"{backend}_seconds"], 2
+                )
+        entries.append(entry)
+        print(
+            f"[{shards} shard(s)] " + " ".join(
+                f"{backend}={entry[f'{backend}_seconds']}s" for backend in backends
+            ) + (
+                f" thread_speedup={entry.get('thread_speedup')}"
+                f" process_speedup={entry.get('process_speedup')}"
+                if len(backends) > 1 else ""
+            ) + f" matches={entry['matches']}"
+            f" recall_vs_unsharded={entry['match_recall_vs_unsharded']}"
+        )
+    return entries
+
+
+def run_benchmark(total_tuples: int, shard_counts, backends) -> Dict[str, object]:
+    parent_size = total_tuples // 2
+    child_size = total_tuples - parent_size
+    dataset = generate_test_case(
+        STANDARD_TEST_CASES["uniform_child"],
+        parent_size=parent_size,
+        child_size=child_size,
+    )
+    config = RunConfig()
+    return {
+        "run_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "total_tuples": total_tuples,
+        "policy": config.policy,
+        "partitioner": "hash",
+        "backends": list(backends),
+        # Speedup ratios are only meaningful relative to the cores the
+        # run actually had: on a single-core machine process_speedup < 1
+        # is the expected pure-overhead reading.
+        "cpu_count": os.cpu_count(),
+        "entries": bench_shard_counts(dataset, config, shard_counts, backends),
+    }
+
+
+def append_trajectory(result: Dict[str, object], output: Path) -> None:
+    trajectory = []
+    if output.exists():
+        try:
+            trajectory = json.loads(output.read_text())
+        except (ValueError, OSError):
+            trajectory = []
+        if not isinstance(trajectory, list):
+            trajectory = [trajectory]
+    trajectory.append(result)
+    output.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"trajectory appended to {output} ({len(trajectory)} runs recorded)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small, fast configuration for CI (1 vs 2 shards, serial backend)",
+    )
+    parser.add_argument(
+        "--total-tuples",
+        type=int,
+        default=None,
+        help=f"total tuple count to benchmark (default {DEFAULT_TOTAL_TUPLES})",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=None,
+        help=f"shard counts to sweep (default {list(DEFAULT_SHARD_COUNTS)})",
+    )
+    parser.add_argument(
+        "--backends",
+        nargs="+",
+        default=None,
+        help=f"backends to compare (default {list(DEFAULT_BACKENDS)})",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help="trajectory JSON file to append to",
+    )
+    args = parser.parse_args(argv)
+    total = args.total_tuples or (
+        SMOKE_TOTAL_TUPLES if args.smoke else DEFAULT_TOTAL_TUPLES
+    )
+    shard_counts = tuple(args.shards) if args.shards else (
+        SMOKE_SHARD_COUNTS if args.smoke else DEFAULT_SHARD_COUNTS
+    )
+    backends = tuple(args.backends) if args.backends else (
+        SMOKE_BACKENDS if args.smoke else DEFAULT_BACKENDS
+    )
+    if "serial" not in backends:
+        parser.error("the serial backend is the reference and must be included")
+    if any(count < 1 for count in shard_counts):
+        parser.error("--shards values must be at least 1")
+    result = run_benchmark(total, shard_counts, backends)
+    append_trajectory(result, args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

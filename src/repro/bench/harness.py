@@ -49,7 +49,9 @@ from repro.joins.shjoin import SHJoin
 from repro.joins.sshjoin import SSHJoin
 from repro.linkage.evaluation import LinkageEvaluation, evaluate_pairs
 from repro.runtime.config import RunConfig
+from repro.runtime.parallel import run_sharded
 from repro.runtime.session import AdaptiveJoinResult, JoinSession
+from repro.runtime.sharding import ShardedJoinResult
 
 
 def _environment_size(name: str, default: int) -> int:
@@ -76,7 +78,10 @@ class ExperimentOutcome:
 
     dataset: GeneratedDataset
     report: GainCostReport
-    adaptive: AdaptiveJoinResult
+    #: The adaptive run's result: a single-session result, or a merged
+    #: :class:`ShardedJoinResult` when the experiment ran sharded (the two
+    #: expose the same trace / matches / result-size surface).
+    adaptive: "AdaptiveJoinResult | ShardedJoinResult"
     #: Completeness of each strategy against the generator's ground truth.
     evaluations: Dict[str, LinkageEvaluation]
     #: Wall-clock seconds per strategy.
@@ -127,6 +132,10 @@ def run_experiment(
     dataset: Optional[GeneratedDataset] = None,
     policy: str = "mar",
     budget: Optional[float] = None,
+    deadline: Optional[float] = None,
+    shards: int = 1,
+    backend: str = "serial",
+    partitioner: str = "hash",
 ) -> ExperimentOutcome:
     """Run the three strategies for one test case and assemble the outcome.
 
@@ -152,7 +161,17 @@ def run_experiment(
         ``"budget-greedy"``).
     budget:
         Optional relative cost budget in ``(0, 1]`` for the adaptive run.
+    deadline:
+        Optional wall-clock budget in seconds (the ``deadline`` policy).
+    shards, backend, partitioner:
+        Sharded execution of the adaptive run (``shards > 1``): the
+        inputs are partitioned, one session runs per shard on ``backend``
+        and the merged result is measured.  The baselines always run
+        unsharded — they are the reference costs the gain/cost report
+        compares against.
     """
+    if shards < 1:
+        raise ValueError(f"shards must be at least 1, got {shards}")
     if dataset is None:
         dataset = generate_test_case(
             spec,
@@ -186,21 +205,29 @@ def run_experiment(
     approx_size = len(approx_records)
 
     # -- adaptive run ---------------------------------------------------------------
-    started = time.perf_counter()
-    session = JoinSession(
-        dataset.parent,
-        dataset.child,
-        "location",
-        RunConfig.from_thresholds(
-            thresholds,
-            parent_side=JoinSide.LEFT,
-            allow_source_identification=allow_source_identification,
-            cost_model=model,
-            policy=policy,
-            budget_fraction=budget,
-        ),
+    run_config = RunConfig.from_thresholds(
+        thresholds,
+        parent_side=JoinSide.LEFT,
+        allow_source_identification=allow_source_identification,
+        cost_model=model,
+        policy=policy,
+        budget_fraction=budget,
+        deadline_seconds=deadline,
     )
-    adaptive_result = session.run()
+    started = time.perf_counter()
+    if shards > 1:
+        adaptive_result = run_sharded(
+            dataset.parent,
+            dataset.child,
+            "location",
+            run_config,
+            shards=shards,
+            partitioner=partitioner,
+            backend=backend,
+        )
+    else:
+        session = JoinSession(dataset.parent, dataset.child, "location", run_config)
+        adaptive_result = session.run()
     wall_clock["adaptive"] = time.perf_counter() - started
 
     total_steps = adaptive_result.trace.total_steps

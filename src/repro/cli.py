@@ -12,8 +12,10 @@ writing Python:
     Link two CSV files on a join attribute with a chosen strategy (exact,
     approximate, blocking or adaptive) and write the matched pairs to CSV.
     The adaptive strategy accepts ``--policy`` (any registered switch
-    policy: ``mar``, ``fixed``, ``budget-greedy``, …) and ``--budget`` (a
-    relative cost cap).
+    policy: ``mar``, ``fixed``, ``budget-greedy``, ``deadline``, …),
+    ``--budget`` (a relative cost cap), ``--deadline`` (a wall-clock cap)
+    and sharded execution via ``--shards`` / ``--backend`` /
+    ``--partitioner``.
 
 ``experiment``
     Run the full gain/cost experiment (all three strategies) for a standard
@@ -47,7 +49,9 @@ from repro.datagen.testcases import (
 )
 from repro.engine.table import Table
 from repro.linkage.api import STRATEGIES, link_tables
+from repro.runtime.parallel import available_backends
 from repro.runtime.policy import available_policies
+from repro.runtime.sharding import available_partitioners
 
 
 def _add_threshold_arguments(parser: argparse.ArgumentParser) -> None:
@@ -71,6 +75,25 @@ def _add_threshold_arguments(parser: argparse.ArgumentParser) -> None:
                         help="relative cost budget in (0, 1]: fraction of the "
                              "all-approximate/all-exact cost gap the adaptive "
                              "run may spend before being pinned to exact")
+    parser.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                        help="wall-clock budget for the deadline policy: pin "
+                             "to exact once the projected completion time "
+                             "exceeds it")
+
+
+def _add_sharding_arguments(parser: argparse.ArgumentParser) -> None:
+    """Arguments for sharded execution of the adaptive strategy."""
+    parser.add_argument("--shards", type=int, default=1,
+                        help="split the adaptive run into N partitioned "
+                             "sessions and merge their results (1 = unsharded)")
+    parser.add_argument("--backend", choices=available_backends(),
+                        default="serial",
+                        help="where shard sessions run: serial (reference), "
+                             "thread, or process (multi-core)")
+    parser.add_argument("--partitioner", choices=available_partitioners(),
+                        default="hash",
+                        help="record-to-shard assignment; hash co-partitions "
+                             "both sides by join-key value")
 
 
 def _thresholds_from_args(args: argparse.Namespace) -> Thresholds:
@@ -117,6 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
     link.add_argument("--output", default="matches.csv",
                       help="where to write the matched pairs")
     _add_threshold_arguments(link)
+    _add_sharding_arguments(link)
 
     experiment = subparsers.add_parser(
         "experiment", help="run the gain/cost experiment for a standard test case"
@@ -128,6 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--json-output",
                             help="optional path for the machine-readable outcome")
     _add_threshold_arguments(experiment)
+    _add_sharding_arguments(experiment)
 
     calibrate = subparsers.add_parser(
         "calibrate", help="measure the Sec. 4.3 cost-model weights on this machine"
@@ -175,6 +200,14 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 
 def _command_link(args: argparse.Namespace) -> int:
+    if args.shards < 1:
+        print(f"error: --shards must be at least 1, got {args.shards}",
+              file=sys.stderr)
+        return 2
+    if args.shards > 1 and args.strategy != "adaptive":
+        print("error: --shards is only available with --strategy adaptive",
+              file=sys.stderr)
+        return 2
     left = Table.from_csv(args.left_csv, name="left")
     right = Table.from_csv(args.right_csv, name="right")
     result = link_tables(
@@ -186,6 +219,10 @@ def _command_link(args: argparse.Namespace) -> int:
         thresholds=_thresholds_from_args(args),
         policy=args.policy,
         budget=args.budget,
+        deadline=args.deadline,
+        shards=args.shards,
+        backend=args.backend,
+        partitioner=args.partitioner,
     )
     with open(args.output, "w", encoding="utf-8") as handle:
         handle.write("left_index,right_index\n")
@@ -196,6 +233,9 @@ def _command_link(args: argparse.Namespace) -> int:
     )
     if "trace" in result.statistics:
         print(format_mapping(result.statistics["trace"], title="adaptive trace"))
+    if "per_shard" in result.statistics:
+        print(format_table(result.statistics["per_shard"],
+                           title="-- per-shard breakdown --"))
     return 0
 
 
@@ -208,6 +248,10 @@ def _command_experiment(args: argparse.Namespace) -> int:
         thresholds=_thresholds_from_args(args),
         policy=args.policy,
         budget=args.budget,
+        deadline=args.deadline,
+        shards=args.shards,
+        backend=args.backend,
+        partitioner=args.partitioner,
     )
     print(format_table([outcome.fig6_row()], title="-- gain / cost (Fig. 6 row) --"))
     print()

@@ -38,7 +38,12 @@ from repro.core.monitor import Monitor, Observation
 from repro.core.responder import Responder
 from repro.core.state_machine import JoinState, StateMachine, TransitionGuards
 from repro.core.thresholds import Thresholds
-from repro.core.trace import AssessmentRecord, ExecutionTrace, TransitionRecord
+from repro.core.trace import (
+    AssessmentRecord,
+    ExecutionTrace,
+    TransitionRecord,
+    merge_traces,
+)
 
 __all__ = [
     "AdaptiveJoinProcessor",
@@ -65,4 +70,5 @@ __all__ = [
     "ExecutionTrace",
     "TransitionRecord",
     "AssessmentRecord",
+    "merge_traces",
 ]

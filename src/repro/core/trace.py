@@ -9,8 +9,8 @@ parameter-tuning benchmarks) while the adaptive processor runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.assessor import Assessment
 from repro.core.state_machine import JoinState, TransitionGuards
@@ -28,6 +28,9 @@ class TransitionRecord:
     to_state: JoinState
     #: Tuples re-indexed during the hash-table catch-up of this transition.
     catch_up_tuples: int
+    #: Shard the transition happened in, for traces produced by
+    #: :func:`merge_traces`; ``None`` in single-session traces.
+    shard: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -205,3 +208,61 @@ class ExecutionTrace:
             },
             "exact_step_fraction": self.exact_step_fraction(),
         }
+
+
+def merge_traces(
+    traces: Sequence[ExecutionTrace],
+    shard_ids: Optional[Sequence[int]] = None,
+) -> ExecutionTrace:
+    """Merge per-shard execution traces into one aggregate trace.
+
+    Per-state step counts, match counts, scan counts and transition tallies
+    add up; the transition and assessment logs are concatenated in shard
+    order.  Each shard numbers its steps from 1, so every transition's
+    ``step`` — and every assessment's ``assessment.step`` — is offset by
+    the total step count of the preceding shards — the merged logs read as
+    one global, monotonically ordered timeline — and transitions are
+    tagged with their shard id (``shard_ids`` defaults to positional).
+    The merged trace is a reporting view: cost-model weighting
+    (:meth:`CostModel.absolute_cost`) only consumes the per-state tallies,
+    which are exact, so merged weighted costs equal the sum of per-shard
+    weighted costs.
+    """
+    if not traces:
+        raise ValueError("merge_traces needs at least one trace")
+    if shard_ids is None:
+        shard_ids = range(len(traces))
+    elif len(shard_ids) != len(traces):
+        raise ValueError(
+            f"got {len(traces)} traces but {len(shard_ids)} shard ids"
+        )
+    merged = ExecutionTrace(initial_state=traces[0].initial_state)
+    step_offset = 0
+    for shard_id, trace in zip(shard_ids, traces):
+        for state in JoinState:
+            merged.steps_per_state[state] += trace.steps_per_state[state]
+            merged.transitions_into[state] += trace.transitions_into[state]
+            merged.matches_per_state[state] += trace.matches_per_state[state]
+        merged.total_steps += trace.total_steps
+        merged.total_matches += trace.total_matches
+        merged.left_scanned += trace.left_scanned
+        merged.right_scanned += trace.right_scanned
+        merged.transitions.extend(
+            replace(record, step=record.step + step_offset, shard=shard_id)
+            for record in trace.transitions
+        )
+        if step_offset:
+            merged.assessments.extend(
+                replace(
+                    record,
+                    assessment=replace(
+                        record.assessment,
+                        step=record.assessment.step + step_offset,
+                    ),
+                )
+                for record in trace.assessments
+            )
+        else:
+            merged.assessments.extend(trace.assessments)
+        step_offset += trace.total_steps
+    return merged

@@ -38,11 +38,26 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.engine.tuples import Record, Schema
-from repro.joins.fastpath import GramInterner, jaccard_length_bounds
+from repro.joins.fastpath import (
+    GramInterner,
+    bits_to_sorted_ids,
+    jaccard_length_bounds,
+    sorted_intersection_count,
+)
 
 #: Upper bound on cached frequency-ordered probe plans per side; the cache
 #: is cleared wholesale when it fills (plans are cheap to rebuild).
 _PLAN_CACHE_LIMIT = 8192
+
+#: Gram-vocabulary size past which ``gram_verification="auto"`` abandons
+#: bitset verification for sorted gram-id array intersections: a bitset
+#: AND costs O(vocabulary / machine word) per candidate, the array walk
+#: O(the two values' gram counts) — the crossover sits around a few
+#: thousand interned grams (huge alphabets, q ≥ 4).
+BITSET_VOCAB_LIMIT = 4096
+
+#: Accepted ``gram_verification`` modes of :class:`SideState`.
+GRAM_VERIFICATION_MODES = ("auto", "bitset", "array")
 
 
 class JoinSide(enum.Enum):
@@ -235,9 +250,16 @@ class SideState:
         q: int = 3,
         padded_qgrams: bool = True,
         interner: Optional[GramInterner] = None,
+        gram_verification: str = "auto",
+        bitset_vocab_limit: Optional[int] = None,
     ) -> None:
         if q <= 0:
             raise ValueError(f"q must be positive, got {q}")
+        if gram_verification not in GRAM_VERIFICATION_MODES:
+            raise ValueError(
+                f"gram_verification must be one of {GRAM_VERIFICATION_MODES}, "
+                f"got {gram_verification!r}"
+            )
         self.side = side
         self.attribute = attribute
         self.q = q
@@ -265,14 +287,33 @@ class SideState:
         # with one C-level ``(probe_bits & stored_bits).bit_count()``
         # instead of per-gram counter bumping.
         self._gram_bits: Dict[int, int] = {}
+        # Sorted gram-id arrays per ordinal, the array-verification twin of
+        # ``_gram_bits``: exactly one of the two stores is populated at a
+        # time (``_array_verification`` selects which).
+        self._gram_arrays: Dict[int, array] = {}
+        # Verification-mode selection (see PERFORMANCE.md "Known scale
+        # limits"): "bitset" and "array" are fixed; "auto" starts on
+        # bitsets and flips to arrays — converting the stored bitsets —
+        # the first catch-up that finds the interner vocabulary above the
+        # limit.  The flip happens only inside ``catch_up_qgram`` (which
+        # advances the plan-cache stamp), so cached probe plans can never
+        # carry a verify key of the wrong kind for longer than one probe
+        # (the per-plan ``is_array`` flag guards even that).
+        self.gram_verification = gram_verification
+        self._bitset_vocab_limit = (
+            BITSET_VOCAB_LIMIT if bitset_vocab_limit is None else bitset_vocab_limit
+        )
+        self._array_verification = gram_verification == "array"
         # Distinct-gram count per ordinal (dense, append-ordered with the
         # catch-up) — the length filter reads this in the hot loop.
         self._gram_counts: array = array("i")
         # Frequency-ordered probe plans: value → (index stamp, ordered ids,
-        # gram bitset).  A plan's ordering is valid while the q-gram index
-        # has not grown since it was built (the stamp is the synced-tuple
-        # count at build time); the bitset never goes stale.
-        self._plan_cache: Dict[str, Tuple[int, List[int], int]] = {}
+        # verify key, key-is-array flag).  A plan's ordering is valid while
+        # the q-gram index has not grown since it was built (the stamp is
+        # the synced-tuple count at build time); the verify key — the gram
+        # bitset, or the sorted id array under array verification — never
+        # goes stale, but is rebuilt if the verification mode flipped.
+        self._plan_cache: Dict[str, Tuple[int, List[int], object, bool]] = {}
         # Attribute position, resolved once per schema identity.
         self._attr_schema: Optional[Schema] = None
         self._attr_position = 0
@@ -321,6 +362,23 @@ class SideState:
             caught_up += 1
         return caught_up
 
+    def _refresh_verification_mode(self) -> None:
+        """Flip ``auto`` verification to arrays once the vocabulary outgrows bitsets.
+
+        Converts every stored bitset to its sorted id array, so the side
+        is never in a mixed state.  Sticky: once flipped, the side stays
+        on arrays (the vocabulary only grows).
+        """
+        if self._array_verification or self.gram_verification != "auto":
+            return
+        if len(self.interner) <= self._bitset_vocab_limit:
+            return
+        self._array_verification = True
+        gram_arrays = self._gram_arrays
+        for ordinal, bits in self._gram_bits.items():
+            gram_arrays[ordinal] = bits_to_sorted_ids(bits)
+        self._gram_bits.clear()
+
     def catch_up_qgram(self) -> int:
         """Bring the q-gram index up to date; return the number of tuples indexed."""
         caught_up = 0
@@ -328,11 +386,14 @@ class SideState:
         total = len(tuples)
         if self._qgram_synced >= total:
             return 0
+        self._refresh_verification_mode()
         index = self._qgram_index
         gram_bits = self._gram_bits
+        gram_arrays = self._gram_arrays
         gram_counts = self._gram_counts
         counters = self.counters
         intern_value = self.interner.intern_value
+        use_arrays = self._array_verification
         while self._qgram_synced < total:
             stored = tuples[self._qgram_synced]
             ordinal = stored.ordinal
@@ -340,14 +401,22 @@ class SideState:
             counters.qgrams_obtained += len(gram_ids)
             counters.approx_hash_updates += len(gram_ids)
             gram_counts.append(len(gram_ids))
-            bits = 0
-            for gram_id in gram_ids:
-                bits |= 1 << gram_id
-                bucket = index.get(gram_id)
-                if bucket is None:
-                    index[gram_id] = bucket = array("i")
-                bucket.append(ordinal)
-            gram_bits[ordinal] = bits
+            if use_arrays:
+                for gram_id in gram_ids:
+                    bucket = index.get(gram_id)
+                    if bucket is None:
+                        index[gram_id] = bucket = array("i")
+                    bucket.append(ordinal)
+                gram_arrays[ordinal] = array("i", sorted(gram_ids))
+            else:
+                bits = 0
+                for gram_id in gram_ids:
+                    bits |= 1 << gram_id
+                    bucket = index.get(gram_id)
+                    if bucket is None:
+                        index[gram_id] = bucket = array("i")
+                    bucket.append(ordinal)
+                gram_bits[ordinal] = bits
             self._qgram_synced += 1
             caught_up += 1
         return caught_up
@@ -369,19 +438,24 @@ class SideState:
             return 0
         return len(self._qgram_index.get(gram_id, ()))
 
-    def _probe_plan(self, value: str) -> Tuple[List[int], int]:
-        """The probe plan for ``value``: ``(ordered gram ids, gram bitset)``.
+    def _probe_plan(self, value: str) -> Tuple[List[int], object]:
+        """The probe plan for ``value``: ``(ordered gram ids, verify key)``.
 
         The ordering is the probe's distinct gram ids sorted by increasing
         bucket length — the reverse-frequency order of Sec. 2.2 — with ties
         broken by first-occurrence position (a stable, deterministic order).
-        Plans are cached per value and reused while the q-gram index has not
-        absorbed new tuples; tokenisation itself is cached in the interner
-        either way, so a stale plan only pays for the re-sort.
+        The verify key is what the verification loop intersects candidates
+        against: the gram bitset, or the sorted id array under array
+        verification.  Plans are cached per value and reused while the
+        q-gram index has not absorbed new tuples; tokenisation itself is
+        cached in the interner either way, so a stale plan only pays for
+        the re-sort (the verify key never goes stale, but is rebuilt if
+        the verification mode flipped since it was cached).
         """
         stamp = self._qgram_synced
+        use_arrays = self._array_verification
         cached = self._plan_cache.get(value)
-        if cached is not None and cached[0] == stamp:
+        if cached is not None and cached[0] == stamp and cached[3] == use_arrays:
             return cached[1], cached[2]
         gram_ids = self.interner.intern_value(value)
         index = self._qgram_index
@@ -394,14 +468,16 @@ class SideState:
             for position, gram_id in enumerate(gram_ids)
         )
         ordered = [entry[2] for entry in decorated]
-        if cached is not None:
-            probe_bits = cached[2]
+        if cached is not None and cached[3] == use_arrays:
+            verify_key = cached[2]
+        elif use_arrays:
+            verify_key = array("i", sorted(gram_ids))
         else:
-            probe_bits = GramInterner.bits_of(gram_ids)
+            verify_key = GramInterner.bits_of(gram_ids)
         if len(self._plan_cache) >= _PLAN_CACHE_LIMIT:
             self._plan_cache.clear()
-        self._plan_cache[value] = (stamp, ordered, probe_bits)
-        return ordered, probe_bits
+        self._plan_cache[value] = (stamp, ordered, verify_key, use_arrays)
+        return ordered, verify_key
 
     # -- probing ---------------------------------------------------------------
 
@@ -458,7 +534,7 @@ class SideState:
         """
         counters = self.counters
         counters.approx_probes += 1
-        ordered, probe_bits = self._probe_plan(value)
+        ordered, verify_key = self._probe_plan(value)
         gram_count = len(ordered)
         counters.qgrams_obtained += gram_count
         if gram_count == 0:
@@ -528,6 +604,36 @@ class SideState:
         matches: List[Tuple[StoredTuple, float]] = []
         tuples = self.tuples
         gram_counts = self._gram_counts
+        if self._array_verification:
+            # Array verification: the same shared-gram count recovered by
+            # a two-pointer walk over sorted id arrays — O(g + g') per
+            # candidate instead of O(vocabulary / word) for the bitset
+            # AND, the winning trade past BITSET_VOCAB_LIMIT grams.
+            probe_ids = verify_key
+            gram_arrays = self._gram_arrays
+            for ordinal in candidates:
+                stored_ids = gram_arrays.get(ordinal)
+                if stored_ids is not None:
+                    stored_count = gram_counts[ordinal]
+                else:
+                    # Defensive fallback, mirroring the bitset path below.
+                    gram_ids = self.interner.intern_value(tuples[ordinal].value)
+                    counters.qgrams_obtained += len(gram_ids)
+                    stored_count = len(gram_ids)
+                    stored_ids = gram_arrays[ordinal] = array(
+                        "i", sorted(gram_ids)
+                    )
+                shared = sorted_intersection_count(probe_ids, stored_ids)
+                if shared < required:
+                    continue
+                counters.approx_verifications += 1
+                union = gram_count + stored_count - shared
+                similarity = shared / union if union else 1.0
+                if verify_jaccard and similarity < similarity_threshold:
+                    continue
+                matches.append((tuples[ordinal], similarity))
+            return matches
+        probe_bits = verify_key
         for ordinal in candidates:
             stored_bits = gram_bits.get(ordinal)
             if stored_bits is not None:

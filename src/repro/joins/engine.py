@@ -117,6 +117,12 @@ class SymmetricJoinEngine:
         filter layered under the prefix filter (ablation).  Either way the
         match set is unchanged (see
         :meth:`repro.joins.base.SideState.probe_qgram`).
+    gram_verification:
+        How probes recover a candidate's shared-gram count: ``"bitset"``,
+        ``"array"`` (sorted gram-id intersections) or ``"auto"``
+        (bitsets until the gram vocabulary exceeds
+        :data:`repro.joins.base.BITSET_VOCAB_LIMIT`).  Matches and
+        counters are identical in every mode.
     scan_batch:
         How many records :meth:`step` pulls from an input stream at a time
         into a per-side read-ahead buffer.  Bulk pulls amortise the
@@ -159,6 +165,7 @@ class SymmetricJoinEngine:
         verify_jaccard: bool = False,
         use_prefix_filter: bool = True,
         use_length_filter: bool = True,
+        gram_verification: str = "auto",
         scan_batch: int = 32,
         eager_indexing: bool = False,
         deduplicate: bool = True,
@@ -187,6 +194,7 @@ class SymmetricJoinEngine:
                 q=q,
                 padded_qgrams=padded_qgrams,
                 interner=interner,
+                gram_verification=gram_verification,
             ),
             JoinSide.RIGHT: SideState(
                 JoinSide.RIGHT,
@@ -194,6 +202,7 @@ class SymmetricJoinEngine:
                 q=q,
                 padded_qgrams=padded_qgrams,
                 interner=interner,
+                gram_verification=gram_verification,
             ),
         }
         self.modes: Dict[JoinSide, JoinMode] = {

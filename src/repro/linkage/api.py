@@ -36,6 +36,7 @@ from repro.joins.baselines import BlockingLinkageJoin
 from repro.joins.shjoin import SHJoin
 from repro.joins.sshjoin import SSHJoin
 from repro.runtime.config import RunConfig
+from repro.runtime.parallel import run_sharded
 from repro.runtime.session import JoinSession
 
 #: The strategies accepted by :func:`link_tables`.
@@ -71,7 +72,11 @@ def link_tables(
     parent_side: JoinSide = JoinSide.LEFT,
     policy: str = "mar",
     budget: Optional[float] = None,
+    deadline: Optional[float] = None,
     config: Optional[RunConfig] = None,
+    shards: int = 1,
+    backend: str = "serial",
+    partitioner: str = "hash",
 ) -> LinkageResult:
     """Link two tables on ``attribute`` with the chosen strategy.
 
@@ -100,13 +105,32 @@ def link_tables(
         Optional relative cost budget in ``(0, 1]`` for the adaptive
         strategy: the fraction of the all-approximate/all-exact cost gap
         the run may spend before being pinned to the exact configuration.
+    deadline:
+        Optional wall-clock budget in seconds, consumed by the
+        ``deadline`` switch policy.
     config:
         Full :class:`~repro.runtime.config.RunConfig` for the adaptive
         strategy; overrides ``thresholds`` / ``parent_side`` / ``policy`` /
-        ``budget`` when provided.
+        ``budget`` / ``deadline`` when provided.
+    shards, backend, partitioner:
+        Sharded execution of the adaptive strategy: with ``shards > 1``
+        the inputs are partitioned (``partitioner``: ``hash`` /
+        ``round-robin`` / ``range``), one independent session runs per
+        shard on ``backend`` (``serial`` / ``thread`` / ``process``) and
+        the merged result is returned.  The ``hash`` default preserves
+        equi-match semantics exactly; approximate matches across
+        differently-spelled variants are found when the pair
+        co-partitions (see ARCHITECTURE.md "Sharded execution").
     """
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}; available: {STRATEGIES}")
+    if shards < 1:
+        raise ValueError(f"shards must be at least 1, got {shards}")
+    if shards > 1 and strategy != "adaptive":
+        raise ValueError(
+            f"sharded execution is only available for the adaptive strategy, "
+            f"not {strategy!r}"
+        )
     if isinstance(attribute, str):
         attribute = JoinAttribute(attribute, attribute)
 
@@ -116,7 +140,36 @@ def link_tables(
             parent_side=parent_side,
             policy=policy,
             budget_fraction=budget,
+            deadline_seconds=deadline,
         )
+        if shards > 1:
+            sharded = run_sharded(
+                left,
+                right,
+                attribute,
+                run_config,
+                shards=shards,
+                partitioner=partitioner,
+                backend=backend,
+            )
+            return LinkageResult(
+                strategy=strategy,
+                pairs=sharded.matched_pairs(),
+                records=sharded.output_records(),
+                statistics={
+                    "trace": sharded.trace.summary(),
+                    "result_size": sharded.result_size,
+                    "policy": run_config.policy,
+                    "shards": sharded.shard_count,
+                    "backend": sharded.backend,
+                    "partitioner": sharded.partitioner,
+                    "final_states": {
+                        shard: state.label
+                        for shard, state in sharded.final_states.items()
+                    },
+                    "per_shard": sharded.per_shard_summary(),
+                },
+            )
         session = JoinSession(left, right, attribute, run_config)
         outcome = session.run()
         return LinkageResult(

@@ -13,7 +13,14 @@ This package is the composition layer between the switchable join engine
   ``"budget-greedy"``);
 * :mod:`repro.runtime.events` — the :class:`EventBus` the engine and the
   policies publish step / match / switch / transition events onto;
-* :mod:`repro.runtime.collectors` — optional ready-made subscribers.
+* :mod:`repro.runtime.collectors` — optional ready-made subscribers;
+* :mod:`repro.runtime.sharding` — partitioners (``hash`` /
+  ``round-robin`` / ``range``), :class:`ShardPlan` and the mergeable
+  :class:`ShardedJoinResult`;
+* :mod:`repro.runtime.parallel` — :class:`ParallelExecutor` with the
+  ``serial`` / ``thread`` / ``process`` backends and the
+  :class:`AggregatedEventBus` that fans shard events back into one
+  observer stream.
 
 Exports are resolved lazily (PEP 562) so low-level modules — e.g.
 :mod:`repro.joins.engine`, which publishes onto the bus — can import
@@ -32,8 +39,18 @@ if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
     )
     from repro.runtime.config import RunConfig, input_size
     from repro.runtime.events import AssessmentEvent, EventBus, TransitionEvent
+    from repro.runtime.parallel import (
+        AggregatedEventBus,
+        ParallelExecutor,
+        ShardCompleted,
+        ShardEvent,
+        available_backends,
+        register_backend,
+        run_sharded,
+    )
     from repro.runtime.policy import (
         BudgetGreedyPolicy,
+        DeadlinePolicy,
         FixedStatePolicy,
         MarPolicy,
         SwitchPolicy,
@@ -42,6 +59,18 @@ if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
         register_policy,
     )
     from repro.runtime.session import AdaptiveJoinResult, JoinSession
+    from repro.runtime.sharding import (
+        HashPartitioner,
+        Partitioner,
+        RangePartitioner,
+        RoundRobinPartitioner,
+        ShardedJoinResult,
+        ShardOutcome,
+        ShardPlan,
+        available_partitioners,
+        create_partitioner,
+        register_partitioner,
+    )
 
 _EXPORTS = {
     "RunConfig": "repro.runtime.config",
@@ -53,6 +82,7 @@ _EXPORTS = {
     "MarPolicy": "repro.runtime.policy",
     "FixedStatePolicy": "repro.runtime.policy",
     "BudgetGreedyPolicy": "repro.runtime.policy",
+    "DeadlinePolicy": "repro.runtime.policy",
     "register_policy": "repro.runtime.policy",
     "create_policy": "repro.runtime.policy",
     "available_policies": "repro.runtime.policy",
@@ -62,6 +92,23 @@ _EXPORTS = {
     "SwitchLog": "repro.runtime.collectors",
     "StateDwellCollector": "repro.runtime.collectors",
     "ThroughputCollector": "repro.runtime.collectors",
+    "Partitioner": "repro.runtime.sharding",
+    "HashPartitioner": "repro.runtime.sharding",
+    "RoundRobinPartitioner": "repro.runtime.sharding",
+    "RangePartitioner": "repro.runtime.sharding",
+    "register_partitioner": "repro.runtime.sharding",
+    "create_partitioner": "repro.runtime.sharding",
+    "available_partitioners": "repro.runtime.sharding",
+    "ShardPlan": "repro.runtime.sharding",
+    "ShardOutcome": "repro.runtime.sharding",
+    "ShardedJoinResult": "repro.runtime.sharding",
+    "ParallelExecutor": "repro.runtime.parallel",
+    "run_sharded": "repro.runtime.parallel",
+    "register_backend": "repro.runtime.parallel",
+    "available_backends": "repro.runtime.parallel",
+    "AggregatedEventBus": "repro.runtime.parallel",
+    "ShardEvent": "repro.runtime.parallel",
+    "ShardCompleted": "repro.runtime.parallel",
 }
 
 __all__ = sorted(_EXPORTS)

@@ -20,7 +20,7 @@ from repro.core.cost_model import CostModel
 from repro.core.state_machine import JoinState
 from repro.core.thresholds import Thresholds
 from repro.engine.table import Table
-from repro.joins.base import JoinSide
+from repro.joins.base import GRAM_VERIFICATION_MODES, JoinSide
 
 
 def input_size(source: object) -> Optional[int]:
@@ -75,9 +75,21 @@ class RunConfig:
         ``cost_budget``.
     cost_model:
         Cost model used for budget accounting (paper weights by default).
+    deadline_seconds:
+        Optional wall-clock budget consumed by the ``deadline`` switch
+        policy: once the projected completion time (under ``cost_model``)
+        exceeds it, the run is pinned to the all-exact configuration.
+        Ignored by policies that do not read it.
     verify_jaccard, use_prefix_filter, use_length_filter:
         Approximate-operator knobs, forwarded to the engine (the length
         filter is the PR-1 fast-path ablation toggle).
+    gram_verification:
+        How approximate probes recover a candidate's shared-gram count:
+        ``"bitset"`` (gram bitsets + ``bit_count``), ``"array"`` (sorted
+        gram-id array intersections) or ``"auto"`` (default: bitsets,
+        switching to arrays once the gram vocabulary outgrows the bitset
+        regime — huge alphabets / q ≥ 4).  Match sets and counters are
+        identical either way; see PERFORMANCE.md "Known scale limits".
     scan_batch:
         Engine read-ahead batch size (bulk stream pulls; ``1`` disables).
     eager_indexing:
@@ -96,9 +108,11 @@ class RunConfig:
     cost_budget: Optional[CostBudget] = None
     budget_fraction: Optional[float] = None
     cost_model: CostModel = field(default_factory=CostModel)
+    deadline_seconds: Optional[float] = None
     verify_jaccard: bool = False
     use_prefix_filter: bool = True
     use_length_filter: bool = True
+    gram_verification: str = "auto"
     scan_batch: int = 32
     eager_indexing: bool = False
     padded_qgrams: bool = True
@@ -111,6 +125,15 @@ class RunConfig:
             raise ValueError(f"parent_size must be positive, got {self.parent_size}")
         if self.scan_batch < 1:
             raise ValueError(f"scan_batch must be at least 1, got {self.scan_batch}")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError(
+                f"deadline_seconds must be positive, got {self.deadline_seconds}"
+            )
+        if self.gram_verification not in GRAM_VERIFICATION_MODES:
+            raise ValueError(
+                f"gram_verification must be one of {GRAM_VERIFICATION_MODES}, "
+                f"got {self.gram_verification!r}"
+            )
         if self.budget_fraction is not None:
             if self.cost_budget is not None:
                 raise ValueError(
@@ -200,6 +223,8 @@ class RunConfig:
             ),
             "allow_source_identification": self.allow_source_identification,
             "budget_fraction": self.budget_fraction,
+            "deadline_seconds": self.deadline_seconds,
+            "gram_verification": self.gram_verification,
             "max_absolute_cost": (
                 self.cost_budget.max_absolute_cost if self.cost_budget else None
             ),

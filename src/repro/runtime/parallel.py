@@ -1,0 +1,426 @@
+"""Parallel shard execution: the *execute* half of partition → execute → merge.
+
+:class:`ParallelExecutor` drives every shard of a
+:class:`~repro.runtime.sharding.ShardPlan` through its own
+:class:`~repro.runtime.session.JoinSession` and merges the outcomes into a
+:class:`~repro.runtime.sharding.ShardedJoinResult`.  Three backends are
+registered:
+
+``"serial"``
+    Run shards one after the other in the calling thread.  The reference
+    backend: bit-deterministic (same plan + config → byte-identical merged
+    result, every time) and the oracle the others are tested against.
+
+``"thread"``
+    A ``ThreadPoolExecutor``.  Sessions share no mutable state, so threads
+    need no coordination; on CPython the GIL serialises the pure-Python
+    join work, so this backend mostly buys overlap of any C-level work and
+    is kept as the low-overhead stepping stone (and as a scheduler-shuffle
+    stressor for determinism tests).
+
+``"process"``
+    A ``ProcessPoolExecutor``: real multi-core scaling.  Each worker
+    rebuilds its shard's streams and session from a pickled
+    :class:`_ShardTask`, so the run configuration and every shard record
+    must be picklable — enforced up front with a clear error rather than
+    a deep traceback out of the pool.
+
+Every backend produces the same merged result for the same plan (the
+per-shard sessions are deterministic; backends only change *where* they
+run), which `tests/runtime/test_sharding_equivalence.py` pins.
+
+Observers: pass an :class:`AggregatedEventBus` to keep existing collectors
+working across shards.  For the in-process backends every shard event is
+forwarded onto it live, tagged via :class:`ShardEvent`; the process
+backend cannot stream events across the process boundary, so it publishes
+only the per-shard :class:`ShardCompleted` lifecycle events (the merged
+result still carries every trace and counter).
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Type, Union
+
+from repro.engine.streams import InputLike
+from repro.engine.tuples import Record, Schema
+from repro.joins.base import JoinAttribute, MatchEvent
+from repro.joins.engine import StepResult, SwitchRecord
+from repro.runtime.config import RunConfig
+from repro.runtime.events import AssessmentEvent, EventBus, TransitionEvent
+from repro.runtime.session import AdaptiveJoinResult, JoinSession
+from repro.runtime.sharding import (
+    Partitioner,
+    ShardedJoinResult,
+    ShardOutcome,
+    ShardPlan,
+)
+
+
+# -- shard-tagged events ----------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ShardEvent:
+    """A shard session's event, tagged with the shard it came from.
+
+    Published on an :class:`AggregatedEventBus` *in addition to* the raw
+    event, so shard-agnostic collectors keep working unchanged while
+    shard-aware observers subscribe to this wrapper.
+    """
+
+    shard_id: int
+    event: object
+
+
+@dataclass(frozen=True, slots=True)
+class ShardCompleted:
+    """One shard finished; published by the executor on every backend.
+
+    Always published in shard-id order: the serial backend completes
+    shards in that order, and the parallel backends gather first and
+    publish after — so subscribers see a deterministic lifecycle stream
+    regardless of backend.
+    """
+
+    shard_id: int
+    result: AdaptiveJoinResult
+    wall_seconds: float
+
+
+#: Event types forwarded live from shard buses by the in-process backends.
+FORWARDED_EVENT_TYPES: Tuple[Type, ...] = (
+    StepResult,
+    MatchEvent,
+    SwitchRecord,
+    TransitionEvent,
+    AssessmentEvent,
+)
+
+
+class AggregatedEventBus(EventBus):
+    """A thread-safe :class:`EventBus` that aggregates several shard buses.
+
+    Subscribe collectors exactly as on a plain bus; then hand the bus to
+    :meth:`ParallelExecutor.run`, which attaches one forwarder per shard.
+    ``publish`` takes a lock because thread-backend shards publish
+    concurrently; per-shard buses stay lock-free (each is touched by one
+    worker only).
+    """
+
+    __slots__ = ("_lock",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        # Reentrant: a handler may publish a derived event from inside
+        # its own dispatch without deadlocking.
+        self._lock = threading.RLock()
+
+    def publish(self, event: object) -> None:
+        with self._lock:
+            EventBus.publish(self, event)
+
+    def forward_from(self, shard_id: int, shard_bus: EventBus) -> None:
+        """Subscribe forwarders on ``shard_bus`` for every forwarded type.
+
+        Each shard event is re-published here twice: raw (existing
+        shard-agnostic subscribers keep working) and wrapped in a
+        :class:`ShardEvent` (only when someone subscribed to those).
+        Match events are only forwarded when the aggregated bus has
+        match-interested subscribers — subscribing to ``MatchEvent`` on a
+        shard bus is what *enables* its publication, so an unobserved
+        match stream must stay unobserved on the shard too.
+        """
+        tag_channel = self.channel(ShardEvent)
+
+        def forward(event: object) -> None:
+            with self._lock:
+                handlers = self._handlers.get(type(event))
+                if handlers:
+                    for handler in handlers:
+                        handler(event)
+                if tag_channel:
+                    tagged = ShardEvent(shard_id, event)
+                    for handler in tag_channel:
+                        handler(tagged)
+
+        for event_type in FORWARDED_EVENT_TYPES:
+            if event_type is MatchEvent and not (
+                self.has_subscribers(MatchEvent) or self.has_subscribers(ShardEvent)
+            ):
+                continue
+            shard_bus.subscribe(event_type, forward)
+
+
+# -- backend registry -------------------------------------------------------------------
+
+_BACKENDS: Dict[str, Callable] = {}
+
+
+def register_backend(name: str):
+    """Function decorator registering an execution backend under ``name``.
+
+    A backend is a callable ``(plan, config, bus, max_workers) →
+    List[ShardOutcome]``; it owns worker scheduling and nothing else —
+    partitioning happened before it runs, merging happens after.
+    """
+    if not name:
+        raise ValueError("backend name must be non-empty")
+
+    def decorate(func):
+        if name in _BACKENDS:
+            raise ValueError(f"backend {name!r} is already registered")
+        _BACKENDS[name] = func
+        return func
+
+    return decorate
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of all registered execution backends, sorted."""
+    return tuple(sorted(_BACKENDS))
+
+
+# -- shard execution --------------------------------------------------------------------
+
+
+def _run_shard_inline(
+    plan: ShardPlan,
+    config: RunConfig,
+    shard_id: int,
+    bus: Optional[AggregatedEventBus],
+) -> ShardOutcome:
+    """Build and run one shard's session in the current thread."""
+    started = time.perf_counter()
+    left, right = plan.shard_streams(shard_id)
+    shard_bus = EventBus()
+    if bus is not None:
+        bus.forward_from(shard_id, shard_bus)
+    session = JoinSession(left, right, plan.attribute, config, bus=shard_bus)
+    result = session.run()
+    return ShardOutcome(
+        shard_id=shard_id,
+        result=result,
+        left_origins=plan.left_shards[shard_id].origins,
+        right_origins=plan.right_shards[shard_id].origins,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+@dataclass
+class _ShardTask:
+    """The picklable payload a process-backend worker rebuilds a shard from."""
+
+    shard_id: int
+    attribute: JoinAttribute
+    config: RunConfig
+    left: "ShardInputPayload"
+    right: "ShardInputPayload"
+
+
+@dataclass
+class ShardInputPayload:
+    """One side's shard records, shipped to a worker process."""
+
+    schema: Schema
+    records: List[Record]
+    name: str
+
+
+def _run_shard_task(task: _ShardTask) -> Tuple[int, AdaptiveJoinResult, float]:
+    """Process-pool worker: run one shard session from its pickled task."""
+    from repro.engine.streams import ListStream
+
+    started = time.perf_counter()
+    left = ListStream(task.left.schema, task.left.records, name=task.left.name)
+    right = ListStream(task.right.schema, task.right.records, name=task.right.name)
+    session = JoinSession(left, right, task.attribute, task.config)
+    result = session.run()
+    return task.shard_id, result, time.perf_counter() - started
+
+
+def _ensure_picklable(obj: object, what: str) -> None:
+    """Raise a clear error when ``obj`` cannot cross a process boundary."""
+    try:
+        pickle.dumps(obj)
+    except Exception as error:
+        raise ValueError(
+            f"the process backend ships each shard to a worker process, but "
+            f"{what} is not picklable: {error}"
+        ) from error
+
+
+# -- the backends -----------------------------------------------------------------------
+
+
+@register_backend("serial")
+def _serial_backend(
+    plan: ShardPlan,
+    config: RunConfig,
+    bus: Optional[AggregatedEventBus],
+    max_workers: Optional[int],
+) -> List[ShardOutcome]:
+    """Shards run one after the other, in shard-id order (the oracle)."""
+    outcomes = []
+    for shard_id in range(plan.shard_count):
+        outcome = _run_shard_inline(plan, config, shard_id, bus)
+        if bus is not None:
+            bus.publish(
+                ShardCompleted(shard_id, outcome.result, outcome.wall_seconds)
+            )
+        outcomes.append(outcome)
+    return outcomes
+
+
+@register_backend("thread")
+def _thread_backend(
+    plan: ShardPlan,
+    config: RunConfig,
+    bus: Optional[AggregatedEventBus],
+    max_workers: Optional[int],
+) -> List[ShardOutcome]:
+    """One thread per shard (capped at ``max_workers``)."""
+    workers = min(max_workers or plan.shard_count, plan.shard_count)
+    outcomes: List[ShardOutcome] = []
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = {
+            pool.submit(_run_shard_inline, plan, config, shard_id, bus): shard_id
+            for shard_id in range(plan.shard_count)
+        }
+        done, _ = wait(futures, return_when=FIRST_EXCEPTION)
+        for future in done:
+            future.result()  # surface the first worker error, if any
+        for future in futures:
+            outcome = future.result()
+            if bus is not None:
+                bus.publish(
+                    ShardCompleted(
+                        outcome.shard_id, outcome.result, outcome.wall_seconds
+                    )
+                )
+            outcomes.append(outcome)
+    return outcomes
+
+
+@register_backend("process")
+def _process_backend(
+    plan: ShardPlan,
+    config: RunConfig,
+    bus: Optional[AggregatedEventBus],
+    max_workers: Optional[int],
+) -> List[ShardOutcome]:
+    """One worker process per shard (capped at ``max_workers``).
+
+    Requires a picklable :class:`RunConfig` and picklable shard records
+    (checked up front).  Shard events are not streamed back — only
+    :class:`ShardCompleted` is published per shard, after the fact.
+    """
+    _ensure_picklable(config, "the run configuration (RunConfig)")
+    tasks = []
+    for shard_id in range(plan.shard_count):
+        left_input = plan.left_shards[shard_id]
+        right_input = plan.right_shards[shard_id]
+        task = _ShardTask(
+            shard_id=shard_id,
+            attribute=plan.attribute,
+            config=config,
+            left=ShardInputPayload(
+                left_input.schema, left_input.records, left_input.name
+            ),
+            right=ShardInputPayload(
+                right_input.schema, right_input.records, right_input.name
+            ),
+        )
+        _ensure_picklable(task, f"shard {shard_id}'s input records")
+        tasks.append(task)
+    workers = min(max_workers or plan.shard_count, plan.shard_count)
+    outcomes: List[ShardOutcome] = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for shard_id, result, wall_seconds in pool.map(_run_shard_task, tasks):
+            if bus is not None:
+                bus.publish(ShardCompleted(shard_id, result, wall_seconds))
+            outcomes.append(
+                ShardOutcome(
+                    shard_id=shard_id,
+                    result=result,
+                    left_origins=plan.left_shards[shard_id].origins,
+                    right_origins=plan.right_shards[shard_id].origins,
+                    wall_seconds=wall_seconds,
+                )
+            )
+    return outcomes
+
+
+# -- the executor -----------------------------------------------------------------------
+
+
+class ParallelExecutor:
+    """Runs every shard of a plan through its own session and merges.
+
+    Parameters
+    ----------
+    backend:
+        A registered backend name (see :func:`available_backends`).
+    max_workers:
+        Optional cap on concurrent workers (defaults to the shard count;
+        ignored by the serial backend).
+    """
+
+    def __init__(self, backend: str = "serial", max_workers: Optional[int] = None):
+        if backend not in _BACKENDS:
+            raise ValueError(
+                f"unknown execution backend {backend!r}; registered: "
+                f"{available_backends()}"
+            )
+        self.backend = backend
+        self.max_workers = max_workers
+
+    def run(
+        self,
+        plan: ShardPlan,
+        config: Optional[RunConfig] = None,
+        bus: Optional[AggregatedEventBus] = None,
+    ) -> ShardedJoinResult:
+        """Execute every shard of ``plan`` under ``config`` and merge.
+
+        Each shard gets a fresh :class:`JoinSession` built from the same
+        (immutable) config: policies are instantiated per shard from
+        ``config.policy``, every shard adapts independently, and relative
+        budgets (``budget_fraction``) resolve against the shard's own
+        input sizes.  An explicit ``config.parent_size`` is taken as-is by
+        every shard; leave it unset to let each shard infer its own
+        partition's parent size (the per-shard analog of ``|R|``).
+        """
+        config = config or RunConfig()
+        outcomes = _BACKENDS[self.backend](plan, config, bus, self.max_workers)
+        return ShardedJoinResult(
+            shards=tuple(outcomes),
+            backend=self.backend,
+            partitioner=plan.partitioner.name or type(plan.partitioner).__name__,
+        )
+
+
+def run_sharded(
+    left: InputLike,
+    right: InputLike,
+    attribute: Union[str, JoinAttribute],
+    config: Optional[RunConfig] = None,
+    shards: int = 1,
+    partitioner: Union[str, Partitioner] = "hash",
+    backend: str = "serial",
+    max_workers: Optional[int] = None,
+    bus: Optional[AggregatedEventBus] = None,
+) -> ShardedJoinResult:
+    """One-call sharded join: partition, execute on a backend, merge.
+
+    The convenience entry point ``link_tables``, the bench harness and the
+    CLI build on; equivalent to building a :class:`ShardPlan` and handing
+    it to a :class:`ParallelExecutor` by hand.
+    """
+    plan = ShardPlan.build(left, right, attribute, shards, partitioner)
+    executor = ParallelExecutor(backend=backend, max_workers=max_workers)
+    return executor.run(plan, config, bus=bus)

@@ -24,6 +24,13 @@ without touching the session loop:
     the run.  A deliberately simple foil to MAR for the budget trade-off
     benchmarks.
 
+``"deadline"`` (:class:`DeadlinePolicy`)
+    Meet a wall-clock budget (``RunConfig.deadline_seconds``): run
+    approximate while the projected completion time under the cost model
+    stays inside the budget, pin to all-exact the first time it does not.
+    A one-shot trigger with an irregular cadence — after pinning it
+    declares no further activation boundaries.
+
 Registering a policy::
 
     from repro.runtime import SwitchPolicy, register_policy
@@ -39,6 +46,7 @@ harness, ``repro link --policy mine``) can select it by name.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.assessor import Assessor
@@ -299,3 +307,105 @@ class BudgetGreedyPolicy(SwitchPolicy):
             self._budget_exhausted = True
         target = JoinState.LEX_REX if self._budget_exhausted else JoinState.LAP_RAP
         session.force_state(target, step)
+
+
+@register_policy("deadline")
+class DeadlinePolicy(SwitchPolicy):
+    """Meet a wall-clock budget: go exact once the projection says we won't.
+
+    Starts all-approximate (unless an explicit initial state is
+    configured) and, every ``δ_adapt`` steps, projects the run's
+    completion time: the observed seconds-per-weighted-cost-unit so far
+    (wall time elapsed over the trace's ``c_abs`` under the session's
+    cost model) times the cost of finishing the remaining steps *in the
+    current state*.  The first activation whose projection exceeds the
+    wall budget pins the processor to ``lex/rex`` for the rest of the
+    run — the cheapest way to still finish — after which the policy
+    declares no further activation boundaries
+    (:meth:`next_activation_step` returns ``None``), so the session
+    drains the remaining input in maximal batches.  The cost of the
+    pinning transition itself is below one step's noise and is not
+    projected.
+
+    The wall budget comes from the constructor (parameterised instances
+    passed straight to :class:`~repro.runtime.session.JoinSession`) or
+    from ``config.deadline_seconds`` when created by name through the
+    registry; the clock starts at :meth:`bind` (session construction,
+    which every entry point follows immediately with ``run()``).  Needs
+    sized inputs to know the remaining step count — like MAR, it fails
+    fast on unsized streams.
+
+    ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        deadline_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        super().__init__()
+        self._deadline_override = deadline_seconds
+        self._clock = clock
+        self.deadline_seconds: Optional[float] = None
+        self._total_steps = 0
+        self._started = 0.0
+        self._pinned = False
+
+    def resolve_initial_state(self, config: RunConfig) -> JoinState:
+        return config.initial_state or JoinState.LAP_RAP
+
+    def bind(self, session) -> None:
+        super().bind(session)
+        deadline = (
+            self._deadline_override
+            if self._deadline_override is not None
+            else session.config.deadline_seconds
+        )
+        if deadline is None:
+            raise ValueError(
+                "the deadline policy needs a wall budget: pass "
+                "deadline_seconds= to RunConfig (or construct "
+                "DeadlinePolicy(deadline_seconds=...) directly)"
+            )
+        if deadline <= 0:
+            raise ValueError(f"deadline_seconds must be positive, got {deadline}")
+        if session.total_steps is None:
+            raise ValueError(
+                "the deadline policy projects the remaining work from the "
+                "input sizes, but at least one input is an unsized stream"
+            )
+        self.deadline_seconds = deadline
+        self._total_steps = session.total_steps
+        self._started = self._clock()
+
+    @property
+    def deadline_exceeded(self) -> bool:
+        """Whether the projection tripped and the run was pinned to exact."""
+        return self._pinned
+
+    def next_activation_step(self, step_count: int) -> Optional[int]:
+        if self._pinned:
+            return None  # one-shot trigger fired: drain in maximal batches
+        return super().next_activation_step(step_count)
+
+    def should_activate(self, step: int) -> bool:
+        return (
+            not self._pinned
+            and step > 0
+            and step % self.activation_interval == 0
+        )
+
+    def activate(self, step: int) -> None:
+        session = self.session
+        elapsed = self._clock() - self._started
+        model = session.config.cost_model
+        cost_so_far = model.absolute_cost(session.trace)
+        if cost_so_far <= 0 or elapsed <= 0:
+            return  # nothing measured yet: no basis for a projection
+        seconds_per_unit = elapsed / cost_so_far
+        remaining_steps = max(self._total_steps - step, 0)
+        stay_cost = remaining_steps * model.state_weights[session.state]
+        projected_completion = elapsed + stay_cost * seconds_per_unit
+        if projected_completion > self.deadline_seconds:
+            self._pinned = True
+            session.force_state(JoinState.LEX_REX, step)

@@ -123,12 +123,16 @@ class JoinSession:
         self._parent_input = left if config.parent_side is JoinSide.LEFT else right
         self._parent_size: Optional[int] = None
         left_size, right_size = input_size(left), input_size(right)
-        total_steps = (
+        #: Combined input size (== the step count of a full run), or
+        #: ``None`` when either input is an unsized stream.  Consumed by
+        #: budget resolution and by policies that project remaining work
+        #: (e.g. the ``deadline`` policy).
+        self.total_steps: Optional[int] = (
             left_size + right_size
             if left_size is not None and right_size is not None
             else None
         )
-        self.cost_budget = config.resolve_budget(total_steps)
+        self.cost_budget = config.resolve_budget(self.total_steps)
 
         if policy is None:
             policy = create_policy(config.policy)
@@ -157,6 +161,7 @@ class JoinSession:
             verify_jaccard=config.verify_jaccard,
             use_prefix_filter=config.use_prefix_filter,
             use_length_filter=config.use_length_filter,
+            gram_verification=config.gram_verification,
             scan_batch=config.scan_batch,
             eager_indexing=config.eager_indexing,
             deduplicate=config.deduplicate,

@@ -1,0 +1,498 @@
+"""Partitioned execution: split one logical join into N shard inputs.
+
+A :class:`~repro.runtime.session.JoinSession` was built to be the unit of
+parallelism — it owns its engine, bus, policy and trace and shares no
+mutable state with other sessions.  This module supplies the *partition*
+and *merge* halves of the partition → execute → merge pipeline on top of
+that unit (the *execute* half — the serial/thread/process backends — lives
+in :mod:`repro.runtime.parallel`):
+
+* :class:`Partitioner` — a deterministic record → shard assignment,
+  registered by name (``"hash"``, ``"round-robin"``, ``"range"``);
+* :class:`ShardPlan` — materialises per-shard
+  :class:`~repro.engine.streams.RecordStream` pairs from the two inputs
+  (bulk split for in-memory streams, single-pass fan-out for lazy ones)
+  and remembers each shard record's *origin* index so merged results can
+  report global pair identities;
+* :class:`ShardedJoinResult` — the mergeable aggregate over per-shard
+  :class:`~repro.runtime.session.AdaptiveJoinResult`s: merged match
+  tuple, merged :class:`~repro.joins.base.OperationCounters`, a
+  shard-tagged step-offset-aware merged
+  :class:`~repro.core.trace.ExecutionTrace`
+  (:func:`repro.core.trace.merge_traces`), with the per-shard detail
+  preserved for debugging.
+
+Correctness model
+-----------------
+Shards are *disjoint*: every record lands in exactly one shard, so a pair
+can never be emitted twice and merged counter totals are plain sums.  The
+``hash`` partitioner co-partitions both sides by join-key value, which
+makes every *value-equal* pair co-located: the sharded run finds exactly
+the equi-matches the unsharded run finds, with bit-identical merged
+counters when the run stays in the exact operator.  Approximate
+(cross-value) matches are found whenever the pair co-partitions; a variant
+pair whose two spellings hash to different shards is not discoverable by
+any disjoint partitioning — sharding trades a sliver of approximate recall
+for parallelism, exactly like distributed similarity joins without gram
+replication.  ``round-robin`` and ``range`` do not co-partition by value
+and are throughput/skew tools, not correctness-preserving defaults.  See
+ARCHITECTURE.md ("Sharded execution") for the full guarantee table.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.cost_model import CostModel
+from repro.core.state_machine import JoinState
+from repro.core.trace import ExecutionTrace, merge_traces
+from repro.engine.streams import InputLike, ListStream, RecordStream, as_stream
+from repro.engine.tuples import Record, Schema
+from repro.joins.base import JoinAttribute, JoinSide, MatchEvent, OperationCounters
+from repro.runtime.session import AdaptiveJoinResult
+
+#: Chunk size for splitting bulk-capable streams (one slice per chunk).
+_BULK_SPLIT_BATCH = 8192
+
+
+class Partitioner:
+    """Deterministic record → shard assignment, shared by both join sides.
+
+    Subclasses implement :meth:`assign`.  Assignments must be pure
+    functions of their arguments (no randomness, no hidden per-call
+    state): the same record must land in the same shard on every run and
+    in every process, which is what makes the ``serial`` backend
+    bit-deterministic and the backends interchangeable.
+    """
+
+    #: Registry name, filled in by :func:`register_partitioner`.
+    name: str = ""
+
+    def assign(
+        self, side: JoinSide, ordinal: int, value: str, shard_count: int
+    ) -> int:
+        """Shard index in ``[0, shard_count)`` for one record.
+
+        Parameters
+        ----------
+        side:
+            The input the record was read from.
+        ordinal:
+            Position of the record in its side's arrival order (0-based).
+        value:
+            The record's join-attribute value (stringified, ``None`` →
+            ``""`` — the same normalisation the join stores).
+        shard_count:
+            Total number of shards.
+        """
+        raise NotImplementedError
+
+
+# -- registry -------------------------------------------------------------------------
+
+_PARTITIONERS: Dict[str, Callable[[], Partitioner]] = {}
+
+
+def register_partitioner(name: str):
+    """Class decorator registering a :class:`Partitioner` under ``name``."""
+    if not name:
+        raise ValueError("partitioner name must be non-empty")
+
+    def decorate(cls):
+        if name in _PARTITIONERS:
+            raise ValueError(f"partitioner {name!r} is already registered")
+        _PARTITIONERS[name] = cls
+        cls.name = name
+        return cls
+
+    return decorate
+
+
+def create_partitioner(name: str) -> Partitioner:
+    """Instantiate the partitioner registered under ``name``."""
+    try:
+        factory = _PARTITIONERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown partitioner {name!r}; registered: {available_partitioners()}"
+        ) from None
+    return factory()
+
+
+def available_partitioners() -> Tuple[str, ...]:
+    """Names of all registered partitioners, sorted."""
+    return tuple(sorted(_PARTITIONERS))
+
+
+# -- the built-in strategies ------------------------------------------------------------
+
+
+@register_partitioner("hash")
+class HashPartitioner(Partitioner):
+    """Co-partition both sides by a stable hash of the join-key value.
+
+    The default and the correctness-preserving choice for equi-match
+    semantics: tuples with equal join-key values land in the same shard
+    regardless of side, so an exact probe inside a shard scans exactly the
+    bucket it would have scanned unsharded.  Uses CRC-32 rather than
+    Python's ``hash`` so assignments are stable across processes and runs
+    (``PYTHONHASHSEED`` does not leak into shard layouts).
+    """
+
+    def assign(
+        self, side: JoinSide, ordinal: int, value: str, shard_count: int
+    ) -> int:
+        return zlib.crc32(value.encode("utf-8")) % shard_count
+
+
+@register_partitioner("round-robin")
+class RoundRobinPartitioner(Partitioner):
+    """Deal each side's records over the shards in arrival order.
+
+    Perfectly balanced (shard sizes differ by at most one per side) but
+    *not* co-partitioning: equal values from the two sides usually land in
+    different shards, so matches are only found when a pair happens to
+    co-locate.  Useful as a load-balance / overhead baseline and for
+    workloads that post-process shards independently.
+    """
+
+    def assign(
+        self, side: JoinSide, ordinal: int, value: str, shard_count: int
+    ) -> int:
+        return ordinal % shard_count
+
+
+@register_partitioner("range")
+class RangePartitioner(Partitioner):
+    """Partition by position of the value in the (byte-ordered) key space.
+
+    The first eight UTF-8 bytes of the value are read as a big-endian
+    fraction of the full 64-bit space and scaled by the shard count, so
+    lexicographically close values co-locate (range locality for
+    range-ish workloads) and both sides co-partition on equal values.
+    Skewed key distributions produce skewed shards — this partitioner
+    trades balance for order, the opposite of ``hash``.
+    """
+
+    _WIDTH = 8
+
+    def assign(
+        self, side: JoinSide, ordinal: int, value: str, shard_count: int
+    ) -> int:
+        prefix = value.encode("utf-8")[: self._WIDTH]
+        key = int.from_bytes(prefix.ljust(self._WIDTH, b"\0"), "big")
+        return min(shard_count - 1, (key * shard_count) >> (8 * self._WIDTH))
+
+
+# -- shard plans ------------------------------------------------------------------------
+
+
+@dataclass
+class ShardInput:
+    """One shard's slice of one side: the records plus their origin indices."""
+
+    schema: Schema
+    records: List[Record]
+    #: ``origins[i]`` is the position of ``records[i]`` in the original
+    #: input's arrival order — the global ordinal merged results report.
+    origins: List[int]
+    name: str = ""
+
+    def stream(self) -> ListStream:
+        """A fresh stream over this shard input (streams are single-use)."""
+        return ListStream(self.schema, self.records, name=self.name)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class ShardPlan:
+    """The partition step: N per-shard (left, right) input pairs.
+
+    Build one with :meth:`build`; hand it to
+    :class:`~repro.runtime.parallel.ParallelExecutor`.  The plan owns the
+    materialised shard records (not live streams), so one plan can be
+    executed any number of times and shipped to worker processes.
+
+    Splitting honours the stream contract: inputs advertising
+    ``supports_bulk_pull`` (tables, in-memory streams) are split through
+    chunked bulk pulls; lazy sources (``IteratorStream``,
+    ``GeneratorStream``, operators) are fanned out in a single pass of
+    ``next_record`` — each record is pulled exactly once and never ahead
+    of need, so a partially consumed or expensive producer is drained
+    without over-pull.
+    """
+
+    def __init__(
+        self,
+        attribute: JoinAttribute,
+        partitioner: Partitioner,
+        left_shards: List[ShardInput],
+        right_shards: List[ShardInput],
+    ) -> None:
+        if len(left_shards) != len(right_shards):
+            raise ValueError(
+                f"left/right shard lists disagree: {len(left_shards)} vs "
+                f"{len(right_shards)}"
+            )
+        self.attribute = attribute
+        self.partitioner = partitioner
+        self.left_shards = left_shards
+        self.right_shards = right_shards
+
+    @classmethod
+    def build(
+        cls,
+        left: InputLike,
+        right: InputLike,
+        attribute: Union[str, JoinAttribute],
+        shard_count: int,
+        partitioner: Union[str, Partitioner] = "hash",
+    ) -> "ShardPlan":
+        """Partition both inputs into ``shard_count`` co-numbered shards."""
+        if shard_count < 1:
+            raise ValueError(f"shard_count must be at least 1, got {shard_count}")
+        if isinstance(attribute, str):
+            attribute = JoinAttribute(attribute, attribute)
+        if isinstance(partitioner, str):
+            partitioner = create_partitioner(partitioner)
+        left_shards = _split_side(
+            as_stream(left), JoinSide.LEFT, attribute.left, shard_count, partitioner
+        )
+        right_shards = _split_side(
+            as_stream(right), JoinSide.RIGHT, attribute.right, shard_count, partitioner
+        )
+        return cls(attribute, partitioner, left_shards, right_shards)
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards in the plan."""
+        return len(self.left_shards)
+
+    def shard_sizes(self) -> List[Tuple[int, int]]:
+        """Per-shard ``(left records, right records)`` sizes."""
+        return [
+            (len(left), len(right))
+            for left, right in zip(self.left_shards, self.right_shards)
+        ]
+
+    def shard_streams(self, shard_id: int) -> Tuple[ListStream, ListStream]:
+        """Fresh (left, right) streams for one shard."""
+        return (
+            self.left_shards[shard_id].stream(),
+            self.right_shards[shard_id].stream(),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardPlan {self.partitioner.name or type(self.partitioner).__name__} "
+            f"shards={self.shard_count} sizes={self.shard_sizes()}>"
+        )
+
+
+def _split_side(
+    stream: RecordStream,
+    side: JoinSide,
+    attribute: str,
+    shard_count: int,
+    partitioner: Partitioner,
+) -> List[ShardInput]:
+    """Route one side's records to per-shard inputs (single pass)."""
+    schema = stream.schema
+    position = schema.position(attribute)
+    shards = [
+        ShardInput(
+            schema=schema,
+            records=[],
+            origins=[],
+            name=f"{stream.name}[shard {shard_id}/{shard_count}]",
+        )
+        for shard_id in range(shard_count)
+    ]
+    assign = partitioner.assign
+    ordinal = 0
+
+    def route(record: Record) -> None:
+        nonlocal ordinal
+        value = record.value_at(position)
+        # Same normalisation the join's tuple store applies (None → "").
+        key = "" if value is None else str(value)
+        shard = shards[assign(side, ordinal, key, shard_count)]
+        shard.records.append(record)
+        shard.origins.append(ordinal)
+        ordinal += 1
+
+    if stream.supports_bulk_pull:
+        while True:
+            batch = stream.next_records(_BULK_SPLIT_BATCH)
+            if not batch:
+                break
+            for record in batch:
+                route(record)
+    else:
+        # Lazy/live source: single-pass fan-out, one record per pull —
+        # each record is pulled exactly once and never ahead of need.
+        while True:
+            record = stream.next_record()
+            if record is None:
+                break
+            route(record)
+    return shards
+
+
+# -- mergeable results ------------------------------------------------------------------
+
+
+def merge_counters(counters: Sequence[OperationCounters]) -> OperationCounters:
+    """Sum a sequence of counter objects (empty sequence → zero counters)."""
+    merged = OperationCounters()
+    for item in counters:
+        merged = merged.merge(item)
+    return merged
+
+
+@dataclass
+class ShardOutcome:
+    """One shard's complete result, with the origin maps to globalise it."""
+
+    shard_id: int
+    result: AdaptiveJoinResult
+    #: Shard-local ordinal → original input index, per side.
+    left_origins: List[int]
+    right_origins: List[int]
+    #: Wall-clock seconds the shard session took (as measured by its
+    #: backend worker; includes session construction).
+    wall_seconds: float = 0.0
+
+    def matched_pairs(self) -> List[Tuple[int, int]]:
+        """Global ``(left index, right index)`` pairs of this shard.
+
+        :class:`~repro.joins.base.MatchEvent` ordinals are shard-local
+        arrival positions; the origin maps recorded by the
+        :class:`ShardPlan` translate them back to positions in the
+        original inputs, so pairs are comparable with an unsharded run.
+        """
+        left_origins = self.left_origins
+        right_origins = self.right_origins
+        return [
+            (left_origins[event.left.ordinal], right_origins[event.right.ordinal])
+            for event in self.result.matches
+        ]
+
+
+@dataclass
+class ShardedJoinResult:
+    """Everything produced by one sharded join run.
+
+    Mirrors the :class:`~repro.runtime.session.AdaptiveJoinResult` surface
+    (matches / counters / trace / result size / weighted cost) so callers
+    can consume either interchangeably, while keeping the per-shard
+    results around (``shards``) for debugging and skew analysis.  All
+    merged views are deterministic: shards are always combined in shard-id
+    order, regardless of the order the backend finished them in.  The
+    merges are computed once and cached — the result is immutable.
+    """
+
+    shards: Tuple[ShardOutcome, ...]
+    backend: str
+    partitioner: str
+
+    def __post_init__(self) -> None:
+        self.shards = tuple(
+            sorted(self.shards, key=lambda outcome: outcome.shard_id)
+        )
+
+    # -- merged views ----------------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards that executed."""
+        return len(self.shards)
+
+    @cached_property
+    def matches(self) -> Tuple[MatchEvent, ...]:
+        """All matched pairs: shard-id order, emission order within a shard.
+
+        Events carry *shard-local* tuple ordinals; use
+        :meth:`matched_pairs` for globally comparable pair identities.
+        """
+        events: List[MatchEvent] = []
+        for outcome in self.shards:
+            events.extend(outcome.result.matches)
+        return tuple(events)
+
+    @property
+    def result_size(self) -> int:
+        """Number of matched pairs across all shards (``r_abs``)."""
+        return sum(outcome.result.result_size for outcome in self.shards)
+
+    @cached_property
+    def counters(self) -> OperationCounters:
+        """Merged elementary-operation counters (plain sums: shards are disjoint)."""
+        return merge_counters(
+            [outcome.result.counters for outcome in self.shards]
+        )
+
+    @cached_property
+    def trace(self) -> ExecutionTrace:
+        """Shard-tagged, step-offset-aware merged trace (see :func:`merge_traces`)."""
+        return merge_traces(
+            [outcome.result.trace for outcome in self.shards],
+            shard_ids=[outcome.shard_id for outcome in self.shards],
+        )
+
+    @property
+    def output_schema(self) -> Schema:
+        """Schema of the joined output records (identical in every shard)."""
+        return self.shards[0].result.output_schema
+
+    @property
+    def final_states(self) -> Dict[int, JoinState]:
+        """Final processor state per shard (shards adapt independently)."""
+        return {
+            outcome.shard_id: outcome.result.final_state
+            for outcome in self.shards
+        }
+
+    def matched_pairs(self) -> List[Tuple[int, int]]:
+        """Global (left index, right index) pairs, comparable with unsharded runs."""
+        pairs: List[Tuple[int, int]] = []
+        for outcome in self.shards:
+            pairs.extend(outcome.matched_pairs())
+        return pairs
+
+    def pair_set(self) -> frozenset:
+        """The merged match *set* (global pair identities, order-free)."""
+        return frozenset(self.matched_pairs())
+
+    def output_records(self) -> List[Record]:
+        """Materialise the joined output records, in merged-match order."""
+        records: List[Record] = []
+        for outcome in self.shards:
+            records.extend(outcome.result.output_records())
+        return records
+
+    def weighted_cost(self, cost_model: Optional[CostModel] = None) -> float:
+        """``c_abs`` summed over shards (weights apply per-state, so sums are exact)."""
+        model = cost_model or CostModel()
+        return sum(
+            model.absolute_cost(outcome.result.trace) for outcome in self.shards
+        )
+
+    def per_shard_summary(self) -> List[Dict[str, object]]:
+        """One flat row per shard for reports: sizes, matches, state, timing."""
+        return [
+            {
+                "shard": outcome.shard_id,
+                "left_records": len(outcome.left_origins),
+                "right_records": len(outcome.right_origins),
+                "matches": outcome.result.result_size,
+                "final_state": outcome.result.final_state.label,
+                "total_steps": outcome.result.trace.total_steps,
+                "wall_seconds": round(outcome.wall_seconds, 4),
+            }
+            for outcome in self.shards
+        ]

@@ -1,0 +1,220 @@
+"""Equivalence of the bitset and sorted-array gram verification paths.
+
+The approximate probe recovers each candidate's shared-gram count either
+from cached gram bitsets (one big-int AND) or from sorted gram-id arrays
+(a two-pointer intersection).  The array path exists for huge-vocabulary
+workloads (q ≥ 4, large alphabets) where bitset width grows with the
+*global* vocabulary; these tests pin that both paths — and the automatic
+flip between them — return identical matches and identical counters.
+"""
+
+import random
+
+import pytest
+
+from repro.engine.tuples import Record, Schema
+from repro.joins.base import (
+    BITSET_VOCAB_LIMIT,
+    JoinAttribute,
+    JoinMode,
+    JoinSide,
+    SideState,
+)
+from repro.joins.engine import SymmetricJoinEngine
+from repro.joins.fastpath import bits_to_sorted_ids, sorted_intersection_count
+from repro.engine.streams import ListStream
+
+SCHEMA = Schema(["value"], name="values")
+
+
+def _values(count, seed, alphabet="abcdefghijklmnop", length=12):
+    rng = random.Random(seed)
+    return [
+        "".join(rng.choice(alphabet) for _ in range(rng.randint(4, length)))
+        for _ in range(count)
+    ]
+
+
+def _records(values):
+    return [Record(SCHEMA, {"value": value}) for value in values]
+
+
+def _probe_all(side, probes, theta, **kwargs):
+    side.catch_up_qgram()
+    results = []
+    for probe in probes:
+        for stored, similarity in side.probe_qgram(probe, theta, **kwargs):
+            results.append((probe, stored.ordinal, round(similarity, 12)))
+    return results
+
+
+def _build_side(values, mode, q=3, limit=None):
+    side = SideState(
+        JoinSide.LEFT,
+        "value",
+        q=q,
+        gram_verification=mode,
+        bitset_vocab_limit=limit,
+    )
+    for record in _records(values):
+        side.add(record)
+    return side
+
+
+class TestHelpers:
+    def test_sorted_intersection_count_basics(self):
+        assert sorted_intersection_count([], []) == 0
+        assert sorted_intersection_count([1, 2, 3], []) == 0
+        assert sorted_intersection_count([1, 2, 3], [4, 5]) == 0
+        assert sorted_intersection_count([1, 2, 3], [2, 3, 4]) == 2
+        assert sorted_intersection_count([0, 7, 9], [0, 7, 9]) == 3
+
+    def test_bits_to_sorted_ids_roundtrip(self):
+        bits = (1 << 0) | (1 << 5) | (1 << 63) | (1 << 100)
+        assert list(bits_to_sorted_ids(bits)) == [0, 5, 63, 100]
+        assert list(bits_to_sorted_ids(0)) == []
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="gram_verification"):
+            SideState(JoinSide.LEFT, "value", gram_verification="magic")
+
+
+class TestBitsetArrayEquivalence:
+    @pytest.mark.parametrize("theta", [0.7, 0.85])
+    @pytest.mark.parametrize("q", [3, 4])
+    @pytest.mark.parametrize("verify_jaccard", [False, True])
+    def test_matches_and_counters_identical(self, theta, q, verify_jaccard):
+        stored = _values(120, seed=q * 100 + int(theta * 100))
+        probes = _values(60, seed=q)
+        # Include exact duplicates and empty/short values.
+        probes += stored[:10] + ["", "ab"]
+        bitset_side = _build_side(stored, "bitset", q=q)
+        array_side = _build_side(stored, "array", q=q)
+        bitset_results = _probe_all(
+            bitset_side, probes, theta, verify_jaccard=verify_jaccard
+        )
+        array_results = _probe_all(
+            array_side, probes, theta, verify_jaccard=verify_jaccard
+        )
+        assert bitset_results == array_results
+        assert bitset_side.counters.as_dict() == array_side.counters.as_dict()
+
+    def test_incremental_indexing_stays_equivalent(self):
+        stored = _values(80, seed=5)
+        probes = _values(30, seed=6)
+        sides = {
+            mode: _build_side([], mode) for mode in ("bitset", "array")
+        }
+        results = {mode: [] for mode in sides}
+        for start in range(0, 80, 20):
+            chunk = _records(stored[start:start + 20])
+            for mode, side in sides.items():
+                for record in chunk:
+                    side.add(record)
+                results[mode].extend(_probe_all(side, probes, 0.8))
+        assert results["bitset"] == results["array"]
+        assert (
+            sides["bitset"].counters.as_dict() == sides["array"].counters.as_dict()
+        )
+
+
+class TestAutoFlip:
+    def test_auto_flips_past_the_vocab_limit(self):
+        stored = _values(100, seed=11)
+        side = _build_side(stored, "auto", limit=32)
+        assert not side._array_verification
+        side.catch_up_qgram()
+        # The vocabulary of 100 random values exceeds 32 grams well before
+        # the second catch-up: add one more tuple and index it.
+        side.add(_records(["flip trigger value"])[0])
+        side.catch_up_qgram()
+        assert side._array_verification
+        assert not side._gram_bits  # converted wholesale
+        assert len(side._gram_arrays) == 101
+
+    def test_auto_results_identical_to_fixed_modes(self):
+        stored = _values(150, seed=12)
+        probes = _values(50, seed=13) + stored[:5]
+        auto_side = _build_side([], "auto", limit=64)
+        bitset_side = _build_side([], "bitset")
+        auto_results, bitset_results = [], []
+        # Interleave indexing and probing so probes happen both before and
+        # after the flip (plan-cache entries must survive the mode change).
+        for start in range(0, 150, 30):
+            chunk = _records(stored[start:start + 30])
+            for side, results in (
+                (auto_side, auto_results),
+                (bitset_side, bitset_results),
+            ):
+                for record in chunk:
+                    side.add(record)
+                results.extend(_probe_all(side, probes[:20], 0.75))
+        auto_results.extend(_probe_all(auto_side, probes, 0.75))
+        bitset_results.extend(_probe_all(bitset_side, probes, 0.75))
+        assert auto_side._array_verification  # the flip actually happened
+        assert auto_results == bitset_results
+        assert auto_side.counters.as_dict() == bitset_side.counters.as_dict()
+
+    def test_auto_stays_on_bitsets_below_the_limit(self):
+        side = _build_side(_values(20, seed=14), "auto", limit=1 << 20)
+        side.catch_up_qgram()
+        assert not side._array_verification
+        assert side._gram_bits
+
+    def test_default_limit_is_module_constant(self):
+        side = SideState(JoinSide.LEFT, "value")
+        assert side._bitset_vocab_limit == BITSET_VOCAB_LIMIT
+
+
+class TestConfigPlumbing:
+    def test_runconfig_validates_the_mode(self):
+        from repro.runtime.config import RunConfig
+
+        with pytest.raises(ValueError, match="gram_verification"):
+            RunConfig(gram_verification="magic")
+
+    def test_session_forwards_the_mode_to_both_sides(self, small_dataset):
+        from repro.runtime.config import RunConfig
+        from repro.runtime.session import JoinSession
+
+        session = JoinSession(
+            small_dataset.parent,
+            small_dataset.child,
+            "location",
+            RunConfig(gram_verification="array"),
+        )
+        for side in JoinSide:
+            assert session.engine.sides[side].gram_verification == "array"
+            assert session.engine.sides[side]._array_verification
+
+
+class TestEngineLevel:
+    @pytest.mark.parametrize("mode", ["bitset", "array"])
+    def test_engine_modes_agree_end_to_end(self, mode):
+        left_values = _values(60, seed=21)
+        right_values = _values(60, seed=22) + left_values[:15]
+
+        def build(verification):
+            return SymmetricJoinEngine(
+                ListStream(SCHEMA, _records(left_values)),
+                ListStream(SCHEMA, _records(right_values)),
+                JoinAttribute("value", "value"),
+                similarity_threshold=0.75,
+                q=4,
+                left_mode=JoinMode.APPROXIMATE,
+                right_mode=JoinMode.APPROXIMATE,
+                gram_verification=verification,
+            )
+
+        reference = build("auto")
+        other = build(mode)
+        reference_matches = [
+            (event.pair_key(), round(event.similarity, 12))
+            for event in reference.run_to_completion()
+        ]
+        other_matches = [
+            (event.pair_key(), round(event.similarity, 12))
+            for event in other.run_to_completion()
+        ]
+        assert reference_matches == other_matches
+        assert reference.counters().as_dict() == other.counters().as_dict()

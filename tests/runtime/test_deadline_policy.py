@@ -1,0 +1,195 @@
+"""Tests for the deadline switch policy (wall-clock budgets)."""
+
+import pytest
+
+from repro.core.state_machine import JoinState
+from repro.core.thresholds import Thresholds
+from repro.engine.streams import IteratorStream
+from repro.engine.tuples import Record
+from repro.runtime.config import RunConfig
+from repro.runtime.policy import DeadlinePolicy, available_policies, create_policy
+from repro.runtime.session import JoinSession
+
+FAST = Thresholds(delta_adapt=25, window_size=25)
+
+
+class FakeClock:
+    """A deterministic clock advancing a fixed amount per reading."""
+
+    def __init__(self, step_seconds: float):
+        self.step_seconds = step_seconds
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += self.step_seconds
+        return self.now
+
+
+def _config(**overrides):
+    return RunConfig.from_thresholds(FAST, policy="deadline", **overrides)
+
+
+class TestRegistration:
+    def test_registered_by_name(self):
+        assert "deadline" in available_policies()
+        assert isinstance(create_policy("deadline"), DeadlinePolicy)
+
+    def test_config_validation_rejects_nonpositive_deadline(self):
+        with pytest.raises(ValueError, match="deadline_seconds"):
+            RunConfig(deadline_seconds=0)
+        with pytest.raises(ValueError, match="deadline_seconds"):
+            RunConfig(deadline_seconds=-1.5)
+
+    def test_missing_deadline_fails_fast_at_session_build(self, small_dataset):
+        with pytest.raises(ValueError, match="deadline_seconds"):
+            JoinSession(
+                small_dataset.parent, small_dataset.child, "location", _config()
+            )
+
+    def test_unsized_stream_fails_fast(self, location_schema):
+        records = [
+            Record.from_values(location_schema, [index, f"value {index}"])
+            for index in range(10)
+        ]
+        lazy = IteratorStream(location_schema, iter(records))
+        other = IteratorStream(location_schema, iter(records))
+        with pytest.raises(ValueError, match="unsized"):
+            JoinSession(
+                lazy, other, "location", _config(deadline_seconds=10.0)
+            )
+
+
+class TestBehaviour:
+    def test_generous_deadline_never_switches(self, small_dataset):
+        policy = DeadlinePolicy(
+            deadline_seconds=1e9, clock=FakeClock(step_seconds=1e-9)
+        )
+        session = JoinSession(
+            small_dataset.parent,
+            small_dataset.child,
+            "location",
+            _config(deadline_seconds=1e9),
+            policy=policy,
+        )
+        result = session.run()
+        assert not policy.deadline_exceeded
+        assert result.final_state is JoinState.LAP_RAP  # the natural start
+        assert result.trace.transition_count == 0
+
+    def test_generous_deadline_matches_all_approximate_baseline(self, small_dataset):
+        baseline = JoinSession(
+            small_dataset.parent,
+            small_dataset.child,
+            "location",
+            RunConfig.from_thresholds(
+                FAST, policy="fixed", initial_state=JoinState.LAP_RAP
+            ),
+        ).run()
+        deadline_run = JoinSession(
+            small_dataset.parent,
+            small_dataset.child,
+            "location",
+            _config(deadline_seconds=1e9),
+            policy=DeadlinePolicy(clock=FakeClock(step_seconds=1e-9)),
+        ).run()
+        assert deadline_run.matched_pairs() == baseline.matched_pairs()
+        assert deadline_run.counters.as_dict() == baseline.counters.as_dict()
+
+    def test_tight_deadline_pins_to_exact_at_first_activation(self, small_dataset):
+        # Every clock reading advances a full second: by the first
+        # activation the projection is hopeless and the run must pin.
+        policy = DeadlinePolicy(deadline_seconds=0.5, clock=FakeClock(1.0))
+        session = JoinSession(
+            small_dataset.parent,
+            small_dataset.child,
+            "location",
+            _config(deadline_seconds=0.5),
+            policy=policy,
+        )
+        result = session.run()
+        assert policy.deadline_exceeded
+        assert result.final_state is JoinState.LEX_REX
+        transitions = result.trace.transitions
+        assert len(transitions) == 1
+        assert transitions[0].step == FAST.delta_adapt
+        assert transitions[0].to_state is JoinState.LEX_REX
+
+    def test_no_more_activation_boundaries_after_pinning(self, small_dataset):
+        policy = DeadlinePolicy(deadline_seconds=0.5, clock=FakeClock(1.0))
+        JoinSession(
+            small_dataset.parent,
+            small_dataset.child,
+            "location",
+            _config(deadline_seconds=0.5),
+            policy=policy,
+        ).run()
+        assert policy.deadline_exceeded
+        assert policy.next_activation_step(1000) is None
+
+    def test_constructor_deadline_overrides_config(self, small_dataset):
+        policy = DeadlinePolicy(deadline_seconds=1e9, clock=FakeClock(1.0))
+        session = JoinSession(
+            small_dataset.parent,
+            small_dataset.child,
+            "location",
+            _config(deadline_seconds=1e-6),  # config says "impossible"
+            policy=policy,
+        )
+        session.run()
+        assert not policy.deadline_exceeded
+
+    def test_explicit_initial_state_respected(self, small_dataset):
+        policy = DeadlinePolicy(deadline_seconds=1e9, clock=FakeClock(1e-9))
+        session = JoinSession(
+            small_dataset.parent,
+            small_dataset.child,
+            "location",
+            _config(deadline_seconds=1e9, initial_state=JoinState.LEX_REX),
+            policy=policy,
+        )
+        assert session.initial_state is JoinState.LEX_REX
+
+    def test_nonpositive_constructor_deadline_rejected(self, small_dataset):
+        with pytest.raises(ValueError, match="positive"):
+            JoinSession(
+                small_dataset.parent,
+                small_dataset.child,
+                "location",
+                _config(),
+                policy=DeadlinePolicy(deadline_seconds=0.0),
+            )
+
+
+class TestCadenceContract:
+    """Batched run() hands the deadline policy control at the same steps
+    as one-at-a-time stepping — the next_activation_step contract."""
+
+    def _run_batched(self, dataset, clock_step):
+        policy = DeadlinePolicy(deadline_seconds=0.5, clock=FakeClock(clock_step))
+        session = JoinSession(
+            dataset.parent, dataset.child, "location",
+            _config(deadline_seconds=0.5), policy=policy,
+        )
+        return session.run()
+
+    def _run_stepped(self, dataset, clock_step):
+        policy = DeadlinePolicy(deadline_seconds=0.5, clock=FakeClock(clock_step))
+        session = JoinSession(
+            dataset.parent, dataset.child, "location",
+            _config(deadline_seconds=0.5), policy=policy,
+        )
+        while session.step() is not None:
+            pass
+        return session.result()
+
+    def test_batched_and_stepped_transitions_agree(self, small_dataset):
+        batched = self._run_batched(small_dataset, clock_step=1.0)
+        stepped = self._run_stepped(small_dataset, clock_step=1.0)
+        assert [
+            (record.step, record.from_state, record.to_state)
+            for record in batched.trace.transitions
+        ] == [
+            (record.step, record.from_state, record.to_state)
+            for record in stepped.trace.transitions
+        ]
+        assert batched.matched_pairs() == stepped.matched_pairs()

@@ -1,0 +1,237 @@
+"""Tests for the parallel execution backends and the aggregated bus."""
+
+import pytest
+
+from repro.core.state_machine import JoinState
+from repro.core.thresholds import Thresholds
+from repro.engine.streams import ListStream
+from repro.engine.tuples import Record, Schema
+from repro.joins.engine import StepResult
+from repro.runtime.collectors import ThroughputCollector
+from repro.runtime.config import RunConfig
+from repro.runtime.parallel import (
+    AggregatedEventBus,
+    ParallelExecutor,
+    ShardCompleted,
+    ShardEvent,
+    _ensure_picklable,
+    available_backends,
+    run_sharded,
+)
+from repro.runtime.sharding import ShardPlan
+
+FAST = Thresholds(delta_adapt=25, window_size=25)
+
+SCHEMA = Schema(["row_id", "location"], name="rows")
+
+
+def _records(values):
+    return [
+        Record.from_values(SCHEMA, [index, value])
+        for index, value in enumerate(values)
+    ]
+
+
+def _streams(values):
+    return ListStream(SCHEMA, _records(values)), ListStream(
+        SCHEMA, _records(values)
+    )
+
+
+class TestBackendRegistry:
+    def test_builtin_backends_registered(self):
+        names = available_backends()
+        assert "serial" in names
+        assert "thread" in names
+        assert "process" in names
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="serial"):
+            ParallelExecutor(backend="gpu")
+
+
+class TestSerialBackend:
+    def test_run_produces_shard_ordered_result(self, small_dataset):
+        result = run_sharded(
+            small_dataset.parent,
+            small_dataset.child,
+            "location",
+            RunConfig.from_thresholds(FAST),
+            shards=3,
+        )
+        assert result.shard_count == 3
+        assert [outcome.shard_id for outcome in result.shards] == [0, 1, 2]
+        assert result.backend == "serial"
+        assert result.partitioner == "hash"
+        assert result.result_size == sum(
+            outcome.result.result_size for outcome in result.shards
+        )
+
+    def test_shard_completed_events_in_shard_order(self, small_dataset):
+        bus = AggregatedEventBus()
+        completed = []
+        bus.subscribe(ShardCompleted, completed.append)
+        run_sharded(
+            small_dataset.parent,
+            small_dataset.child,
+            "location",
+            RunConfig.from_thresholds(FAST),
+            shards=3,
+            bus=bus,
+        )
+        assert [event.shard_id for event in completed] == [0, 1, 2]
+        assert all(event.result.result_size >= 0 for event in completed)
+
+    def test_plan_is_reusable(self, small_dataset):
+        plan = ShardPlan.build(
+            small_dataset.parent, small_dataset.child, "location", 2
+        )
+        executor = ParallelExecutor()
+        config = RunConfig.from_thresholds(FAST)
+        first = executor.run(plan, config)
+        second = executor.run(plan, config)
+        assert first.pair_set() == second.pair_set()
+        assert first.counters.as_dict() == second.counters.as_dict()
+
+
+class TestAggregatedBus:
+    def test_raw_events_reach_shard_agnostic_collectors(self, small_dataset):
+        bus = AggregatedEventBus()
+        collector = ThroughputCollector().attach(bus)
+        result = run_sharded(
+            small_dataset.parent,
+            small_dataset.child,
+            "location",
+            RunConfig.from_thresholds(FAST),
+            shards=2,
+            bus=bus,
+        )
+        assert collector.steps == result.trace.total_steps
+        assert collector.matches == result.result_size
+
+    def test_shard_events_are_tagged(self, small_dataset):
+        bus = AggregatedEventBus()
+        tagged = []
+        bus.subscribe(ShardEvent, tagged.append)
+        run_sharded(
+            small_dataset.parent,
+            small_dataset.child,
+            "location",
+            RunConfig.from_thresholds(FAST),
+            shards=2,
+            bus=bus,
+        )
+        shard_ids = {event.shard_id for event in tagged}
+        assert shard_ids == {0, 1}
+        assert any(isinstance(event.event, StepResult) for event in tagged)
+
+    def test_match_streams_stay_unobserved_without_subscribers(self):
+        left, right = _streams(["a", "b", "a"])
+        bus = AggregatedEventBus()
+        steps = []
+        bus.subscribe(StepResult, steps.append)
+        plan = ShardPlan.build(left, right, "location", 2)
+        ParallelExecutor().run(plan, RunConfig(policy="fixed"), bus=bus)
+        # StepResults forwarded; no MatchEvent forwarders were attached, so
+        # the engine's match channel stayed empty on every shard bus.
+        assert len(steps) == 6
+
+
+class TestThreadAndProcessBackends:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_backend_matches_serial(self, small_dataset, backend):
+        config = RunConfig.from_thresholds(FAST)
+        serial = run_sharded(
+            small_dataset.parent, small_dataset.child, "location", config,
+            shards=3, backend="serial",
+        )
+        other = run_sharded(
+            small_dataset.parent, small_dataset.child, "location", config,
+            shards=3, backend=backend,
+        )
+        assert other.backend == backend
+        assert other.pair_set() == serial.pair_set()
+        assert other.counters.as_dict() == serial.counters.as_dict()
+        assert other.trace.summary() == serial.trace.summary()
+
+    def test_process_backend_rejects_unpicklable_records(self):
+        records = [Record.from_values(SCHEMA, [0, "a"])]
+        poisoned = [Record(SCHEMA, {"row_id": 0, "location": lambda: None})]
+        plan = ShardPlan.build(
+            ListStream(SCHEMA, poisoned),
+            ListStream(SCHEMA, records),
+            "location",
+            1,
+        )
+        with pytest.raises(ValueError, match="not picklable"):
+            ParallelExecutor(backend="process").run(plan, RunConfig())
+
+    def test_ensure_picklable_names_the_offender(self):
+        with pytest.raises(ValueError, match="the run configuration"):
+            _ensure_picklable(lambda: None, "the run configuration (RunConfig)")
+
+    def test_max_workers_cap_accepted(self, small_dataset):
+        result = run_sharded(
+            small_dataset.parent, small_dataset.child, "location",
+            RunConfig.from_thresholds(FAST),
+            shards=4, backend="thread", max_workers=2,
+        )
+        assert result.shard_count == 4
+
+
+class TestShardedResultSurface:
+    def test_final_states_per_shard(self, small_dataset):
+        result = run_sharded(
+            small_dataset.parent,
+            small_dataset.child,
+            "location",
+            RunConfig(policy="fixed", initial_state=JoinState.LEX_REX),
+            shards=2,
+        )
+        assert result.final_states == {
+            0: JoinState.LEX_REX,
+            1: JoinState.LEX_REX,
+        }
+
+    def test_per_shard_summary_rows(self, small_dataset):
+        result = run_sharded(
+            small_dataset.parent,
+            small_dataset.child,
+            "location",
+            RunConfig.from_thresholds(FAST),
+            shards=2,
+        )
+        rows = result.per_shard_summary()
+        assert [row["shard"] for row in rows] == [0, 1]
+        assert sum(row["matches"] for row in rows) == result.result_size
+        assert sum(row["total_steps"] for row in rows) == result.trace.total_steps
+
+    def test_output_records_concatenate_shards(self, small_dataset):
+        result = run_sharded(
+            small_dataset.parent,
+            small_dataset.child,
+            "location",
+            RunConfig.from_thresholds(FAST),
+            shards=2,
+        )
+        records = result.output_records()
+        assert len(records) == result.result_size
+        assert all(len(record.values) == len(result.output_schema) for record in records)
+
+    def test_weighted_cost_sums_shards(self, small_dataset):
+        from repro.core.cost_model import CostModel
+
+        result = run_sharded(
+            small_dataset.parent,
+            small_dataset.child,
+            "location",
+            RunConfig.from_thresholds(FAST),
+            shards=2,
+        )
+        model = CostModel()
+        assert result.weighted_cost(model) == pytest.approx(
+            sum(
+                model.absolute_cost(outcome.result.trace)
+                for outcome in result.shards
+            )
+        )

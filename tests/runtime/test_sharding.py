@@ -1,0 +1,349 @@
+"""Tests for partitioners, shard plans and mergeable shard results."""
+
+import pytest
+
+from repro.core.state_machine import JoinState
+from repro.core.trace import ExecutionTrace, merge_traces
+from repro.engine.streams import GeneratorStream, IteratorStream, ListStream
+from repro.engine.tuples import Record, Schema
+from repro.joins.base import JoinAttribute, JoinSide, OperationCounters
+from repro.runtime.sharding import (
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    RoundRobinPartitioner,
+    ShardPlan,
+    available_partitioners,
+    create_partitioner,
+    merge_counters,
+    register_partitioner,
+)
+
+SCHEMA = Schema(["row_id", "location"], name="rows")
+
+
+def _records(values):
+    return [
+        Record.from_values(SCHEMA, [index, value])
+        for index, value in enumerate(values)
+    ]
+
+
+class TestPartitionerRegistry:
+    def test_builtin_partitioners_registered(self):
+        names = available_partitioners()
+        assert "hash" in names
+        assert "round-robin" in names
+        assert "range" in names
+
+    def test_create_by_name(self):
+        assert isinstance(create_partitioner("hash"), HashPartitioner)
+        assert isinstance(create_partitioner("round-robin"), RoundRobinPartitioner)
+        assert isinstance(create_partitioner("range"), RangePartitioner)
+
+    def test_unknown_partitioner_error_lists_registered(self):
+        with pytest.raises(ValueError, match="hash"):
+            create_partitioner("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+
+            @register_partitioner("hash")
+            class Clash(Partitioner):  # pragma: no cover - never instantiated
+                pass
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            register_partitioner("")
+
+
+class TestBuiltinPartitioners:
+    def test_hash_co_partitions_equal_values_across_sides(self):
+        partitioner = HashPartitioner()
+        for value in ("GENOVA", "MILANO CENTRO", "", "ROMA"):
+            for shard_count in (2, 4, 8):
+                left = partitioner.assign(JoinSide.LEFT, 0, value, shard_count)
+                right = partitioner.assign(JoinSide.RIGHT, 99, value, shard_count)
+                assert left == right
+                assert 0 <= left < shard_count
+
+    def test_hash_is_stable_across_instances(self):
+        first = HashPartitioner()
+        second = HashPartitioner()
+        for value in ("a", "bb", "ccc"):
+            assert first.assign(JoinSide.LEFT, 0, value, 8) == second.assign(
+                JoinSide.RIGHT, 5, value, 8
+            )
+
+    def test_round_robin_balances_each_side(self):
+        partitioner = RoundRobinPartitioner()
+        assignments = [
+            partitioner.assign(JoinSide.LEFT, ordinal, "x", 4)
+            for ordinal in range(10)
+        ]
+        counts = [assignments.count(shard) for shard in range(4)]
+        assert max(counts) - min(counts) <= 1
+
+    def test_range_orders_values(self):
+        partitioner = RangePartitioner()
+        low = partitioner.assign(JoinSide.LEFT, 0, "AAAA", 4)
+        high = partitioner.assign(JoinSide.LEFT, 0, "zzzz", 4)
+        assert 0 <= low <= high < 4
+        # Equal values co-partition (range partitions the key space).
+        assert partitioner.assign(JoinSide.RIGHT, 7, "AAAA", 4) == low
+
+    def test_range_short_and_empty_values(self):
+        partitioner = RangePartitioner()
+        for value in ("", "a", "ab"):
+            shard = partitioner.assign(JoinSide.LEFT, 0, value, 4)
+            assert 0 <= shard < 4
+
+
+class TestShardPlan:
+    def test_bulk_split_covers_every_record_exactly_once(self):
+        values = [f"value {index % 7}" for index in range(50)]
+        plan = ShardPlan.build(
+            ListStream(SCHEMA, _records(values)),
+            ListStream(SCHEMA, _records(values[:30])),
+            "location",
+            shard_count=4,
+        )
+        left_origins = sorted(
+            origin for shard in plan.left_shards for origin in shard.origins
+        )
+        right_origins = sorted(
+            origin for shard in plan.right_shards for origin in shard.origins
+        )
+        assert left_origins == list(range(50))
+        assert right_origins == list(range(30))
+
+    def test_split_is_stable_within_shards(self):
+        values = [f"value {index % 5}" for index in range(40)]
+        plan = ShardPlan.build(
+            ListStream(SCHEMA, _records(values)),
+            ListStream(SCHEMA, _records(values)),
+            "location",
+            shard_count=3,
+        )
+        for shard in plan.left_shards:
+            assert shard.origins == sorted(shard.origins)
+            for record, origin in zip(shard.records, shard.origins):
+                assert record["row_id"] == origin
+
+    def test_hash_plan_co_partitions_values(self):
+        values = [f"value {index % 6}" for index in range(36)]
+        plan = ShardPlan.build(
+            ListStream(SCHEMA, _records(values)),
+            ListStream(SCHEMA, _records(list(reversed(values)))),
+            "location",
+            shard_count=4,
+        )
+        left_locations = [
+            {record["location"] for record in shard.records}
+            for shard in plan.left_shards
+        ]
+        right_locations = [
+            {record["location"] for record in shard.records}
+            for shard in plan.right_shards
+        ]
+        for shard_id, locations in enumerate(left_locations):
+            for other_id, other in enumerate(right_locations):
+                if shard_id != other_id:
+                    assert not (locations & other)
+
+    def test_single_shard_plan_is_the_identity(self):
+        values = ["a", "b", "c"]
+        plan = ShardPlan.build(
+            ListStream(SCHEMA, _records(values)),
+            ListStream(SCHEMA, _records(values)),
+            "location",
+            shard_count=1,
+        )
+        assert plan.shard_count == 1
+        left, right = plan.shard_streams(0)
+        assert [record["location"] for record in left] == values
+        assert [record["location"] for record in right] == values
+
+    def test_shard_streams_are_fresh_per_call(self):
+        plan = ShardPlan.build(
+            ListStream(SCHEMA, _records(["a", "b"])),
+            ListStream(SCHEMA, _records(["a"])),
+            "location",
+            shard_count=1,
+        )
+        first, _ = plan.shard_streams(0)
+        assert sum(1 for _ in first) == 2
+        second, _ = plan.shard_streams(0)
+        assert sum(1 for _ in second) == 2  # not exhausted by the first pass
+
+    def test_invalid_shard_count_rejected(self):
+        stream = ListStream(SCHEMA, _records(["a"]))
+        with pytest.raises(ValueError, match="shard_count"):
+            ShardPlan.build(stream, stream, "location", shard_count=0)
+
+    def test_none_values_normalise_to_empty_string(self):
+        records = [Record.from_values(SCHEMA, [0, None])]
+        plan = ShardPlan.build(
+            ListStream(SCHEMA, records),
+            ListStream(SCHEMA, records),
+            "location",
+            shard_count=2,
+        )
+        total = sum(len(shard) for shard in plan.left_shards)
+        assert total == 1
+
+    def test_string_attribute_and_joinattribute_equivalent(self):
+        stream = lambda: ListStream(SCHEMA, _records(["a", "b"]))  # noqa: E731
+        by_name = ShardPlan.build(stream(), stream(), "location", 2)
+        by_attr = ShardPlan.build(
+            stream(), stream(), JoinAttribute("location", "location"), 2
+        )
+        assert by_name.shard_sizes() == by_attr.shard_sizes()
+
+
+class CountingStream(IteratorStream):
+    """An unsized stream that counts pulls and rejects bulk over-pull."""
+
+    def __init__(self, schema, records):
+        super().__init__(schema, iter(records), name="counting")
+        self.pulls = 0
+
+    def _next(self):
+        record = super()._next()
+        if record is not None:
+            self.pulls += 1
+        return record
+
+    def next_records(self, limit):
+        if limit > 1:
+            raise AssertionError(
+                f"bulk pull of {limit} records from a lazy stream (over-pull)"
+            )
+        return super().next_records(limit)
+
+
+class TestLazyStreamFanOut:
+    """Partitioning a non-bulk stream pulls each record exactly once."""
+
+    def test_iterator_stream_fanned_out_single_pass(self):
+        records = _records([f"value {index % 3}" for index in range(25)])
+        left = CountingStream(SCHEMA, records)
+        right = CountingStream(SCHEMA, records)
+        assert not left.supports_bulk_pull
+        plan = ShardPlan.build(left, right, "location", shard_count=3)
+        assert left.pulls == 25
+        assert right.pulls == 25
+        assert sum(len(shard) for shard in plan.left_shards) == 25
+        assert sum(len(shard) for shard in plan.right_shards) == 25
+
+    def test_generator_stream_fanned_out_single_pass(self):
+        produced = []
+
+        def factory():
+            for index in range(12):
+                record = Record.from_values(SCHEMA, [index, f"value {index % 2}"])
+                produced.append(index)
+                yield record
+
+        stream = GeneratorStream(SCHEMA, factory, name="lazy")
+        plan = ShardPlan.build(
+            stream,
+            ListStream(SCHEMA, _records(["value 0"])),
+            "location",
+            shard_count=2,
+        )
+        assert produced == list(range(12))  # each record produced exactly once
+        assert sum(len(shard) for shard in plan.left_shards) == 12
+
+
+class TestMergeCounters:
+    def test_merge_counters_sums_fields(self):
+        first = OperationCounters(qgrams_obtained=3, exact_probes=1)
+        second = OperationCounters(qgrams_obtained=4, matches_emitted=2)
+        merged = merge_counters([first, second])
+        assert merged.qgrams_obtained == 7
+        assert merged.exact_probes == 1
+        assert merged.matches_emitted == 2
+
+    def test_merge_counters_empty_is_zero(self):
+        assert merge_counters([]).as_dict() == OperationCounters().as_dict()
+
+
+class TestMergeTraces:
+    def _trace_with(self, steps, transition_step=None):
+        trace = ExecutionTrace()
+        for index in range(steps):
+            side = JoinSide.LEFT if index % 2 == 0 else JoinSide.RIGHT
+            trace.record_step(JoinState.LEX_REX, side, matches=0)
+        if transition_step is not None:
+            trace.record_transition(
+                transition_step, JoinState.LEX_REX, JoinState.LAP_RAP, []
+            )
+        return trace
+
+    def test_totals_add_up(self):
+        merged = merge_traces([self._trace_with(4), self._trace_with(6)])
+        assert merged.total_steps == 10
+        assert merged.steps_per_state[JoinState.LEX_REX] == 10
+        assert merged.left_scanned == 5
+        assert merged.right_scanned == 5
+
+    def test_transition_steps_are_offset_and_shard_tagged(self):
+        first = self._trace_with(10, transition_step=4)
+        second = self._trace_with(20, transition_step=8)
+        merged = merge_traces([first, second])
+        assert [record.step for record in merged.transitions] == [4, 18]
+        assert [record.shard for record in merged.transitions] == [0, 1]
+        assert merged.transitions_into[JoinState.LAP_RAP] == 2
+
+    def test_assessment_steps_are_offset_too(self):
+        from repro.core.assessor import Assessment
+        from repro.core.state_machine import TransitionGuards
+
+        def assessed_trace(steps, assess_step):
+            trace = self._trace_with(steps)
+            assessment = Assessment(
+                step=assess_step,
+                sigma=True,
+                mu={side: True for side in JoinSide},
+                pi={side: False for side in JoinSide},
+                evidence_available=True,
+                outlier_probability=0.5,
+                shortfall=0.0,
+            )
+            guards = TransitionGuards(False, False, False, False)
+            trace.record_assessment(
+                assessment, guards, JoinState.LEX_REX, JoinState.LEX_REX
+            )
+            return trace
+
+        merged = merge_traces(
+            [assessed_trace(10, 5), assessed_trace(10, 5)]
+        )
+        assert [
+            record.assessment.step for record in merged.assessments
+        ] == [5, 15]
+
+    def test_explicit_shard_ids(self):
+        merged = merge_traces(
+            [self._trace_with(2, 1), self._trace_with(2, 1)], shard_ids=[7, 3]
+        )
+        assert [record.shard for record in merged.transitions] == [7, 3]
+
+    def test_shard_id_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shard ids"):
+            merge_traces([self._trace_with(1)], shard_ids=[1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            merge_traces([])
+
+    def test_weighted_cost_of_merge_is_sum_of_parts(self):
+        from repro.core.cost_model import CostModel
+
+        model = CostModel()
+        parts = [self._trace_with(10, 4), self._trace_with(20, 8)]
+        merged = merge_traces(parts)
+        assert model.absolute_cost(merged) == pytest.approx(
+            sum(model.absolute_cost(part) for part in parts)
+        )

@@ -1,0 +1,221 @@
+"""Property tests: sharded execution vs. the unsharded single session.
+
+The guarantees pinned here (and documented in ARCHITECTURE.md, "Sharded
+execution"):
+
+1. **Exact semantics are fully preserved** — under the ``hash``
+   partitioner and an all-exact run, the merged match *set* and the
+   merged counter *totals* are identical to the unsharded session for any
+   shard count and any backend (each value's bucket lives wholly in one
+   shard, so every probe scans exactly the bucket it would have scanned
+   unsharded).
+2. **One shard is the unsharded run** — a 1-shard plan reproduces the
+   single session bit-identically for every policy (matches, counters,
+   trace summary).
+3. **Backends are interchangeable** — serial, thread and process produce
+   identical merged results for the same plan and config.
+4. **The serial backend is bit-deterministic** — repeat runs agree
+   byte-for-byte regardless of shard count.
+5. **Equi-matches survive sharding under any policy** — every value-equal
+   pair found unsharded is found sharded (co-partitioning); the
+   approximate matches a sharded adaptive run can lose are exactly the
+   cross-shard variant pairs, so the sharded match set never exceeds the
+   equi-superset bound asserted here.
+"""
+
+import pytest
+
+from repro.core.state_machine import JoinState
+from repro.core.thresholds import Thresholds
+from repro.datagen.testcases import TestCaseSpec, generate_test_case
+from repro.runtime.config import RunConfig
+from repro.runtime.parallel import run_sharded
+from repro.runtime.session import JoinSession
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    """A generated dataset *with variants*, the hard case for sharding."""
+    spec = TestCaseSpec(
+        name="sharding_equivalence",
+        pattern="few_high",
+        variants_in="child",
+        parent_size=150,
+        child_size=250,
+        seed=23,
+    )
+    return generate_test_case(spec)
+
+
+def _config(theta=0.85, q=3, policy="mar", initial_state=None, **overrides):
+    thresholds = Thresholds(theta_sim=theta, q=q, delta_adapt=25, window_size=25)
+    return RunConfig.from_thresholds(
+        thresholds, policy=policy, initial_state=initial_state, **overrides
+    )
+
+
+def _unsharded(dataset, config):
+    return JoinSession(dataset.parent, dataset.child, "location", config).run()
+
+
+def _equal_value_pairs(dataset):
+    """Every (parent index, child index) pair with identical join values."""
+    from collections import defaultdict
+
+    by_value = defaultdict(list)
+    for index, record in enumerate(dataset.parent):
+        by_value[record["location"]].append(index)
+    pairs = set()
+    for child_index, record in enumerate(dataset.child):
+        for parent_index in by_value.get(record["location"], ()):
+            pairs.add((parent_index, child_index))
+    return pairs
+
+
+class TestExactSemanticsFullyPreserved:
+    """Hash-sharded all-exact runs are bit-equivalent to unsharded ones."""
+
+    @pytest.mark.parametrize("theta,q", [(0.85, 3), (0.8, 2)])
+    @pytest.mark.parametrize("shards", [1, 2, 4, 8])
+    def test_match_set_and_counter_totals_identical(self, dataset, theta, q, shards):
+        config = _config(
+            theta=theta, q=q, policy="fixed", initial_state=JoinState.LEX_REX
+        )
+        reference = _unsharded(dataset, config)
+        sharded = run_sharded(
+            dataset.parent, dataset.child, "location", config, shards=shards
+        )
+        assert sharded.pair_set() == frozenset(reference.matched_pairs())
+        assert sharded.counters.as_dict() == reference.counters.as_dict()
+        assert sharded.trace.total_steps == reference.trace.total_steps
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_holds_on_every_backend(self, dataset, backend):
+        config = _config(policy="fixed", initial_state=JoinState.LEX_REX)
+        reference = _unsharded(dataset, config)
+        sharded = run_sharded(
+            dataset.parent, dataset.child, "location", config,
+            shards=4, backend=backend,
+        )
+        assert sharded.pair_set() == frozenset(reference.matched_pairs())
+        assert sharded.counters.as_dict() == reference.counters.as_dict()
+
+
+class TestOneShardIsTheUnshardedRun:
+    @pytest.mark.parametrize(
+        "policy,overrides",
+        [
+            ("mar", {}),
+            ("fixed", {"initial_state": JoinState.LAP_RAP}),
+            ("budget-greedy", {"budget_fraction": 0.4}),
+        ],
+    )
+    @pytest.mark.parametrize("theta,q", [(0.85, 3), (0.75, 2)])
+    def test_single_shard_bit_identical(self, dataset, policy, overrides, theta, q):
+        config = _config(theta=theta, q=q, policy=policy, **overrides)
+        reference = _unsharded(dataset, config)
+        sharded = run_sharded(
+            dataset.parent, dataset.child, "location", config, shards=1
+        )
+        assert sharded.matched_pairs() == reference.matched_pairs()
+        assert sharded.counters.as_dict() == reference.counters.as_dict()
+        assert sharded.trace.summary() == reference.trace.summary()
+        assert list(sharded.matches) == list(reference.matches)
+
+
+class TestBackendIndependence:
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_serial_thread_process_agree(self, dataset, shards):
+        config = _config()
+        results = {
+            backend: run_sharded(
+                dataset.parent, dataset.child, "location", config,
+                shards=shards, backend=backend,
+            )
+            for backend in ("serial", "thread", "process")
+        }
+        serial = results["serial"]
+        for backend in ("thread", "process"):
+            other = results[backend]
+            assert other.matched_pairs() == serial.matched_pairs(), backend
+            assert other.counters.as_dict() == serial.counters.as_dict(), backend
+            assert other.trace.summary() == serial.trace.summary(), backend
+
+
+class TestSerialDeterminism:
+    @pytest.mark.parametrize("shards", [1, 4])
+    def test_repeat_runs_bit_identical(self, dataset, shards):
+        config = _config()
+        first = run_sharded(
+            dataset.parent, dataset.child, "location", config, shards=shards
+        )
+        second = run_sharded(
+            dataset.parent, dataset.child, "location", config, shards=shards
+        )
+        assert first.matched_pairs() == second.matched_pairs()
+        assert first.counters.as_dict() == second.counters.as_dict()
+        assert list(first.matches) == list(second.matches)
+
+
+class TestAdaptiveShardingGuarantee:
+    """What hash sharding guarantees for adaptive (approximate) runs."""
+
+    @pytest.mark.parametrize("shards", [2, 4, 8])
+    def test_equi_matches_survive_any_shard_count(self, dataset, shards):
+        config = _config()
+        sharded_pairs = run_sharded(
+            dataset.parent, dataset.child, "location", config, shards=shards
+        ).pair_set()
+        equal_pairs = _equal_value_pairs(dataset)
+        assert equal_pairs <= sharded_pairs
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_adaptive_losses_are_only_variant_pairs(self, dataset, shards):
+        """Under MAR, any lost pair is a variant pair, never an equi-match.
+
+        (A co-partitioned variant pair can still differ between the runs
+        because every shard runs its *own* MAR schedule — the same reason
+        two unsharded MAR runs with different δ_adapt disagree.  The
+        deterministic cross-shard-only claim is made below for the
+        schedule-free all-approximate policy.)
+        """
+        config = _config()
+        reference_pairs = frozenset(_unsharded(dataset, config).matched_pairs())
+        sharded_pairs = run_sharded(
+            dataset.parent, dataset.child, "location", config, shards=shards
+        ).pair_set()
+        parent = dataset.parent
+        child = dataset.child
+        for parent_index, child_index in reference_pairs - sharded_pairs:
+            left_value = parent.records[parent_index]["location"]
+            right_value = child.records[child_index]["location"]
+            assert left_value != right_value  # equi-matches never drop
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_all_approximate_losses_are_exactly_cross_shard_pairs(
+        self, dataset, shards
+    ):
+        """Schedule-free oracle: fixed all-approximate sharding loses
+        precisely the pairs whose two spellings hash to different shards —
+        nothing more (subset) and nothing co-partitioned (every lost pair
+        crosses shards)."""
+        from repro.joins.base import JoinSide
+        from repro.runtime.sharding import HashPartitioner
+
+        config = _config(policy="fixed", initial_state=JoinState.LAP_RAP)
+        reference_pairs = frozenset(_unsharded(dataset, config).matched_pairs())
+        sharded_pairs = run_sharded(
+            dataset.parent, dataset.child, "location", config, shards=shards
+        ).pair_set()
+        assert sharded_pairs <= reference_pairs
+        partitioner = HashPartitioner()
+        parent = dataset.parent
+        child = dataset.child
+        for parent_index, child_index in reference_pairs - sharded_pairs:
+            left_value = parent.records[parent_index]["location"]
+            right_value = child.records[child_index]["location"]
+            assert partitioner.assign(
+                JoinSide.LEFT, parent_index, left_value, shards
+            ) != partitioner.assign(
+                JoinSide.RIGHT, child_index, right_value, shards
+            )

@@ -53,6 +53,45 @@ class TestParser:
         assert args.policy == "budget-greedy"
         assert args.budget == 0.4
 
+    def test_sharding_defaults_to_unsharded_serial_hash(self):
+        args = build_parser().parse_args(
+            ["link", "a.csv", "b.csv", "--attribute", "location"]
+        )
+        assert args.shards == 1
+        assert args.backend == "serial"
+        assert args.partitioner == "hash"
+        assert args.deadline is None
+
+    def test_sharding_flags_parsed(self):
+        args = build_parser().parse_args([
+            "experiment", "--shards", "4", "--backend", "thread",
+            "--partitioner", "round-robin", "--deadline", "2.5",
+        ])
+        assert args.shards == 4
+        assert args.backend == "thread"
+        assert args.partitioner == "round-robin"
+        assert args.deadline == 2.5
+
+    def test_backend_and_partitioner_choices_cover_registries(self):
+        from repro.runtime.parallel import available_backends
+        from repro.runtime.sharding import available_partitioners
+
+        for backend in available_backends():
+            args = build_parser().parse_args(
+                ["link", "a", "b", "--attribute", "x", "--backend", backend]
+            )
+            assert args.backend == backend
+        for partitioner in available_partitioners():
+            args = build_parser().parse_args(
+                ["link", "a", "b", "--attribute", "x",
+                 "--partitioner", partitioner]
+            )
+            assert args.partitioner == partitioner
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["link", "a", "b", "--attribute", "x", "--backend", "gpu"]
+            )
+
 
 class TestGenerateCommand:
     def test_generates_csv_files(self, tmp_path, capsys):
@@ -118,6 +157,54 @@ class TestLinkCommand:
         output = capsys.readouterr().out
         assert "matched pairs written" in output
         assert "adaptive trace" in output
+
+    def test_links_sharded(self, tmp_path, capsys):
+        parent = tmp_path / "parent.csv"
+        child = tmp_path / "child.csv"
+        main([
+            "generate",
+            "--pattern", "few_high",
+            "--parent-size", "80",
+            "--child-size", "160",
+            "--parent-output", str(parent),
+            "--child-output", str(child),
+            "--truth-output", str(tmp_path / "truth.csv"),
+        ])
+        matches = tmp_path / "matches.csv"
+        exit_code = main([
+            "link", str(parent), str(child),
+            "--attribute", "location",
+            "--strategy", "adaptive",
+            "--delta-adapt", "25",
+            "--window-size", "25",
+            "--shards", "2",
+            "--output", str(matches),
+        ])
+        assert exit_code == 0
+        lines = matches.read_text().splitlines()
+        assert lines[0] == "left_index,right_index"
+        assert len(lines) > 100
+        output = capsys.readouterr().out
+        assert "per-shard breakdown" in output
+
+    def test_sharded_non_adaptive_is_a_clean_cli_error(self, tmp_path, capsys):
+        exit_code = main([
+            "link", "a.csv", "b.csv",
+            "--attribute", "location",
+            "--strategy", "exact",
+            "--shards", "2",
+        ])
+        assert exit_code == 2
+        assert "--strategy adaptive" in capsys.readouterr().err
+
+    def test_zero_shards_is_a_clean_cli_error(self, tmp_path, capsys):
+        exit_code = main([
+            "link", "a.csv", "b.csv",
+            "--attribute", "location",
+            "--shards", "0",
+        ])
+        assert exit_code == 2
+        assert "at least 1" in capsys.readouterr().err
 
     def test_links_with_fixed_policy_and_budget(self, tmp_path, capsys):
         parent = tmp_path / "parent.csv"
