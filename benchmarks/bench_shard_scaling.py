@@ -10,27 +10,41 @@ records, per shard count:
   process_seconds`` (compare ratios across trajectory entries, not
   absolute times — machine noise is ±10–15 %);
 * the merged match count and the match *overlap* with the unsharded
-  reference run (hash partitioning preserves equi-matches exactly; a few
-  cross-shard variant matches are expected to drop — the recorded
-  ``match_recall_vs_unsharded`` makes that visible so it can't silently
-  regress);
+  reference run (the recorded ``match_recall_vs_unsharded`` makes any
+  loss visible so it can't silently regress);
 * partition skew (min/max shard sizes).
+
+On top of the timing sweep, every run records a **per-partitioner recall
+probe** (``recall_probe`` in the entry): a schedule-free all-approximate
+workload (Jaccard-verified, so the match predicate is symmetric and the
+bar below is exact rather than fixture-dependent) is sharded under each
+probed partitioner and compared with its unsharded reference, isolating
+what the *partitioner* loses from what per-shard adaptive scheduling
+loses.  ``hash`` drops the cross-shard variant pairs; ``gram``
+(gram-replicated partitioning with merge-time dedup) must reproduce the
+unsharded match set *exactly* — the probe enforces that bar (lost or
+extra pairs both fail) and also records the replication factor and
+raw-vs-deduped match counts, i.e. the work the recall guarantee costs.
 
 Sanity bars enforced every run: the serial backend must be
 bit-deterministic (two runs, identical pair sets), every backend must
-produce the identical merged result at every shard count, and 1-shard
-serial must reproduce the unsharded session exactly.
+produce the identical merged result at every shard count, 1-shard
+serial must reproduce the unsharded session exactly, and the gram
+partitioner's probe recall must be exactly 1.0.
 
 Results are appended to ``BENCH_shard_scaling.json`` (one entry per
 invocation), the shard-layer counterpart of ``BENCH_probe_fastpath.json``.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_shard_scaling.py           # full
-    PYTHONPATH=src python benchmarks/bench_shard_scaling.py --smoke   # CI
+    PYTHONPATH=src python benchmarks/bench_shard_scaling.py                # full
+    PYTHONPATH=src python benchmarks/bench_shard_scaling.py --smoke        # CI
+    PYTHONPATH=src python benchmarks/bench_shard_scaling.py --recall-smoke # CI recall bar
 
 The smoke run does 1 vs 2 shards on the serial backend only and finishes
-in seconds; see PERFORMANCE.md for how to read the output.
+in seconds; ``--recall-smoke`` runs *only* the recall probe (gram vs
+hash, 2 shards) and fails the process if gram recall ≠ 1.0 — the CI
+recall-preservation gate.  See PERFORMANCE.md for how to read the output.
 """
 
 from __future__ import annotations
@@ -43,6 +57,7 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, List
 
+from repro.core.state_machine import JoinState
 from repro.datagen.testcases import STANDARD_TEST_CASES, generate_test_case
 from repro.runtime.config import RunConfig
 from repro.runtime.parallel import run_sharded
@@ -51,23 +66,116 @@ from repro.runtime.sharding import ShardPlan
 
 DEFAULT_TOTAL_TUPLES = 12_000
 SMOKE_TOTAL_TUPLES = 2_000
+#: The recall probe is all-approximate (the most expensive operator), so
+#: it runs on its own, smaller workload.
+RECALL_PROBE_TUPLES = 3_000
+SMOKE_RECALL_PROBE_TUPLES = 1_000
 DEFAULT_SHARD_COUNTS = (1, 2, 4, 8)
 SMOKE_SHARD_COUNTS = (1, 2)
 DEFAULT_BACKENDS = ("serial", "thread", "process")
 SMOKE_BACKENDS = ("serial",)
+#: Partitioners compared by the recall probe: the exact-semantics default
+#: against the gram-replicated full-recall partitioner.
+RECALL_PARTITIONERS = ("hash", "gram")
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_shard_scaling.json"
 
 
-def _run(dataset, config, shards: int, backend: str):
+def _run(dataset, config, shards: int, backend: str, partitioner: str = "hash"):
     started = time.perf_counter()
     result = run_sharded(
         dataset.parent, dataset.child, "location", config,
-        shards=shards, backend=backend,
+        shards=shards, backend=backend, partitioner=partitioner,
     )
     return time.perf_counter() - started, result
 
 
-def bench_shard_counts(dataset, config, shard_counts, backends) -> List[Dict]:
+def _recall(found_pairs, reference_pairs) -> float:
+    """Fraction of the reference match set the sharded run recovered.
+
+    An empty reference means there was nothing to lose: recall is 1.0 by
+    definition (and dividing by ``len(reference_pairs)`` would crash the
+    bench on match-free workloads).
+    """
+    if not reference_pairs:
+        return 1.0
+    return round(len(found_pairs & reference_pairs) / len(reference_pairs), 4)
+
+
+def all_approximate_config() -> RunConfig:
+    """The schedule-free recall-probe configuration (fixed ``lap/rap``).
+
+    ``verify_jaccard=True`` makes the match predicate a symmetric
+    function of the pair, which is what turns the gram partitioner's
+    "every matchable pair is co-located" into exact set equality with
+    the unsharded run — the default probe-directional counter test can
+    flip borderline pairs either way under *any* re-interleaving of
+    arrivals (sharded or not), which would make the 1.0 gate flaky on
+    adversarial workloads.
+    """
+    return RunConfig(
+        policy="fixed", initial_state=JoinState.LAP_RAP, verify_jaccard=True
+    )
+
+
+def recall_probe(dataset, shard_counts, partitioners=RECALL_PARTITIONERS):
+    """Per-partitioner recall on an all-approximate workload (serial).
+
+    The MAR timing sweep entangles partitioning losses with per-shard
+    schedule divergence (every shard runs its own control loop); this
+    probe removes the schedule — a fixed all-approximate run loses
+    exactly the pairs its partitioner separates.  Returns one row per
+    shard count mapping partitioner → recall / match counts (raw and
+    deduped) plus the gram replication factor, and asserts the gram bar:
+    recall must be exactly 1.0 at every probed shard count.
+    """
+    config = all_approximate_config()
+    reference = JoinSession(dataset.parent, dataset.child, "location", config).run()
+    reference_pairs = frozenset(reference.matched_pairs())
+    rows = []
+    for shards in shard_counts:
+        row = {"shards": shards}
+        for name in partitioners:
+            result = run_sharded(
+                dataset.parent, dataset.child, "location", config,
+                shards=shards, partitioner=name,
+            )
+            found_pairs = result.pair_set()
+            stats = {
+                "match_recall_vs_unsharded": _recall(
+                    found_pairs, reference_pairs
+                ),
+                "matches": result.result_size,
+                "raw_matches": result.raw_result_size,
+            }
+            if result.raw_result_size != result.result_size or name == "gram":
+                left_factor, right_factor = result.replication_factors()
+                stats["replication_factor"] = round(
+                    (left_factor + right_factor) / 2, 2
+                )
+            row[name] = stats
+            # The gate compares pair *sets*, not the rounded stat: one
+            # lost pair must fail even when it rounds to 1.0, and one
+            # spurious extra pair is just as much a divergence.
+            if name == "gram" and found_pairs != reference_pairs:
+                lost = len(reference_pairs - found_pairs)
+                extra = len(found_pairs - reference_pairs)
+                raise AssertionError(
+                    f"gram partitioner diverged from the unsharded match "
+                    f"set at {shards} shards: {lost} lost, {extra} extra"
+                )
+        rows.append(row)
+        print(
+            f"[recall probe, {shards} shard(s)] " + " ".join(
+                f"{name}={row[name]['match_recall_vs_unsharded']}"
+                for name in partitioners
+            )
+        )
+    return rows
+
+
+def bench_shard_counts(
+    dataset, config, shard_counts, backends, partitioner: str = "hash"
+) -> List[Dict]:
     # Unsharded reference: the completeness and determinism oracle.
     started = time.perf_counter()
     reference = JoinSession(dataset.parent, dataset.child, "location", config).run()
@@ -76,7 +184,10 @@ def bench_shard_counts(dataset, config, shard_counts, backends) -> List[Dict]:
 
     entries: List[Dict] = []
     for shards in shard_counts:
-        plan = ShardPlan.build(dataset.parent, dataset.child, "location", shards)
+        plan = ShardPlan.build(
+            dataset.parent, dataset.child, "location", shards,
+            partitioner, config=config,
+        )
         sizes = plan.shard_sizes()
         entry: Dict[str, object] = {
             "shards": shards,
@@ -86,18 +197,18 @@ def bench_shard_counts(dataset, config, shard_counts, backends) -> List[Dict]:
         }
         pair_sets = {}
         for backend in backends:
-            seconds, result = _run(dataset, config, shards, backend)
+            seconds, result = _run(dataset, config, shards, backend, partitioner)
             entry[f"{backend}_seconds"] = round(seconds, 4)
             pair_sets[backend] = result.pair_set()
             if backend == "serial":
                 entry["matches"] = result.result_size
-                entry["match_recall_vs_unsharded"] = (
-                    round(len(pair_sets["serial"] & reference_pairs)
-                          / len(reference_pairs), 4)
-                    if reference_pairs else 1.0
+                if result.raw_result_size != result.result_size:
+                    entry["raw_matches"] = result.raw_result_size
+                entry["match_recall_vs_unsharded"] = _recall(
+                    pair_sets["serial"], reference_pairs
                 )
                 # Bit-determinism bar: a repeat serial run must agree.
-                _, repeat = _run(dataset, config, shards, "serial")
+                _, repeat = _run(dataset, config, shards, "serial", partitioner)
                 if repeat.pair_set() != pair_sets["serial"]:
                     raise AssertionError(
                         f"serial backend is not deterministic at {shards} shards"
@@ -129,26 +240,48 @@ def bench_shard_counts(dataset, config, shard_counts, backends) -> List[Dict]:
     return entries
 
 
-def run_benchmark(total_tuples: int, shard_counts, backends) -> Dict[str, object]:
+def _probe_dataset(total_tuples: int):
     parent_size = total_tuples // 2
-    child_size = total_tuples - parent_size
-    dataset = generate_test_case(
+    return generate_test_case(
         STANDARD_TEST_CASES["uniform_child"],
         parent_size=parent_size,
-        child_size=child_size,
+        child_size=total_tuples - parent_size,
     )
+
+
+def run_benchmark(
+    total_tuples: int,
+    shard_counts,
+    backends,
+    partitioner: str = "hash",
+    recall_probe_tuples: int = RECALL_PROBE_TUPLES,
+) -> Dict[str, object]:
+    dataset = _probe_dataset(total_tuples)
     config = RunConfig()
+    entries = bench_shard_counts(
+        dataset, config, shard_counts, backends, partitioner
+    )
+    probe_shards = tuple(count for count in shard_counts if count > 1) or (2,)
     return {
         "run_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "total_tuples": total_tuples,
         "policy": config.policy,
-        "partitioner": "hash",
+        "partitioner": partitioner,
         "backends": list(backends),
         # Speedup ratios are only meaningful relative to the cores the
         # run actually had: on a single-core machine process_speedup < 1
         # is the expected pure-overhead reading.
         "cpu_count": os.cpu_count(),
-        "entries": bench_shard_counts(dataset, config, shard_counts, backends),
+        "entries": entries,
+        # Partitioner recall, isolated from adaptive scheduling: an
+        # all-approximate workload per shard count, hash vs gram.
+        "recall_probe": {
+            "total_tuples": recall_probe_tuples,
+            "policy": "fixed (all-approximate, lap/rap)",
+            "entries": recall_probe(
+                _probe_dataset(recall_probe_tuples), probe_shards
+            ),
+        },
     }
 
 
@@ -172,6 +305,19 @@ def main(argv=None) -> int:
         "--smoke",
         action="store_true",
         help="small, fast configuration for CI (1 vs 2 shards, serial backend)",
+    )
+    parser.add_argument(
+        "--recall-smoke",
+        action="store_true",
+        help="CI recall-preservation gate: run only the all-approximate "
+             "recall probe (hash vs gram, 2 shards) and fail unless the "
+             "gram partitioner's recall is exactly 1.0; appends nothing",
+    )
+    parser.add_argument(
+        "--partitioner",
+        default="hash",
+        help="partitioner for the timing sweep (default hash; the recall "
+             "probe always compares hash vs gram)",
     )
     parser.add_argument(
         "--total-tuples",
@@ -199,6 +345,16 @@ def main(argv=None) -> int:
         help="trajectory JSON file to append to",
     )
     args = parser.parse_args(argv)
+    if args.shards and any(count < 1 for count in args.shards):
+        parser.error("--shards values must be at least 1")
+    if args.recall_smoke:
+        # The probe raises AssertionError when gram recall is not 1.0.
+        rows = recall_probe(
+            _probe_dataset(args.total_tuples or SMOKE_RECALL_PROBE_TUPLES),
+            tuple(args.shards) if args.shards else (2,),
+        )
+        print(f"recall-preservation gate passed ({len(rows)} shard count(s))")
+        return 0
     total = args.total_tuples or (
         SMOKE_TOTAL_TUPLES if args.smoke else DEFAULT_TOTAL_TUPLES
     )
@@ -210,9 +366,12 @@ def main(argv=None) -> int:
     )
     if "serial" not in backends:
         parser.error("the serial backend is the reference and must be included")
-    if any(count < 1 for count in shard_counts):
-        parser.error("--shards values must be at least 1")
-    result = run_benchmark(total, shard_counts, backends)
+    recall_tuples = (
+        SMOKE_RECALL_PROBE_TUPLES if args.smoke else RECALL_PROBE_TUPLES
+    )
+    result = run_benchmark(
+        total, shard_counts, backends, args.partitioner, recall_tuples
+    )
     append_trajectory(result, args.output)
     return 0
 

@@ -166,9 +166,11 @@ def run_experiment(
     shards, backend, partitioner:
         Sharded execution of the adaptive run (``shards > 1``): the
         inputs are partitioned, one session runs per shard on ``backend``
-        and the merged result is measured.  The baselines always run
-        unsharded — they are the reference costs the gain/cost report
-        compares against.
+        and the merged result is measured.  ``partitioner="gram"``
+        replicates records across gram-owning shards so the adaptive
+        run's recall is shard-count-independent (duplicates removed at
+        merge).  The baselines always run unsharded — they are the
+        reference costs the gain/cost report compares against.
     """
     if shards < 1:
         raise ValueError(f"shards must be at least 1, got {shards}")

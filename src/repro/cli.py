@@ -93,7 +93,10 @@ def _add_sharding_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--partitioner", choices=available_partitioners(),
                         default="hash",
                         help="record-to-shard assignment; hash co-partitions "
-                             "both sides by join-key value")
+                             "both sides by join-key value (exact semantics), "
+                             "gram replicates records across gram-owning "
+                             "shards for full approximate recall (duplicates "
+                             "removed at merge)")
 
 
 def _thresholds_from_args(args: argparse.Namespace) -> Thresholds:

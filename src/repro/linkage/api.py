@@ -115,12 +115,16 @@ def link_tables(
     shards, backend, partitioner:
         Sharded execution of the adaptive strategy: with ``shards > 1``
         the inputs are partitioned (``partitioner``: ``hash`` /
-        ``round-robin`` / ``range``), one independent session runs per
-        shard on ``backend`` (``serial`` / ``thread`` / ``process``) and
-        the merged result is returned.  The ``hash`` default preserves
-        equi-match semantics exactly; approximate matches across
-        differently-spelled variants are found when the pair
-        co-partitions (see ARCHITECTURE.md "Sharded execution").
+        ``round-robin`` / ``range`` / ``gram``), one independent session
+        runs per shard on ``backend`` (``serial`` / ``thread`` /
+        ``process``) and the merged result is returned.  The ``hash``
+        default preserves equi-match semantics exactly but can miss
+        approximate matches whose variant spellings land in different
+        shards; ``gram`` replicates each record to every shard owning
+        one of its q-grams, preserving the *full* approximate match set
+        at the cost of replicated work (duplicate discoveries are
+        deduplicated at merge time; see ARCHITECTURE.md "Sharded
+        execution" for the trade-off table).
     """
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}; available: {STRATEGIES}")
@@ -159,6 +163,9 @@ def link_tables(
                 statistics={
                     "trace": sharded.trace.summary(),
                     "result_size": sharded.result_size,
+                    "raw_result_size": sharded.raw_result_size,
+                    "duplicate_matches": sharded.duplicate_match_count,
+                    "replication_factors": sharded.replication_factors(),
                     "policy": run_config.policy,
                     "shards": sharded.shard_count,
                     "backend": sharded.backend,

@@ -15,7 +15,8 @@ This package is the composition layer between the switchable join engine
   policies publish step / match / switch / transition events onto;
 * :mod:`repro.runtime.collectors` — optional ready-made subscribers;
 * :mod:`repro.runtime.sharding` — partitioners (``hash`` /
-  ``round-robin`` / ``range``), :class:`ShardPlan` and the mergeable
+  ``round-robin`` / ``range`` / the gram-replicated ``gram``),
+  :class:`ShardPlan` and the mergeable, duplicate-free
   :class:`ShardedJoinResult`;
 * :mod:`repro.runtime.parallel` — :class:`ParallelExecutor` with the
   ``serial`` / ``thread`` / ``process`` backends and the
@@ -60,6 +61,7 @@ if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
     )
     from repro.runtime.session import AdaptiveJoinResult, JoinSession
     from repro.runtime.sharding import (
+        GramPartitioner,
         HashPartitioner,
         Partitioner,
         RangePartitioner,
@@ -96,6 +98,7 @@ _EXPORTS = {
     "HashPartitioner": "repro.runtime.sharding",
     "RoundRobinPartitioner": "repro.runtime.sharding",
     "RangePartitioner": "repro.runtime.sharding",
+    "GramPartitioner": "repro.runtime.sharding",
     "register_partitioner": "repro.runtime.sharding",
     "create_partitioner": "repro.runtime.sharding",
     "available_partitioners": "repro.runtime.sharding",

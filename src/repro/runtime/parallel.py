@@ -42,7 +42,13 @@ from __future__ import annotations
 import pickle
 import threading
 import time
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    FIRST_EXCEPTION,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, Type, Union
 
@@ -81,10 +87,12 @@ class ShardEvent:
 class ShardCompleted:
     """One shard finished; published by the executor on every backend.
 
-    Always published in shard-id order: the serial backend completes
-    shards in that order, and the parallel backends gather first and
-    publish after — so subscribers see a deterministic lifecycle stream
-    regardless of backend.
+    Always published in shard-id order, so subscribers see a
+    deterministic lifecycle stream regardless of backend: the serial
+    backend completes shards in that order; the process backend streams
+    shard *k*'s event as soon as shards ``0..k`` have all completed
+    (head-of-line, a live progress feed); the thread backend gathers
+    first and publishes after.
     """
 
     shard_id: int
@@ -254,6 +262,31 @@ def _ensure_picklable(obj: object, what: str) -> None:
         ) from error
 
 
+def _raise_first_failure(futures_to_shards: Dict, done, pending) -> None:
+    """Cancel outstanding shard work and re-raise the first shard error.
+
+    ``wait(..., FIRST_EXCEPTION)`` returns as soon as any shard fails;
+    without this cleanup the naive "collect every result" loop would
+    block on still-running futures (and keep scheduling queued ones)
+    before surfacing the error.  Among the failures already observed the
+    lowest shard id wins, so the raised error is deterministic even when
+    several shards fail in the same race.  No-op when nothing failed.
+    """
+    failures = sorted(
+        (
+            (futures_to_shards[future], future.exception())
+            for future in done
+            if future.exception() is not None
+        ),
+        key=lambda item: item[0],
+    )
+    if not failures:
+        return
+    for future in pending:
+        future.cancel()
+    raise failures[0][1]
+
+
 # -- the backends -----------------------------------------------------------------------
 
 
@@ -283,17 +316,25 @@ def _thread_backend(
     bus: Optional[AggregatedEventBus],
     max_workers: Optional[int],
 ) -> List[ShardOutcome]:
-    """One thread per shard (capped at ``max_workers``)."""
+    """One thread per shard (capped at ``max_workers``).
+
+    A shard failure cancels every not-yet-started shard and re-raises
+    the first error promptly — in-flight threads cannot be interrupted
+    (they finish in the background), but nothing new is scheduled and the
+    caller is never blocked on them.
+    """
     workers = min(max_workers or plan.shard_count, plan.shard_count)
     outcomes: List[ShardOutcome] = []
-    with ThreadPoolExecutor(max_workers=workers) as pool:
+    pool = ThreadPoolExecutor(max_workers=workers)
+    failed = True
+    try:
         futures = {
             pool.submit(_run_shard_inline, plan, config, shard_id, bus): shard_id
             for shard_id in range(plan.shard_count)
         }
-        done, _ = wait(futures, return_when=FIRST_EXCEPTION)
-        for future in done:
-            future.result()  # surface the first worker error, if any
+        done, pending = wait(futures, return_when=FIRST_EXCEPTION)
+        _raise_first_failure(futures, done, pending)
+        failed = False
         for future in futures:
             outcome = future.result()
             if bus is not None:
@@ -303,6 +344,10 @@ def _thread_backend(
                     )
                 )
             outcomes.append(outcome)
+    finally:
+        # Success: everything is done, the shutdown is instant.  Failure:
+        # don't wait for stragglers, drop whatever is still queued.
+        pool.shutdown(wait=not failed, cancel_futures=True)
     return outcomes
 
 
@@ -317,7 +362,9 @@ def _process_backend(
 
     Requires a picklable :class:`RunConfig` and picklable shard records
     (checked up front).  Shard events are not streamed back — only
-    :class:`ShardCompleted` is published per shard, after the fact.
+    :class:`ShardCompleted` is published per shard, after the fact.  A
+    shard failure cancels every still-queued shard task and re-raises
+    the first error promptly, exactly like the thread backend.
     """
     _ensure_picklable(config, "the run configuration (RunConfig)")
     tasks = []
@@ -338,21 +385,44 @@ def _process_backend(
         _ensure_picklable(task, f"shard {shard_id}'s input records")
         tasks.append(task)
     workers = min(max_workers or plan.shard_count, plan.shard_count)
-    outcomes: List[ShardOutcome] = []
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        for shard_id, result, wall_seconds in pool.map(_run_shard_task, tasks):
+    pool = ProcessPoolExecutor(max_workers=workers)
+    failed = True
+    completed: Dict[int, Tuple[AdaptiveJoinResult, float]] = {}
+    next_publish = 0
+    try:
+        futures = {
+            pool.submit(_run_shard_task, task): task.shard_id for task in tasks
+        }
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            _raise_first_failure(futures, done, pending)
+            for future in done:
+                shard_id, result, wall_seconds = future.result()
+                completed[shard_id] = (result, wall_seconds)
+            # Stream completions progressively, in shard-id order: shard
+            # k's event goes out as soon as shards 0..k have finished,
+            # without waiting for the whole run (a live progress feed).
             if bus is not None:
-                bus.publish(ShardCompleted(shard_id, result, wall_seconds))
-            outcomes.append(
-                ShardOutcome(
-                    shard_id=shard_id,
-                    result=result,
-                    left_origins=plan.left_shards[shard_id].origins,
-                    right_origins=plan.right_shards[shard_id].origins,
-                    wall_seconds=wall_seconds,
-                )
-            )
-    return outcomes
+                while next_publish in completed:
+                    result, wall_seconds = completed[next_publish]
+                    bus.publish(
+                        ShardCompleted(next_publish, result, wall_seconds)
+                    )
+                    next_publish += 1
+        failed = False
+    finally:
+        pool.shutdown(wait=not failed, cancel_futures=True)
+    return [
+        ShardOutcome(
+            shard_id=shard_id,
+            result=result,
+            left_origins=plan.left_shards[shard_id].origins,
+            right_origins=plan.right_shards[shard_id].origins,
+            wall_seconds=wall_seconds,
+        )
+        for shard_id, (result, wall_seconds) in sorted(completed.items())
+    ]
 
 
 # -- the executor -----------------------------------------------------------------------
@@ -396,11 +466,18 @@ class ParallelExecutor:
         partition's parent size (the per-shard analog of ``|R|``).
         """
         config = config or RunConfig()
+        # A plan built without the config in hand (or with a hand-built
+        # partitioner) must still agree with the run it executes under —
+        # the gram partitioner's recall guarantee depends on matching
+        # tokenisation, so a mismatch is an error, not a silent loss.
+        plan.partitioner.check_config(config)
         outcomes = _BACKENDS[self.backend](plan, config, bus, self.max_workers)
         return ShardedJoinResult(
             shards=tuple(outcomes),
             backend=self.backend,
             partitioner=plan.partitioner.name or type(plan.partitioner).__name__,
+            left_input_size=plan.left_input_size,
+            right_input_size=plan.right_input_size,
         )
 
 
@@ -419,8 +496,15 @@ def run_sharded(
 
     The convenience entry point ``link_tables``, the bench harness and the
     CLI build on; equivalent to building a :class:`ShardPlan` and handing
-    it to a :class:`ParallelExecutor` by hand.
+    it to a :class:`ParallelExecutor` by hand.  The config is forwarded
+    to the plan build, so a partitioner given *by name* is constructed
+    against it (:meth:`Partitioner.from_config`) — which is what keeps
+    the ``gram`` partitioner's tokenisation (``q``, gram padding) in
+    lock-step with the engine's approximate operator.
     """
-    plan = ShardPlan.build(left, right, attribute, shards, partitioner)
+    config = config or RunConfig()
+    plan = ShardPlan.build(
+        left, right, attribute, shards, partitioner, config=config
+    )
     executor = ParallelExecutor(backend=backend, max_workers=max_workers)
     return executor.run(plan, config, bus=bus)

@@ -7,8 +7,10 @@ and *merge* halves of the partition → execute → merge pipeline on top of
 that unit (the *execute* half — the serial/thread/process backends — lives
 in :mod:`repro.runtime.parallel`):
 
-* :class:`Partitioner` — a deterministic record → shard assignment,
-  registered by name (``"hash"``, ``"round-robin"``, ``"range"``);
+* :class:`Partitioner` — a deterministic record → shard assignment
+  (single-shard via :meth:`~Partitioner.assign`, multi-shard replication
+  via :meth:`~Partitioner.assign_many`), registered by name (``"hash"``,
+  ``"round-robin"``, ``"range"``, ``"gram"``);
 * :class:`ShardPlan` — materialises per-shard
   :class:`~repro.engine.streams.RecordStream` pairs from the two inputs
   (bulk split for in-memory streams, single-pass fan-out for lazy ones)
@@ -24,19 +26,45 @@ in :mod:`repro.runtime.parallel`):
 
 Correctness model
 -----------------
-Shards are *disjoint*: every record lands in exactly one shard, so a pair
-can never be emitted twice and merged counter totals are plain sums.  The
-``hash`` partitioner co-partitions both sides by join-key value, which
-makes every *value-equal* pair co-located: the sharded run finds exactly
-the equi-matches the unsharded run finds, with bit-identical merged
-counters when the run stays in the exact operator.  Approximate
-(cross-value) matches are found whenever the pair co-partitions; a variant
-pair whose two spellings hash to different shards is not discoverable by
-any disjoint partitioning — sharding trades a sliver of approximate recall
-for parallelism, exactly like distributed similarity joins without gram
-replication.  ``round-robin`` and ``range`` do not co-partition by value
-and are throughput/skew tools, not correctness-preserving defaults.  See
-ARCHITECTURE.md ("Sharded execution") for the full guarantee table.
+Partitioners come in two kinds, selected by :meth:`Partitioner.assign_many`:
+
+*Disjoint* (``hash``, ``round-robin``, ``range``): every record lands in
+exactly one shard, so a pair can never be emitted twice and merged
+counter totals are plain sums.  The ``hash`` partitioner co-partitions
+both sides by join-key value, which makes every *value-equal* pair
+co-located: the sharded run finds exactly the equi-matches the unsharded
+run finds, with bit-identical merged counters when the run stays in the
+exact operator.  Approximate (cross-value) matches are found whenever the
+pair co-partitions; a variant pair whose two spellings hash to different
+shards is not discoverable by any disjoint partitioning — sharding trades
+a sliver of approximate recall for parallelism, exactly like distributed
+similarity joins without gram replication.  ``round-robin`` and ``range``
+do not co-partition by value and are throughput/skew tools, not
+correctness-preserving defaults.
+
+*Replicated* (``gram``): a record is routed to *every* shard owning one
+of its distinct q-gram buckets.  Any pair the approximate operator can
+match shares at least one q-gram (the counter test requires
+``shared ≥ ⌈θ·g⌉ ≥ 1``), and the shard owning a shared gram holds *both*
+records in full — so every matchable pair is co-located and generated as
+a candidate in at least one shard: partitioning never separates a pair
+the operator could match.  Whether the co-located candidate then *passes*
+depends on the match predicate.  Under ``verify_jaccard=True`` the
+predicate (Jaccard ≥ θ) is a symmetric function of the pair, so the
+sharded match set equals the unsharded one exactly — recall 1.0 at any
+shard count, unconditionally.  Under the paper's default counter-only
+test the threshold ``⌈θ·g⌉`` is computed from the *probing* record's
+gram count, and which record probes depends on arrival interleave —
+which any sharding (hash included) changes — so a borderline pair whose
+two gram counts straddle the threshold can flip in either direction;
+real variant workloads sit far from that boundary (pinned on fixtures by
+the equivalence tests), but the exactness *guarantee* is the symmetric
+predicate's.  The price of replication is repeated work (each record is
+indexed and probed once per owning shard) and duplicate discoveries,
+which :class:`ShardedJoinResult` removes at merge time
+(first-shard-wins, so serial runs stay bit-deterministic) while keeping
+the raw totals visible.  See ARCHITECTURE.md ("Sharded execution") for
+the full guarantee table.
 """
 
 from __future__ import annotations
@@ -52,6 +80,7 @@ from repro.core.trace import ExecutionTrace, merge_traces
 from repro.engine.streams import InputLike, ListStream, RecordStream, as_stream
 from repro.engine.tuples import Record, Schema
 from repro.joins.base import JoinAttribute, JoinSide, MatchEvent, OperationCounters
+from repro.joins.fastpath import GramInterner
 from repro.runtime.session import AdaptiveJoinResult
 
 #: Chunk size for splitting bulk-capable streams (one slice per chunk).
@@ -61,15 +90,21 @@ _BULK_SPLIT_BATCH = 8192
 class Partitioner:
     """Deterministic record → shard assignment, shared by both join sides.
 
-    Subclasses implement :meth:`assign`.  Assignments must be pure
-    functions of their arguments (no randomness, no hidden per-call
-    state): the same record must land in the same shard on every run and
-    in every process, which is what makes the ``serial`` backend
-    bit-deterministic and the backends interchangeable.
+    Subclasses implement :meth:`assign` (one shard per record) and may
+    additionally override :meth:`assign_many` to *replicate* a record
+    into several shards.  Assignments must be pure functions of their
+    arguments (no randomness, no hidden per-call state — memoisation of
+    pure results is fine): the same record must land in the same shards
+    on every run and in every process, which is what makes the ``serial``
+    backend bit-deterministic and the backends interchangeable.
     """
 
     #: Registry name, filled in by :func:`register_partitioner`.
     name: str = ""
+    #: Whether :meth:`assign_many` may return more than one shard.
+    #: Replicating partitioners repeat work per replica and rely on the
+    #: merge-time dedup of :class:`ShardedJoinResult`.
+    replicates: bool = False
 
     def assign(
         self, side: JoinSide, ordinal: int, value: str, shard_count: int
@@ -89,6 +124,41 @@ class Partitioner:
             Total number of shards.
         """
         raise NotImplementedError
+
+    def assign_many(
+        self, side: JoinSide, ordinal: int, value: str, shard_count: int
+    ) -> Tuple[int, ...]:
+        """All shards the record belongs to (non-empty, each in range).
+
+        The routing hook :class:`ShardPlan` actually calls.  Defaults to
+        the single :meth:`assign` shard, so disjoint partitioners only
+        implement ``assign``; replicating partitioners override this and
+        return every owning shard (duplicate-free, deterministic order).
+        """
+        return (self.assign(side, ordinal, value, shard_count),)
+
+    @classmethod
+    def from_config(cls, config) -> "Partitioner":
+        """Build an instance tuned to a :class:`~repro.runtime.config.RunConfig`.
+
+        The default ignores the config; partitioners whose assignment
+        depends on run parameters (``gram`` mirrors the engine's ``q``
+        and gram padding) override this so
+        :func:`~repro.runtime.parallel.run_sharded` can hand them the
+        run's configuration.
+        """
+        return cls()
+
+    def check_config(self, config) -> None:
+        """Validate this instance against the run configuration.
+
+        Called by :meth:`ShardPlan.build` (when given a config) and by
+        :meth:`~repro.runtime.parallel.ParallelExecutor.run` before a
+        plan executes.  The default accepts anything; config-sensitive
+        partitioners raise when a hand-built instance disagrees with the
+        run's parameters — a mismatch would silently void their
+        correctness guarantees.
+        """
 
 
 # -- registry -------------------------------------------------------------------------
@@ -111,14 +181,24 @@ def register_partitioner(name: str):
     return decorate
 
 
-def create_partitioner(name: str) -> Partitioner:
-    """Instantiate the partitioner registered under ``name``."""
+def create_partitioner(name: str, config=None) -> Partitioner:
+    """Instantiate the partitioner registered under ``name``.
+
+    ``config`` (an optional :class:`~repro.runtime.config.RunConfig`) is
+    forwarded to the partitioner's :meth:`Partitioner.from_config` so
+    config-sensitive partitioners (``gram``) mirror the run's parameters;
+    with ``None`` every partitioner falls back to its own defaults.
+    """
     try:
         factory = _PARTITIONERS[name]
     except KeyError:
         raise ValueError(
             f"unknown partitioner {name!r}; registered: {available_partitioners()}"
         ) from None
+    if config is not None:
+        from_config = getattr(factory, "from_config", None)
+        if from_config is not None:
+            return from_config(config)
     return factory()
 
 
@@ -130,6 +210,19 @@ def available_partitioners() -> Tuple[str, ...]:
 # -- the built-in strategies ------------------------------------------------------------
 
 
+def stable_value_shard(value: str, shard_count: int) -> int:
+    """The stable CRC-32 shard of a join-key value.
+
+    The one definition of value-hash co-partitioning, shared by
+    :class:`HashPartitioner` and the gram partitioner's gram-free
+    fallback — equal values land together across both, by construction.
+    Uses CRC-32 rather than Python's ``hash`` so assignments are stable
+    across processes and runs (``PYTHONHASHSEED`` does not leak into
+    shard layouts).
+    """
+    return zlib.crc32(value.encode("utf-8")) % shard_count
+
+
 @register_partitioner("hash")
 class HashPartitioner(Partitioner):
     """Co-partition both sides by a stable hash of the join-key value.
@@ -137,15 +230,13 @@ class HashPartitioner(Partitioner):
     The default and the correctness-preserving choice for equi-match
     semantics: tuples with equal join-key values land in the same shard
     regardless of side, so an exact probe inside a shard scans exactly the
-    bucket it would have scanned unsharded.  Uses CRC-32 rather than
-    Python's ``hash`` so assignments are stable across processes and runs
-    (``PYTHONHASHSEED`` does not leak into shard layouts).
+    bucket it would have scanned unsharded (see :func:`stable_value_shard`).
     """
 
     def assign(
         self, side: JoinSide, ordinal: int, value: str, shard_count: int
     ) -> int:
-        return zlib.crc32(value.encode("utf-8")) % shard_count
+        return stable_value_shard(value, shard_count)
 
 
 @register_partitioner("round-robin")
@@ -167,24 +258,133 @@ class RoundRobinPartitioner(Partitioner):
 
 @register_partitioner("range")
 class RangePartitioner(Partitioner):
-    """Partition by position of the value in the (byte-ordered) key space.
+    """Partition by position of the value in the codepoint-ordered key space.
 
-    The first eight UTF-8 bytes of the value are read as a big-endian
-    fraction of the full 64-bit space and scaled by the shard count, so
+    The first eight *codepoints* of the value are read as big-endian
+    digits in base ``0x110000`` (the Unicode codepoint space), giving a
+    fraction of the full key space that is scaled by the shard count, so
     lexicographically close values co-locate (range locality for
     range-ish workloads) and both sides co-partition on equal values.
-    Skewed key distributions produce skewed shards — this partitioner
-    trades balance for order, the opposite of ``hash``.
+    Working on codepoints rather than raw UTF-8 bytes keeps the ordering
+    faithful for non-ASCII keys: a byte-level prefix slices multi-byte
+    codepoints in half and bunches every high-codepoint prefix into the
+    top shards (all multi-byte UTF-8 lead bytes sit in ``0xC2–0xF4``).
+    Skewed key distributions still produce skewed shards — this
+    partitioner trades balance for order, the opposite of ``hash`` — so
+    real deployments should feed it keys spread over their alphabet.
     """
 
     _WIDTH = 8
+    #: One more than the largest Unicode codepoint — the digit base.
+    _BASE = 0x110000
+    #: Size of the full key space (hoisted: one big-int, not one per record).
+    _SPACE = _BASE**_WIDTH
+    #: ``_BASE**k`` for the trailing zero-digit padding of short values
+    #: (base spelled literally: a comprehension body cannot see class
+    #: attributes).
+    _PAD = tuple(0x110000**k for k in range(_WIDTH + 1))
 
     def assign(
         self, side: JoinSide, ordinal: int, value: str, shard_count: int
     ) -> int:
-        prefix = value.encode("utf-8")[: self._WIDTH]
-        key = int.from_bytes(prefix.ljust(self._WIDTH, b"\0"), "big")
-        return min(shard_count - 1, (key * shard_count) >> (8 * self._WIDTH))
+        prefix = value[: self._WIDTH]
+        key = 0
+        for char in prefix:
+            key = key * self._BASE + ord(char)
+        key *= self._PAD[self._WIDTH - len(prefix)]
+        return min(shard_count - 1, key * shard_count // self._SPACE)
+
+
+@register_partitioner("gram")
+class GramPartitioner(Partitioner):
+    """Replicate each record into every shard owning one of its q-grams.
+
+    The correctness-at-scale partitioner for *approximate* recall: a
+    record is tokenised into its distinct q-grams (via the fast-path
+    :class:`~repro.joins.fastpath.GramInterner`, so repeated values are a
+    cache hit) and routed to the shard of every gram bucket, where a
+    gram's owning shard is its stable CRC-32 modulo the shard count.  Any
+    pair the approximate operator can match shares at least one gram
+    (the counter test needs ``shared ≥ ⌈θ·g⌉ ≥ 1``), and the shard owning
+    a shared gram holds both records *in full* — the in-shard probe sees
+    the complete gram sets, so every matchable pair becomes a co-located
+    candidate somewhere.  With a symmetric match predicate
+    (``verify_jaccard=True``) that makes the sharded match set exactly
+    the unsharded one; under the default probe-directional counter test
+    the guarantee is the candidate co-location itself (see the module
+    docstring's correctness model for the borderline-pair caveat, which
+    applies to every partitioner).  Values that produce no grams at all
+    (and therefore can only equi-match) fall back to the ``hash``
+    assignment so equal gram-free values still co-partition.
+
+    ``q`` and ``padded`` must mirror the engine's approximate operator
+    for the recall guarantee to hold; :meth:`from_config` reads them from
+    the run configuration, which is how the ``run_sharded`` /
+    ``link_tables`` / CLI entry points construct this partitioner.
+
+    The price of full recall is replication: each record is indexed and
+    probed once per owning shard (factor ≤ min(shard count, distinct
+    grams)), and a pair sharing grams owned by different shards is
+    discovered more than once — :class:`ShardedJoinResult` dedupes those
+    at merge time and reports both raw and deduplicated totals.
+    """
+
+    replicates = True
+
+    def __init__(self, q: int = 3, padded: bool = True) -> None:
+        if q <= 0:
+            raise ValueError(f"q must be positive, got {q}")
+        self.q = q
+        self.padded = padded
+        self._interner = GramInterner(q=q, padded=padded)
+        # Gram id → CRC-32 of the gram string.  Shard-count-free, so one
+        # partitioner instance can serve plans of different widths.
+        self._gram_crc: Dict[int, int] = {}
+
+    @classmethod
+    def from_config(cls, config) -> "GramPartitioner":
+        if config is None:
+            return cls()
+        return cls(q=config.thresholds.q, padded=config.padded_qgrams)
+
+    def check_config(self, config) -> None:
+        if config is None:
+            return
+        expected = (config.thresholds.q, config.padded_qgrams)
+        if (self.q, self.padded) != expected:
+            raise ValueError(
+                f"gram partitioner tokenises with (q={self.q}, "
+                f"padded={self.padded}) but the run configuration uses "
+                f"(q={expected[0]}, padded={expected[1]}): a mismatch "
+                f"silently breaks the full-recall guarantee — build the "
+                f"partitioner with GramPartitioner.from_config(config) or "
+                f"pass it by name"
+            )
+
+    def assign(
+        self, side: JoinSide, ordinal: int, value: str, shard_count: int
+    ) -> int:
+        """The first (lowest-numbered) owning shard of the record."""
+        return self.assign_many(side, ordinal, value, shard_count)[0]
+
+    def assign_many(
+        self, side: JoinSide, ordinal: int, value: str, shard_count: int
+    ) -> Tuple[int, ...]:
+        gram_ids = self._interner.intern_value(value)
+        if not gram_ids:
+            # Gram-free values can only equi-match: hash co-partitioning
+            # is exactly sufficient (and avoids pointless replication).
+            return (stable_value_shard(value, shard_count),)
+        gram = self._interner.gram
+        gram_crc = self._gram_crc
+        owners = set()
+        for gram_id in gram_ids:
+            crc = gram_crc.get(gram_id)
+            if crc is None:
+                crc = zlib.crc32(gram(gram_id).encode("utf-8"))
+                gram_crc[gram_id] = crc
+            owners.add(crc % shard_count)
+        return tuple(sorted(owners))
 
 
 # -- shard plans ------------------------------------------------------------------------
@@ -224,6 +424,13 @@ class ShardPlan:
     ``next_record`` — each record is pulled exactly once and never ahead
     of need, so a partially consumed or expensive producer is drained
     without over-pull.
+
+    Under a replicating partitioner (``gram``) one record may appear in
+    several shard inputs; each copy records the same global origin, so
+    merged results still report one identity per input record.  The
+    stream is still read exactly once — replication copies references,
+    it never re-pulls.  :meth:`replication_factors` quantifies the extra
+    volume.
     """
 
     def __init__(
@@ -232,6 +439,8 @@ class ShardPlan:
         partitioner: Partitioner,
         left_shards: List[ShardInput],
         right_shards: List[ShardInput],
+        left_input_size: Optional[int] = None,
+        right_input_size: Optional[int] = None,
     ) -> None:
         if len(left_shards) != len(right_shards):
             raise ValueError(
@@ -242,6 +451,18 @@ class ShardPlan:
         self.partitioner = partitioner
         self.left_shards = left_shards
         self.right_shards = right_shards
+        #: Records the original inputs produced (before any replication);
+        #: inferred from the origin maps when not given explicitly.
+        self.left_input_size = (
+            left_input_size
+            if left_input_size is not None
+            else _distinct_origin_count(left_shards)
+        )
+        self.right_input_size = (
+            right_input_size
+            if right_input_size is not None
+            else _distinct_origin_count(right_shards)
+        )
 
     @classmethod
     def build(
@@ -251,21 +472,42 @@ class ShardPlan:
         attribute: Union[str, JoinAttribute],
         shard_count: int,
         partitioner: Union[str, Partitioner] = "hash",
+        config=None,
     ) -> "ShardPlan":
-        """Partition both inputs into ``shard_count`` co-numbered shards."""
+        """Partition both inputs into ``shard_count`` co-numbered shards.
+
+        Pass the run's :class:`~repro.runtime.config.RunConfig` as
+        ``config`` whenever the plan will execute under one: a
+        partitioner named by string is then built via
+        :meth:`Partitioner.from_config`, keeping config-sensitive
+        partitioners (``gram`` mirrors the engine's ``q`` / gram
+        padding) in lock-step with the engine — the recall guarantee
+        depends on it.  ``run_sharded`` does this automatically.
+        """
         if shard_count < 1:
             raise ValueError(f"shard_count must be at least 1, got {shard_count}")
         if isinstance(attribute, str):
             attribute = JoinAttribute(attribute, attribute)
         if isinstance(partitioner, str):
-            partitioner = create_partitioner(partitioner)
-        left_shards = _split_side(
+            partitioner = create_partitioner(partitioner, config=config)
+        else:
+            # A hand-built instance must agree with the run parameters
+            # (the gram partitioner's recall guarantee depends on it).
+            partitioner.check_config(config)
+        left_shards, left_size = _split_side(
             as_stream(left), JoinSide.LEFT, attribute.left, shard_count, partitioner
         )
-        right_shards = _split_side(
+        right_shards, right_size = _split_side(
             as_stream(right), JoinSide.RIGHT, attribute.right, shard_count, partitioner
         )
-        return cls(attribute, partitioner, left_shards, right_shards)
+        return cls(
+            attribute,
+            partitioner,
+            left_shards,
+            right_shards,
+            left_input_size=left_size,
+            right_input_size=right_size,
+        )
 
     @property
     def shard_count(self) -> int:
@@ -278,6 +520,20 @@ class ShardPlan:
             (len(left), len(right))
             for left, right in zip(self.left_shards, self.right_shards)
         ]
+
+    def replication_factors(self) -> Tuple[float, float]:
+        """Per-side ``shard records / input records`` ratios.
+
+        Exactly ``(1.0, 1.0)`` for disjoint partitioners; the ``gram``
+        partitioner's extra work grows with these factors (empty inputs
+        report ``1.0`` — nothing was replicated).
+        """
+        left_total = sum(len(shard) for shard in self.left_shards)
+        right_total = sum(len(shard) for shard in self.right_shards)
+        return (
+            left_total / self.left_input_size if self.left_input_size else 1.0,
+            right_total / self.right_input_size if self.right_input_size else 1.0,
+        )
 
     def shard_streams(self, shard_id: int) -> Tuple[ListStream, ListStream]:
         """Fresh (left, right) streams for one shard."""
@@ -293,14 +549,25 @@ class ShardPlan:
         )
 
 
+def _distinct_origin_count(shards: Sequence[ShardInput]) -> int:
+    """Number of distinct input records behind a (possibly replicated) split."""
+    return len({origin for shard in shards for origin in shard.origins})
+
+
 def _split_side(
     stream: RecordStream,
     side: JoinSide,
     attribute: str,
     shard_count: int,
     partitioner: Partitioner,
-) -> List[ShardInput]:
-    """Route one side's records to per-shard inputs (single pass)."""
+) -> Tuple[List[ShardInput], int]:
+    """Route one side's records to per-shard inputs (single stream pass).
+
+    Returns the shard inputs plus the input record count.  A record is
+    appended to every shard its partitioner names
+    (:meth:`Partitioner.assign_many`), with the same global origin
+    recorded in each — replicated records keep one identity.
+    """
     schema = stream.schema
     position = schema.position(attribute)
     shards = [
@@ -312,7 +579,7 @@ def _split_side(
         )
         for shard_id in range(shard_count)
     ]
-    assign = partitioner.assign
+    assign_many = partitioner.assign_many
     ordinal = 0
 
     def route(record: Record) -> None:
@@ -320,9 +587,32 @@ def _split_side(
         value = record.value_at(position)
         # Same normalisation the join's tuple store applies (None → "").
         key = "" if value is None else str(value)
-        shard = shards[assign(side, ordinal, key, shard_count)]
-        shard.records.append(record)
-        shard.origins.append(ordinal)
+        targets = assign_many(side, ordinal, key, shard_count)
+        if not targets:
+            raise ValueError(
+                f"partitioner {partitioner.name or type(partitioner).__name__!r} "
+                f"assigned no shard to {side.value} record {ordinal}"
+            )
+        if len(targets) > 1 and len(set(targets)) != len(targets):
+            # The one contract violation that would fail *silently*: a
+            # duplicated target stores the record twice in one shard and
+            # double-counts its pairs straight through the dedup.
+            raise ValueError(
+                f"partitioner {partitioner.name or type(partitioner).__name__!r} "
+                f"assigned {side.value} record {ordinal} to duplicate shards "
+                f"{tuple(targets)}"
+            )
+        for shard_index in targets:
+            if not 0 <= shard_index < shard_count:
+                raise ValueError(
+                    f"partitioner "
+                    f"{partitioner.name or type(partitioner).__name__!r} "
+                    f"assigned {side.value} record {ordinal} to shard "
+                    f"{shard_index}, outside [0, {shard_count})"
+                )
+            shard = shards[shard_index]
+            shard.records.append(record)
+            shard.origins.append(ordinal)
         ordinal += 1
 
     if stream.supports_bulk_pull:
@@ -340,7 +630,7 @@ def _split_side(
             if record is None:
                 break
             route(record)
-    return shards
+    return shards, ordinal
 
 
 # -- mergeable results ------------------------------------------------------------------
@@ -394,11 +684,27 @@ class ShardedJoinResult:
     merged views are deterministic: shards are always combined in shard-id
     order, regardless of the order the backend finished them in.  The
     merges are computed once and cached — the result is immutable.
+
+    Replicating partitioners (``gram``) can discover the same global pair
+    in several shards.  The merged match views (:attr:`matches`,
+    :meth:`matched_pairs`, :attr:`result_size`, :meth:`output_records`)
+    are therefore *deduplicated*: for each global pair only the events of
+    the first (lowest-id) shard that found it are kept — a stable rule,
+    so the serial backend stays bit-deterministic — while
+    :attr:`raw_result_size` / :attr:`duplicate_match_count` keep the
+    replication overhead visible.  Under disjoint partitioners the dedup
+    is a no-op and every view equals its pre-dedup reading.
     """
 
     shards: Tuple[ShardOutcome, ...]
     backend: str
     partitioner: str
+    #: Original input record counts (before replication), carried over
+    #: from the plan by :class:`~repro.runtime.parallel.ParallelExecutor`;
+    #: ``None`` (hand-built results) falls back to deriving them from the
+    #: origin maps.
+    left_input_size: Optional[int] = None
+    right_input_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.shards = tuple(
@@ -413,28 +719,79 @@ class ShardedJoinResult:
         return len(self.shards)
 
     @cached_property
+    def _deduped(self) -> Tuple[Tuple[MatchEvent, ...], Tuple[Tuple[int, int], ...]]:
+        """(events, global pairs) with cross-shard duplicates removed.
+
+        One pass in shard-id order: the first shard to discover a global
+        pair owns it (first-shard-wins) and contributes *all* its events
+        for that pair (so a session configured with ``deduplicate=False``
+        keeps its intra-shard repeats); later shards' rediscoveries are
+        dropped.
+        """
+        owner: Dict[Tuple[int, int], int] = {}
+        events: List[MatchEvent] = []
+        pairs: List[Tuple[int, int]] = []
+        for outcome in self.shards:
+            shard_id = outcome.shard_id
+            for event, pair in zip(outcome.result.matches, outcome.matched_pairs()):
+                if owner.setdefault(pair, shard_id) == shard_id:
+                    events.append(event)
+                    pairs.append(pair)
+        return tuple(events), tuple(pairs)
+
+    @property
     def matches(self) -> Tuple[MatchEvent, ...]:
-        """All matched pairs: shard-id order, emission order within a shard.
+        """Deduplicated matched pairs: shard-id order, emission order within.
 
         Events carry *shard-local* tuple ordinals; use
         :meth:`matched_pairs` for globally comparable pair identities.
         """
-        events: List[MatchEvent] = []
-        for outcome in self.shards:
-            events.extend(outcome.result.matches)
-        return tuple(events)
+        return self._deduped[0]
 
     @property
     def result_size(self) -> int:
-        """Number of matched pairs across all shards (``r_abs``)."""
+        """Number of matched pairs after cross-shard dedup (``r_abs``)."""
+        return len(self._deduped[0])
+
+    @property
+    def raw_result_size(self) -> int:
+        """Matched pairs summed over shards, duplicates included.
+
+        Equal to :attr:`result_size` under disjoint partitioners; the gap
+        is the replication overhead of the ``gram`` partitioner.
+        """
         return sum(outcome.result.result_size for outcome in self.shards)
+
+    @property
+    def duplicate_match_count(self) -> int:
+        """Match events dropped by the cross-shard dedup."""
+        return self.raw_result_size - self.result_size
 
     @cached_property
     def counters(self) -> OperationCounters:
-        """Merged elementary-operation counters (plain sums: shards are disjoint)."""
+        """Merged elementary-operation counters (plain sums over shards).
+
+        These count the work *actually performed*: under a replicating
+        partitioner every replica's grams, probes and emissions are
+        included (``matches_emitted`` counts raw emissions, duplicates
+        and all).  Use :attr:`deduped_counters` for totals whose match
+        emissions are collapsed to unique global pairs.
+        """
         return merge_counters(
             [outcome.result.counters for outcome in self.shards]
         )
+
+    @cached_property
+    def deduped_counters(self) -> OperationCounters:
+        """:attr:`counters` with ``matches_emitted`` collapsed to unique pairs.
+
+        All other fields are left at their raw sums — the scans, probes
+        and verifications genuinely happened once per replica; only the
+        emission count has a meaningful deduplicated reading.
+        """
+        merged = self.counters.merge(OperationCounters())
+        merged.matches_emitted = self.result_size
+        return merged
 
     @cached_property
     def trace(self) -> ExecutionTrace:
@@ -458,7 +815,14 @@ class ShardedJoinResult:
         }
 
     def matched_pairs(self) -> List[Tuple[int, int]]:
-        """Global (left index, right index) pairs, comparable with unsharded runs."""
+        """Global (left index, right index) pairs, comparable with unsharded runs.
+
+        Deduplicated (first-shard-wins) like every merged match view.
+        """
+        return list(self._deduped[1])
+
+    def raw_matched_pairs(self) -> List[Tuple[int, int]]:
+        """Global pairs *before* dedup — one entry per shard discovery."""
         pairs: List[Tuple[int, int]] = []
         for outcome in self.shards:
             pairs.extend(outcome.matched_pairs())
@@ -466,14 +830,35 @@ class ShardedJoinResult:
 
     def pair_set(self) -> frozenset:
         """The merged match *set* (global pair identities, order-free)."""
-        return frozenset(self.matched_pairs())
+        return frozenset(self._deduped[1])
+
+    @cached_property
+    def _replication_factors(self) -> Tuple[float, float]:
+        left_total = sum(len(outcome.left_origins) for outcome in self.shards)
+        right_total = sum(len(outcome.right_origins) for outcome in self.shards)
+        left_inputs = self.left_input_size
+        if left_inputs is None:
+            left_inputs = len(
+                {origin for outcome in self.shards for origin in outcome.left_origins}
+            )
+        right_inputs = self.right_input_size
+        if right_inputs is None:
+            right_inputs = len(
+                {origin for outcome in self.shards for origin in outcome.right_origins}
+            )
+        return (
+            left_total / left_inputs if left_inputs else 1.0,
+            right_total / right_inputs if right_inputs else 1.0,
+        )
+
+    def replication_factors(self) -> Tuple[float, float]:
+        """Per-side ``shard records / input records`` (1.0 when disjoint)."""
+        return self._replication_factors
 
     def output_records(self) -> List[Record]:
-        """Materialise the joined output records, in merged-match order."""
-        records: List[Record] = []
-        for outcome in self.shards:
-            records.extend(outcome.result.output_records())
-        return records
+        """Materialise the joined output records, in deduplicated match order."""
+        schema = self.output_schema
+        return [event.output_record(schema) for event in self.matches]
 
     def weighted_cost(self, cost_model: Optional[CostModel] = None) -> float:
         """``c_abs`` summed over shards (weights apply per-state, so sums are exact)."""

@@ -1,7 +1,10 @@
 """Tests for the parallel execution backends and the aggregated bus."""
 
+import threading
+
 import pytest
 
+import repro.runtime.parallel as parallel_module
 from repro.core.state_machine import JoinState
 from repro.core.thresholds import Thresholds
 from repro.engine.streams import ListStream
@@ -18,7 +21,16 @@ from repro.runtime.parallel import (
     available_backends,
     run_sharded,
 )
+from repro.runtime.policy import SwitchPolicy, register_policy
 from repro.runtime.sharding import ShardPlan
+
+
+@register_policy("explode-on-bind")
+class ExplodeOnBindPolicy(SwitchPolicy):
+    """Failure injection for the backend tests: dies when a session binds it."""
+
+    def bind(self, session) -> None:
+        raise RuntimeError("injected shard failure (explode-on-bind)")
 
 FAST = Thresholds(delta_adapt=25, window_size=25)
 
@@ -177,6 +189,83 @@ class TestThreadAndProcessBackends:
             shards=4, backend="thread", max_workers=2,
         )
         assert result.shard_count == 4
+
+
+class TestShardFailurePropagation:
+    """A failing shard surfaces its error promptly on every backend."""
+
+    def test_serial_backend_raises_on_first_failing_shard(self, small_dataset):
+        config = RunConfig.from_thresholds(FAST, policy="explode-on-bind")
+        with pytest.raises(RuntimeError, match="injected shard failure"):
+            run_sharded(
+                small_dataset.parent, small_dataset.child, "location",
+                config, shards=3, backend="serial",
+            )
+
+    def test_thread_backend_cancels_queued_shards_on_failure(
+        self, small_dataset, monkeypatch
+    ):
+        release = threading.Event()
+        calls = []
+        original = parallel_module._run_shard_inline
+
+        def flaky(plan, config, shard_id, bus):
+            calls.append(shard_id)
+            if shard_id == 0:
+                raise RuntimeError("injected shard failure (thread)")
+            # Block until the test releases us: if the backend returned
+            # while we were still blocked here, it provably did not wait
+            # for in-flight shards before re-raising.
+            release.wait(timeout=10)
+            return original(plan, config, shard_id, bus)
+
+        monkeypatch.setattr(parallel_module, "_run_shard_inline", flaky)
+        with pytest.raises(RuntimeError, match="injected shard failure"):
+            run_sharded(
+                small_dataset.parent, small_dataset.child, "location",
+                RunConfig.from_thresholds(FAST),
+                shards=4, backend="thread", max_workers=1,
+            )
+        release.set()
+        # One worker: shard 0 fails first.  The single worker may have
+        # dequeued shard 1 before the cancellation landed (in-flight
+        # threads cannot be interrupted), but shards 2 and 3 sat in the
+        # queue behind the blocked shard 1 and must have been cancelled —
+        # they can never run, race-free.
+        assert calls[0] == 0
+        assert set(calls) <= {0, 1}
+
+    def test_thread_backend_does_not_block_on_unfinished_shards(
+        self, small_dataset, monkeypatch
+    ):
+        """Re-raising must not `.result()` still-pending futures first."""
+
+        def always_fail(plan, config, shard_id, bus):
+            raise RuntimeError(f"injected shard failure {shard_id}")
+
+        monkeypatch.setattr(parallel_module, "_run_shard_inline", always_fail)
+        with pytest.raises(RuntimeError, match="injected shard failure"):
+            run_sharded(
+                small_dataset.parent, small_dataset.child, "location",
+                RunConfig.from_thresholds(FAST),
+                shards=6, backend="thread", max_workers=2,
+            )
+
+    def test_process_backend_surfaces_shard_failure(self, small_dataset):
+        # Under the default fork start method the worker inherits the
+        # test-registered policy and raises the injected RuntimeError; a
+        # spawn/forkserver child re-imports the registry without it and
+        # fails with the unknown-policy ValueError instead.  Either way
+        # the first shard error must propagate out of the pool promptly.
+        config = RunConfig.from_thresholds(FAST, policy="explode-on-bind")
+        with pytest.raises(
+            (RuntimeError, ValueError),
+            match="injected shard failure|explode-on-bind",
+        ):
+            run_sharded(
+                small_dataset.parent, small_dataset.child, "location",
+                config, shards=3, backend="process", max_workers=2,
+            )
 
 
 class TestShardedResultSurface:

@@ -1,13 +1,21 @@
 """Tests for partitioners, shard plans and mergeable shard results."""
 
+import zlib
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.state_machine import JoinState
+from repro.core.thresholds import Thresholds
 from repro.core.trace import ExecutionTrace, merge_traces
 from repro.engine.streams import GeneratorStream, IteratorStream, ListStream
 from repro.engine.tuples import Record, Schema
 from repro.joins.base import JoinAttribute, JoinSide, OperationCounters
+from repro.joins.fastpath import distinct_qgrams
+from repro.runtime.config import RunConfig
 from repro.runtime.sharding import (
+    GramPartitioner,
     HashPartitioner,
     Partitioner,
     RangePartitioner,
@@ -35,11 +43,20 @@ class TestPartitionerRegistry:
         assert "hash" in names
         assert "round-robin" in names
         assert "range" in names
+        assert "gram" in names
 
     def test_create_by_name(self):
         assert isinstance(create_partitioner("hash"), HashPartitioner)
         assert isinstance(create_partitioner("round-robin"), RoundRobinPartitioner)
         assert isinstance(create_partitioner("range"), RangePartitioner)
+        assert isinstance(create_partitioner("gram"), GramPartitioner)
+
+    def test_create_with_config_forwards_to_from_config(self):
+        config = RunConfig.from_thresholds(Thresholds(q=2), padded_qgrams=False)
+        gram = create_partitioner("gram", config=config)
+        assert (gram.q, gram.padded) == (2, False)
+        # Config-insensitive partitioners ignore the config entirely.
+        assert isinstance(create_partitioner("hash", config=config), HashPartitioner)
 
     def test_unknown_partitioner_error_lists_registered(self):
         with pytest.raises(ValueError, match="hash"):
@@ -97,6 +114,189 @@ class TestBuiltinPartitioners:
         for value in ("", "a", "ab"):
             shard = partitioner.assign(JoinSide.LEFT, 0, value, 4)
             assert 0 <= shard < 4
+
+
+class TestRangePartitionerCodepoints:
+    """The range key is codepoint-derived, not raw UTF-8 bytes.
+
+    The byte-keyed version sliced multi-byte codepoints in half and sent
+    *every* non-ASCII prefix to the top shards (all multi-byte UTF-8 lead
+    bytes sit in 0xC2–0xF4, i.e. ≥ 3/4 of the byte space).
+    """
+
+    NON_ASCII = ("ÉVORA", "ΑΘΗΝΑ", "МОСКВА", "תל אביב", "北京市", "😀😀")
+
+    def test_equal_non_ascii_values_co_partition_across_sides(self):
+        partitioner = RangePartitioner()
+        for value in self.NON_ASCII:
+            for shard_count in (2, 4, 8):
+                left = partitioner.assign(JoinSide.LEFT, 0, value, shard_count)
+                right = partitioner.assign(JoinSide.RIGHT, 99, value, shard_count)
+                assert left == right
+                assert 0 <= left < shard_count
+
+    def test_high_codepoint_prefixes_do_not_collapse_into_top_shards(self):
+        partitioner = RangePartitioner()
+        shards = [
+            partitioner.assign(JoinSide.LEFT, 0, value, 4)
+            for value in ("ÉVORA", "ΑΘΗΝΑ", "МОСКВА", "תל אביב", "北京市")
+        ]
+        # Under the byte key every one of these landed in the last shard;
+        # under the codepoint key they sit where their codepoints do, and
+        # the top shard belongs to the actual top of the codepoint space.
+        assert all(shard < 3 for shard in shards)
+        assert partitioner.assign(JoinSide.LEFT, 0, "\U0010FFFF", 4) == 3
+
+    def test_codepoint_order_is_preserved(self):
+        partitioner = RangePartitioner()
+        ordered = ("A", "z", "é", "Ω", "я", "中", "\U0001F600", "\U0010FFFF")
+        assigned = [
+            partitioner.assign(JoinSide.LEFT, 0, value, 64) for value in ordered
+        ]
+        assert assigned == sorted(assigned)
+
+
+class TestGramPartitioner:
+    def test_replicates_flag_and_defaults(self):
+        partitioner = GramPartitioner()
+        assert partitioner.replicates is True
+        assert (partitioner.q, partitioner.padded) == (3, True)
+        assert HashPartitioner.replicates is False
+
+    def test_assign_many_routes_to_every_gram_owner(self):
+        partitioner = GramPartitioner()
+        targets = partitioner.assign_many(JoinSide.LEFT, 0, "GENOVA", 4)
+        expected = sorted(
+            {
+                zlib.crc32(gram.encode("utf-8")) % 4
+                for gram in distinct_qgrams("GENOVA", q=3, padded=True)
+            }
+        )
+        assert list(targets) == expected
+        assert len(expected) > 1  # genuinely replicated at this width
+
+    def test_assignment_ignores_side_and_ordinal(self):
+        partitioner = GramPartitioner()
+        assert partitioner.assign_many(
+            JoinSide.LEFT, 0, "MILANO CENTRO", 8
+        ) == partitioner.assign_many(JoinSide.RIGHT, 123, "MILANO CENTRO", 8)
+
+    def test_variant_pair_always_shares_a_shard(self):
+        """Any gram-sharing pair co-locates somewhere — the recall core."""
+        partitioner = GramPartitioner()
+        for shard_count in (2, 4, 8, 16):
+            left = set(
+                partitioner.assign_many(
+                    JoinSide.LEFT, 0, "MILANO CENTRO", shard_count
+                )
+            )
+            right = set(
+                partitioner.assign_many(
+                    JoinSide.RIGHT, 1, "MILANx CENTRO", shard_count
+                )
+            )
+            assert left & right
+
+    def test_gram_free_value_falls_back_to_hash_co_partitioning(self):
+        partitioner = GramPartitioner(q=3, padded=False)
+        left = partitioner.assign_many(JoinSide.LEFT, 0, "ab", 4)
+        right = partitioner.assign_many(JoinSide.RIGHT, 9, "ab", 4)
+        assert left == right
+        assert len(left) == 1
+        assert left[0] == HashPartitioner().assign(JoinSide.LEFT, 0, "ab", 4)
+
+    def test_assign_is_the_first_owner(self):
+        partitioner = GramPartitioner()
+        for value in ("GENOVA", "ROMA", ""):
+            assert partitioner.assign(JoinSide.LEFT, 0, value, 8) == (
+                partitioner.assign_many(JoinSide.LEFT, 0, value, 8)[0]
+            )
+
+    def test_from_config_mirrors_engine_tokenisation(self):
+        config = RunConfig.from_thresholds(Thresholds(q=2), padded_qgrams=False)
+        partitioner = GramPartitioner.from_config(config)
+        assert (partitioner.q, partitioner.padded) == (2, False)
+        assert GramPartitioner.from_config(None).q == 3
+
+    def test_invalid_q_rejected(self):
+        with pytest.raises(ValueError, match="q must be positive"):
+            GramPartitioner(q=0)
+
+    def test_hand_built_instance_mismatching_config_rejected_at_build(self):
+        config = RunConfig.from_thresholds(Thresholds(q=2))
+        with pytest.raises(ValueError, match="full-recall guarantee"):
+            ShardPlan.build(
+                ListStream(SCHEMA, _records(["abcd"])),
+                ListStream(SCHEMA, _records(["abcd"])),
+                "location",
+                shard_count=2,
+                partitioner=GramPartitioner(),  # default q=3 ≠ config q=2
+                config=config,
+            )
+
+    def test_matching_instance_accepted_and_checked(self):
+        config = RunConfig.from_thresholds(Thresholds(q=2), padded_qgrams=False)
+        partitioner = GramPartitioner.from_config(config)
+        plan = ShardPlan.build(
+            ListStream(SCHEMA, _records(["abcd"])),
+            ListStream(SCHEMA, _records(["abcd"])),
+            "location",
+            shard_count=2,
+            partitioner=partitioner,
+            config=config,
+        )
+        assert plan.partitioner is partitioner
+        partitioner.check_config(None)  # no config → nothing to disagree with
+
+    def test_one_instance_serves_multiple_shard_counts(self):
+        partitioner = GramPartitioner()
+        narrow = partitioner.assign_many(JoinSide.LEFT, 0, "GENOVA", 2)
+        wide = partitioner.assign_many(JoinSide.LEFT, 0, "GENOVA", 16)
+        assert all(0 <= shard < 2 for shard in narrow)
+        assert all(0 <= shard < 16 for shard in wide)
+
+
+class TestPartitionerEdgeCases:
+    @pytest.mark.parametrize("name", available_partitioners())
+    def test_empty_string_key_is_assigned(self, name):
+        partitioner = create_partitioner(name)
+        for shard_count in (1, 2, 4):
+            targets = partitioner.assign_many(JoinSide.LEFT, 0, "", shard_count)
+            assert targets
+            assert all(0 <= shard < shard_count for shard in targets)
+
+    @pytest.mark.parametrize("name", available_partitioners())
+    def test_single_shard_absorbs_everything(self, name):
+        partitioner = create_partitioner(name)
+        for ordinal, value in enumerate(("", "a", "GENOVA", "北京市")):
+            assert set(
+                partitioner.assign_many(JoinSide.RIGHT, ordinal, value, 1)
+            ) == {0}
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        value=st.text(max_size=24),
+        ordinal=st.integers(min_value=0, max_value=10_000),
+        shard_count=st.integers(min_value=1, max_value=16),
+        side=st.sampled_from(list(JoinSide)),
+    )
+    def test_assign_many_in_range_non_empty_deterministic(
+        self, value, ordinal, shard_count, side
+    ):
+        """The `assign_many` contract, for every registered partitioner."""
+        for name in available_partitioners():
+            partitioner = create_partitioner(name)
+            targets = partitioner.assign_many(side, ordinal, value, shard_count)
+            assert len(targets) >= 1, name
+            assert len(set(targets)) == len(targets), name
+            assert all(0 <= shard < shard_count for shard in targets), name
+            # Pure function of its arguments: a fresh instance agrees.
+            assert (
+                create_partitioner(name).assign_many(
+                    side, ordinal, value, shard_count
+                )
+                == targets
+            ), name
 
 
 class TestShardPlan:
@@ -192,6 +392,18 @@ class TestShardPlan:
         total = sum(len(shard) for shard in plan.left_shards)
         assert total == 1
 
+    def test_build_forwards_config_to_named_partitioner(self):
+        config = RunConfig.from_thresholds(Thresholds(q=2), padded_qgrams=False)
+        plan = ShardPlan.build(
+            ListStream(SCHEMA, _records(["abcd"])),
+            ListStream(SCHEMA, _records(["abcd"])),
+            "location",
+            shard_count=2,
+            partitioner="gram",
+            config=config,
+        )
+        assert (plan.partitioner.q, plan.partitioner.padded) == (2, False)
+
     def test_string_attribute_and_joinattribute_equivalent(self):
         stream = lambda: ListStream(SCHEMA, _records(["a", "b"]))  # noqa: E731
         by_name = ShardPlan.build(stream(), stream(), "location", 2)
@@ -254,6 +466,107 @@ class TestLazyStreamFanOut:
         )
         assert produced == list(range(12))  # each record produced exactly once
         assert sum(len(shard) for shard in plan.left_shards) == 12
+
+
+class TestReplicatedShardPlan:
+    """Gram-replicated plans: multi-shard routing with shared origins."""
+
+    def _values(self, count):
+        return [f"location {index % 5}" for index in range(count)]
+
+    def test_gram_plan_replicates_with_correct_origins(self):
+        values = self._values(20)
+        plan = ShardPlan.build(
+            ListStream(SCHEMA, _records(values)),
+            ListStream(SCHEMA, _records(values)),
+            "location",
+            shard_count=4,
+            partitioner="gram",
+        )
+        total = sum(len(shard) for shard in plan.left_shards)
+        assert total > 20  # records appear in more than one shard
+        assert plan.left_input_size == 20
+        assert plan.right_input_size == 20
+        # Every copy keeps its global identity, and no origin is lost.
+        for shard in plan.left_shards:
+            assert shard.origins == sorted(shard.origins)
+            for record, origin in zip(shard.records, shard.origins):
+                assert record["row_id"] == origin
+        covered = {
+            origin for shard in plan.left_shards for origin in shard.origins
+        }
+        assert covered == set(range(20))
+
+    def test_replication_factors(self):
+        values = self._values(24)
+        gram_plan = ShardPlan.build(
+            ListStream(SCHEMA, _records(values)),
+            ListStream(SCHEMA, _records(values)),
+            "location",
+            shard_count=4,
+            partitioner="gram",
+        )
+        left_factor, right_factor = gram_plan.replication_factors()
+        assert left_factor > 1.0
+        assert left_factor == sum(len(s) for s in gram_plan.left_shards) / 24
+        assert right_factor == left_factor  # identical inputs
+        hash_plan = ShardPlan.build(
+            ListStream(SCHEMA, _records(values)),
+            ListStream(SCHEMA, _records(values)),
+            "location",
+            shard_count=4,
+        )
+        assert hash_plan.replication_factors() == (1.0, 1.0)
+
+    def test_lazy_stream_still_pulled_exactly_once(self):
+        records = _records(self._values(15))
+        left = CountingStream(SCHEMA, records)
+        right = CountingStream(SCHEMA, records)
+        ShardPlan.build(left, right, "location", shard_count=4, partitioner="gram")
+        assert left.pulls == 15  # replication copies references, never re-pulls
+        assert right.pulls == 15
+
+    def test_out_of_range_assignment_rejected(self):
+        class Rogue(Partitioner):
+            def assign(self, side, ordinal, value, shard_count):
+                return shard_count  # one past the end
+
+        with pytest.raises(ValueError, match="outside"):
+            ShardPlan.build(
+                ListStream(SCHEMA, _records(["a"])),
+                ListStream(SCHEMA, _records(["a"])),
+                "location",
+                shard_count=2,
+                partitioner=Rogue(),
+            )
+
+    def test_empty_assignment_rejected(self):
+        class Silent(Partitioner):
+            def assign_many(self, side, ordinal, value, shard_count):
+                return ()
+
+        with pytest.raises(ValueError, match="no shard"):
+            ShardPlan.build(
+                ListStream(SCHEMA, _records(["a"])),
+                ListStream(SCHEMA, _records(["a"])),
+                "location",
+                shard_count=2,
+                partitioner=Silent(),
+            )
+
+    def test_duplicate_assignment_rejected(self):
+        class Stutter(Partitioner):
+            def assign_many(self, side, ordinal, value, shard_count):
+                return (0, 0)  # would silently double-store the record
+
+        with pytest.raises(ValueError, match="duplicate shards"):
+            ShardPlan.build(
+                ListStream(SCHEMA, _records(["a"])),
+                ListStream(SCHEMA, _records(["a"])),
+                "location",
+                shard_count=2,
+                partitioner=Stutter(),
+            )
 
 
 class TestMergeCounters:

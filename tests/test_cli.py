@@ -187,6 +187,42 @@ class TestLinkCommand:
         output = capsys.readouterr().out
         assert "per-shard breakdown" in output
 
+    def test_links_sharded_with_gram_partitioner(self, tmp_path, capsys):
+        """Gram-replicated sharding matches the unsharded pair set exactly."""
+        parent = tmp_path / "parent.csv"
+        child = tmp_path / "child.csv"
+        main([
+            "generate",
+            "--pattern", "few_high",
+            "--parent-size", "80",
+            "--child-size", "160",
+            "--parent-output", str(parent),
+            "--child-output", str(child),
+            "--truth-output", str(tmp_path / "truth.csv"),
+        ])
+        # budget-greedy without a budget never switches out of lap/rap:
+        # a schedule-free all-approximate run, the workload the gram
+        # partitioner's recall guarantee is stated for.
+        common = [
+            "link", str(parent), str(child),
+            "--attribute", "location",
+            "--strategy", "adaptive",
+            "--policy", "budget-greedy",
+        ]
+        unsharded = tmp_path / "unsharded.csv"
+        assert main(common + ["--output", str(unsharded)]) == 0
+        sharded = tmp_path / "sharded.csv"
+        exit_code = main(common + [
+            "--shards", "2",
+            "--partitioner", "gram",
+            "--output", str(sharded),
+        ])
+        assert exit_code == 0
+        unsharded_pairs = set(unsharded.read_text().splitlines()[1:])
+        sharded_pairs = set(sharded.read_text().splitlines()[1:])
+        assert sharded_pairs == unsharded_pairs
+        assert "per-shard breakdown" in capsys.readouterr().out
+
     def test_sharded_non_adaptive_is_a_clean_cli_error(self, tmp_path, capsys):
         exit_code = main([
             "link", "a.csv", "b.csv",
