@@ -2,8 +2,8 @@
 """Trajectory benchmark for the sharded execution layer.
 
 Runs the same adaptive (MAR) join at several shard counts (default
-1/2/4/8) on every execution backend (serial / thread / process) and
-records, per shard count:
+1/2/4/8) on every execution backend (serial / thread / process / async)
+and records, per shard count:
 
 * wall-clock seconds per backend, plus the within-run **speedup ratios**
   ``serial_seconds / thread_seconds`` and ``serial_seconds /
@@ -72,8 +72,13 @@ RECALL_PROBE_TUPLES = 3_000
 SMOKE_RECALL_PROBE_TUPLES = 1_000
 DEFAULT_SHARD_COUNTS = (1, 2, 4, 8)
 SMOKE_SHARD_COUNTS = (1, 2)
-DEFAULT_BACKENDS = ("serial", "thread", "process")
-SMOKE_BACKENDS = ("serial",)
+#: ``async`` is the cooperative single-thread backend: its *_speedup
+#: entry reads as pure coordination overhead vs serial (expect ≈1), the
+#: same way thread reads under the GIL.
+DEFAULT_BACKENDS = ("serial", "thread", "process", "async")
+#: The CI smoke also covers the async backend (cheap: one thread, no
+#: pools), pinning serial/async agreement at 1 and 2 shards.
+SMOKE_BACKENDS = ("serial", "async")
 #: Partitioners compared by the recall probe: the exact-semantics default
 #: against the gram-replicated full-recall partitioner.
 RECALL_PARTITIONERS = ("hash", "gram")
@@ -230,10 +235,10 @@ def bench_shard_counts(
         print(
             f"[{shards} shard(s)] " + " ".join(
                 f"{backend}={entry[f'{backend}_seconds']}s" for backend in backends
-            ) + (
-                f" thread_speedup={entry.get('thread_speedup')}"
-                f" process_speedup={entry.get('process_speedup')}"
-                if len(backends) > 1 else ""
+            ) + "".join(
+                f" {backend}_speedup={entry.get(f'{backend}_speedup')}"
+                for backend in backends
+                if backend != "serial"
             ) + f" matches={entry['matches']}"
             f" recall_vs_unsharded={entry['match_recall_vs_unsharded']}"
         )

@@ -4,7 +4,10 @@
 This example builds a tiny street-atlas (parent) table and an accidents
 (child) table whose location strings contain a few typos, then links them
 with each of the four strategies exposed by :func:`repro.link_tables` and
-prints what each strategy found.
+prints what each strategy found.  It closes with the job-oriented API —
+the fluent :class:`repro.LinkageJob` builder behind ``link_tables`` —
+streaming the same matches one by one (see examples/streaming_jobs.py
+for the full tour: progress, cancellation, the async backend).
 
 Run with::
 
@@ -13,7 +16,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import Table, Schema, link_tables
+from repro import LinkageJob, Table, Schema, link_tables
 from repro.linkage.evaluation import evaluate_pairs
 
 ATLAS_SCHEMA = Schema(["municipality_id", "location"], name="atlas")
@@ -84,6 +87,22 @@ def main() -> None:
         strategy="adaptive", similarity_threshold=threshold,
     )
     print("\nadaptive trace:", adaptive.statistics["trace"])
+
+    # The same run, job-shaped: build fluently, stream matches as they
+    # are found instead of waiting for the full result.
+    handle = (
+        LinkageJob.between(atlas, accidents)
+        .on("location")
+        .strategy("adaptive")
+        .threshold(threshold)
+        .build()
+    )
+    print("\nstreamed through the jobs API:")
+    for match in handle.stream_matches(batch_size=4):
+        print(
+            f"  step {match.event.step:2d}: pair {match.pair} "
+            f"({match.event.mode.value}, sim {match.event.similarity:.2f})"
+        )
 
 
 if __name__ == "__main__":

@@ -41,7 +41,15 @@ The package is organised in layers, bottom-up:
 
 ``repro.linkage``
     A thin record-linkage toolkit layer (decision rules, blocking,
-    evaluation against ground truth) and a high-level ``link_tables`` API.
+    evaluation against ground truth) and the high-level ``link_tables``
+    entry point (a compatibility wrapper over the jobs layer).
+
+``repro.jobs``
+    The job-oriented public API: the fluent ``LinkageJob`` builder
+    (compiles to a frozen ``RunConfig``) and the ``JobHandle`` it
+    returns — blocking ``run()``, lazy ``stream_matches()`` (sync and
+    async), live ``progress()`` and mid-run ``cancel()`` with partial
+    results.
 
 ``repro.datagen``
     The synthetic workload generator of Sec. 4.1: municipality-style parent
@@ -59,6 +67,7 @@ from repro.core.state_machine import JoinState
 from repro.core.thresholds import Thresholds
 from repro.engine.table import Table
 from repro.engine.tuples import Record, Schema
+from repro.jobs import JobHandle, LinkageJob, LinkageResult, StreamedMatch
 from repro.joins.shjoin import SHJoin
 from repro.joins.sshjoin import SSHJoin
 from repro.linkage.api import link_tables
@@ -67,7 +76,7 @@ from repro.runtime.events import EventBus
 from repro.runtime.policy import available_policies, register_policy
 from repro.runtime.session import JoinSession
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AdaptiveJoinProcessor",
@@ -81,6 +90,10 @@ __all__ = [
     "SHJoin",
     "SSHJoin",
     "link_tables",
+    "LinkageJob",
+    "JobHandle",
+    "LinkageResult",
+    "StreamedMatch",
     "RunConfig",
     "JoinSession",
     "EventBus",

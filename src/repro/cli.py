@@ -15,7 +15,12 @@ writing Python:
     policy: ``mar``, ``fixed``, ``budget-greedy``, ``deadline``, …),
     ``--budget`` (a relative cost cap), ``--deadline`` (a wall-clock cap)
     and sharded execution via ``--shards`` / ``--backend`` /
-    ``--partitioner``.
+    ``--partitioner`` (``--backend async`` runs all shards cooperatively
+    on one asyncio loop).  Runs execute through the jobs layer
+    (:mod:`repro.jobs`): ``--stream`` emits matches on stdout as NDJSON
+    *while they are found* instead of waiting for the run, and
+    ``--progress`` prints a live stderr ticker (steps / matches / shards
+    / elapsed).
 
 ``experiment``
     Run the full gain/cost experiment (all three strategies) for a standard
@@ -33,7 +38,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import threading
 from typing import Optional, Sequence
 
 from repro.bench.calibration import calibrate_weights
@@ -48,10 +55,14 @@ from repro.datagen.testcases import (
     generate_test_case,
 )
 from repro.engine.table import Table
-from repro.linkage.api import STRATEGIES, link_tables
+from repro.jobs import JobHandle, LinkageJob, StreamedMatch
+from repro.linkage.api import STRATEGIES
 from repro.runtime.parallel import available_backends
 from repro.runtime.policy import available_policies
 from repro.runtime.sharding import available_partitioners
+
+#: Seconds between live ``--progress`` ticker lines on stderr.
+_PROGRESS_TICK_SECONDS = 0.5
 
 
 def _add_threshold_arguments(parser: argparse.ArgumentParser) -> None:
@@ -89,7 +100,9 @@ def _add_sharding_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--backend", choices=available_backends(),
                         default="serial",
                         help="where shard sessions run: serial (reference), "
-                             "thread, or process (multi-core)")
+                             "thread, process (multi-core), or async "
+                             "(cooperative asyncio interleaving with live "
+                             "events and prompt cancellation)")
     parser.add_argument("--partitioner", choices=available_partitioners(),
                         default="hash",
                         help="record-to-shard assignment; hash co-partitions "
@@ -142,6 +155,13 @@ def build_parser() -> argparse.ArgumentParser:
     link.add_argument("--strategy", choices=STRATEGIES, default="adaptive")
     link.add_argument("--output", default="matches.csv",
                       help="where to write the matched pairs")
+    link.add_argument("--stream", action="store_true",
+                      help="emit matches on stdout as NDJSON while they are "
+                           "found (adaptive strategy only); the CSV output "
+                           "is still written at the end")
+    link.add_argument("--progress", action="store_true",
+                      help="print a live progress ticker (steps, matches, "
+                           "shards, elapsed) to stderr during the run")
     _add_threshold_arguments(link)
     _add_sharding_arguments(link)
 
@@ -202,6 +222,41 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _match_json(match: StreamedMatch) -> str:
+    """One NDJSON line for a streamed match (the ``--stream`` format)."""
+    payload = {
+        "left_index": match.left_index,
+        "right_index": match.right_index,
+        "similarity": round(match.event.similarity, 4),
+        "mode": match.event.mode.value,
+        "step": match.event.step,
+    }
+    if match.shard_id is not None:
+        payload["shard"] = match.shard_id
+    return json.dumps(payload)
+
+
+def _progress_ticker(handle: JobHandle):
+    """Start the stderr progress ticker; returns the stop-and-join hook."""
+    stop = threading.Event()
+
+    def tick() -> None:
+        while not stop.wait(_PROGRESS_TICK_SECONDS):
+            print(f"progress: {handle.progress().describe()}", file=sys.stderr)
+
+    thread = threading.Thread(target=tick, name="progress-ticker", daemon=True)
+    thread.start()
+
+    def join() -> None:
+        stop.set()
+        thread.join()
+        # Always print the final reading, even for runs faster than one
+        # tick, so --progress output is deterministic enough to test.
+        print(f"progress: {handle.progress().describe()}", file=sys.stderr)
+
+    return join
+
+
 def _command_link(args: argparse.Namespace) -> int:
     if args.shards < 1:
         print(f"error: --shards must be at least 1, got {args.shards}",
@@ -211,34 +266,86 @@ def _command_link(args: argparse.Namespace) -> int:
         print("error: --shards is only available with --strategy adaptive",
               file=sys.stderr)
         return 2
+    if args.stream and args.strategy != "adaptive":
+        print("error: --stream is only available with --strategy adaptive "
+              "(the baselines materialise their whole result)",
+              file=sys.stderr)
+        return 2
+    if args.progress and args.strategy != "adaptive":
+        print("error: --progress is only available with --strategy adaptive "
+              "(the baseline operators publish no progress events)",
+              file=sys.stderr)
+        return 2
+    if args.stream and args.backend != "serial":
+        print("error: --stream runs the deterministic serial-merge path and "
+              "cannot honour --backend "
+              f"{args.backend}; drop --stream to use that backend, or drop "
+              "--backend to stream",
+              file=sys.stderr)
+        return 2
     left = Table.from_csv(args.left_csv, name="left")
     right = Table.from_csv(args.right_csv, name="right")
-    result = link_tables(
-        left,
-        right,
-        args.attribute,
-        strategy=args.strategy,
-        similarity_threshold=args.theta_sim,
-        thresholds=_thresholds_from_args(args),
-        policy=args.policy,
-        budget=args.budget,
-        deadline=args.deadline,
-        shards=args.shards,
-        backend=args.backend,
-        partitioner=args.partitioner,
+    job = (
+        LinkageJob.between(left, right)
+        .on(args.attribute)
+        .strategy(args.strategy)
+        .threshold(args.theta_sim)
+        .thresholds(_thresholds_from_args(args))
     )
-    with open(args.output, "w", encoding="utf-8") as handle:
-        handle.write("left_index,right_index\n")
+    if args.strategy == "adaptive":
+        job.policy(args.policy, budget=args.budget, seconds=args.deadline)
+    if args.shards != 1:
+        job.sharded(args.shards, backend=args.backend,
+                    partitioner=args.partitioner)
+    if args.progress:
+        job.with_progress()
+    handle = job.build()
+    join_ticker = None
+    if args.progress:
+        join_ticker = _progress_ticker(handle)
+    try:
+        if args.stream:
+            stream = handle.stream_matches()
+            try:
+                for match in stream:
+                    print(_match_json(match))
+            except BrokenPipeError:
+                # The downstream consumer (e.g. `| head`) closed stdout:
+                # that is a cancel — keep the partial result, exit clean.
+                stream.close()
+                # Point the stdout *fd* at devnull so the interpreter's
+                # exit-time flush cannot trip over the broken pipe; the
+                # sys.stdout object itself is left alone (in-process
+                # callers and capture fixtures keep working).
+                try:
+                    devnull = os.open(os.devnull, os.O_WRONLY)
+                    os.dup2(devnull, sys.stdout.fileno())
+                    os.close(devnull)
+                except (OSError, ValueError, AttributeError):
+                    pass  # non-fd stdout (test capture): nothing to fix
+            result = handle.result()
+        else:
+            result = handle.run()
+    finally:
+        if join_ticker is not None:
+            join_ticker()
+    with open(args.output, "w", encoding="utf-8") as output:
+        output.write("left_index,right_index\n")
         for left_index, right_index in result.pairs:
-            handle.write(f"{left_index},{right_index}\n")
+            output.write(f"{left_index},{right_index}\n")
+    report = sys.stderr if args.stream else sys.stdout
     print(
-        f"{args.strategy}: {result.pair_count} matched pairs written to {args.output}"
+        f"{args.strategy}: {result.pair_count} matched pairs written to "
+        f"{args.output}",
+        file=report,
     )
     if "trace" in result.statistics:
-        print(format_mapping(result.statistics["trace"], title="adaptive trace"))
+        print(format_mapping(result.statistics["trace"], title="adaptive trace"),
+              file=report)
     if "per_shard" in result.statistics:
         print(format_table(result.statistics["per_shard"],
-                           title="-- per-shard breakdown --"))
+                           title="-- per-shard breakdown --"),
+              file=report)
     return 0
 
 

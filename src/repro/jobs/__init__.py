@@ -1,0 +1,48 @@
+"""The job-oriented public API.
+
+The paper's contribution is *adaptive, time-aware* join processing, and
+this layer gives it a matching public surface: instead of one blocking,
+materialise-everything call, a linkage run is a **job** — declared with
+the fluent, validating :class:`LinkageJob` builder, compiled into the
+runtime layer's frozen :class:`~repro.runtime.config.RunConfig`, and
+executed through a :class:`JobHandle` that can block
+(:meth:`~repro.jobs.handle.JobHandle.run`), stream matches lazily as
+they are found (:meth:`~repro.jobs.handle.JobHandle.stream_matches`,
+sync or async), report live progress
+(:meth:`~repro.jobs.handle.JobHandle.progress`, fed by
+``StepResult``/``ShardCompleted`` bus events through a
+:class:`~repro.runtime.collectors.ProgressCollector`) and be cancelled
+mid-run with partial results
+(:meth:`~repro.jobs.handle.JobHandle.cancel`)::
+
+    from repro.jobs import LinkageJob
+
+    handle = (
+        LinkageJob.between(parent, child)
+        .on("location")
+        .strategy("adaptive")
+        .policy("deadline", seconds=2.0)
+        .sharded(8, backend="async")
+        .build()
+    )
+    for match in handle.stream_matches():
+        print(match.pair, match.event.similarity)
+
+The legacy :func:`repro.linkage.api.link_tables` survives as a thin
+wrapper over this builder, so existing call sites keep working
+unchanged.  See ARCHITECTURE.md ("Jobs layer") for the full picture.
+"""
+
+from repro.jobs.builder import STRATEGIES, JobSpec, LinkageJob
+from repro.jobs.handle import DEFAULT_STREAM_BATCH, JobHandle, StreamedMatch
+from repro.jobs.result import LinkageResult
+
+__all__ = [
+    "DEFAULT_STREAM_BATCH",
+    "JobHandle",
+    "JobSpec",
+    "LinkageJob",
+    "LinkageResult",
+    "STRATEGIES",
+    "StreamedMatch",
+]

@@ -1,0 +1,650 @@
+"""Job execution: the handle a built :class:`LinkageJob` returns.
+
+A :class:`JobHandle` is one-shot and job-shaped: submit
+(:meth:`~JobHandle.run`, :meth:`~JobHandle.stream_matches` or
+:meth:`~JobHandle.stream_matches_async`), observe
+(:meth:`~JobHandle.progress`), interrupt (:meth:`~JobHandle.cancel`) and
+collect (:meth:`~JobHandle.result`).  The blocking :meth:`run` executes
+on the configured backend (``serial`` / ``thread`` / ``process`` /
+``async``); the streaming surfaces drive the deterministic serial-merge
+path incrementally so matches surface as they are found instead of after
+the run — exactly the interruptible behaviour the adaptive (MAR) loop
+was built for and the old materialise-everything ``link_tables`` call
+hid.
+
+Matches are streamed as :class:`StreamedMatch` items: the global
+``(left_index, right_index)`` pair identity (already translated from
+shard-local ordinals in sharded runs, cross-shard duplicates removed
+first-shard-wins) plus the underlying
+:class:`~repro.joins.base.MatchEvent` with its similarity, mode and step.
+
+The baseline strategies (exact / approximate / blocking) run their
+dedicated operators — the code that used to live inline in
+``link_tables`` — and only support the blocking :meth:`run`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+import warnings
+from dataclasses import dataclass
+from typing import AsyncIterator, Dict, Iterator, List, Optional, Tuple
+
+from repro.engine.table import Table
+from repro.joins.base import JoinAttribute, MatchEvent
+from repro.joins.baselines import BlockingLinkageJoin
+from repro.joins.shjoin import SHJoin
+from repro.joins.sshjoin import SSHJoin
+from repro.jobs.builder import JobSpec
+from repro.jobs.result import LinkageResult
+from repro.runtime.collectors import ProgressCollector, ProgressSnapshot
+from repro.runtime.config import input_size
+from repro.runtime.events import EventBus, ShardCompleted
+from repro.runtime.parallel import AggregatedEventBus, run_sharded
+from repro.runtime.session import JoinSession
+from repro.runtime.sharding import (
+    FirstShardWins,
+    ShardedJoinResult,
+    ShardOutcome,
+    ShardPlan,
+    partitioner_replicates,
+)
+
+#: Default engine steps per streamed batch: small enough that matches and
+#: cancellation surface promptly, large enough to amortise the generator
+#: round-trip over the fast-path probe loop.
+DEFAULT_STREAM_BATCH = 256
+
+
+@dataclass(frozen=True, slots=True)
+class StreamedMatch:
+    """One match, as yielded by the streaming surfaces.
+
+    ``left_index`` / ``right_index`` are *global* input positions
+    (shard-local ordinals are translated through the plan's origin maps),
+    so streamed identities agree with ``LinkageResult.pairs`` and with
+    unsharded runs.  ``event`` carries the full match detail.
+    """
+
+    left_index: int
+    right_index: int
+    event: MatchEvent
+    #: Shard that discovered the match (``None`` in unsharded runs).
+    shard_id: Optional[int] = None
+
+    @property
+    def pair(self) -> Tuple[int, int]:
+        """The global ``(left index, right index)`` identity."""
+        return (self.left_index, self.right_index)
+
+
+class JobHandle:
+    """One submitted linkage job (see the module docstring).
+
+    States: ``pending`` → ``running`` → ``finished`` | ``cancelled`` |
+    ``failed`` (the run raised; the exception propagated to the caller).
+    Exactly one of the run/stream surfaces may be started, once;
+    :meth:`result` returns the (possibly partial) outcome afterwards.
+    :meth:`cancel` may be called from any thread at any time — before the
+    run starts (nothing will execute) or mid-run (the run stops at the
+    next engine-batch or shard boundary and the partial result is kept,
+    flagged ``cancelled``).  Closing a match stream early cancels the job
+    the same way.
+    """
+
+    def __init__(self, spec: JobSpec) -> None:
+        self.spec = spec
+        self._cancel = threading.Event()
+        self._state = "pending"
+        self._result: Optional[LinkageResult] = None
+        self._progress: Optional[ProgressCollector] = None
+        if spec.progress_enabled:
+            left_size = input_size(spec.left)
+            right_size = input_size(spec.right)
+            # Under a replicating partitioner (gram) the true step count
+            # is the replicated record volume, unknown before the plan is
+            # built: leave the total unset so `fraction` falls back to
+            # shards-done rather than reporting 100% mid-run.
+            replicated = spec.shards > 1 and partitioner_replicates(
+                spec.partitioner
+            )
+            self._progress = ProgressCollector(
+                total_steps=(
+                    left_size + right_size
+                    if left_size is not None
+                    and right_size is not None
+                    and not replicated
+                    else None
+                ),
+                total_shards=spec.shards if spec.shards > 1 else None,
+            )
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """``pending`` / ``running`` / ``finished`` / ``cancelled`` / ``failed``."""
+        return self._state
+
+    @property
+    def finished(self) -> bool:
+        """Whether the job ran to natural completion."""
+        return self._state == "finished"
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether cancellation has been requested."""
+        return self._cancel.is_set()
+
+    def progress(self) -> ProgressSnapshot:
+        """Live progress (steps, matches, shards done, elapsed).
+
+        Requires the job to have been built ``.with_progress()`` — the
+        per-step feed is opt-in so pure-throughput runs never pay for it.
+        """
+        if self._progress is None:
+            raise RuntimeError(
+                "progress tracking is off for this job: build it with "
+                "LinkageJob...with_progress().build() to enable the feed"
+            )
+        return self._progress.snapshot()
+
+    def cancel(self) -> None:
+        """Request a mid-run stop (idempotent, callable from any thread).
+
+        The run stops at the next quiescent boundary — between engine
+        batches on the serial/async paths and streaming surfaces, between
+        shards everywhere — and :meth:`result` returns the partial
+        outcome with ``cancelled=True``.
+        """
+        self._cancel.set()
+
+    def result(self) -> LinkageResult:
+        """The job's outcome (partial when cancelled).
+
+        Only available once a run/stream surface has completed; polling
+        it on a pending or still-running job is an error.
+        """
+        if self._result is None:
+            if self._state == "failed":
+                raise RuntimeError(
+                    "job failed: the run raised (the exception propagated "
+                    "to the caller) and no result is available — handles "
+                    "are one-shot, build the job again to retry"
+                )
+            raise RuntimeError(
+                f"job is {self._state}: run it (run() / stream_matches()) "
+                "to completion or cancellation before asking for result()"
+            )
+        return self._result
+
+    # -- execution: blocking ---------------------------------------------------------
+
+    def run(self) -> LinkageResult:
+        """Execute the job to completion (or cancellation) and return.
+
+        Adaptive jobs run through :class:`JoinSession` — sharded ones on
+        the configured :class:`~repro.runtime.parallel.ParallelExecutor`
+        backend — with the handle's cancel token threaded into every
+        loop; baseline strategies run their dedicated operators.
+        """
+        self._start()
+        spec = self.spec
+        try:
+            if spec.strategy != "adaptive":
+                outcome = self._run_baseline()
+            elif spec.shards > 1:
+                outcome = self._run_sharded()
+            else:
+                outcome = self._run_session()
+        except BaseException:
+            self._state = "failed"
+            raise
+        return self._finish(outcome)
+
+    def _run_session(self) -> LinkageResult:
+        spec = self.spec
+        bus = EventBus()
+        if self._progress is not None:
+            self._progress.attach(bus)
+        session = JoinSession(
+            spec.left, spec.right, spec.attribute, spec.run_config, bus=bus
+        )
+        outcome = session.run(cancel=self._cancel)
+        return self._session_result(session, outcome)
+
+    def _session_result(
+        self, session: JoinSession, outcome, streamed: bool = False
+    ) -> LinkageResult:
+        """The one place an unsharded session outcome becomes a result.
+
+        Shared by the blocking and streaming paths so their statistics
+        can never drift apart (the streamed ≡ blocking contract).
+        """
+        statistics = {
+            "trace": outcome.trace.summary(),
+            "final_state": outcome.final_state.label,
+            "result_size": outcome.result_size,
+            "policy": session.policy.name,
+            "budget_exhausted": session.budget_exhausted,
+        }
+        if streamed:
+            statistics["streamed"] = True
+        return LinkageResult.lazy(
+            strategy=self.spec.strategy,
+            pairs=outcome.matched_pairs(),
+            records_factory=outcome.output_records,
+            statistics=statistics,
+            cancelled=outcome.cancelled,
+        )
+
+    def _run_sharded(self) -> LinkageResult:
+        spec = self.spec
+        bus = None
+        if self._progress is not None:
+            bus = AggregatedEventBus()
+            self._progress.attach(bus)
+        sharded = run_sharded(
+            spec.left,
+            spec.right,
+            spec.attribute,
+            spec.run_config,
+            shards=spec.shards,
+            partitioner=spec.partitioner,
+            backend=spec.backend,
+            max_workers=spec.max_workers,
+            bus=bus,
+            cancel=self._cancel,
+        )
+        return self._sharded_result(sharded)
+
+    def _sharded_result(self, sharded: ShardedJoinResult) -> LinkageResult:
+        spec = self.spec
+        if not sharded.shards:
+            # Cancelled before any shard ran: an empty partial result.
+            return LinkageResult.eager(
+                spec.strategy,
+                [],
+                [],
+                statistics=self._sharded_statistics(sharded),
+                cancelled=True,
+            )
+        return LinkageResult.lazy(
+            strategy=spec.strategy,
+            pairs=sharded.matched_pairs(),
+            records_factory=sharded.output_records,
+            statistics=self._sharded_statistics(sharded),
+            cancelled=sharded.cancelled,
+        )
+
+    def _sharded_statistics(self, sharded: ShardedJoinResult) -> Dict[str, object]:
+        statistics: Dict[str, object] = {
+            "result_size": sharded.result_size,
+            "raw_result_size": sharded.raw_result_size,
+            "duplicate_matches": sharded.duplicate_match_count,
+            "replication_factors": sharded.replication_factors(),
+            "policy": self.spec.run_config.policy,
+            "shards": sharded.shard_count,
+            "backend": sharded.backend,
+            "partitioner": sharded.partitioner,
+            "final_states": {
+                shard: state.label
+                for shard, state in sharded.final_states.items()
+            },
+            "per_shard": sharded.per_shard_summary(),
+        }
+        if sharded.shards:
+            statistics["trace"] = sharded.trace.summary()
+        if sharded.cancelled:
+            statistics["cancelled"] = True
+        return statistics
+
+    # -- execution: streaming --------------------------------------------------------
+
+    def stream_matches(
+        self, batch_size: int = DEFAULT_STREAM_BATCH
+    ) -> Iterator[StreamedMatch]:
+        """Lazily yield matches as the run discovers them (adaptive only).
+
+        Drives the session(s) ``batch_size`` engine steps at a time and
+        yields each batch's matches immediately, so the first match
+        surfaces long before the inputs are drained.  Sharded jobs
+        stream the deterministic serial-merge path — shards in id order,
+        shard-local ordinals translated to global pairs, cross-shard
+        duplicates dropped first-shard-wins — regardless of the
+        configured backend (which only the blocking :meth:`run` uses).
+        Policy activations land at exactly the same steps as a blocking
+        run.
+
+        Cancellation (:meth:`cancel`, or closing this iterator early)
+        stops the run at the next batch boundary; :meth:`result` then
+        holds everything the run produced up to that point — a superset
+        of what was streamed when the iterator was closed mid-batch —
+        flagged ``cancelled``.
+
+        The handle claims its one-shot slot at *call* time, so either
+        consume the returned iterator or ``close()`` it; an abandoned,
+        never-started iterator leaves the job in ``running`` with no
+        result.  A sharded job configured with a parallel backend gets a
+        ``UserWarning`` here — streaming trades that parallelism for the
+        deterministic incremental feed (use :meth:`run` to keep it).
+        """
+        self._require_adaptive("stream_matches()")
+        self._warn_stream_backend("stream_matches()")
+        self._start()
+        if self.spec.shards > 1:
+            return self._stream_sharded(batch_size)
+        return self._stream_unsharded(batch_size)
+
+    def stream_matches_async(
+        self, batch_size: int = DEFAULT_STREAM_BATCH
+    ) -> AsyncIterator[StreamedMatch]:
+        """:meth:`stream_matches` as an async iterator.
+
+        Yields the event loop between engine batches (``await``-friendly
+        backpressure), so a consumer can interleave the join with other
+        asyncio work — serve requests, tick dashboards, enforce its own
+        deadline and :meth:`cancel` — on one thread.  Same match stream,
+        order and cancellation semantics as the sync surface.
+
+        Validation and the one-shot state transition happen here, at
+        call time (like the sync surface), not at the first ``__anext__``
+        — and the same caveats apply: consume or ``aclose()`` the
+        iterator, and a parallel backend warns (streaming is the serial
+        path).
+        """
+        self._require_adaptive("stream_matches_async()")
+        self._warn_stream_backend("stream_matches_async()")
+        self._start()
+        stream = (
+            self._stream_sharded(batch_size)
+            if self.spec.shards > 1
+            else self._stream_unsharded(batch_size)
+        )
+
+        async def drive() -> AsyncIterator[StreamedMatch]:
+            try:
+                for match in stream:
+                    yield match
+                    await asyncio.sleep(0)
+            finally:
+                stream.close()
+
+        return drive()
+
+    def _require_adaptive(self, what: str) -> None:
+        if self.spec.strategy != "adaptive":
+            raise ValueError(
+                f"{what} requires the adaptive strategy (the baselines "
+                f"materialise their whole result); this job runs "
+                f"{self.spec.strategy!r} — use run() instead"
+            )
+
+    def _warn_stream_backend(self, what: str) -> None:
+        """Streaming trades the configured parallel backend for the
+        deterministic serial-merge feed — say so instead of silently
+        dropping the parallelism the caller asked for."""
+        if self.spec.shards > 1 and self.spec.backend != "serial":
+            warnings.warn(
+                f"{what} runs the deterministic serial-merge path; the "
+                f"configured {self.spec.backend!r} backend only applies "
+                f"to run()",
+                UserWarning,
+                stacklevel=3,
+            )
+
+    def _stream_unsharded(self, batch_size: int) -> Iterator[StreamedMatch]:
+        spec = self.spec
+        bus = EventBus()
+        if self._progress is not None:
+            self._progress.attach(bus)
+        session = JoinSession(
+            spec.left, spec.right, spec.attribute, spec.run_config, bus=bus
+        )
+
+        def finalize() -> None:
+            # Everything derives from the session outcome, so pairs,
+            # records and result_size stay mutually consistent even when
+            # the stream is closed mid-batch (the outcome may then hold a
+            # few matches the consumer never pulled — same convention as
+            # the sharded streaming path).
+            self._finish(
+                self._session_result(session, session.result(), streamed=True)
+            )
+
+        try:
+            for batch in session.run_batches(
+                max_batch=batch_size, cancel=self._cancel
+            ):
+                for event in batch:
+                    pair = event.pair_key()
+                    yield StreamedMatch(pair[0], pair[1], event)
+        except GeneratorExit:
+            # The consumer closed the stream early: that is a cancel —
+            # unless the session had already drained both inputs (the
+            # close landed on the final batch's last yield), in which
+            # case the run genuinely completed.
+            if not session.finished:
+                self._cancel.set()
+                session.mark_cancelled()
+            finalize()
+            raise
+        except BaseException:
+            self._state = "failed"
+            raise
+        else:
+            finalize()
+
+    def _stream_sharded(self, batch_size: int) -> Iterator[StreamedMatch]:
+        spec = self.spec
+        plan = ShardPlan.build(
+            spec.left,
+            spec.right,
+            spec.attribute,
+            spec.shards,
+            spec.partitioner,
+            config=spec.run_config,
+        )
+        owner = FirstShardWins()
+        outcomes: List[ShardOutcome] = []
+        session: Optional[JoinSession] = None
+        shard_started = 0.0
+        shard_id = -1
+
+        def close_shard() -> Optional[ShardOutcome]:
+            """Record the current shard's (possibly partial) outcome.
+
+            A shard that observed the cancel token before its first step
+            was skipped, not run — dropped, like the backends drop them.
+            """
+            nonlocal session
+            if session is None:
+                return None
+            result = session.result()
+            session = None
+            if result.never_ran:
+                return None
+            outcome = ShardOutcome(
+                shard_id=shard_id,
+                result=result,
+                left_origins=plan.left_shards[shard_id].origins,
+                right_origins=plan.right_shards[shard_id].origins,
+                wall_seconds=time.perf_counter() - shard_started,
+            )
+            outcomes.append(outcome)
+            return outcome
+
+        def finalize() -> None:
+            sharded = ShardedJoinResult(
+                shards=tuple(outcomes),
+                backend="serial",  # the streaming path is the serial merge
+                partitioner=spec.partitioner,
+                left_input_size=plan.left_input_size,
+                right_input_size=plan.right_input_size,
+                cancelled=self._cancel.is_set(),
+            )
+            result = self._sharded_result(sharded)
+            result.statistics["streamed"] = True
+            self._finish(result)
+
+        try:
+            for shard_id in range(plan.shard_count):
+                if self._cancel.is_set():
+                    break
+                shard_started = time.perf_counter()
+                left, right = plan.shard_streams(shard_id)
+                bus = EventBus()
+                if self._progress is not None:
+                    self._progress.attach(bus)
+                session = JoinSession(
+                    left, right, plan.attribute, spec.run_config, bus=bus
+                )
+                left_origins = plan.left_shards[shard_id].origins
+                right_origins = plan.right_shards[shard_id].origins
+                for batch in session.run_batches(
+                    max_batch=batch_size, cancel=self._cancel
+                ):
+                    for event in batch:
+                        pair = (
+                            left_origins[event.left.ordinal],
+                            right_origins[event.right.ordinal],
+                        )
+                        # The merge path's dedup rule, decided the moment
+                        # the match is discovered.
+                        if owner.owns(pair, shard_id):
+                            yield StreamedMatch(pair[0], pair[1], event, shard_id)
+                outcome = close_shard()
+                if outcome is not None:
+                    bus.publish(
+                        ShardCompleted(
+                            shard_id, outcome.result, outcome.wall_seconds
+                        )
+                    )
+        except GeneratorExit:
+            # The consumer closed the stream early: a cancel, unless the
+            # close landed on the very last shard's final yield with its
+            # session already drained — then the run is complete.
+            run_complete = (
+                session is not None
+                and session.finished
+                and shard_id == plan.shard_count - 1
+            )
+            if not run_complete:
+                self._cancel.set()
+            if session is not None:
+                if not session.finished:
+                    session.mark_cancelled()
+                outcome = close_shard()
+                if outcome is not None:
+                    bus.publish(
+                        ShardCompleted(
+                            shard_id, outcome.result, outcome.wall_seconds
+                        )
+                    )
+            finalize()
+            raise
+        except BaseException:
+            self._state = "failed"
+            raise
+        else:
+            finalize()
+
+    # -- the baseline strategies (moved verbatim from the old link_tables) ------------
+
+    def _run_baseline(self) -> LinkageResult:
+        spec = self.spec
+        if self._cancel.is_set():
+            return LinkageResult.eager(
+                spec.strategy, [], [], statistics={}, cancelled=True
+            )
+        if spec.strategy == "exact":
+            operator = SHJoin(spec.left, spec.right, spec.attribute)
+        elif spec.strategy == "approximate":
+            operator = SSHJoin(
+                spec.left,
+                spec.right,
+                spec.attribute,
+                similarity_threshold=spec.similarity_threshold,
+            )
+        else:  # blocking
+            blocking = BlockingLinkageJoin(
+                spec.left,
+                spec.right,
+                spec.attribute,
+                threshold=spec.similarity_threshold,
+            )
+            records = blocking.run()
+            pairs = _pairs_from_records(
+                records, spec.left, spec.right, spec.attribute
+            )
+            return LinkageResult.eager(
+                spec.strategy,
+                pairs,
+                records,
+                statistics={
+                    "result_size": len(records),
+                    "comparisons": blocking.comparisons,
+                },
+            )
+        records = operator.run()
+        pairs = sorted(operator.engine._emitted_pairs)
+        return LinkageResult.eager(
+            spec.strategy,
+            pairs,
+            records,
+            statistics={
+                "result_size": len(records),
+                "operation_counters": operator.operation_counters().as_dict(),
+            },
+        )
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def _start(self) -> None:
+        if self._state != "pending":
+            raise RuntimeError(
+                f"job already {self._state}: a handle is one-shot — build "
+                "the job again for another run"
+            )
+        self._state = "running"
+        if self._progress is not None:
+            # Elapsed time measures the run, not the build()-to-run gap.
+            self._progress.restart_clock()
+
+    def _finish(self, result: LinkageResult) -> LinkageResult:
+        self._result = result
+        self._state = "cancelled" if result.cancelled else "finished"
+        return result
+
+
+def _pairs_from_records(
+    records, left: Table, right: Table, attribute: JoinAttribute
+) -> List[Tuple[int, int]]:
+    """Reconstruct (left index, right index) pairs from joined records.
+
+    Blocking joins emit records without ordinal bookkeeping, so pairs are
+    recovered by value lookup; when several rows share a value the first
+    matching row is used, which is adequate for evaluation because rows with
+    identical key values have identical linkage outcomes.
+    """
+    left_positions: Dict[object, List[int]] = {}
+    for index, record in enumerate(left):
+        left_positions.setdefault(record[attribute.left], []).append(index)
+    right_positions: Dict[object, List[int]] = {}
+    for index, record in enumerate(right):
+        right_positions.setdefault(record[attribute.right], []).append(index)
+    left_width = len(left.schema)
+    pairs: List[Tuple[int, int]] = []
+    for record in records:
+        values = record.values
+        left_value = values[left.schema.position(attribute.left)]
+        right_value = values[left_width + right.schema.position(attribute.right)]
+        pairs.append(
+            (
+                left_positions.get(left_value, [0])[0],
+                right_positions.get(right_value, [0])[0],
+            )
+        )
+    return pairs

@@ -1,0 +1,116 @@
+"""The result type every linkage entry point returns.
+
+:class:`LinkageResult` used to live in :mod:`repro.linkage.api`; it moved
+here when the jobs layer became the execution surface so that both the
+legacy :func:`~repro.linkage.api.link_tables` wrapper and the
+:class:`~repro.jobs.handle.JobHandle` paths can produce it without an
+import cycle (``repro.linkage`` re-exports it unchanged).
+
+The joined output ``records`` are **lazy**: most consumers only read
+``pairs`` / ``pair_count`` (completeness checks, evaluations against
+ground truth), and materialising one joined record per matched pair was
+pure waste for them.  ``records`` is now computed on first access and
+cached; strategies whose operators materialise records anyway (the
+blocking baseline) pass them eagerly and nothing changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import KW_ONLY, dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: Lazily invoked producer of the joined output records.
+RecordsFactory = Callable[[], List]
+
+
+@dataclass
+class LinkageResult:
+    """Outcome of one linkage run (``link_tables`` or a ``LinkageJob``).
+
+    Everything after ``pairs`` is keyword-only: the old dataclass took
+    ``records`` as its third positional field, and a stale positional
+    construction must fail loudly (``TypeError``) rather than silently
+    land records in ``statistics``.  Build instances through
+    :meth:`eager` / :meth:`lazy`.
+    """
+
+    strategy: str
+    #: Matched ``(left index, right index)`` pairs.
+    pairs: List[Tuple[int, int]]
+    _: KW_ONLY
+    #: Strategy-specific statistics (steps per state for the adaptive run,
+    #: comparison counts for the baselines, …).
+    statistics: Dict[str, object] = field(default_factory=dict)
+    #: Whether the run was stopped by :meth:`repro.jobs.JobHandle.cancel`
+    #: before completion (``pairs``/``records`` then hold the partial
+    #: result produced up to the cancellation point).
+    cancelled: bool = False
+    #: Cache and factory are representation details: two results with the
+    #: same strategy/pairs/statistics compare equal whether or not their
+    #: records have been materialised yet.
+    _records: Optional[List] = field(default=None, repr=False, compare=False)
+    _records_factory: Optional[RecordsFactory] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @classmethod
+    def eager(
+        cls,
+        strategy: str,
+        pairs: List[Tuple[int, int]],
+        records: List,
+        statistics: Optional[Dict[str, object]] = None,
+        cancelled: bool = False,
+    ) -> "LinkageResult":
+        """A result whose joined records are already materialised."""
+        return cls(
+            strategy=strategy,
+            pairs=pairs,
+            statistics=statistics or {},
+            cancelled=cancelled,
+            _records=records,
+        )
+
+    @classmethod
+    def lazy(
+        cls,
+        strategy: str,
+        pairs: List[Tuple[int, int]],
+        records_factory: RecordsFactory,
+        statistics: Optional[Dict[str, object]] = None,
+        cancelled: bool = False,
+    ) -> "LinkageResult":
+        """A result that materialises its joined records on first access."""
+        return cls(
+            strategy=strategy,
+            pairs=pairs,
+            statistics=statistics or {},
+            cancelled=cancelled,
+            _records_factory=records_factory,
+        )
+
+    @property
+    def records(self) -> List:
+        """Joined output records (left values followed by right values).
+
+        Built on first access from the match events and cached; consumers
+        that never touch this property never pay for record construction.
+        """
+        if self._records is None:
+            factory = self._records_factory
+            self._records = factory() if factory is not None else []
+            # Release the factory: its closure pins the whole session /
+            # sharded result graph (match events, origin maps), which has
+            # no business outliving the materialised records.
+            self._records_factory = None
+        return self._records
+
+    @property
+    def records_materialized(self) -> bool:
+        """Whether :attr:`records` has been built yet (regression hook)."""
+        return self._records is not None
+
+    @property
+    def pair_count(self) -> int:
+        """Number of matched pairs."""
+        return len(self.pairs)

@@ -13,6 +13,31 @@ returns the matched pairs together with run statistics.  Strategies:
 ``"blocking"``
     Conventional offline blocking + within-block similarity comparison.
 
+Migration note
+--------------
+``link_tables`` is now a thin compatibility wrapper over the job layer:
+it builds a :class:`repro.jobs.LinkageJob` and blocks on
+``.build().run()``.  Same parameters, same :class:`LinkageResult` (whose
+``records`` are now built lazily on first access), same statistics —
+every existing call site keeps working.  Parameters a strategy never
+consumed are still ignored (an out-of-range ``similarity_threshold``
+with ``strategy="exact"``, a ``budget`` next to a full ``config``); a
+nonsense value for a parameter the run *does* consume now raises a
+clear ``ValueError`` from the builder instead of silently producing an
+empty or meaningless result.  New code that wants more than a blocking
+call should use the builder directly, which additionally offers::
+
+    from repro.jobs import LinkageJob
+
+    handle = (LinkageJob.between(left, right).on("location")
+              .policy("deadline", seconds=2.0)
+              .sharded(8, backend="async")
+              .with_progress()
+              .build())
+    handle.stream_matches()        # lazy match iterator (async variant too)
+    handle.progress()              # live steps/matches/shards snapshot
+    handle.cancel()                # stop mid-run, keep the partial result
+
 Example
 -------
 >>> from repro.datagen import generate_test_case, STANDARD_TEST_CASES
@@ -26,40 +51,15 @@ True
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Optional, Union
 
 from repro.core.thresholds import Thresholds
 from repro.engine.table import Table
+from repro.jobs import STRATEGIES, LinkageJob, LinkageResult
 from repro.joins.base import JoinAttribute, JoinSide
-from repro.joins.baselines import BlockingLinkageJoin
-from repro.joins.shjoin import SHJoin
-from repro.joins.sshjoin import SSHJoin
 from repro.runtime.config import RunConfig
-from repro.runtime.parallel import run_sharded
-from repro.runtime.session import JoinSession
 
-#: The strategies accepted by :func:`link_tables`.
-STRATEGIES = ("exact", "approximate", "adaptive", "blocking")
-
-
-@dataclass
-class LinkageResult:
-    """Outcome of one :func:`link_tables` call."""
-
-    strategy: str
-    #: Matched ``(left index, right index)`` pairs.
-    pairs: List[Tuple[int, int]]
-    #: Joined output records (left values followed by right values).
-    records: List
-    #: Strategy-specific statistics (steps per state for the adaptive run,
-    #: comparison counts for the baselines, …).
-    statistics: Dict[str, object] = field(default_factory=dict)
-
-    @property
-    def pair_count(self) -> int:
-        """Number of matched pairs."""
-        return len(self.pairs)
+__all__ = ["STRATEGIES", "LinkageResult", "link_tables"]
 
 
 def link_tables(
@@ -80,176 +80,36 @@ def link_tables(
 ) -> LinkageResult:
     """Link two tables on ``attribute`` with the chosen strategy.
 
-    Parameters
-    ----------
-    left, right:
-        The two tables.  For the adaptive strategy, the ``parent_side``
-        input is treated as the parent/reference table of the parent-child
-        expectation.
-    attribute:
-        Join attribute name (same on both sides) or a
-        :class:`~repro.joins.base.JoinAttribute` naming one per side.
-    strategy:
-        One of :data:`STRATEGIES`.
-    similarity_threshold:
-        ``θ_sim`` for the approximate / blocking strategies (ignored by the
-        exact strategy); for the adaptive strategy prefer passing a full
-        ``thresholds`` object.
-    thresholds:
-        Full adaptive configuration; defaults to the paper's operating
-        point with ``theta_sim`` set to ``similarity_threshold``.
-    policy:
-        Switch policy for the adaptive strategy (default ``"mar"``, the
-        paper's control loop; see :func:`repro.runtime.available_policies`).
-    budget:
-        Optional relative cost budget in ``(0, 1]`` for the adaptive
-        strategy: the fraction of the all-approximate/all-exact cost gap
-        the run may spend before being pinned to the exact configuration.
-    deadline:
-        Optional wall-clock budget in seconds, consumed by the
-        ``deadline`` switch policy.
-    config:
-        Full :class:`~repro.runtime.config.RunConfig` for the adaptive
-        strategy; overrides ``thresholds`` / ``parent_side`` / ``policy`` /
-        ``budget`` / ``deadline`` when provided.
-    shards, backend, partitioner:
-        Sharded execution of the adaptive strategy: with ``shards > 1``
-        the inputs are partitioned (``partitioner``: ``hash`` /
-        ``round-robin`` / ``range`` / ``gram``), one independent session
-        runs per shard on ``backend`` (``serial`` / ``thread`` /
-        ``process``) and the merged result is returned.  The ``hash``
-        default preserves equi-match semantics exactly but can miss
-        approximate matches whose variant spellings land in different
-        shards; ``gram`` replicates each record to every shard owning
-        one of its q-grams, preserving the *full* approximate match set
-        at the cost of replicated work (duplicate discoveries are
-        deduplicated at merge time; see ARCHITECTURE.md "Sharded
-        execution" for the trade-off table).
+    A compatibility wrapper over :class:`repro.jobs.LinkageJob` (see the
+    module docstring's migration note); every parameter maps onto one
+    builder call and all validation lives in the builder / RunConfig.
+    ``similarity_threshold`` is ``θ_sim`` (prefer ``thresholds`` for the
+    adaptive strategy); ``policy`` / ``budget`` / ``deadline`` /
+    ``config`` configure the adaptive run; ``shards`` / ``backend`` /
+    ``partitioner`` request sharded execution of the adaptive strategy
+    (``backend``: serial / thread / process / async; ``partitioner``:
+    hash preserves exact semantics, gram preserves full approximate
+    recall via replication — see ARCHITECTURE.md "Sharded execution").
     """
-    if strategy not in STRATEGIES:
-        raise ValueError(f"unknown strategy {strategy!r}; available: {STRATEGIES}")
-    if shards < 1:
-        raise ValueError(f"shards must be at least 1, got {shards}")
-    if shards > 1 and strategy != "adaptive":
-        raise ValueError(
-            f"sharded execution is only available for the adaptive strategy, "
-            f"not {strategy!r}"
-        )
-    if isinstance(attribute, str):
-        attribute = JoinAttribute(attribute, attribute)
-
-    if strategy == "adaptive":
-        run_config = config or RunConfig.from_thresholds(
-            thresholds or Thresholds(theta_sim=similarity_threshold),
-            parent_side=parent_side,
-            policy=policy,
-            budget_fraction=budget,
-            deadline_seconds=deadline,
-        )
-        if shards > 1:
-            sharded = run_sharded(
-                left,
-                right,
-                attribute,
-                run_config,
-                shards=shards,
-                partitioner=partitioner,
-                backend=backend,
-            )
-            return LinkageResult(
-                strategy=strategy,
-                pairs=sharded.matched_pairs(),
-                records=sharded.output_records(),
-                statistics={
-                    "trace": sharded.trace.summary(),
-                    "result_size": sharded.result_size,
-                    "raw_result_size": sharded.raw_result_size,
-                    "duplicate_matches": sharded.duplicate_match_count,
-                    "replication_factors": sharded.replication_factors(),
-                    "policy": run_config.policy,
-                    "shards": sharded.shard_count,
-                    "backend": sharded.backend,
-                    "partitioner": sharded.partitioner,
-                    "final_states": {
-                        shard: state.label
-                        for shard, state in sharded.final_states.items()
-                    },
-                    "per_shard": sharded.per_shard_summary(),
-                },
-            )
-        session = JoinSession(left, right, attribute, run_config)
-        outcome = session.run()
-        return LinkageResult(
-            strategy=strategy,
-            pairs=outcome.matched_pairs(),
-            records=outcome.output_records(),
-            statistics={
-                "trace": outcome.trace.summary(),
-                "final_state": outcome.final_state.label,
-                "result_size": outcome.result_size,
-                "policy": session.policy.name,
-                "budget_exhausted": session.budget_exhausted,
-            },
-        )
-
-    if strategy == "exact":
-        operator = SHJoin(left, right, attribute)
-        records = operator.run()
-        pairs = sorted(operator.engine._emitted_pairs)
-        statistics: Dict[str, object] = {
-            "result_size": len(records),
-            "operation_counters": operator.operation_counters().as_dict(),
-        }
-        return LinkageResult(strategy, pairs, records, statistics)
-
-    if strategy == "approximate":
-        operator = SSHJoin(
-            left, right, attribute, similarity_threshold=similarity_threshold
-        )
-        records = operator.run()
-        pairs = sorted(operator.engine._emitted_pairs)
-        statistics = {
-            "result_size": len(records),
-            "operation_counters": operator.operation_counters().as_dict(),
-        }
-        return LinkageResult(strategy, pairs, records, statistics)
-
-    # strategy == "blocking"
-    blocking = BlockingLinkageJoin(
-        left, right, attribute, threshold=similarity_threshold
+    job = (
+        LinkageJob.between(left, right)
+        .on(attribute)
+        .strategy(strategy)
+        .parent(parent_side)
     )
-    records = blocking.run()
-    pairs = _pairs_from_records(records, left, right, attribute)
-    statistics = {"result_size": len(records), "comparisons": blocking.comparisons}
-    return LinkageResult(strategy, pairs, records, statistics)
-
-
-def _pairs_from_records(
-    records, left: Table, right: Table, attribute: JoinAttribute
-) -> List[Tuple[int, int]]:
-    """Reconstruct (left index, right index) pairs from joined records.
-
-    Blocking joins emit records without ordinal bookkeeping, so pairs are
-    recovered by value lookup; when several rows share a value the first
-    matching row is used, which is adequate for evaluation because rows with
-    identical key values have identical linkage outcomes.
-    """
-    left_positions: Dict[object, List[int]] = {}
-    for index, record in enumerate(left):
-        left_positions.setdefault(record[attribute.left], []).append(index)
-    right_positions: Dict[object, List[int]] = {}
-    for index, record in enumerate(right):
-        right_positions.setdefault(record[attribute.right], []).append(index)
-    left_width = len(left.schema)
-    pairs: List[Tuple[int, int]] = []
-    for record in records:
-        values = record.values
-        left_value = values[left.schema.position(attribute.left)]
-        right_value = values[left_width + right.schema.position(attribute.right)]
-        pairs.append(
-            (
-                left_positions.get(left_value, [0])[0],
-                right_positions.get(right_value, [0])[0],
-            )
-        )
-    return pairs
+    # Parameters a strategy does not consume are left unset, exactly as
+    # the old implementation ignored them: the exact strategy never reads
+    # the threshold, and a full `config` is documented to override
+    # thresholds/policy/budget/deadline outright.
+    if thresholds is not None:
+        job.thresholds(thresholds)
+    elif strategy != "exact":
+        job.threshold(similarity_threshold)
+    if strategy == "adaptive":
+        if config is not None:
+            job.config(config)
+        else:
+            job.policy(policy, budget=budget, seconds=deadline)
+    if shards != 1:
+        job.sharded(shards, backend=backend, partitioner=partitioner)
+    return job.build().run()

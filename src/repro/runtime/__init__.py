@@ -34,17 +34,23 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
     from repro.runtime.collectors import (
         MatchTap,
+        ProgressCollector,
+        ProgressSnapshot,
         StateDwellCollector,
         SwitchLog,
         ThroughputCollector,
     )
     from repro.runtime.config import RunConfig, input_size
-    from repro.runtime.events import AssessmentEvent, EventBus, TransitionEvent
+    from repro.runtime.events import (
+        AssessmentEvent,
+        EventBus,
+        ShardCompleted,
+        ShardEvent,
+        TransitionEvent,
+    )
     from repro.runtime.parallel import (
         AggregatedEventBus,
         ParallelExecutor,
-        ShardCompleted,
-        ShardEvent,
         available_backends,
         register_backend,
         run_sharded,
@@ -94,6 +100,8 @@ _EXPORTS = {
     "SwitchLog": "repro.runtime.collectors",
     "StateDwellCollector": "repro.runtime.collectors",
     "ThroughputCollector": "repro.runtime.collectors",
+    "ProgressCollector": "repro.runtime.collectors",
+    "ProgressSnapshot": "repro.runtime.collectors",
     "Partitioner": "repro.runtime.sharding",
     "HashPartitioner": "repro.runtime.sharding",
     "RoundRobinPartitioner": "repro.runtime.sharding",
@@ -110,8 +118,8 @@ _EXPORTS = {
     "register_backend": "repro.runtime.parallel",
     "available_backends": "repro.runtime.parallel",
     "AggregatedEventBus": "repro.runtime.parallel",
-    "ShardEvent": "repro.runtime.parallel",
-    "ShardCompleted": "repro.runtime.parallel",
+    "ShardEvent": "repro.runtime.events",
+    "ShardCompleted": "repro.runtime.events",
 }
 
 __all__ = sorted(_EXPORTS)

@@ -14,16 +14,26 @@ session loop::
 
 Collectors follow one convention: ``attach(bus)`` subscribes and returns
 ``self`` so construction and attachment chain.
+
+:class:`ProgressCollector` is the streaming-observer workhorse: it rides
+``StepResult`` (per-step, in-process backends) and ``ShardCompleted``
+(per-shard, every backend including ``process``) and powers
+``JobHandle.progress()`` and the CLI ``--progress`` ticker.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.joins.base import JoinMode, MatchEvent
 from repro.joins.engine import StepResult, SwitchRecord
-from repro.runtime.events import EventBus, TransitionEvent
+from repro.runtime.events import (
+    EventBus,
+    ShardCompleted,
+    TransitionEvent,
+)
 
 
 @dataclass
@@ -132,3 +142,139 @@ class ThroughputCollector:
         if produced:
             self.matches += produced
             self.matches_by_mode[result.mode.value] += produced
+
+
+@dataclass(frozen=True)
+class ProgressSnapshot:
+    """One point-in-time reading of a :class:`ProgressCollector`.
+
+    All counts are *raw*: in sharded runs under a replicating partitioner
+    (``gram``) duplicate discoveries are only collapsed at merge time, so
+    the live match count can exceed the final deduplicated result size.
+    """
+
+    #: Engine steps observed so far (summed over shards).
+    steps: int
+    #: The full run's step count, when known (``None`` for unsized streams).
+    total_steps: Optional[int]
+    #: Match events observed so far (raw, pre-dedup).
+    matches: int
+    #: Shards completed so far (0 for unsharded runs).
+    shards_done: int
+    #: Total shards in the run, when known (``None`` for unsharded runs).
+    total_shards: Optional[int]
+    #: Seconds since the collector was constructed.
+    elapsed_seconds: float
+
+    @property
+    def fraction(self) -> Optional[float]:
+        """Completed fraction in ``[0, 1]``, or ``None`` when sizes are unknown.
+
+        Prefers the step count (fine-grained, live on every in-process
+        backend); falls back to completed shards for the process backend,
+        where per-step events cannot cross the worker boundary.
+        """
+        if self.total_steps:
+            return min(self.steps / self.total_steps, 1.0)
+        if self.total_shards:
+            return min(self.shards_done / self.total_shards, 1.0)
+        return None
+
+    def describe(self) -> str:
+        """One human-readable progress line (the CLI ``--progress`` ticker)."""
+        parts = []
+        if self.total_shards:
+            parts.append(f"shards {self.shards_done}/{self.total_shards}")
+        steps = f"{self.steps} steps"
+        if self.total_steps:
+            steps += f"/{self.total_steps}"
+        parts.append(steps)
+        parts.append(f"{self.matches} matches")
+        fraction = self.fraction
+        if fraction is not None:
+            parts.append(f"{fraction:.0%}")
+        parts.append(f"{self.elapsed_seconds:.1f}s")
+        return " · ".join(parts)
+
+
+class ProgressCollector:
+    """Live progress over a join run, fed by ``StepResult``/``ShardCompleted``.
+
+    The reusable observer behind ``JobHandle.progress()`` and the CLI's
+    ``--progress`` ticker — attach it to any bus (a session's
+    :class:`EventBus` or a sharded run's
+    :class:`~repro.runtime.parallel.AggregatedEventBus`) and poll
+    :meth:`snapshot` from anywhere, any time:
+
+    * per-step counts come from the :class:`StepResult` stream (live on
+      every in-process backend);
+    * per-shard counts come from the :class:`ShardCompleted` lifecycle
+      events — the only feed that crosses the process-backend boundary,
+      so steps/matches observed through completed shards act as a floor
+      when the step stream is absent.
+
+    Thread-safe by construction: handlers only increment integers (atomic
+    under the GIL, and serialised anyway by ``AggregatedEventBus``'s
+    publish lock), and :meth:`snapshot` only reads.  ``clock`` is
+    injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        total_steps: Optional[int] = None,
+        total_shards: Optional[int] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.total_steps = total_steps
+        self.total_shards = total_shards
+        self._clock = clock
+        self._started = clock()
+        self._steps = 0
+        self._step_matches = 0
+        self._shards_done = 0
+        self._shard_steps = 0
+        self._shard_matches = 0
+
+    def attach(self, bus: EventBus) -> "ProgressCollector":
+        bus.subscribe(StepResult, self._on_step)
+        bus.subscribe(ShardCompleted, self._on_shard_completed)
+        return self
+
+    def restart_clock(self) -> None:
+        """Re-stamp the elapsed-time baseline (call when the run starts).
+
+        A collector is often constructed before the run it observes
+        (``JobHandle`` builds one at ``build()`` time); without this,
+        ``elapsed_seconds`` would include the idle gap between
+        construction and execution.
+        """
+        self._started = self._clock()
+
+    def _on_step(self, result: StepResult) -> None:
+        self._steps += 1
+        if result.matches:
+            self._step_matches += len(result.matches)
+
+    def _on_shard_completed(self, event: ShardCompleted) -> None:
+        self._shards_done += 1
+        self._shard_steps += event.result.trace.total_steps
+        self._shard_matches += event.result.result_size
+
+    @property
+    def shards_done(self) -> int:
+        """Shards completed so far."""
+        return self._shards_done
+
+    def snapshot(self) -> ProgressSnapshot:
+        """The current progress reading (cheap; callable at any moment)."""
+        return ProgressSnapshot(
+            # In-process backends stream every step; the process backend
+            # only reports through completed shards — take the larger
+            # reading so both feeds work (they agree at run end).
+            steps=max(self._steps, self._shard_steps),
+            total_steps=self.total_steps,
+            matches=max(self._step_matches, self._shard_matches),
+            shards_done=self._shards_done,
+            total_shards=self.total_shards,
+            elapsed_seconds=self._clock() - self._started,
+        )

@@ -25,7 +25,10 @@ The runtime publishes:
 * :class:`TransitionEvent` — one per state-machine transition enacted by a
   switch policy (a transition groups the per-side switches it caused);
 * :class:`AssessmentEvent` — one per control-loop activation of the MAR
-  policy, with the σ/µ/π verdict and the evaluated guards.
+  policy, with the σ/µ/π verdict and the evaluated guards;
+* :class:`ShardEvent` / :class:`ShardCompleted` — shard-tagged wrappers
+  and per-shard lifecycle events published by the sharded execution
+  layer (:mod:`repro.runtime.parallel`) on an ``AggregatedEventBus``.
 
 Ordering guarantee: for one engine step, the ``StepResult`` is published
 first, then the step's ``MatchEvent``s in emission order.  Subscribers to
@@ -41,6 +44,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.core.assessor import Assessment
     from repro.core.state_machine import JoinState, TransitionGuards
     from repro.joins.engine import SwitchRecord
+    from repro.runtime.session import AdaptiveJoinResult
 
 Handler = Callable[[object], None]
 
@@ -69,6 +73,38 @@ class AssessmentEvent:
     guards: "TransitionGuards"
     state_before: "JoinState"
     state_after: "JoinState"
+
+
+@dataclass(frozen=True, slots=True)
+class ShardEvent:
+    """A shard session's event, tagged with the shard it came from.
+
+    Published on an :class:`~repro.runtime.parallel.AggregatedEventBus`
+    *in addition to* the raw event, so shard-agnostic collectors keep
+    working unchanged while shard-aware observers subscribe to this
+    wrapper.
+    """
+
+    shard_id: int
+    event: object
+
+
+@dataclass(frozen=True, slots=True)
+class ShardCompleted:
+    """One shard finished; published by the executor on every backend.
+
+    Always published in shard-id order, so subscribers see a
+    deterministic lifecycle stream regardless of backend: the serial
+    backend completes shards in that order; the process and async
+    backends stream shard *k*'s event as soon as shards ``0..k`` have
+    all completed (head-of-line, a live progress feed); the thread
+    backend gathers first and publishes after.  The natural feed for
+    progress observers (:class:`~repro.runtime.collectors.ProgressCollector`).
+    """
+
+    shard_id: int
+    result: "AdaptiveJoinResult"
+    wall_seconds: float
 
 
 class EventBus:

@@ -3,7 +3,7 @@
 :class:`ParallelExecutor` drives every shard of a
 :class:`~repro.runtime.sharding.ShardPlan` through its own
 :class:`~repro.runtime.session.JoinSession` and merges the outcomes into a
-:class:`~repro.runtime.sharding.ShardedJoinResult`.  Three backends are
+:class:`~repro.runtime.sharding.ShardedJoinResult`.  Four backends are
 registered:
 
 ``"serial"``
@@ -25,20 +25,40 @@ registered:
     must be picklable — enforced up front with a clear error rather than
     a deep traceback out of the pool.
 
+``"async"``
+    Cooperative asyncio on one event loop: every shard session advances
+    in bounded engine batches over its lazy per-shard streams and yields
+    the loop between batches, so all shards interleave on a single
+    thread with no pools, no pickling and live event forwarding.  The
+    natural host for job-style consumers (streaming observers, progress
+    ticks, prompt cancellation — the cancel token is honoured *between
+    engine batches*, not just between shards) and for embedding the run
+    alongside other asyncio work via ``asyncio.to_thread``.
+
 Every backend produces the same merged result for the same plan (the
 per-shard sessions are deterministic; backends only change *where* they
 run), which `tests/runtime/test_sharding_equivalence.py` pins.
 
 Observers: pass an :class:`AggregatedEventBus` to keep existing collectors
-working across shards.  For the in-process backends every shard event is
-forwarded onto it live, tagged via :class:`ShardEvent`; the process
-backend cannot stream events across the process boundary, so it publishes
-only the per-shard :class:`ShardCompleted` lifecycle events (the merged
-result still carries every trace and counter).
+working across shards.  For the in-process backends (serial, thread,
+async) every shard event is forwarded onto it live, tagged via
+:class:`ShardEvent`; the process backend cannot stream events across the
+process boundary, so it publishes only the per-shard
+:class:`ShardCompleted` lifecycle events (the merged result still carries
+every trace and counter).
+
+Cancellation: every backend accepts a cancel token (anything with an
+``is_set()`` method, typically a :class:`threading.Event`).  Serial,
+thread and process stop scheduling shards once it is set and return the
+shards already completed; the async backend additionally stops *running*
+shards at their next batch boundary (partial shard results, flagged
+``cancelled``).  The merged :class:`ShardedJoinResult` then carries
+``cancelled=True``.
 """
 
 from __future__ import annotations
 
+import asyncio
 import pickle
 import threading
 import time
@@ -57,7 +77,13 @@ from repro.engine.tuples import Record, Schema
 from repro.joins.base import JoinAttribute, MatchEvent
 from repro.joins.engine import StepResult, SwitchRecord
 from repro.runtime.config import RunConfig
-from repro.runtime.events import AssessmentEvent, EventBus, TransitionEvent
+from repro.runtime.events import (
+    AssessmentEvent,
+    EventBus,
+    ShardCompleted,
+    ShardEvent,
+    TransitionEvent,
+)
 from repro.runtime.session import AdaptiveJoinResult, JoinSession
 from repro.runtime.sharding import (
     Partitioner,
@@ -66,38 +92,20 @@ from repro.runtime.sharding import (
     ShardPlan,
 )
 
+__all__ = [
+    "AggregatedEventBus",
+    "ParallelExecutor",
+    "ShardCompleted",  # re-exported; defined in repro.runtime.events
+    "ShardEvent",  # re-exported; defined in repro.runtime.events
+    "available_backends",
+    "register_backend",
+    "run_sharded",
+]
 
-# -- shard-tagged events ----------------------------------------------------------------
-
-
-@dataclass(frozen=True, slots=True)
-class ShardEvent:
-    """A shard session's event, tagged with the shard it came from.
-
-    Published on an :class:`AggregatedEventBus` *in addition to* the raw
-    event, so shard-agnostic collectors keep working unchanged while
-    shard-aware observers subscribe to this wrapper.
-    """
-
-    shard_id: int
-    event: object
-
-
-@dataclass(frozen=True, slots=True)
-class ShardCompleted:
-    """One shard finished; published by the executor on every backend.
-
-    Always published in shard-id order, so subscribers see a
-    deterministic lifecycle stream regardless of backend: the serial
-    backend completes shards in that order; the process backend streams
-    shard *k*'s event as soon as shards ``0..k`` have all completed
-    (head-of-line, a live progress feed); the thread backend gathers
-    first and publishes after.
-    """
-
-    shard_id: int
-    result: AdaptiveJoinResult
-    wall_seconds: float
+#: Engine steps each async shard advances before yielding the event loop.
+#: Small enough for responsive interleaving/cancellation, large enough to
+#: amortise the coroutine switch (a few hundred probe steps per switch).
+_ASYNC_BATCH = 256
 
 
 #: Event types forwarded live from shard buses by the in-process backends.
@@ -172,9 +180,12 @@ _BACKENDS: Dict[str, Callable] = {}
 def register_backend(name: str):
     """Function decorator registering an execution backend under ``name``.
 
-    A backend is a callable ``(plan, config, bus, max_workers) →
+    A backend is a callable ``(plan, config, bus, max_workers, cancel) →
     List[ShardOutcome]``; it owns worker scheduling and nothing else —
     partitioning happened before it runs, merging happens after.
+    ``cancel`` is an optional token (``is_set()``-style): once set the
+    backend must stop scheduling new shards and return the outcomes of
+    the shards already completed, leaving no dangling futures behind.
     """
     if not name:
         raise ValueError("backend name must be non-empty")
@@ -201,15 +212,21 @@ def _run_shard_inline(
     config: RunConfig,
     shard_id: int,
     bus: Optional[AggregatedEventBus],
+    cancel: Optional[object] = None,
 ) -> ShardOutcome:
-    """Build and run one shard's session in the current thread."""
+    """Build and run one shard's session in the current thread.
+
+    ``cancel`` is forwarded to the session loop, so an in-flight shard
+    stops at its next engine-batch boundary once the token is set (its
+    outcome then carries a partial, ``cancelled`` result).
+    """
     started = time.perf_counter()
     left, right = plan.shard_streams(shard_id)
     shard_bus = EventBus()
     if bus is not None:
         bus.forward_from(shard_id, shard_bus)
     session = JoinSession(left, right, plan.attribute, config, bus=shard_bus)
-    result = session.run()
+    result = session.run(cancel=cancel)
     return ShardOutcome(
         shard_id=shard_id,
         result=result,
@@ -217,6 +234,22 @@ def _run_shard_inline(
         right_origins=plan.right_shards[shard_id].origins,
         wall_seconds=time.perf_counter() - started,
     )
+
+
+def _cancelled(cancel: Optional[object]) -> bool:
+    """Whether a (possibly absent) cancel token has been set."""
+    return cancel is not None and cancel.is_set()
+
+
+def _never_ran(outcome: ShardOutcome) -> bool:
+    """A shard that observed the cancel token before its first engine step.
+
+    Such shards were *skipped*, not partially run: backends drop them so
+    "cancel between shards" returns only shards that did real work (plus,
+    on backends with batch-level cancellation, genuinely partial ones).
+    The rule itself is :attr:`AdaptiveJoinResult.never_ran`.
+    """
+    return outcome.result.never_ran
 
 
 @dataclass
@@ -296,11 +329,23 @@ def _serial_backend(
     config: RunConfig,
     bus: Optional[AggregatedEventBus],
     max_workers: Optional[int],
+    cancel: Optional[object] = None,
 ) -> List[ShardOutcome]:
-    """Shards run one after the other, in shard-id order (the oracle)."""
+    """Shards run one after the other, in shard-id order (the oracle).
+
+    A set cancel token stops the running shard at its next engine-batch
+    boundary (partial outcome kept) and skips every shard that has not
+    started; completed shards are returned as-is.
+    """
     outcomes = []
     for shard_id in range(plan.shard_count):
-        outcome = _run_shard_inline(plan, config, shard_id, bus)
+        if _cancelled(cancel):
+            break
+        outcome = _run_shard_inline(plan, config, shard_id, bus, cancel)
+        if _never_ran(outcome):
+            # The token was set between the loop check and the session's
+            # first step (another thread cancelled): skipped, not run.
+            break
         if bus is not None:
             bus.publish(
                 ShardCompleted(shard_id, outcome.result, outcome.wall_seconds)
@@ -315,6 +360,7 @@ def _thread_backend(
     config: RunConfig,
     bus: Optional[AggregatedEventBus],
     max_workers: Optional[int],
+    cancel: Optional[object] = None,
 ) -> List[ShardOutcome]:
     """One thread per shard (capped at ``max_workers``).
 
@@ -322,6 +368,12 @@ def _thread_backend(
     the first error promptly — in-flight threads cannot be interrupted
     (they finish in the background), but nothing new is scheduled and the
     caller is never blocked on them.
+
+    A set cancel token drains quickly instead: in-flight sessions stop
+    at their next engine-batch boundary (the token is threaded into
+    every session loop), queued shards observe it before their first
+    step and are dropped, and the backend returns the shards that did
+    real work — every future completed, none dangling.
     """
     workers = min(max_workers or plan.shard_count, plan.shard_count)
     outcomes: List[ShardOutcome] = []
@@ -329,7 +381,9 @@ def _thread_backend(
     failed = True
     try:
         futures = {
-            pool.submit(_run_shard_inline, plan, config, shard_id, bus): shard_id
+            pool.submit(
+                _run_shard_inline, plan, config, shard_id, bus, cancel
+            ): shard_id
             for shard_id in range(plan.shard_count)
         }
         done, pending = wait(futures, return_when=FIRST_EXCEPTION)
@@ -337,6 +391,8 @@ def _thread_backend(
         failed = False
         for future in futures:
             outcome = future.result()
+            if _never_ran(outcome):
+                continue  # skipped after cancellation, not a real shard run
             if bus is not None:
                 bus.publish(
                     ShardCompleted(
@@ -357,6 +413,7 @@ def _process_backend(
     config: RunConfig,
     bus: Optional[AggregatedEventBus],
     max_workers: Optional[int],
+    cancel: Optional[object] = None,
 ) -> List[ShardOutcome]:
     """One worker process per shard (capped at ``max_workers``).
 
@@ -365,6 +422,10 @@ def _process_backend(
     :class:`ShardCompleted` is published per shard, after the fact.  A
     shard failure cancels every still-queued shard task and re-raises
     the first error promptly, exactly like the thread backend.
+
+    Cancellation is coarse here: the token cannot cross the process
+    boundary, so it is checked between shard completions — queued shard
+    tasks are cancelled, in-flight workers run their shard to the end.
     """
     _ensure_picklable(config, "the run configuration (RunConfig)")
     tasks = []
@@ -395,6 +456,14 @@ def _process_backend(
         }
         pending = set(futures)
         while pending:
+            if _cancelled(cancel):
+                # Queued tasks are dropped; in-flight workers finish their
+                # shard (the token cannot reach them) and are collected.
+                pending = {
+                    future for future in pending if not future.cancel()
+                }
+                if not pending:
+                    break
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
             _raise_first_failure(futures, done, pending)
             for future in done:
@@ -411,6 +480,13 @@ def _process_backend(
                     )
                     next_publish += 1
         failed = False
+        # Cancellation can leave a gap in the shard-id sequence (a
+        # cancelled queued shard); flush the completions stuck behind it.
+        if bus is not None:
+            for shard_id in sorted(completed):
+                if shard_id >= next_publish:
+                    result, wall_seconds = completed[shard_id]
+                    bus.publish(ShardCompleted(shard_id, result, wall_seconds))
     finally:
         pool.shutdown(wait=not failed, cancel_futures=True)
     return [
@@ -423,6 +499,128 @@ def _process_backend(
         )
         for shard_id, (result, wall_seconds) in sorted(completed.items())
     ]
+
+
+async def _drive_shards_async(
+    plan: ShardPlan,
+    config: RunConfig,
+    bus: Optional[AggregatedEventBus],
+    max_workers: Optional[int],
+    cancel: Optional[object],
+) -> List[ShardOutcome]:
+    """Interleave every shard session cooperatively on the running loop.
+
+    Each shard task advances its session :data:`_ASYNC_BATCH` engine
+    steps at a time and awaits between batches, handing the loop to the
+    other shards (and to any consumer coroutines sharing it).  Scheduling
+    is deterministic — one thread, round-robin task order — so the merged
+    result is bit-identical to the serial backend's.  ``ShardCompleted``
+    events stream head-of-line in shard-id order, like the process
+    backend: shard *k* is announced as soon as shards ``0..k`` are done.
+    """
+    workers = min(max_workers or plan.shard_count, plan.shard_count)
+    semaphore = asyncio.Semaphore(workers)
+    #: shard id → outcome, or None for a shard skipped after cancellation.
+    finished: Dict[int, Optional[ShardOutcome]] = {}
+    next_publish = 0
+
+    def publish_ready() -> None:
+        nonlocal next_publish
+        while next_publish in finished:
+            outcome = finished[next_publish]
+            if bus is not None and outcome is not None:
+                bus.publish(
+                    ShardCompleted(
+                        outcome.shard_id, outcome.result, outcome.wall_seconds
+                    )
+                )
+            next_publish += 1
+
+    async def run_shard(shard_id: int) -> None:
+        async with semaphore:
+            if _cancelled(cancel):
+                finished[shard_id] = None  # skipped: cancel between shards
+                publish_ready()
+                return
+            started = time.perf_counter()
+            left, right = plan.shard_streams(shard_id)
+            shard_bus = EventBus()
+            if bus is not None:
+                bus.forward_from(shard_id, shard_bus)
+            session = JoinSession(
+                left, right, plan.attribute, config, bus=shard_bus
+            )
+            for _ in session.run_batches(max_batch=_ASYNC_BATCH, cancel=cancel):
+                await asyncio.sleep(0)  # hand the loop to the other shards
+            outcome = ShardOutcome(
+                shard_id=shard_id,
+                result=session.result(),
+                left_origins=plan.left_shards[shard_id].origins,
+                right_origins=plan.right_shards[shard_id].origins,
+                wall_seconds=time.perf_counter() - started,
+            )
+            # A session that observed the token before its first step was
+            # skipped, not partially run — same rule as the thread backend.
+            finished[shard_id] = None if _never_ran(outcome) else outcome
+            publish_ready()
+
+    tasks = [
+        asyncio.ensure_future(run_shard(shard_id))
+        for shard_id in range(plan.shard_count)
+    ]
+    try:
+        await asyncio.gather(*tasks)
+    except BaseException:
+        # First failure wins (deterministic: one thread, ordered tasks);
+        # nothing may keep running behind the caller's back.
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        raise
+    return [
+        outcome
+        for shard_id, outcome in sorted(finished.items())
+        if outcome is not None
+    ]
+
+
+@register_backend("async")
+def _async_backend(
+    plan: ShardPlan,
+    config: RunConfig,
+    bus: Optional[AggregatedEventBus],
+    max_workers: Optional[int],
+    cancel: Optional[object] = None,
+) -> List[ShardOutcome]:
+    """All shards interleave cooperatively on one asyncio event loop.
+
+    The fourth backend: single-threaded like ``serial`` (and therefore
+    producing the identical merged result), but *concurrent* — every
+    shard session advances in bounded batches over its lazy per-shard
+    streams and yields the loop between batches, so long shards overlap
+    short ones, live observers tick throughout the run, and a cancel
+    token takes effect at the next batch boundary of every running shard
+    (partial results), not just between shards.  No thread pool, no
+    pickling requirement.
+
+    The backend owns its event loop (``asyncio.run``); to embed it in an
+    already-running loop, dispatch the whole ``run_sharded`` call via
+    ``asyncio.to_thread`` — or drive sessions directly with
+    :meth:`~repro.runtime.session.JoinSession.run_batches`.
+    """
+    try:
+        asyncio.get_running_loop()
+    except RuntimeError:
+        pass
+    else:
+        raise RuntimeError(
+            "the async backend owns its event loop and cannot be started "
+            "from inside a running one; dispatch run_sharded via "
+            "asyncio.to_thread(...) instead"
+        )
+    return asyncio.run(
+        _drive_shards_async(plan, config, bus, max_workers, cancel)
+    )
 
 
 # -- the executor -----------------------------------------------------------------------
@@ -454,6 +652,7 @@ class ParallelExecutor:
         plan: ShardPlan,
         config: Optional[RunConfig] = None,
         bus: Optional[AggregatedEventBus] = None,
+        cancel: Optional[object] = None,
     ) -> ShardedJoinResult:
         """Execute every shard of ``plan`` under ``config`` and merge.
 
@@ -464,6 +663,11 @@ class ParallelExecutor:
         input sizes.  An explicit ``config.parent_size`` is taken as-is by
         every shard; leave it unset to let each shard infer its own
         partition's parent size (the per-shard analog of ``|R|``).
+
+        ``cancel`` (an ``is_set()``-style token, e.g. ``threading.Event``)
+        requests a mid-run stop; the merged result then contains the
+        shards completed before the token was observed and carries
+        ``cancelled=True``.
         """
         config = config or RunConfig()
         # A plan built without the config in hand (or with a hand-built
@@ -471,13 +675,17 @@ class ParallelExecutor:
         # the gram partitioner's recall guarantee depends on matching
         # tokenisation, so a mismatch is an error, not a silent loss.
         plan.partitioner.check_config(config)
-        outcomes = _BACKENDS[self.backend](plan, config, bus, self.max_workers)
+        outcomes = _BACKENDS[self.backend](
+            plan, config, bus, self.max_workers, cancel
+        )
         return ShardedJoinResult(
             shards=tuple(outcomes),
             backend=self.backend,
             partitioner=plan.partitioner.name or type(plan.partitioner).__name__,
             left_input_size=plan.left_input_size,
             right_input_size=plan.right_input_size,
+            cancelled=_cancelled(cancel)
+            or any(outcome.result.cancelled for outcome in outcomes),
         )
 
 
@@ -491,6 +699,7 @@ def run_sharded(
     backend: str = "serial",
     max_workers: Optional[int] = None,
     bus: Optional[AggregatedEventBus] = None,
+    cancel: Optional[object] = None,
 ) -> ShardedJoinResult:
     """One-call sharded join: partition, execute on a backend, merge.
 
@@ -507,4 +716,4 @@ def run_sharded(
         left, right, attribute, shards, partitioner, config=config
     )
     executor = ParallelExecutor(backend=backend, max_workers=max_workers)
-    return executor.run(plan, config, bus=bus)
+    return executor.run(plan, config, bus=bus, cancel=cancel)

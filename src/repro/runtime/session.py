@@ -25,7 +25,7 @@ mutable state with other sessions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import Iterator, List, Optional, Tuple, Union
 
 from repro.core.cost_model import CostModel
 from repro.core.monitor import Monitor
@@ -59,11 +59,25 @@ class AdaptiveJoinResult:
     counters: OperationCounters
     #: Output schema of the joined records.
     output_schema: Schema
+    #: Whether the run was interrupted by a cancel token before draining
+    #: both inputs (the matches/trace/counters are the partial state at
+    #: the cancellation point).
+    cancelled: bool = False
 
     @property
     def result_size(self) -> int:
         """Number of matched pairs produced (``r_abs``)."""
         return len(self.matches)
+
+    @property
+    def never_ran(self) -> bool:
+        """Cancelled before the first engine step: skipped, not partial.
+
+        The one definition of the skipped-run rule — the parallel
+        backends and the jobs streaming path both drop such outcomes
+        rather than reporting a shard that did no work.
+        """
+        return self.cancelled and self.trace.total_steps == 0
 
     def output_records(self) -> List[Record]:
         """Materialise the joined output records."""
@@ -172,6 +186,7 @@ class JoinSession:
         self.trace = ExecutionTrace(initial_state=initial)
         self._matches: List[MatchEvent] = []
         self._finished = False
+        self._cancelled = False
 
         # Subscription order fixes the per-step observer order: monitor
         # first, then trace, then match accumulation — the same order the
@@ -224,6 +239,11 @@ class JoinSession:
         return self._finished
 
     @property
+    def cancelled(self) -> bool:
+        """True when a cancel token stopped the run before it finished."""
+        return self._cancelled
+
+    @property
     def budget_exhausted(self) -> bool:
         """Whether the policy reports the cost budget as used up."""
         return bool(getattr(self.policy, "budget_exhausted", False))
@@ -248,6 +268,18 @@ class JoinSession:
 
     def _mark_finished(self) -> None:
         self._finished = True
+        self.detach()
+
+    def mark_cancelled(self) -> None:
+        """Latch cancellation and release the bus (the run will not resume).
+
+        Called by :meth:`run_batches` when its cancel token trips, and by
+        external drivers (the jobs layer's stream teardown) that stop
+        consuming a session mid-run: :attr:`cancelled` latches, the
+        session's subscribers detach, and :meth:`result` snapshots the
+        partial outcome.  Idempotent.
+        """
+        self._cancelled = True
         self.detach()
 
     def force_state(self, state: JoinState, step: int) -> None:
@@ -284,7 +316,7 @@ class JoinSession:
             self.policy.activate(result.step)
         return result.matches
 
-    def run(self) -> AdaptiveJoinResult:
+    def run(self, cancel: Optional[object] = None) -> AdaptiveJoinResult:
         """Run the join to completion and return the full result.
 
         Drives the engine through its batched stepping API: between two
@@ -295,10 +327,48 @@ class JoinSession:
         flows through the event bus individually, so the monitor window,
         the trace and the activation points are identical to stepping one
         tuple at a time via :meth:`step`.
+
+        ``cancel`` (anything with an ``is_set()`` method, typically a
+        :class:`threading.Event`) stops the run at the next batch
+        boundary; the returned result then carries ``cancelled=True``
+        with the partial matches/trace/counters.
         """
+        for _ in self.run_batches(cancel=cancel):
+            pass
+        return self.result()
+
+    def run_batches(
+        self,
+        max_batch: Optional[int] = None,
+        cancel: Optional[object] = None,
+    ) -> Iterator[List[MatchEvent]]:
+        """Drive the join incrementally, yielding each batch's match events.
+
+        The generator behind :meth:`run` and the streaming surface of the
+        jobs layer (:meth:`repro.jobs.JobHandle.stream_matches`).  Each
+        iteration runs one engine batch — up to the policy's next
+        activation boundary, additionally capped at ``max_batch`` steps
+        when given — and yields the (possibly empty) list of
+        :class:`~repro.joins.base.MatchEvent`\\ s it produced, so a
+        consumer sees matches as they are found instead of after the
+        run.  Policy activations happen at exactly the same steps as
+        under :meth:`run`: capping a batch never crosses an activation
+        boundary, it only splits the stretch between two boundaries.
+
+        ``cancel`` is checked between batches (i.e. between engine
+        steps, in a quiescent state): once ``cancel.is_set()`` the
+        generator stops, the session's observers are detached and
+        :attr:`cancelled` latches — :meth:`result` then snapshots the
+        partial outcome.
+        """
+        if max_batch is not None and max_batch < 1:
+            raise ValueError(f"max_batch must be at least 1, got {max_batch}")
         engine = self.engine
         policy = self.policy
         while not self._finished:
+            if cancel is not None and cancel.is_set():
+                self.mark_cancelled()
+                return
             boundary = policy.next_activation_step(engine.step_count)
             if boundary is None:
                 chunk = _DRAIN_BATCH
@@ -310,6 +380,8 @@ class JoinSession:
                 )
             else:
                 chunk = boundary - engine.step_count
+            if max_batch is not None and chunk > max_batch:
+                chunk = max_batch
             batch = engine.run_steps(chunk)
             if not batch:
                 self._mark_finished()
@@ -319,7 +391,12 @@ class JoinSession:
                 policy.activate(last_step)
             if len(batch) < chunk:
                 self._mark_finished()
-        return self.result()
+            yield [
+                event
+                for result in batch
+                if result.matches
+                for event in result.matches
+            ]
 
     def result(self) -> AdaptiveJoinResult:
         """Snapshot the current outcome (also valid mid-run)."""
@@ -329,4 +406,5 @@ class JoinSession:
             final_state=self.state_machine.state,
             counters=self.engine.counters(),
             output_schema=self.engine.output_schema,
+            cancelled=self._cancelled,
         )

@@ -207,6 +207,23 @@ def available_partitioners() -> Tuple[str, ...]:
     return tuple(sorted(_PARTITIONERS))
 
 
+def partitioner_replicates(name: str) -> bool:
+    """Whether the partitioner registered under ``name`` replicates records.
+
+    Registry metadata only — no instance is built.  Consumers that plan
+    work volumes (the jobs layer's progress totals) use this: under a
+    replicating partitioner the true step count is the *replicated*
+    record volume, unknowable before the plan is built.
+    """
+    try:
+        factory = _PARTITIONERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown partitioner {name!r}; registered: {available_partitioners()}"
+        ) from None
+    return bool(getattr(factory, "replicates", False))
+
+
 # -- the built-in strategies ------------------------------------------------------------
 
 
@@ -644,6 +661,26 @@ def merge_counters(counters: Sequence[OperationCounters]) -> OperationCounters:
     return merged
 
 
+class FirstShardWins:
+    """The one definition of the cross-shard dedup rule.
+
+    The first (lowest-id in merge order, first-to-discover in streaming
+    order) shard to produce a global pair *owns* it and contributes all
+    its events for that pair; later shards' rediscoveries are dropped.
+    Shared by :attr:`ShardedJoinResult._deduped` (merge time) and the
+    jobs layer's incremental sharded streaming — one rule, no drift.
+    """
+
+    __slots__ = ("_owner",)
+
+    def __init__(self) -> None:
+        self._owner: Dict[Tuple[int, int], int] = {}
+
+    def owns(self, pair: Tuple[int, int], shard_id: int) -> bool:
+        """Whether ``shard_id`` owns ``pair`` (claiming it if unclaimed)."""
+        return self._owner.setdefault(pair, shard_id) == shard_id
+
+
 @dataclass
 class ShardOutcome:
     """One shard's complete result, with the origin maps to globalise it."""
@@ -705,6 +742,10 @@ class ShardedJoinResult:
     #: origin maps.
     left_input_size: Optional[int] = None
     right_input_size: Optional[int] = None
+    #: Whether a cancel token stopped the run before every shard
+    #: completed: ``shards`` then holds only the shards that ran (the
+    #: last of which may itself carry a partial, ``cancelled`` result).
+    cancelled: bool = False
 
     def __post_init__(self) -> None:
         self.shards = tuple(
@@ -723,18 +764,18 @@ class ShardedJoinResult:
         """(events, global pairs) with cross-shard duplicates removed.
 
         One pass in shard-id order: the first shard to discover a global
-        pair owns it (first-shard-wins) and contributes *all* its events
-        for that pair (so a session configured with ``deduplicate=False``
-        keeps its intra-shard repeats); later shards' rediscoveries are
-        dropped.
+        pair owns it (:class:`FirstShardWins`) and contributes *all* its
+        events for that pair (so a session configured with
+        ``deduplicate=False`` keeps its intra-shard repeats); later
+        shards' rediscoveries are dropped.
         """
-        owner: Dict[Tuple[int, int], int] = {}
+        owner = FirstShardWins()
         events: List[MatchEvent] = []
         pairs: List[Tuple[int, int]] = []
         for outcome in self.shards:
             shard_id = outcome.shard_id
             for event, pair in zip(outcome.result.matches, outcome.matched_pairs()):
-                if owner.setdefault(pair, shard_id) == shard_id:
+                if owner.owns(pair, shard_id):
                     events.append(event)
                     pairs.append(pair)
         return tuple(events), tuple(pairs)
@@ -804,6 +845,11 @@ class ShardedJoinResult:
     @property
     def output_schema(self) -> Schema:
         """Schema of the joined output records (identical in every shard)."""
+        if not self.shards:
+            raise ValueError(
+                "no shard completed (the run was cancelled before any shard "
+                "ran), so there is no output schema to report"
+            )
         return self.shards[0].result.output_schema
 
     @property
@@ -857,6 +903,8 @@ class ShardedJoinResult:
 
     def output_records(self) -> List[Record]:
         """Materialise the joined output records, in deduplicated match order."""
+        if not self.matches:
+            return []
         schema = self.output_schema
         return [event.output_record(schema) for event in self.matches]
 

@@ -30,6 +30,7 @@ class TestExamples:
             "quickstart.py",
             "accidents_mashup.py",
             "streaming_linkage.py",
+            "streaming_jobs.py",
             "tuning_exploration.py",
             "runtime_policies.py",
         }.issubset(names)
@@ -38,6 +39,15 @@ class TestExamples:
         output = run_example("quickstart.py")
         assert "adaptive" in output
         assert "recall" in output
+        assert "streamed through the jobs API" in output
+
+    def test_streaming_jobs(self):
+        output = run_example("streaming_jobs.py")
+        assert "first match" in output
+        assert "cancelled after" in output
+        assert "cancelled=True" in output
+        assert "async backend" in output
+        assert "async for" in output
 
     def test_accidents_mashup_reduced_scale(self):
         output = run_example("accidents_mashup.py", "400", "250")

@@ -56,6 +56,7 @@ class TestBackendRegistry:
         assert "serial" in names
         assert "thread" in names
         assert "process" in names
+        assert "async" in names
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="serial"):
@@ -150,7 +151,7 @@ class TestAggregatedBus:
 
 
 class TestThreadAndProcessBackends:
-    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("backend", ["thread", "process", "async"])
     def test_backend_matches_serial(self, small_dataset, backend):
         config = RunConfig.from_thresholds(FAST)
         serial = run_sharded(
@@ -209,7 +210,7 @@ class TestShardFailurePropagation:
         calls = []
         original = parallel_module._run_shard_inline
 
-        def flaky(plan, config, shard_id, bus):
+        def flaky(plan, config, shard_id, bus, cancel=None):
             calls.append(shard_id)
             if shard_id == 0:
                 raise RuntimeError("injected shard failure (thread)")
@@ -240,7 +241,7 @@ class TestShardFailurePropagation:
     ):
         """Re-raising must not `.result()` still-pending futures first."""
 
-        def always_fail(plan, config, shard_id, bus):
+        def always_fail(plan, config, shard_id, bus, cancel=None):
             raise RuntimeError(f"injected shard failure {shard_id}")
 
         monkeypatch.setattr(parallel_module, "_run_shard_inline", always_fail)
@@ -266,6 +267,187 @@ class TestShardFailurePropagation:
                 small_dataset.parent, small_dataset.child, "location",
                 config, shards=3, backend="process", max_workers=2,
             )
+
+
+class TestAsyncBackend:
+    """The cooperative asyncio backend: equivalence, events, embedding."""
+
+    def test_shard_completed_streams_in_shard_order(self, small_dataset):
+        bus = AggregatedEventBus()
+        completed = []
+        bus.subscribe(ShardCompleted, completed.append)
+        run_sharded(
+            small_dataset.parent, small_dataset.child, "location",
+            RunConfig.from_thresholds(FAST),
+            shards=3, backend="async", bus=bus,
+        )
+        assert [event.shard_id for event in completed] == [0, 1, 2]
+
+    def test_step_events_are_forwarded_live(self, small_dataset):
+        """Unlike the process backend, async streams per-step events."""
+        bus = AggregatedEventBus()
+        collector = ThroughputCollector().attach(bus)
+        result = run_sharded(
+            small_dataset.parent, small_dataset.child, "location",
+            RunConfig.from_thresholds(FAST),
+            shards=2, backend="async", bus=bus,
+        )
+        assert collector.steps == result.trace.total_steps
+        assert collector.matches == result.result_size
+
+    def test_refuses_to_nest_inside_a_running_loop(self, small_dataset):
+        import asyncio
+
+        async def nested():
+            return run_sharded(
+                small_dataset.parent, small_dataset.child, "location",
+                RunConfig.from_thresholds(FAST), shards=2, backend="async",
+            )
+
+        with pytest.raises(RuntimeError, match="asyncio.to_thread"):
+            asyncio.run(nested())
+
+    def test_shard_failure_propagates(self, small_dataset):
+        config = RunConfig.from_thresholds(FAST, policy="explode-on-bind")
+        with pytest.raises(RuntimeError, match="injected shard failure"):
+            run_sharded(
+                small_dataset.parent, small_dataset.child, "location",
+                config, shards=3, backend="async",
+            )
+
+    def test_max_workers_cap_accepted(self, small_dataset):
+        result = run_sharded(
+            small_dataset.parent, small_dataset.child, "location",
+            RunConfig.from_thresholds(FAST),
+            shards=4, backend="async", max_workers=2,
+        )
+        assert result.shard_count == 4
+
+
+class TestMidRunCancellation:
+    """cancel tokens: partial results, cancelled flags, nothing dangling."""
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "async"])
+    def test_cancel_between_shards_returns_partial_results(
+        self, small_dataset, backend
+    ):
+        """Cancel fired from the live step stream: the in-flight shard
+        stops at its next batch boundary, the queued shards are skipped,
+        and the merged result carries what actually ran."""
+        cancel = threading.Event()
+        bus = AggregatedEventBus()
+        steps = []
+
+        def on_step(result):
+            steps.append(result)
+            if len(steps) == 100:  # mid shard 0 (each shard is ~200 steps)
+                cancel.set()
+
+        bus.subscribe(StepResult, on_step)
+        result = run_sharded(
+            small_dataset.parent, small_dataset.child, "location",
+            RunConfig.from_thresholds(FAST),
+            shards=4, backend=backend, max_workers=1, bus=bus,
+            cancel=cancel,
+        )
+        assert result.cancelled is True
+        assert 1 <= result.shard_count < 4
+        full = run_sharded(
+            small_dataset.parent, small_dataset.child, "location",
+            RunConfig.from_thresholds(FAST), shards=4,
+        )
+        assert result.result_size < full.result_size
+        assert result.pair_set() <= full.pair_set()
+
+    def test_thread_cancel_leaves_no_dangling_futures_or_threads(
+        self, small_dataset
+    ):
+        cancel = threading.Event()
+        bus = AggregatedEventBus()
+        steps = []
+
+        def on_step(result):
+            steps.append(result)
+            if len(steps) == 50:
+                cancel.set()
+
+        bus.subscribe(StepResult, on_step)
+        before = {thread for thread in threading.enumerate() if thread.is_alive()}
+        result = run_sharded(
+            small_dataset.parent, small_dataset.child, "location",
+            RunConfig.from_thresholds(FAST),
+            shards=6, backend="thread", max_workers=2, bus=bus,
+            cancel=cancel,
+        )
+        assert result.cancelled is True
+        assert result.shard_count < 6  # queued shards were really skipped
+        leaked = {
+            thread
+            for thread in threading.enumerate()
+            if thread.is_alive() and thread not in before
+        }
+        assert not leaked  # shutdown(wait=True) joined every worker
+
+    def test_async_cancel_stops_between_engine_batches(self, small_dataset):
+        """The async backend honours the token mid-shard: the in-flight
+        session stops at its next batch boundary with a partial result."""
+        cancel = threading.Event()
+        bus = AggregatedEventBus()
+        steps = []
+
+        def on_step(result):
+            steps.append(result)
+            if len(steps) == 300:  # mid-run, past shard 0's first batches
+                cancel.set()
+
+        bus.subscribe(StepResult, on_step)
+        result = run_sharded(
+            small_dataset.parent, small_dataset.child, "location",
+            RunConfig.from_thresholds(FAST),
+            shards=2, backend="async", bus=bus, cancel=cancel,
+        )
+        assert result.cancelled is True
+        total_steps = result.trace.total_steps
+        full_steps = len(small_dataset.parent) + len(small_dataset.child)
+        assert 0 < total_steps < full_steps  # stopped mid-way, kept partials
+        assert any(
+            outcome.result.cancelled for outcome in result.shards
+        )
+
+    def test_serial_cancel_mid_shard_keeps_partial_shard(self, small_dataset):
+        """Serial threads the token into the running session too."""
+        cancel = threading.Event()
+        bus = AggregatedEventBus()
+        steps = []
+
+        def on_step(result):
+            steps.append(result)
+            if len(steps) == 100:
+                cancel.set()
+
+        bus.subscribe(StepResult, on_step)
+        result = run_sharded(
+            small_dataset.parent, small_dataset.child, "location",
+            RunConfig.from_thresholds(FAST),
+            shards=2, backend="serial", bus=bus, cancel=cancel,
+        )
+        assert result.cancelled is True
+        assert result.shard_count == 1
+        assert result.shards[0].result.cancelled is True
+
+    def test_unset_token_changes_nothing(self, small_dataset):
+        cancel = threading.Event()
+        with_token = run_sharded(
+            small_dataset.parent, small_dataset.child, "location",
+            RunConfig.from_thresholds(FAST), shards=3, cancel=cancel,
+        )
+        without = run_sharded(
+            small_dataset.parent, small_dataset.child, "location",
+            RunConfig.from_thresholds(FAST), shards=3,
+        )
+        assert with_token.cancelled is False
+        assert with_token.matched_pairs() == without.matched_pairs()
+        assert with_token.counters.as_dict() == without.counters.as_dict()
 
 
 class TestShardedResultSurface:

@@ -12,8 +12,8 @@ execution"):
 2. **One shard is the unsharded run** — a 1-shard plan reproduces the
    single session bit-identically for every policy (matches, counters,
    trace summary).
-3. **Backends are interchangeable** — serial, thread and process produce
-   identical merged results for the same plan and config.
+3. **Backends are interchangeable** — serial, thread, process and async
+   produce identical merged results for the same plan and config.
 4. **The serial backend is bit-deterministic** — repeat runs agree
    byte-for-byte regardless of shard count.
 5. **Equi-matches survive sharding under any policy** — every value-equal
@@ -134,20 +134,33 @@ class TestOneShardIsTheUnshardedRun:
         assert sharded.trace.summary() == reference.trace.summary()
         assert list(sharded.matches) == list(reference.matches)
 
+    @pytest.mark.parametrize("backend", ["thread", "process", "async"])
+    def test_single_shard_bit_identical_on_every_backend(self, dataset, backend):
+        config = _config()
+        reference = _unsharded(dataset, config)
+        sharded = run_sharded(
+            dataset.parent, dataset.child, "location", config,
+            shards=1, backend=backend,
+        )
+        assert sharded.matched_pairs() == reference.matched_pairs()
+        assert sharded.counters.as_dict() == reference.counters.as_dict()
+        assert sharded.trace.summary() == reference.trace.summary()
+        assert list(sharded.matches) == list(reference.matches)
+
 
 class TestBackendIndependence:
     @pytest.mark.parametrize("shards", [2, 4])
-    def test_serial_thread_process_agree(self, dataset, shards):
+    def test_serial_thread_process_async_agree(self, dataset, shards):
         config = _config()
         results = {
             backend: run_sharded(
                 dataset.parent, dataset.child, "location", config,
                 shards=shards, backend=backend,
             )
-            for backend in ("serial", "thread", "process")
+            for backend in ("serial", "thread", "process", "async")
         }
         serial = results["serial"]
-        for backend in ("thread", "process"):
+        for backend in ("thread", "process", "async"):
             other = results[backend]
             assert other.matched_pairs() == serial.matched_pairs(), backend
             assert other.counters.as_dict() == serial.counters.as_dict(), backend
@@ -261,7 +274,7 @@ class TestGramReplicatedRecall:
             **overrides,
         )
 
-    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process", "async"])
     @pytest.mark.parametrize("shards", [2, 4, 8])
     def test_all_approximate_match_set_reproduced_exactly(
         self, dataset, shards, backend
@@ -322,7 +335,7 @@ class TestGramReplicatedRecall:
         assert list(first.matches) == list(second.matches)
         assert first.counters.as_dict() == second.counters.as_dict()
 
-    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("backend", ["thread", "process", "async"])
     def test_backends_agree_with_serial_under_replication(
         self, dataset, backend
     ):

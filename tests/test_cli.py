@@ -292,6 +292,140 @@ class TestLinkCommand:
         assert matches.exists()
 
 
+class TestStreamAndProgress:
+    """The jobs-layer CLI surfaces: --stream NDJSON and --progress ticker."""
+
+    @staticmethod
+    def _generate(tmp_path):
+        parent = tmp_path / "parent.csv"
+        child = tmp_path / "child.csv"
+        main([
+            "generate",
+            "--pattern", "few_high",
+            "--parent-size", "80",
+            "--child-size", "160",
+            "--parent-output", str(parent),
+            "--child-output", str(child),
+            "--truth-output", str(tmp_path / "truth.csv"),
+        ])
+        return parent, child
+
+    def test_stream_emits_ndjson_matches_on_stdout(self, tmp_path, capsys):
+        parent, child = self._generate(tmp_path)
+        capsys.readouterr()  # drop the generate output
+        matches = tmp_path / "matches.csv"
+        exit_code = main([
+            "link", str(parent), str(child),
+            "--attribute", "location",
+            "--delta-adapt", "25",
+            "--window-size", "25",
+            "--stream",
+            "--output", str(matches),
+        ])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        lines = [line for line in captured.out.splitlines() if line.strip()]
+        assert lines, "expected NDJSON match lines on stdout"
+        events = [json.loads(line) for line in lines]
+        assert all(
+            {"left_index", "right_index", "similarity", "mode", "step"}
+            <= set(event)
+            for event in events
+        )
+        # The CSV agrees with the stream, and the summary went to stderr.
+        csv_pairs = matches.read_text().splitlines()[1:]
+        assert len(csv_pairs) == len(events)
+        assert "matched pairs written" in captured.err
+
+    def test_stream_sharded_tags_shards(self, tmp_path, capsys):
+        parent, child = self._generate(tmp_path)
+        capsys.readouterr()
+        exit_code = main([
+            "link", str(parent), str(child),
+            "--attribute", "location",
+            "--delta-adapt", "25",
+            "--window-size", "25",
+            "--stream",
+            "--shards", "2",
+            "--output", str(tmp_path / "m.csv"),
+        ])
+        assert exit_code == 0
+        events = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        assert events and all("shard" in event for event in events)
+        assert {event["shard"] for event in events} <= {0, 1}
+
+    def test_stream_rejects_baseline_strategies(self, tmp_path, capsys):
+        exit_code = main([
+            "link", "a.csv", "b.csv",
+            "--attribute", "location",
+            "--strategy", "exact",
+            "--stream",
+        ])
+        assert exit_code == 2
+        assert "--stream" in capsys.readouterr().err
+
+    def test_stream_rejects_parallel_backends(self, tmp_path, capsys):
+        exit_code = main([
+            "link", "a.csv", "b.csv",
+            "--attribute", "location",
+            "--stream",
+            "--shards", "2",
+            "--backend", "process",
+        ])
+        assert exit_code == 2
+        assert "serial-merge" in capsys.readouterr().err
+
+    def test_progress_rejects_baseline_strategies(self, tmp_path, capsys):
+        exit_code = main([
+            "link", "a.csv", "b.csv",
+            "--attribute", "location",
+            "--strategy", "blocking",
+            "--progress",
+        ])
+        assert exit_code == 2
+        assert "--progress" in capsys.readouterr().err
+
+    def test_progress_prints_a_final_ticker_line(self, tmp_path, capsys):
+        parent, child = self._generate(tmp_path)
+        capsys.readouterr()
+        exit_code = main([
+            "link", str(parent), str(child),
+            "--attribute", "location",
+            "--delta-adapt", "25",
+            "--window-size", "25",
+            "--progress",
+            "--shards", "2",
+            "--backend", "async",
+            "--output", str(tmp_path / "m.csv"),
+        ])
+        assert exit_code == 0
+        err = capsys.readouterr().err
+        assert "progress:" in err
+        assert "shards 2/2" in err
+        assert "100%" in err
+
+    def test_async_backend_from_the_cli(self, tmp_path, capsys):
+        parent, child = self._generate(tmp_path)
+        serial = tmp_path / "serial.csv"
+        viaasync = tmp_path / "async.csv"
+        common = [
+            "link", str(parent), str(child),
+            "--attribute", "location",
+            "--delta-adapt", "25",
+            "--window-size", "25",
+            "--shards", "2",
+        ]
+        assert main(common + ["--output", str(serial)]) == 0
+        assert main(common + [
+            "--backend", "async", "--output", str(viaasync)
+        ]) == 0
+        assert viaasync.read_text() == serial.read_text()
+
+
 class TestExperimentCommand:
     def test_experiment_prints_rows_and_writes_json(self, tmp_path, capsys):
         json_path = tmp_path / "outcome.json"
