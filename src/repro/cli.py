@@ -16,7 +16,14 @@ writing Python:
     ``--budget`` (a relative cost cap), ``--deadline`` (a wall-clock cap)
     and sharded execution via ``--shards`` / ``--backend`` /
     ``--partitioner`` (``--backend async`` runs all shards cooperatively
-    on one asyncio loop).  Runs execute through the jobs layer
+    on one asyncio loop).  Shard failures are governed by
+    ``--on-failure`` (``fail-fast`` aborts — the default; ``retry``
+    re-runs failed shards with ``--retries`` re-attempts; ``degrade``
+    drops irrecoverable shards and reports the loss) and
+    ``--shard-timeout`` (a wall-clock bound per shard attempt).  A
+    degraded run reports the dropped shards and an estimated recall on
+    stderr and exits with code 3; a failed run exits with code 1.  Runs
+    execute through the jobs layer
     (:mod:`repro.jobs`): ``--stream`` emits matches on stdout as NDJSON
     *while they are found* instead of waiting for the run, and
     ``--progress`` prints a live stderr ticker (steps / matches / shards
@@ -57,6 +64,9 @@ from repro.datagen.testcases import (
 from repro.engine.table import Table
 from repro.jobs import JobHandle, LinkageJob, StreamedMatch
 from repro.linkage.api import STRATEGIES
+from repro.runtime.errors import ShardError
+from repro.runtime.failures import available_failure_policies
+from repro.runtime.faults import FaultPlan
 from repro.runtime.parallel import available_backends
 from repro.runtime.policy import available_policies
 from repro.runtime.sharding import available_partitioners
@@ -112,6 +122,31 @@ def _add_sharding_arguments(parser: argparse.ArgumentParser) -> None:
                              "removed at merge)")
 
 
+def _add_failure_arguments(parser: argparse.ArgumentParser) -> None:
+    """Arguments governing shard failures (adaptive strategy only)."""
+    parser.add_argument("--on-failure", choices=available_failure_policies(),
+                        default="fail-fast",
+                        help="what a shard failure does to the run: "
+                             "fail-fast aborts on the first failure "
+                             "(default), retry re-runs the failed shard, "
+                             "degrade drops irrecoverable shards and "
+                             "reports the loss (exit code 3)")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="re-run a failed shard up to N times before "
+                             "giving up (requires --on-failure retry or "
+                             "degrade)")
+    parser.add_argument("--shard-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock bound per shard attempt; an attempt "
+                             "exceeding it counts as a failure and follows "
+                             "--on-failure")
+    # Undocumented testing hook: crash the given shard's first attempt
+    # (deterministically), so the failure paths are drivable end-to-end
+    # from the command line and the CI smoke.
+    parser.add_argument("--inject-crash", type=int, default=None,
+                        metavar="SHARD", help=argparse.SUPPRESS)
+
+
 def _thresholds_from_args(args: argparse.Namespace) -> Thresholds:
     return Thresholds(
         theta_sim=args.theta_sim,
@@ -164,6 +199,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "shards, elapsed) to stderr during the run")
     _add_threshold_arguments(link)
     _add_sharding_arguments(link)
+    _add_failure_arguments(link)
 
     experiment = subparsers.add_parser(
         "experiment", help="run the gain/cost experiment for a standard test case"
@@ -276,6 +312,27 @@ def _command_link(args: argparse.Namespace) -> int:
               "(the baseline operators publish no progress events)",
               file=sys.stderr)
         return 2
+    failure_requested = (
+        args.on_failure != "fail-fast"
+        or args.retries is not None
+        or args.shard_timeout is not None
+    )
+    if (failure_requested or args.inject_crash is not None) and (
+        args.strategy != "adaptive"
+    ):
+        print("error: --on-failure/--retries/--shard-timeout govern the "
+              "sharded execution layer and require --strategy adaptive",
+              file=sys.stderr)
+        return 2
+    if args.retries is not None and args.on_failure == "fail-fast":
+        print("error: --retries does not apply to --on-failure fail-fast; "
+              "use --on-failure retry (or degrade) to re-run failed shards",
+              file=sys.stderr)
+        return 2
+    if args.retries is not None and args.retries < 0:
+        print(f"error: --retries must be >= 0, got {args.retries}",
+              file=sys.stderr)
+        return 2
     if args.stream and args.backend != "serial":
         print("error: --stream runs the deterministic serial-merge path and "
               "cannot honour --backend "
@@ -297,6 +354,11 @@ def _command_link(args: argparse.Namespace) -> int:
     if args.shards != 1:
         job.sharded(args.shards, backend=args.backend,
                     partitioner=args.partitioner)
+    if failure_requested:
+        job.on_failure(args.on_failure, retries=args.retries,
+                       shard_timeout=args.shard_timeout)
+    if args.inject_crash is not None:
+        job.inject_faults(FaultPlan.crash(args.inject_crash, attempts=(1,)))
     if args.progress:
         job.with_progress()
     handle = job.build()
@@ -326,6 +388,11 @@ def _command_link(args: argparse.Namespace) -> int:
             result = handle.result()
         else:
             result = handle.run()
+    except ShardError as error:
+        # fail-fast (or retry exhaustion) aborted the run: the structured
+        # error carries the shard id, attempt count and cause.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     finally:
         if join_ticker is not None:
             join_ticker()
@@ -346,6 +413,24 @@ def _command_link(args: argparse.Namespace) -> int:
         print(format_table(result.statistics["per_shard"],
                            title="-- per-shard breakdown --"),
               file=report)
+    if result.statistics.get("degraded"):
+        # A degraded run never exits 0: the result is partial, and the
+        # loss is spelled out — which shards were dropped, why, and what
+        # that costs in recall.
+        rows = result.statistics["failed_shards"]
+        recall = result.statistics["estimated_recall"]
+        print(f"warning: degraded run — {len(rows)} shard(s) dropped, "
+              f"estimated recall {recall:.1%}",
+              file=sys.stderr)
+        for row in rows:
+            reason = "timeout" if row["timed_out"] else row["error_type"]
+            detail = str(row["error"])
+            if detail.startswith(f"{row['error_type']}:"):
+                detail = detail[len(row["error_type"]) + 1:].strip()
+            print(f"  shard {row['shard']}: {reason} after "
+                  f"{row['attempts']} attempt(s) — {detail}",
+                  file=sys.stderr)
+        return 3
     return 0
 
 

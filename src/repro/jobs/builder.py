@@ -39,6 +39,12 @@ from repro.core.thresholds import Thresholds
 from repro.engine.streams import InputLike
 from repro.joins.base import JoinAttribute, JoinSide
 from repro.runtime.config import RunConfig
+from repro.runtime.failures import (
+    FailurePolicy,
+    available_failure_policies,
+    create_failure_policy,
+)
+from repro.runtime.faults import FaultPlan
 from repro.runtime.parallel import available_backends
 from repro.runtime.policy import available_policies
 from repro.runtime.sharding import available_partitioners
@@ -51,8 +57,18 @@ STRATEGIES = ("exact", "approximate", "adaptive", "blocking")
 #: explicitly while targeting a baseline strategy is an error, not a
 #: silent no-op.  ``progress`` is here because the progress feed rides
 #: the session event bus — baseline operators publish nothing, so a
-#: baseline "progress" would sit frozen at zero.
-_ADAPTIVE_ONLY = ("policy", "budget", "deadline", "config", "progress")
+#: baseline "progress" would sit frozen at zero.  ``on_failure`` and
+#: ``faults`` ride the sharded execution layer, which only adaptive
+#: runs use.
+_ADAPTIVE_ONLY = (
+    "policy",
+    "budget",
+    "deadline",
+    "config",
+    "progress",
+    "on_failure",
+    "faults",
+)
 
 
 @dataclass(frozen=True)
@@ -75,6 +91,8 @@ class JobSpec:
     partitioner: str
     max_workers: Optional[int]
     progress_enabled: bool
+    failure_policy: Optional[FailurePolicy] = None
+    fault_plan: Optional[FaultPlan] = None
 
 
 class LinkageJob:
@@ -105,6 +123,8 @@ class LinkageJob:
         self._partitioner = "hash"
         self._max_workers: Optional[int] = None
         self._progress = False
+        self._failure_policy: Optional[FailurePolicy] = None
+        self._faults: Optional[FaultPlan] = None
         #: Adaptive-only knobs the caller named explicitly (so build()
         #: can reject e.g. .strategy("exact").policy("deadline") while
         #: still letting the defaults ride along silently).
@@ -273,6 +293,94 @@ class LinkageJob:
             self._max_workers = max_workers
         return self
 
+    def on_failure(
+        self,
+        policy: Union[str, FailurePolicy] = "fail-fast",
+        *,
+        retries: Optional[int] = None,
+        backoff_seconds: Optional[float] = None,
+        backoff_multiplier: Optional[float] = None,
+        shard_timeout: Optional[float] = None,
+    ) -> "LinkageJob":
+        """Choose how shard failures are handled (see
+        :mod:`repro.runtime.failures`).
+
+        ``policy`` is a registered policy name (one of
+        :func:`~repro.runtime.failures.available_failure_policies`) or a
+        ready :class:`~repro.runtime.failures.FailurePolicy` instance.
+        ``retries`` is the number of *re-runs* after the first failure
+        (``retries=2`` allows three attempts total); ``backoff_seconds``
+        / ``backoff_multiplier`` shape the exponential delay between
+        attempts; ``shard_timeout`` bounds each attempt's wall clock.
+        ``fail-fast`` takes only ``shard_timeout`` — naming a retry knob
+        with it is an error, not a silent no-op.
+        """
+        if isinstance(policy, FailurePolicy):
+            if any(
+                knob is not None
+                for knob in (
+                    retries,
+                    backoff_seconds,
+                    backoff_multiplier,
+                    shard_timeout,
+                )
+            ):
+                raise ValueError(
+                    "pass either a FailurePolicy instance or policy "
+                    "options, not both"
+                )
+            self._failure_policy = policy
+            self._explicit.add("on_failure")
+            return self
+        if policy not in available_failure_policies():
+            raise ValueError(
+                f"unknown failure policy {policy!r}; registered: "
+                f"{available_failure_policies()}"
+            )
+        options: dict = {}
+        if retries is not None:
+            if retries < 0:
+                raise ValueError(f"retries must be >= 0, got {retries}")
+            options["max_attempts"] = retries + 1
+        if backoff_seconds is not None:
+            options["backoff_seconds"] = backoff_seconds
+        if backoff_multiplier is not None:
+            options["backoff_multiplier"] = backoff_multiplier
+        if shard_timeout is not None:
+            options["shard_timeout_seconds"] = shard_timeout
+        if policy == "fail-fast":
+            rejected = [
+                name
+                for name, value in (
+                    ("retries", retries),
+                    ("backoff_seconds", backoff_seconds),
+                    ("backoff_multiplier", backoff_multiplier),
+                )
+                if value is not None
+            ]
+            if rejected:
+                raise ValueError(
+                    f"{', '.join(rejected)} do not apply to the "
+                    f"'fail-fast' policy; use on_failure('retry', ...) "
+                    f"to re-run failed shards"
+                )
+        self._failure_policy = create_failure_policy(policy, **options)
+        self._explicit.add("on_failure")
+        return self
+
+    def inject_faults(self, plan: FaultPlan) -> "LinkageJob":
+        """Inject a deterministic :class:`~repro.runtime.faults.FaultPlan`
+        into the run (testing/benchmark harness; no-op in production use).
+        """
+        if not isinstance(plan, FaultPlan):
+            raise ValueError(
+                f"inject_faults takes a FaultPlan, got {plan!r}"
+            )
+        self._faults = plan if plan else None
+        if self._faults is not None:
+            self._explicit.add("faults")
+        return self
+
     def with_progress(self, enabled: bool = True) -> "LinkageJob":
         """Attach a :class:`~repro.runtime.collectors.ProgressCollector`
         to the run so ``JobHandle.progress()`` reports live counts.
@@ -347,5 +455,7 @@ class LinkageJob:
                 partitioner=self._partitioner,
                 max_workers=self._max_workers,
                 progress_enabled=self._progress,
+                failure_policy=self._failure_policy,
+                fault_plan=self._faults,
             )
         )

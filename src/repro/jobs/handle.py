@@ -29,7 +29,7 @@ import asyncio
 import threading
 import time
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import AsyncIterator, Dict, Iterator, List, Optional, Tuple
 
 from repro.engine.table import Table
@@ -42,7 +42,8 @@ from repro.jobs.result import LinkageResult
 from repro.runtime.collectors import ProgressCollector, ProgressSnapshot
 from repro.runtime.config import input_size
 from repro.runtime.events import EventBus, ShardCompleted
-from repro.runtime.parallel import AggregatedEventBus, run_sharded
+from repro.runtime.faults import FaultPlan
+from repro.runtime.parallel import AggregatedEventBus, ParallelExecutor
 from repro.runtime.session import JoinSession
 from repro.runtime.sharding import (
     FirstShardWins,
@@ -87,6 +88,10 @@ class JobHandle:
     ``failed`` (the run raised; the exception propagated to the caller).
     Exactly one of the run/stream surfaces may be started, once;
     :meth:`result` returns the (possibly partial) outcome afterwards.
+    :meth:`resume` is the one exception to one-shot-ness: after a
+    cancelled, failed or degraded run it re-runs only the shards the
+    previous run did not complete and merges them with the shards it
+    did, producing the same result a failure-free run would have.
     :meth:`cancel` may be called from any thread at any time — before the
     run starts (nothing will execute) or mid-run (the run stops at the
     next engine-batch or shard boundary and the partial result is kept,
@@ -99,6 +104,12 @@ class JobHandle:
         self._cancel = threading.Event()
         self._state = "pending"
         self._result: Optional[LinkageResult] = None
+        #: The shard plan of the last sharded run (kept for resume: its
+        #: ShardInput buffers are materialised, hence replayable).
+        self._plan: Optional[ShardPlan] = None
+        #: The last sharded merge (kept so resume knows which shards
+        #: completed and can reuse their outcomes verbatim).
+        self._sharded: Optional[ShardedJoinResult] = None
         self._progress: Optional[ProgressCollector] = None
         if spec.progress_enabled:
             left_size = input_size(spec.left)
@@ -195,7 +206,15 @@ class JobHandle:
         try:
             if spec.strategy != "adaptive":
                 outcome = self._run_baseline()
-            elif spec.shards > 1:
+            elif (
+                spec.shards > 1
+                or spec.failure_policy is not None
+                or spec.fault_plan is not None
+            ):
+                # Failure policies and fault plans live in the sharded
+                # execution layer; a nominally unsharded job that uses
+                # them runs as a one-shard plan (same result, identical
+                # merge semantics) so retry/timeout/degrade apply.
                 outcome = self._run_sharded()
             else:
                 outcome = self._run_session()
@@ -242,23 +261,39 @@ class JobHandle:
 
     def _run_sharded(self) -> LinkageResult:
         spec = self.spec
-        bus = None
-        if self._progress is not None:
-            bus = AggregatedEventBus()
-            self._progress.attach(bus)
-        sharded = run_sharded(
+        plan = ShardPlan.build(
             spec.left,
             spec.right,
             spec.attribute,
-            spec.run_config,
-            shards=spec.shards,
-            partitioner=spec.partitioner,
+            spec.shards,
+            spec.partitioner,
+            config=spec.run_config,
+        )
+        self._plan = plan
+        sharded = self._execute_plan(plan, spec.fault_plan)
+        self._sharded = sharded
+        return self._sharded_result(sharded)
+
+    def _make_bus(self) -> Optional[AggregatedEventBus]:
+        if self._progress is None:
+            return None
+        bus = AggregatedEventBus()
+        self._progress.attach(bus)
+        return bus
+
+    def _execute_plan(
+        self, plan: ShardPlan, faults: Optional[FaultPlan]
+    ) -> ShardedJoinResult:
+        spec = self.spec
+        executor = ParallelExecutor(
             backend=spec.backend,
             max_workers=spec.max_workers,
-            bus=bus,
-            cancel=self._cancel,
+            failure_policy=spec.failure_policy,
+            faults=faults,
         )
-        return self._sharded_result(sharded)
+        return executor.run(
+            plan, spec.run_config, bus=self._make_bus(), cancel=self._cancel
+        )
 
     def _sharded_result(self, sharded: ShardedJoinResult) -> LinkageResult:
         spec = self.spec
@@ -299,7 +334,138 @@ class JobHandle:
             statistics["trace"] = sharded.trace.summary()
         if sharded.cancelled:
             statistics["cancelled"] = True
+        if sharded.degraded:
+            # A degraded run must never look like a complete one: the
+            # dropped shards, the recall estimate and the per-side
+            # coverage ride the statistics every consumer reads.
+            statistics["degraded"] = True
+            statistics["failed_shards"] = sharded.failed_shard_summary()
+            statistics["estimated_recall"] = sharded.estimated_recall()
+            statistics["coverage"] = sharded.coverage()
         return statistics
+
+    # -- execution: resume -----------------------------------------------------------
+
+    def resume(self, faults: Optional[FaultPlan] = None) -> LinkageResult:
+        """Re-run only what the previous run left unfinished and merge.
+
+        Callable after a run ended in any way — ``finished`` (a no-op
+        unless the run was degraded), ``cancelled`` or ``failed``.  For
+        runs that went through the sharded layer the plan's materialised
+        shard buffers are replayed: shards that completed are reused
+        verbatim, shards that were cancelled mid-run, dropped by a
+        degrade policy, aborted by fail-fast or never started are re-run
+        on the configured backend, and the merged result is bit-identical
+        to a failure-free run.  The spec's fault plan is *not* replayed
+        (resuming into the same injected crash would be pointless); pass
+        ``faults`` to inject a fresh plan into the resumed attempt —
+        its shard ids refer to the *original* plan's numbering, and
+        specs aimed at shards that are not being re-run are ignored.
+
+        Unsharded runs (no shards, no failure policy) have no shard
+        buffers; they can only be resumed over :class:`Table` inputs,
+        which are replayable, and re-run from the start.
+        """
+        if self.spec.strategy != "adaptive":
+            raise ValueError(
+                "resume() requires the adaptive strategy; the baselines "
+                f"materialise in one shot — this job runs "
+                f"{self.spec.strategy!r}, build it again instead"
+            )
+        if self._state not in ("finished", "cancelled", "failed"):
+            raise RuntimeError(
+                f"cannot resume a {self._state} job: resume picks up "
+                "after a finished, cancelled or failed run"
+            )
+        if self._plan is not None:
+            return self._resume_sharded(faults)
+        return self._resume_unsharded(faults)
+
+    def _resume_sharded(self, faults: Optional[FaultPlan]) -> LinkageResult:
+        plan = self._plan
+        previous = self._sharded.shards if self._sharded is not None else ()
+        # A shard outcome flagged cancelled is partial — re-run it whole;
+        # shards dropped by degrade or aborted by fail-fast simply have
+        # no outcome.  Everything else is complete and reused verbatim.
+        complete = tuple(o for o in previous if not o.result.cancelled)
+        done = {outcome.shard_id for outcome in complete}
+        missing = [s for s in range(plan.shard_count) if s not in done]
+        if not missing:
+            return self._result
+        if faults is not None:
+            # The caller thinks in original shard ids; the subset plan
+            # renumbers its shards 0..m-1.  Remap (and drop specs for
+            # shards that are not being re-run).
+            position = {original: i for i, original in enumerate(missing)}
+            faults = FaultPlan(
+                tuple(
+                    replace(spec, shard_id=position[spec.shard_id])
+                    for spec in faults.faults
+                    if spec.shard_id in position
+                )
+            )
+        self._restart()
+        try:
+            sub_result = self._execute_plan(plan.subset(missing), faults)
+        except BaseException:
+            self._state = "failed"
+            raise
+        # The subset plan renumbers its shards 0..m-1; map outcomes and
+        # failure records back to the original shard ids before merging.
+        outcomes = complete + tuple(
+            replace(outcome, shard_id=missing[outcome.shard_id])
+            for outcome in sub_result.shards
+        )
+        failed = tuple(
+            replace(failure, shard_id=missing[failure.shard_id])
+            for failure in sub_result.failed_shards
+        )
+        sharded = ShardedJoinResult(
+            shards=outcomes,
+            backend=self.spec.backend,
+            partitioner=self.spec.partitioner,
+            left_input_size=plan.left_input_size,
+            right_input_size=plan.right_input_size,
+            cancelled=sub_result.cancelled,
+            failed_shards=failed,
+        )
+        self._sharded = sharded
+        result = self._sharded_result(sharded)
+        result.statistics["resumed"] = True
+        return self._finish(result)
+
+    def _resume_unsharded(self, faults: Optional[FaultPlan]) -> LinkageResult:
+        spec = self.spec
+        if faults is not None:
+            raise ValueError(
+                "fault injection rides the sharded execution layer; an "
+                "unsharded resume cannot take a FaultPlan"
+            )
+        if self._state == "finished":
+            return self._result
+        if not isinstance(spec.left, Table) or not isinstance(spec.right, Table):
+            raise RuntimeError(
+                "cannot resume an unsharded run over record streams: the "
+                "previous attempt consumed them — use Table inputs "
+                "(replayable) or sharded execution, whose plan keeps "
+                "replayable shard buffers"
+            )
+        self._restart()
+        try:
+            result = self._run_session()
+        except BaseException:
+            self._state = "failed"
+            raise
+        result.statistics["resumed"] = True
+        return self._finish(result)
+
+    def _restart(self) -> None:
+        """Re-arm the handle for a resume: fresh cancel token, running state."""
+        self._cancel = threading.Event()
+        self._result = None
+        self._state = "running"
+        if self._progress is not None:
+            self._progress.restart_clock()
 
     # -- execution: streaming --------------------------------------------------------
 
@@ -447,6 +613,7 @@ class JobHandle:
             spec.partitioner,
             config=spec.run_config,
         )
+        self._plan = plan
         owner = FirstShardWins()
         outcomes: List[ShardOutcome] = []
         session: Optional[JoinSession] = None
@@ -485,6 +652,7 @@ class JobHandle:
                 right_input_size=plan.right_input_size,
                 cancelled=self._cancel.is_set(),
             )
+            self._sharded = sharded
             result = self._sharded_result(sharded)
             result.statistics["streamed"] = True
             self._finish(result)

@@ -58,6 +58,8 @@ from repro.engine.table import Table
 from repro.jobs import STRATEGIES, LinkageJob, LinkageResult
 from repro.joins.base import JoinAttribute, JoinSide
 from repro.runtime.config import RunConfig
+from repro.runtime.failures import FailurePolicy
+from repro.runtime.faults import FaultPlan
 
 __all__ = ["STRATEGIES", "LinkageResult", "link_tables"]
 
@@ -77,6 +79,10 @@ def link_tables(
     shards: int = 1,
     backend: str = "serial",
     partitioner: str = "hash",
+    on_failure: Union[str, FailurePolicy, None] = None,
+    retries: Optional[int] = None,
+    shard_timeout: Optional[float] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> LinkageResult:
     """Link two tables on ``attribute`` with the chosen strategy.
 
@@ -90,6 +96,14 @@ def link_tables(
     (``backend``: serial / thread / process / async; ``partitioner``:
     hash preserves exact semantics, gram preserves full approximate
     recall via replication — see ARCHITECTURE.md "Sharded execution").
+
+    ``on_failure`` / ``retries`` / ``shard_timeout`` configure the
+    failure policy of the sharded execution layer (``fail-fast`` —
+    the default — ``retry``, ``degrade``; see ARCHITECTURE.md "Failure
+    semantics").  A degraded run reports the dropped shards, an
+    ``estimated_recall`` and per-side ``coverage`` in its statistics.
+    ``faults`` injects a deterministic
+    :class:`~repro.runtime.faults.FaultPlan` (testing harness).
     """
     job = (
         LinkageJob.between(left, right)
@@ -112,4 +126,13 @@ def link_tables(
             job.policy(policy, budget=budget, seconds=deadline)
     if shards != 1:
         job.sharded(shards, backend=backend, partitioner=partitioner)
+    if on_failure is not None or retries is not None or shard_timeout is not None:
+        if on_failure is None:
+            # A bare `retries=` implies the retry policy; a bare
+            # `shard_timeout=` keeps the fail-fast default (timeouts
+            # apply to every policy).
+            on_failure = "retry" if retries is not None else "fail-fast"
+        job.on_failure(on_failure, retries=retries, shard_timeout=shard_timeout)
+    if faults is not None:
+        job.inject_faults(faults)
     return job.build().run()

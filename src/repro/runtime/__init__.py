@@ -19,9 +19,16 @@ This package is the composition layer between the switchable join engine
   :class:`ShardPlan` and the mergeable, duplicate-free
   :class:`ShardedJoinResult`;
 * :mod:`repro.runtime.parallel` — :class:`ParallelExecutor` with the
-  ``serial`` / ``thread`` / ``process`` backends and the
+  ``serial`` / ``thread`` / ``process`` / ``async`` backends and the
   :class:`AggregatedEventBus` that fans shard events back into one
-  observer stream.
+  observer stream;
+* :mod:`repro.runtime.failures` — the :class:`FailurePolicy` registry
+  (``fail-fast`` / ``retry`` / ``degrade``) deciding what a shard
+  failure does to the run;
+* :mod:`repro.runtime.faults` — the deterministic fault-injection
+  harness (:class:`FaultPlan`) tests, benchmarks and the CI smoke use;
+* :mod:`repro.runtime.errors` — the structured shard failure types
+  (:class:`ShardExecutionError`, :class:`ShardTimeoutError`).
 
 Exports are resolved lazily (PEP 562) so low-level modules — e.g.
 :mod:`repro.joins.engine`, which publishes onto the bus — can import
@@ -41,15 +48,34 @@ if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
         ThroughputCollector,
     )
     from repro.runtime.config import RunConfig, input_size
+    from repro.runtime.errors import (
+        ShardError,
+        ShardExecutionError,
+        ShardTimeoutError,
+    )
     from repro.runtime.events import (
         AssessmentEvent,
         EventBus,
         ShardCompleted,
         ShardEvent,
+        ShardFailed,
+        ShardRetrying,
         TransitionEvent,
     )
+    from repro.runtime.failures import (
+        DegradePolicy,
+        FailFastPolicy,
+        FailurePolicy,
+        RetryPolicy,
+        ShardFailure,
+        available_failure_policies,
+        create_failure_policy,
+        register_failure_policy,
+    )
+    from repro.runtime.faults import FaultPlan, FaultSpec, InjectedFaultError
     from repro.runtime.parallel import (
         AggregatedEventBus,
+        FailureContext,
         ParallelExecutor,
         available_backends,
         register_backend,
@@ -120,6 +146,23 @@ _EXPORTS = {
     "AggregatedEventBus": "repro.runtime.parallel",
     "ShardEvent": "repro.runtime.events",
     "ShardCompleted": "repro.runtime.events",
+    "ShardFailed": "repro.runtime.events",
+    "ShardRetrying": "repro.runtime.events",
+    "FailurePolicy": "repro.runtime.failures",
+    "FailFastPolicy": "repro.runtime.failures",
+    "RetryPolicy": "repro.runtime.failures",
+    "DegradePolicy": "repro.runtime.failures",
+    "ShardFailure": "repro.runtime.failures",
+    "register_failure_policy": "repro.runtime.failures",
+    "create_failure_policy": "repro.runtime.failures",
+    "available_failure_policies": "repro.runtime.failures",
+    "FaultPlan": "repro.runtime.faults",
+    "FaultSpec": "repro.runtime.faults",
+    "InjectedFaultError": "repro.runtime.faults",
+    "ShardError": "repro.runtime.errors",
+    "ShardExecutionError": "repro.runtime.errors",
+    "ShardTimeoutError": "repro.runtime.errors",
+    "FailureContext": "repro.runtime.parallel",
 }
 
 __all__ = sorted(_EXPORTS)

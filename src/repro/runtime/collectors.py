@@ -32,6 +32,8 @@ from repro.joins.engine import StepResult, SwitchRecord
 from repro.runtime.events import (
     EventBus,
     ShardCompleted,
+    ShardFailed,
+    ShardRetrying,
     TransitionEvent,
 )
 
@@ -165,6 +167,14 @@ class ProgressSnapshot:
     total_shards: Optional[int]
     #: Seconds since the collector was constructed.
     elapsed_seconds: float
+    #: Shards that failed terminally (dropped by a degrade policy or
+    #: about to abort the run under fail-fast).  0 on the happy path.
+    shards_failed: int = 0
+    #: Shard re-runs scheduled by a retry-capable failure policy.  Note
+    #: that a retried shard's steps are re-observed (the step feed is
+    #: raw), so ``steps`` can exceed ``total_steps`` under retries —
+    #: :attr:`fraction` clamps at 1.
+    retries: int = 0
 
     @property
     def fraction(self) -> Optional[float]:
@@ -190,6 +200,10 @@ class ProgressSnapshot:
             steps += f"/{self.total_steps}"
         parts.append(steps)
         parts.append(f"{self.matches} matches")
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        if self.shards_failed:
+            parts.append(f"{self.shards_failed} shards FAILED")
         fraction = self.fraction
         if fraction is not None:
             parts.append(f"{fraction:.0%}")
@@ -234,10 +248,14 @@ class ProgressCollector:
         self._shards_done = 0
         self._shard_steps = 0
         self._shard_matches = 0
+        self._shards_failed = 0
+        self._retries = 0
 
     def attach(self, bus: EventBus) -> "ProgressCollector":
         bus.subscribe(StepResult, self._on_step)
         bus.subscribe(ShardCompleted, self._on_shard_completed)
+        bus.subscribe(ShardFailed, self._on_shard_failed)
+        bus.subscribe(ShardRetrying, self._on_shard_retrying)
         return self
 
     def restart_clock(self) -> None:
@@ -260,10 +278,24 @@ class ProgressCollector:
         self._shard_steps += event.result.trace.total_steps
         self._shard_matches += event.result.result_size
 
+    def _on_shard_failed(self, event: ShardFailed) -> None:
+        # Per-attempt failures that retry are transient; only terminal
+        # failures (dropped or about to abort the run) count here.
+        if not event.will_retry:
+            self._shards_failed += 1
+
+    def _on_shard_retrying(self, event: ShardRetrying) -> None:
+        self._retries += 1
+
     @property
     def shards_done(self) -> int:
         """Shards completed so far."""
         return self._shards_done
+
+    @property
+    def shards_failed(self) -> int:
+        """Shards that failed terminally so far."""
+        return self._shards_failed
 
     def snapshot(self) -> ProgressSnapshot:
         """The current progress reading (cheap; callable at any moment)."""
@@ -277,4 +309,6 @@ class ProgressCollector:
             shards_done=self._shards_done,
             total_shards=self.total_shards,
             elapsed_seconds=self._clock() - self._started,
+            shards_failed=self._shards_failed,
+            retries=self._retries,
         )

@@ -1,0 +1,99 @@
+"""Exception hierarchy for the runtime execution layer.
+
+The mirror of :mod:`repro.engine.errors` one layer up: a small, explicit
+hierarchy so callers can distinguish *where* and *why* a sharded run
+failed without string-matching on messages.  Every error a failing shard
+surfaces is wrapped in a :class:`ShardExecutionError` carrying the shard
+id, the attempt number and the engine batches elapsed before the
+failure, with ``__cause__`` set to the original exception — the bare
+re-raise of the pre-fault-tolerance backends lost all three.
+
+:class:`ShardError` deliberately subclasses :class:`RuntimeError`:
+callers (and tests) written against the old bare re-raise commonly catch
+``RuntimeError`` around a sharded run, and the wrapped message embeds
+the original error text, so existing ``except``/``match=`` sites keep
+working while new code can catch the precise types.
+
+Pickling contract: the process backend ships these errors across the
+worker boundary, so every constructor passes *all* of its arguments to
+``Exception.__init__`` (the default ``__reduce__`` re-invokes the class
+with ``self.args``).  ``__cause__`` does not survive pickling — which is
+why the message embeds the cause's text.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ShardError(RuntimeError):
+    """Base class for all errors raised by the sharded execution layer."""
+
+
+class ShardExecutionError(ShardError):
+    """One shard's session failed (possibly after retries).
+
+    Attributes
+    ----------
+    shard_id:
+        The shard whose session raised.
+    attempt:
+        1-based attempt number that failed (``1`` = the first run).
+    batches:
+        Engine batches the attempt completed before failing (``0`` when
+        the failure happened during session construction).
+    message:
+        Human-readable description, embedding the original error's text
+        (``__cause__`` carries the original exception object itself when
+        the error did not cross a process boundary).
+    """
+
+    def __init__(
+        self, shard_id: int, attempt: int, batches: int = 0, message: str = ""
+    ) -> None:
+        super().__init__(shard_id, attempt, batches, message)
+        self.shard_id = shard_id
+        self.attempt = attempt
+        self.batches = batches
+        self.message = message
+
+    def __str__(self) -> str:
+        return (
+            f"shard {self.shard_id} failed on attempt {self.attempt} "
+            f"after {self.batches} engine batch(es): {self.message}"
+        )
+
+
+class ShardTimeoutError(ShardExecutionError):
+    """A shard attempt exceeded its per-shard timeout.
+
+    Raised by the shard runner when the attempt's deadline token trips —
+    enforced at engine-batch boundaries through the same cancel-token
+    path cooperative cancellation uses, so a hung shard becomes a
+    timeout, never a deadlock.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        attempt: int,
+        batches: int,
+        timeout_seconds: Optional[float],
+        message: str = "",
+    ) -> None:
+        # Bypass ShardExecutionError.__init__ so self.args matches this
+        # constructor (the pickling contract), then fill the same fields.
+        Exception.__init__(self, shard_id, attempt, batches, timeout_seconds, message)
+        self.shard_id = shard_id
+        self.attempt = attempt
+        self.batches = batches
+        self.timeout_seconds = timeout_seconds
+        self.message = message or (
+            f"exceeded the per-shard timeout of {timeout_seconds}s"
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"shard {self.shard_id} timed out on attempt {self.attempt} "
+            f"after {self.batches} engine batch(es): {self.message}"
+        )

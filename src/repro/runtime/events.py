@@ -28,7 +28,11 @@ The runtime publishes:
   policy, with the σ/µ/π verdict and the evaluated guards;
 * :class:`ShardEvent` / :class:`ShardCompleted` — shard-tagged wrappers
   and per-shard lifecycle events published by the sharded execution
-  layer (:mod:`repro.runtime.parallel`) on an ``AggregatedEventBus``.
+  layer (:mod:`repro.runtime.parallel`) on an ``AggregatedEventBus``;
+* :class:`ShardFailed` / :class:`ShardRetrying` — the failure-semantics
+  lifecycle: one ``ShardFailed`` per failed attempt (with the wrapped
+  error and whether a retry follows), one ``ShardRetrying`` per retry
+  scheduled, on every backend.
 
 Ordering guarantee: for one engine step, the ``StepResult`` is published
 first, then the step's ``MatchEvent``s in emission order.  Subscribers to
@@ -105,6 +109,32 @@ class ShardCompleted:
     shard_id: int
     result: "AdaptiveJoinResult"
     wall_seconds: float
+
+
+@dataclass(frozen=True, slots=True)
+class ShardFailed:
+    """One shard attempt failed; published before the policy reacts.
+
+    ``error`` is the wrapped
+    :class:`~repro.runtime.errors.ShardExecutionError` (shard id,
+    attempt, elapsed batches, cause).  ``will_retry`` tells observers
+    whether a :class:`ShardRetrying` follows or the failure is terminal
+    (re-raised under fail-fast, dropped-and-recorded under degrade).
+    """
+
+    shard_id: int
+    attempt: int
+    error: object
+    will_retry: bool
+
+
+@dataclass(frozen=True, slots=True)
+class ShardRetrying:
+    """A failed shard is being re-run (after ``delay_seconds`` backoff)."""
+
+    shard_id: int
+    next_attempt: int
+    delay_seconds: float
 
 
 class EventBus:

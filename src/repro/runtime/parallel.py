@@ -54,6 +54,21 @@ shards already completed; the async backend additionally stops *running*
 shards at their next batch boundary (partial shard results, flagged
 ``cancelled``).  The merged :class:`ShardedJoinResult` then carries
 ``cancelled=True``.
+
+Failure semantics: what happens when a shard session *raises* is decided
+by a :class:`~repro.runtime.failures.FailurePolicy` (``fail-fast`` |
+``retry`` | ``degrade``), applied uniformly across all four backends by
+:class:`FailureContext` — the shard runner that wraps errors into
+:class:`~repro.runtime.errors.ShardExecutionError`, re-runs failed
+shards with deterministic backoff (shard inputs are replayable by
+contract), enforces per-shard timeouts at engine-batch boundaries via
+the cancel-token path, publishes ``ShardFailed`` / ``ShardRetrying``
+lifecycle events, and records dropped shards for honest degraded
+accounting.  Deterministic fault injection
+(:class:`~repro.runtime.faults.FaultPlan`) hooks into the same runner,
+so every failure path is reproducible on every backend.  A run with no
+faults, no timeout and the default policy takes the exact pre-existing
+code path — the happy path pays nothing.
 """
 
 from __future__ import annotations
@@ -70,20 +85,29 @@ from concurrent.futures import (
     wait,
 )
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple, Type, Union
+from typing import Callable, Dict, Generator, List, Optional, Tuple, Type, Union
 
 from repro.engine.streams import InputLike
 from repro.engine.tuples import Record, Schema
 from repro.joins.base import JoinAttribute, MatchEvent
 from repro.joins.engine import StepResult, SwitchRecord
 from repro.runtime.config import RunConfig
+from repro.runtime.errors import ShardExecutionError, ShardTimeoutError
 from repro.runtime.events import (
     AssessmentEvent,
     EventBus,
     ShardCompleted,
     ShardEvent,
+    ShardFailed,
+    ShardRetrying,
     TransitionEvent,
 )
+from repro.runtime.failures import (
+    FailurePolicy,
+    ShardFailure,
+    create_failure_policy,
+)
+from repro.runtime.faults import FaultPlan, FaultSpec, InjectedFaultError
 from repro.runtime.session import AdaptiveJoinResult, JoinSession
 from repro.runtime.sharding import (
     Partitioner,
@@ -94,6 +118,7 @@ from repro.runtime.sharding import (
 
 __all__ = [
     "AggregatedEventBus",
+    "FailureContext",
     "ParallelExecutor",
     "ShardCompleted",  # re-exported; defined in repro.runtime.events
     "ShardEvent",  # re-exported; defined in repro.runtime.events
@@ -106,6 +131,17 @@ __all__ = [
 #: Small enough for responsive interleaving/cancellation, large enough to
 #: amortise the coroutine switch (a few hundred probe steps per switch).
 _ASYNC_BATCH = 256
+
+#: Engine steps per batch when a sync backend must supervise an attempt
+#: (per-shard timeout or injected fault): the deadline/fault checks run
+#: at these boundaries.  Deliberately equal to :data:`_ASYNC_BATCH` so
+#: "fail after n batches" means the same thing on every backend.
+_SUPERVISED_BATCH = 256
+
+#: How long a cooperatively hung shard sleeps between polls of its
+#: deadline/cancel token.  Bounds how far past its timeout a hung shard
+#: can run.
+_HANG_POLL_SECONDS = 0.02
 
 
 #: Event types forwarded live from shard buses by the in-process backends.
@@ -180,12 +216,17 @@ _BACKENDS: Dict[str, Callable] = {}
 def register_backend(name: str):
     """Function decorator registering an execution backend under ``name``.
 
-    A backend is a callable ``(plan, config, bus, max_workers, cancel) →
-    List[ShardOutcome]``; it owns worker scheduling and nothing else —
-    partitioning happened before it runs, merging happens after.
+    A backend is a callable ``(plan, config, bus, max_workers, cancel,
+    ctx) → List[ShardOutcome]``; it owns worker scheduling and nothing
+    else — partitioning happened before it runs, merging happens after.
     ``cancel`` is an optional token (``is_set()``-style): once set the
     backend must stop scheduling new shards and return the outcomes of
     the shards already completed, leaving no dangling futures behind.
+    ``ctx`` is the run's :class:`FailureContext`; backends route each
+    shard through ``ctx.run_shard`` / ``ctx.drive_shard`` (which applies
+    the failure policy, timeouts and fault injection uniformly) and skip
+    ``None`` outcomes (shards skipped after cancellation or dropped by a
+    degrade policy).
     """
     if not name:
         raise ValueError("backend name must be non-empty")
@@ -252,15 +293,358 @@ def _never_ran(outcome: ShardOutcome) -> bool:
     return outcome.result.never_ran
 
 
+class _AttemptDeadline:
+    """A cancel token that also trips when an attempt's deadline passes.
+
+    Combines the caller's token (cooperative cancellation, unchanged)
+    with a per-attempt timeout read off an injectable clock.  Handed to
+    ``JoinSession.run_batches`` exactly like a plain token, so timeout
+    enforcement rides the existing batch-boundary cancellation path —
+    a hung or slow shard stops at its next boundary, and ``timed_out``
+    tells the runner whether the trip was a timeout (raise
+    :class:`ShardTimeoutError`) or the caller cancelling (return the
+    partial outcome, as always).
+    """
+
+    __slots__ = ("_cancel", "_clock", "_deadline", "timed_out")
+
+    def __init__(
+        self,
+        cancel: Optional[object],
+        clock: Callable[[], float],
+        timeout_seconds: float,
+    ) -> None:
+        self._cancel = cancel
+        self._clock = clock
+        self._deadline = clock() + timeout_seconds
+        self.timed_out = False
+
+    def is_set(self) -> bool:
+        if self._cancel is not None and self._cancel.is_set():
+            return True
+        if self._clock() >= self._deadline:
+            self.timed_out = True
+            return True
+        return False
+
+
+def _drain(gen, sleep: Callable[[float], None]):
+    """Run an attempt generator to completion synchronously.
+
+    The generator yields optional sleep hints (backoff delays, hang
+    polls); the sync drivers honour them with an injectable ``sleep``,
+    the async driver awaits them instead (see ``_drive_shards_async``).
+    """
+    while True:
+        try:
+            hint = next(gen)
+        except StopIteration as stop:
+            return stop.value
+        if hint:
+            sleep(hint)
+
+
+def _run_attempt(
+    left,
+    right,
+    attribute: JoinAttribute,
+    config: RunConfig,
+    shard_id: int,
+    attempt: int,
+    shard_bus: Optional[EventBus],
+    cancel: Optional[object],
+    timeout_seconds: Optional[float],
+    fault: Optional[FaultSpec],
+    clock: Callable[[], float],
+    batch_cap: Optional[int],
+) -> "Generator":
+    """Drive one supervised shard attempt; the single implementation
+    behind every backend (and the process-pool worker).
+
+    A generator that yields ``Optional[float]`` sleep hints between
+    engine batches — ``None`` for "just yield control" (async
+    interleaving), a positive number for "wait this long" (hang polls).
+    Returns the attempt's :class:`AdaptiveJoinResult` (possibly a
+    cancelled partial, when the *caller's* token tripped) or raises:
+
+    * :class:`ShardTimeoutError` when the attempt's deadline trips,
+    * :class:`ShardExecutionError` wrapping anything the session (or an
+      injected fault) raises, with shard id / attempt / elapsed batches
+      attached and ``__cause__`` set to the original error.
+    """
+    token: Optional[object] = cancel
+    if timeout_seconds is not None:
+        token = _AttemptDeadline(cancel, clock, timeout_seconds)
+    batches = 0
+    try:
+        session = JoinSession(left, right, attribute, config, bus=shard_bus)
+        cap = batch_cap or _SUPERVISED_BATCH
+        hang_now = fault is not None and fault.kind == "hang" and fault.after_batches == 0
+        if fault is not None and fault.kind == "fail" and fault.after_batches == 0:
+            raise InjectedFaultError(
+                f"injected shard failure: shard {shard_id} attempt {attempt}"
+            )
+        if not hang_now:
+            for _ in session.run_batches(max_batch=cap, cancel=token):
+                batches += 1
+                if fault is not None and batches >= fault.after_batches:
+                    if fault.kind == "fail":
+                        raise InjectedFaultError(
+                            f"injected shard failure: shard {shard_id} "
+                            f"attempt {attempt} after {batches} batch(es)"
+                        )
+                    hang_now = True
+                    break
+                yield None
+        if hang_now:
+            # A cooperative hang: the shard makes no progress but polls
+            # its token, so a per-shard timeout (or the caller's cancel)
+            # releases it.  With neither, it hangs for real — which is
+            # exactly the failure mode being simulated.
+            while token is None or not token.is_set():
+                yield _HANG_POLL_SECONDS
+            if isinstance(token, _AttemptDeadline) and token.timed_out:
+                raise ShardTimeoutError(
+                    shard_id,
+                    attempt,
+                    batches,
+                    timeout_seconds,
+                    message=(
+                        f"injected hang; exceeded the per-shard timeout of "
+                        f"{timeout_seconds}s"
+                    ),
+                )
+            session.mark_cancelled()
+            return session.result()
+        result = session.result()
+        if (
+            result.cancelled
+            and isinstance(token, _AttemptDeadline)
+            and token.timed_out
+        ):
+            raise ShardTimeoutError(shard_id, attempt, batches, timeout_seconds)
+        return result
+    except ShardExecutionError:
+        raise
+    except Exception as error:
+        wrapped = ShardExecutionError(
+            shard_id, attempt, batches, f"{type(error).__name__}: {error}"
+        )
+        raise wrapped from error
+
+
+class FailureContext:
+    """Applies one run's failure policy + fault plan to every shard.
+
+    Constructed per :meth:`ParallelExecutor.run` and handed to the
+    backend, which routes each shard through :meth:`run_shard` (sync
+    backends) or :meth:`drive_shard` (the async driver; also used by the
+    process backend's coordinator for retry bookkeeping).  The context
+    owns the attempt loop — retry with deterministic backoff, degrade
+    bookkeeping, lifecycle events — so all four backends share one
+    implementation of the failure semantics.
+
+    ``clock`` and ``sleep`` are injectable, so retry backoff and timeout
+    behaviour are deterministic under test.  Thread-safe: the failure
+    record map is the only shared mutable state and is lock-protected.
+    """
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        config: RunConfig,
+        bus: Optional["AggregatedEventBus"],
+        policy: FailurePolicy,
+        faults: Optional[FaultPlan] = None,
+        clock: Callable[[], float] = time.perf_counter,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.plan = plan
+        self.config = config
+        self.bus = bus
+        self.policy = policy
+        self.faults = faults if faults else None
+        self.clock = clock
+        self.sleep = sleep
+        self._failures: Dict[int, ShardFailure] = {}
+        self._lock = threading.Lock()
+
+    @classmethod
+    def default(
+        cls,
+        plan: ShardPlan,
+        config: RunConfig,
+        bus: Optional["AggregatedEventBus"],
+    ) -> "FailureContext":
+        """The fail-fast, no-faults context (backends called directly)."""
+        return cls(plan, config, bus, create_failure_policy(None))
+
+    # -- the attempt loop ----------------------------------------------
+
+    def drive_shard(
+        self,
+        shard_id: int,
+        cancel: Optional[object] = None,
+        batch_cap: Optional[int] = None,
+    ):
+        """Generator running one shard to a final outcome under the policy.
+
+        Yields ``Optional[float]`` sleep hints (batch boundaries, retry
+        backoff, hang polls); returns the shard's :class:`ShardOutcome`,
+        or ``None`` when the shard was skipped after cancellation or
+        dropped by a degrade policy.  Raises :class:`ShardExecutionError`
+        only when the policy says the failure is fatal.
+        """
+        attempt = 1
+        while True:
+            fault = (
+                self.faults.action_for(shard_id, attempt) if self.faults else None
+            )
+            timeout = self.policy.shard_timeout_seconds
+            started = self.clock()
+            try:
+                if fault is None and timeout is None and batch_cap is None:
+                    # Unsupervised: byte-for-byte the pre-fault-tolerance
+                    # path (and the seam tests monkeypatch).
+                    outcome = _run_shard_inline(
+                        self.plan, self.config, shard_id, self.bus, cancel
+                    )
+                else:
+                    left, right = self.plan.shard_streams(shard_id)
+                    shard_bus: Optional[EventBus] = None
+                    if self.bus is not None:
+                        shard_bus = EventBus()
+                        self.bus.forward_from(shard_id, shard_bus)
+                    result = yield from _run_attempt(
+                        left,
+                        right,
+                        self.plan.attribute,
+                        self.config,
+                        shard_id,
+                        attempt,
+                        shard_bus,
+                        cancel,
+                        timeout,
+                        fault,
+                        self.clock,
+                        batch_cap,
+                    )
+                    outcome = ShardOutcome(
+                        shard_id=shard_id,
+                        result=result,
+                        left_origins=self.plan.left_shards[shard_id].origins,
+                        right_origins=self.plan.right_shards[shard_id].origins,
+                        wall_seconds=self.clock() - started,
+                    )
+                return None if _never_ran(outcome) else outcome
+            except Exception as error:  # noqa: BLE001 - policy decides below
+                if isinstance(error, ShardExecutionError):
+                    wrapped = error
+                else:
+                    wrapped = ShardExecutionError(
+                        shard_id, attempt, 0, f"{type(error).__name__}: {error}"
+                    )
+                    wrapped.__cause__ = error
+                action = self.handle_failure(shard_id, attempt, wrapped, cancel)
+                if action == "retry":
+                    delay = self.note_retry(shard_id, attempt)
+                    if delay > 0:
+                        yield delay
+                    attempt += 1
+                    continue
+                if action == "drop":
+                    self.record_failure(shard_id, attempt, wrapped)
+                    return None
+                raise wrapped from wrapped.__cause__
+
+    def run_shard(
+        self, shard_id: int, cancel: Optional[object] = None
+    ) -> Optional[ShardOutcome]:
+        """Synchronous :meth:`drive_shard` (serial and thread backends)."""
+        return _drain(self.drive_shard(shard_id, cancel), self.sleep)
+
+    # -- policy bookkeeping (shared with the process coordinator) --------
+
+    def handle_failure(
+        self,
+        shard_id: int,
+        attempt: int,
+        error: ShardExecutionError,
+        cancel: Optional[object],
+    ) -> str:
+        """Publish ``ShardFailed`` and decide ``retry`` / ``drop`` / ``raise``."""
+        will_retry = self.policy.should_retry(attempt) and not _cancelled(cancel)
+        if self.bus is not None:
+            self.bus.publish(ShardFailed(shard_id, attempt, error, will_retry))
+        if will_retry:
+            return "retry"
+        if self.policy.drops_failed_shards:
+            return "drop"
+        return "raise"
+
+    def note_retry(self, shard_id: int, attempt: int) -> float:
+        """Publish ``ShardRetrying`` and return the backoff delay."""
+        delay = self.policy.backoff_delay(attempt)
+        if self.bus is not None:
+            self.bus.publish(ShardRetrying(shard_id, attempt + 1, delay))
+        return delay
+
+    def record_failure(
+        self, shard_id: int, attempts: int, error: ShardExecutionError
+    ) -> None:
+        """Record a dropped shard for the merged result's honest accounting."""
+        cause = error.__cause__
+        cause_name = type(cause).__name__ if cause is not None else ""
+        if not cause_name or cause_name == "_RemoteTraceback":
+            # No cause, or the process boundary replaced it with the
+            # pool's traceback shim.  The wrapped message leads with the
+            # original type's name ("ValueError: ...") — recover it, and
+            # fall back to the wrapper's own type otherwise.
+            head = (error.message or "").split(":", 1)[0].strip()
+            cause_name = head if head.isidentifier() else type(error).__name__
+        record = ShardFailure(
+            shard_id=shard_id,
+            attempts=attempts,
+            error_type=cause_name,
+            # The cause text alone — shard id / attempt / batches already
+            # have their own fields, so the row stays non-redundant.
+            message=error.message or str(error),
+            batches=error.batches,
+            timed_out=isinstance(error, ShardTimeoutError),
+            left_records=len(self.plan.left_shards[shard_id].records),
+            right_records=len(self.plan.right_shards[shard_id].records),
+        )
+        with self._lock:
+            self._failures[shard_id] = record
+
+    def failure_records(self) -> Tuple[ShardFailure, ...]:
+        """Dropped-shard records, in shard-id order."""
+        with self._lock:
+            return tuple(
+                self._failures[shard_id] for shard_id in sorted(self._failures)
+            )
+
+
 @dataclass
 class _ShardTask:
-    """The picklable payload a process-backend worker rebuilds a shard from."""
+    """The picklable payload a process-backend worker rebuilds a shard from.
+
+    ``attempt`` / ``timeout_seconds`` / ``faults`` extend the payload
+    with the failure-semantics contract: retries are coordinated in the
+    parent (a retried shard is simply resubmitted with ``attempt + 1``),
+    while the per-attempt timeout and any injected faults are enforced
+    *inside* the worker — the only place that can see the attempt's
+    engine-batch boundaries.
+    """
 
     shard_id: int
     attribute: JoinAttribute
     config: RunConfig
     left: "ShardInputPayload"
     right: "ShardInputPayload"
+    attempt: int = 1
+    timeout_seconds: Optional[float] = None
+    faults: Optional[FaultPlan] = None
 
 
 @dataclass
@@ -273,14 +657,49 @@ class ShardInputPayload:
 
 
 def _run_shard_task(task: _ShardTask) -> Tuple[int, AdaptiveJoinResult, float]:
-    """Process-pool worker: run one shard session from its pickled task."""
+    """Process-pool worker: run one shard *attempt* from its pickled task.
+
+    Timeouts and injected faults are enforced here, in-worker, through
+    the same :func:`_run_attempt` runner the in-process backends use —
+    real wall clock, since an injectable clock cannot cross the process
+    boundary.  Failures come back as picklable
+    :class:`ShardExecutionError`\\ s; the coordinator applies the policy
+    (retry = resubmit, degrade = record, fail-fast = raise).
+    """
     from repro.engine.streams import ListStream
 
     started = time.perf_counter()
     left = ListStream(task.left.schema, task.left.records, name=task.left.name)
     right = ListStream(task.right.schema, task.right.records, name=task.right.name)
-    session = JoinSession(left, right, task.attribute, task.config)
-    result = session.run()
+    fault = (
+        task.faults.action_for(task.shard_id, task.attempt) if task.faults else None
+    )
+    if fault is None and task.timeout_seconds is None:
+        try:
+            session = JoinSession(left, right, task.attribute, task.config)
+            result = session.run()
+        except Exception as error:
+            raise ShardExecutionError(
+                task.shard_id, task.attempt, 0, f"{type(error).__name__}: {error}"
+            ) from error
+    else:
+        result = _drain(
+            _run_attempt(
+                left,
+                right,
+                task.attribute,
+                task.config,
+                task.shard_id,
+                task.attempt,
+                None,
+                None,
+                task.timeout_seconds,
+                fault,
+                time.perf_counter,
+                None,
+            ),
+            time.sleep,
+        )
     return task.shard_id, result, time.perf_counter() - started
 
 
@@ -296,14 +715,17 @@ def _ensure_picklable(obj: object, what: str) -> None:
 
 
 def _raise_first_failure(futures_to_shards: Dict, done, pending) -> None:
-    """Cancel outstanding shard work and re-raise the first shard error.
+    """Cancel outstanding shard work and re-raise the winning shard error.
 
     ``wait(..., FIRST_EXCEPTION)`` returns as soon as any shard fails;
     without this cleanup the naive "collect every result" loop would
     block on still-running futures (and keep scheduling queued ones)
-    before surfacing the error.  Among the failures already observed the
-    lowest shard id wins, so the raised error is deterministic even when
-    several shards fail in the same race.  No-op when nothing failed.
+    before surfacing the error.  The pin is *lowest failed shard id
+    wins*, deterministically: queued shards are cancelled, but an
+    in-flight shard with a lower id than the best failure observed so
+    far may be about to fail too and take the pin — those (and only
+    those; higher-id stragglers are never waited on) are awaited before
+    raising.  No-op when nothing failed.
     """
     failures = sorted(
         (
@@ -315,9 +737,26 @@ def _raise_first_failure(futures_to_shards: Dict, done, pending) -> None:
     )
     if not failures:
         return
-    for future in pending:
-        future.cancel()
-    raise failures[0][1]
+    best_id, best_error = failures[0]
+    still_running = [future for future in pending if not future.cancel()]
+    lower = {
+        future
+        for future in still_running
+        if futures_to_shards[future] < best_id
+    }
+    while lower:
+        finished, _ = wait(lower, return_when=FIRST_COMPLETED)
+        for future in finished:
+            error = future.exception()
+            shard_id = futures_to_shards[future]
+            if error is not None and shard_id < best_id:
+                best_id, best_error = shard_id, error
+        lower = {
+            future
+            for future in lower - finished
+            if futures_to_shards[future] < best_id
+        }
+    raise best_error
 
 
 # -- the backends -----------------------------------------------------------------------
@@ -330,6 +769,7 @@ def _serial_backend(
     bus: Optional[AggregatedEventBus],
     max_workers: Optional[int],
     cancel: Optional[object] = None,
+    ctx: Optional[FailureContext] = None,
 ) -> List[ShardOutcome]:
     """Shards run one after the other, in shard-id order (the oracle).
 
@@ -337,15 +777,19 @@ def _serial_backend(
     boundary (partial outcome kept) and skips every shard that has not
     started; completed shards are returned as-is.
     """
+    ctx = ctx or FailureContext.default(plan, config, bus)
     outcomes = []
     for shard_id in range(plan.shard_count):
         if _cancelled(cancel):
             break
-        outcome = _run_shard_inline(plan, config, shard_id, bus, cancel)
-        if _never_ran(outcome):
-            # The token was set between the loop check and the session's
-            # first step (another thread cancelled): skipped, not run.
-            break
+        outcome = ctx.run_shard(shard_id, cancel)
+        if outcome is None:
+            if _cancelled(cancel):
+                # The token was set between the loop check and the
+                # session's first step (another thread cancelled):
+                # skipped, not run.
+                break
+            continue  # dropped by the degrade policy; recorded on ctx
         if bus is not None:
             bus.publish(
                 ShardCompleted(shard_id, outcome.result, outcome.wall_seconds)
@@ -361,13 +805,15 @@ def _thread_backend(
     bus: Optional[AggregatedEventBus],
     max_workers: Optional[int],
     cancel: Optional[object] = None,
+    ctx: Optional[FailureContext] = None,
 ) -> List[ShardOutcome]:
     """One thread per shard (capped at ``max_workers``).
 
     A shard failure cancels every not-yet-started shard and re-raises
-    the first error promptly — in-flight threads cannot be interrupted
-    (they finish in the background), but nothing new is scheduled and the
-    caller is never blocked on them.
+    the lowest-shard-id fatal error — in-flight threads cannot be
+    interrupted; only those on *lower* shard ids than the best failure
+    (they could take the pin) are awaited, higher-id stragglers finish
+    in the background and the caller is never blocked on them.
 
     A set cancel token drains quickly instead: in-flight sessions stop
     at their next engine-batch boundary (the token is threaded into
@@ -375,15 +821,14 @@ def _thread_backend(
     step and are dropped, and the backend returns the shards that did
     real work — every future completed, none dangling.
     """
+    ctx = ctx or FailureContext.default(plan, config, bus)
     workers = min(max_workers or plan.shard_count, plan.shard_count)
     outcomes: List[ShardOutcome] = []
     pool = ThreadPoolExecutor(max_workers=workers)
     failed = True
     try:
         futures = {
-            pool.submit(
-                _run_shard_inline, plan, config, shard_id, bus, cancel
-            ): shard_id
+            pool.submit(ctx.run_shard, shard_id, cancel): shard_id
             for shard_id in range(plan.shard_count)
         }
         done, pending = wait(futures, return_when=FIRST_EXCEPTION)
@@ -391,8 +836,10 @@ def _thread_backend(
         failed = False
         for future in futures:
             outcome = future.result()
-            if _never_ran(outcome):
-                continue  # skipped after cancellation, not a real shard run
+            if outcome is None:
+                # Skipped after cancellation or dropped by the degrade
+                # policy — either way, not a real shard run.
+                continue
             if bus is not None:
                 bus.publish(
                     ShardCompleted(
@@ -414,6 +861,7 @@ def _process_backend(
     bus: Optional[AggregatedEventBus],
     max_workers: Optional[int],
     cancel: Optional[object] = None,
+    ctx: Optional[FailureContext] = None,
 ) -> List[ShardOutcome]:
     """One worker process per shard (capped at ``max_workers``).
 
@@ -421,18 +869,26 @@ def _process_backend(
     (checked up front).  Shard events are not streamed back — only
     :class:`ShardCompleted` is published per shard, after the fact.  A
     shard failure cancels every still-queued shard task and re-raises
-    the first error promptly, exactly like the thread backend.
+    the lowest-shard-id fatal error, exactly like the thread backend
+    (in-flight workers on lower shard ids are awaited for the pin).
+
+    Failure policies are applied by the coordinator: a worker runs *one*
+    attempt (enforcing the per-attempt timeout and any injected faults
+    in-process) and a retried shard is resubmitted to the pool with an
+    incremented attempt number — replayable shard inputs make the
+    resubmission bit-identical to a first run.
 
     Cancellation is coarse here: the token cannot cross the process
     boundary, so it is checked between shard completions — queued shard
     tasks are cancelled, in-flight workers run their shard to the end.
     """
+    ctx = ctx or FailureContext.default(plan, config, bus)
     _ensure_picklable(config, "the run configuration (RunConfig)")
-    tasks = []
-    for shard_id in range(plan.shard_count):
+
+    def make_task(shard_id: int, attempt: int) -> _ShardTask:
         left_input = plan.left_shards[shard_id]
         right_input = plan.right_shards[shard_id]
-        task = _ShardTask(
+        return _ShardTask(
             shard_id=shard_id,
             attribute=plan.attribute,
             config=config,
@@ -442,7 +898,14 @@ def _process_backend(
             right=ShardInputPayload(
                 right_input.schema, right_input.records, right_input.name
             ),
+            attempt=attempt,
+            timeout_seconds=ctx.policy.shard_timeout_seconds,
+            faults=ctx.faults.for_shard(shard_id) if ctx.faults else None,
         )
+
+    tasks = []
+    for shard_id in range(plan.shard_count):
+        task = make_task(shard_id, 1)
         _ensure_picklable(task, f"shard {shard_id}'s input records")
         tasks.append(task)
     workers = min(max_workers or plan.shard_count, plan.shard_count)
@@ -451,10 +914,10 @@ def _process_backend(
     completed: Dict[int, Tuple[AdaptiveJoinResult, float]] = {}
     next_publish = 0
     try:
-        futures = {
-            pool.submit(_run_shard_task, task): task.shard_id for task in tasks
+        future_tasks = {
+            pool.submit(_run_shard_task, task): task for task in tasks
         }
-        pending = set(futures)
+        pending = set(future_tasks)
         while pending:
             if _cancelled(cancel):
                 # Queued tasks are dropped; in-flight workers finish their
@@ -465,13 +928,95 @@ def _process_backend(
                 if not pending:
                     break
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            _raise_first_failure(futures, done, pending)
+            # Apply the failure policy, lowest shard id first so the
+            # raised (or recorded) error is deterministic in a race.
+            failures = sorted(
+                (
+                    (future_tasks[future].shard_id, future)
+                    for future in done
+                    if future.exception() is not None
+                ),
+                key=lambda item: item[0],
+            )
+            for shard_id, future in failures:
+                task = future_tasks[future]
+                error = future.exception()
+                if isinstance(error, ShardExecutionError):
+                    wrapped = error
+                else:
+                    # e.g. BrokenProcessPool, or an unpicklable worker
+                    # error surfaced by the pool machinery.
+                    wrapped = ShardExecutionError(
+                        shard_id,
+                        task.attempt,
+                        0,
+                        f"{type(error).__name__}: {error}",
+                    )
+                    wrapped.__cause__ = error
+                action = ctx.handle_failure(shard_id, task.attempt, wrapped, cancel)
+                if action == "retry":
+                    delay = ctx.note_retry(shard_id, task.attempt)
+                    if delay > 0:
+                        ctx.sleep(delay)
+                    retry_task = make_task(shard_id, task.attempt + 1)
+                    retry_future = pool.submit(_run_shard_task, retry_task)
+                    future_tasks[retry_future] = retry_task
+                    pending.add(retry_future)
+                elif action == "drop":
+                    ctx.record_failure(shard_id, task.attempt, wrapped)
+                else:
+                    # Fail-fast: the pin is "lowest failed shard id
+                    # wins", deterministically.  Queued tasks are
+                    # cancelled, but an in-flight worker on a *lower*
+                    # shard id may be about to fail fatally too and take
+                    # the pin — await those (and only those) before
+                    # raising.  A lower-id failure that the policy would
+                    # still retry is not fatal and cannot take the pin.
+                    still_running = [
+                        future for future in pending if not future.cancel()
+                    ]
+                    lower = {
+                        future
+                        for future in still_running
+                        if future_tasks[future].shard_id < wrapped.shard_id
+                    }
+                    while lower:
+                        finished, _ = wait(lower, return_when=FIRST_COMPLETED)
+                        for future in finished:
+                            error = future.exception()
+                            low_task = future_tasks[future]
+                            if (
+                                error is None
+                                or low_task.shard_id >= wrapped.shard_id
+                                or ctx.policy.should_retry(low_task.attempt)
+                            ):
+                                continue
+                            if isinstance(error, ShardExecutionError):
+                                wrapped = error
+                            else:
+                                wrapped = ShardExecutionError(
+                                    low_task.shard_id,
+                                    low_task.attempt,
+                                    0,
+                                    f"{type(error).__name__}: {error}",
+                                )
+                                wrapped.__cause__ = error
+                        lower = {
+                            future
+                            for future in lower - finished
+                            if future_tasks[future].shard_id < wrapped.shard_id
+                        }
+                    raise wrapped
             for future in done:
+                if future.exception() is not None:
+                    continue
                 shard_id, result, wall_seconds = future.result()
                 completed[shard_id] = (result, wall_seconds)
             # Stream completions progressively, in shard-id order: shard
             # k's event goes out as soon as shards 0..k have finished,
             # without waiting for the whole run (a live progress feed).
+            # Degraded runs flush any events stuck behind a dropped
+            # shard's gap after the loop, like cancellation does.
             if bus is not None:
                 while next_publish in completed:
                     result, wall_seconds = completed[next_publish]
@@ -480,8 +1025,9 @@ def _process_backend(
                     )
                     next_publish += 1
         failed = False
-        # Cancellation can leave a gap in the shard-id sequence (a
-        # cancelled queued shard); flush the completions stuck behind it.
+        # Cancellation (a cancelled queued shard) or a degrade policy (a
+        # dropped shard) can leave a gap in the shard-id sequence; flush
+        # the completions stuck behind it.
         if bus is not None:
             for shard_id in sorted(completed):
                 if shard_id >= next_publish:
@@ -507,6 +1053,7 @@ async def _drive_shards_async(
     bus: Optional[AggregatedEventBus],
     max_workers: Optional[int],
     cancel: Optional[object],
+    ctx: FailureContext,
 ) -> List[ShardOutcome]:
     """Interleave every shard session cooperatively on the running loop.
 
@@ -517,10 +1064,16 @@ async def _drive_shards_async(
     result is bit-identical to the serial backend's.  ``ShardCompleted``
     events stream head-of-line in shard-id order, like the process
     backend: shard *k* is announced as soon as shards ``0..k`` are done.
+
+    Failure handling drives :meth:`FailureContext.drive_shard`, whose
+    sleep hints (retry backoff, hang polls) become ``await
+    asyncio.sleep(...)`` — a retrying or hung-but-supervised shard never
+    blocks the loop, so the other shards keep interleaving through it.
     """
     workers = min(max_workers or plan.shard_count, plan.shard_count)
     semaphore = asyncio.Semaphore(workers)
-    #: shard id → outcome, or None for a shard skipped after cancellation.
+    #: shard id → outcome, or None for a shard skipped after cancellation
+    #: (or dropped by a degrade policy).
     finished: Dict[int, Optional[ShardOutcome]] = {}
     next_publish = 0
 
@@ -542,26 +1095,17 @@ async def _drive_shards_async(
                 finished[shard_id] = None  # skipped: cancel between shards
                 publish_ready()
                 return
-            started = time.perf_counter()
-            left, right = plan.shard_streams(shard_id)
-            shard_bus = EventBus()
-            if bus is not None:
-                bus.forward_from(shard_id, shard_bus)
-            session = JoinSession(
-                left, right, plan.attribute, config, bus=shard_bus
-            )
-            for _ in session.run_batches(max_batch=_ASYNC_BATCH, cancel=cancel):
-                await asyncio.sleep(0)  # hand the loop to the other shards
-            outcome = ShardOutcome(
-                shard_id=shard_id,
-                result=session.result(),
-                left_origins=plan.left_shards[shard_id].origins,
-                right_origins=plan.right_shards[shard_id].origins,
-                wall_seconds=time.perf_counter() - started,
-            )
-            # A session that observed the token before its first step was
-            # skipped, not partially run — same rule as the thread backend.
-            finished[shard_id] = None if _never_ran(outcome) else outcome
+            gen = ctx.drive_shard(shard_id, cancel, batch_cap=_ASYNC_BATCH)
+            while True:
+                try:
+                    hint = next(gen)
+                except StopIteration as stop:
+                    outcome = stop.value
+                    break
+                # hand the loop to the other shards (and honour any
+                # backoff / hang-poll delay without blocking it)
+                await asyncio.sleep(hint if hint else 0)
+            finished[shard_id] = outcome
             publish_ready()
 
     tasks = [
@@ -591,6 +1135,7 @@ def _async_backend(
     bus: Optional[AggregatedEventBus],
     max_workers: Optional[int],
     cancel: Optional[object] = None,
+    ctx: Optional[FailureContext] = None,
 ) -> List[ShardOutcome]:
     """All shards interleave cooperatively on one asyncio event loop.
 
@@ -618,8 +1163,9 @@ def _async_backend(
             "from inside a running one; dispatch run_sharded via "
             "asyncio.to_thread(...) instead"
         )
+    ctx = ctx or FailureContext.default(plan, config, bus)
     return asyncio.run(
-        _drive_shards_async(plan, config, bus, max_workers, cancel)
+        _drive_shards_async(plan, config, bus, max_workers, cancel, ctx)
     )
 
 
@@ -636,9 +1182,30 @@ class ParallelExecutor:
     max_workers:
         Optional cap on concurrent workers (defaults to the shard count;
         ignored by the serial backend).
+    failure_policy:
+        What to do when a shard fails: a registered policy name
+        (``"fail-fast"`` — the default — ``"retry"``, ``"degrade"``) or
+        a constructed :class:`~repro.runtime.failures.FailurePolicy`
+        carrying retry/backoff/timeout settings.
+    faults:
+        Optional :class:`~repro.runtime.faults.FaultPlan` injecting
+        deterministic failures (tests, bench, the CI smoke).
+    clock / sleep:
+        Injectable time sources for the retry backoff and per-shard
+        timeouts (defaults: ``time.perf_counter`` / ``time.sleep``);
+        process-backend *workers* always use the real clock, since an
+        injected one cannot cross the process boundary.
     """
 
-    def __init__(self, backend: str = "serial", max_workers: Optional[int] = None):
+    def __init__(
+        self,
+        backend: str = "serial",
+        max_workers: Optional[int] = None,
+        failure_policy: Union[str, FailurePolicy, None] = None,
+        faults: Optional[FaultPlan] = None,
+        clock: Optional[Callable[[], float]] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+    ):
         if backend not in _BACKENDS:
             raise ValueError(
                 f"unknown execution backend {backend!r}; registered: "
@@ -646,6 +1213,10 @@ class ParallelExecutor:
             )
         self.backend = backend
         self.max_workers = max_workers
+        self.failure_policy = create_failure_policy(failure_policy)
+        self.faults = faults if faults else None
+        self._clock = clock or time.perf_counter
+        self._sleep = sleep or time.sleep
 
     def run(
         self,
@@ -675,8 +1246,17 @@ class ParallelExecutor:
         # the gram partitioner's recall guarantee depends on matching
         # tokenisation, so a mismatch is an error, not a silent loss.
         plan.partitioner.check_config(config)
+        ctx = FailureContext(
+            plan,
+            config,
+            bus,
+            self.failure_policy,
+            faults=self.faults,
+            clock=self._clock,
+            sleep=self._sleep,
+        )
         outcomes = _BACKENDS[self.backend](
-            plan, config, bus, self.max_workers, cancel
+            plan, config, bus, self.max_workers, cancel, ctx
         )
         return ShardedJoinResult(
             shards=tuple(outcomes),
@@ -686,6 +1266,7 @@ class ParallelExecutor:
             right_input_size=plan.right_input_size,
             cancelled=_cancelled(cancel)
             or any(outcome.result.cancelled for outcome in outcomes),
+            failed_shards=ctx.failure_records(),
         )
 
 
@@ -700,6 +1281,8 @@ def run_sharded(
     max_workers: Optional[int] = None,
     bus: Optional[AggregatedEventBus] = None,
     cancel: Optional[object] = None,
+    failure_policy: Union[str, FailurePolicy, None] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> ShardedJoinResult:
     """One-call sharded join: partition, execute on a backend, merge.
 
@@ -715,5 +1298,10 @@ def run_sharded(
     plan = ShardPlan.build(
         left, right, attribute, shards, partitioner, config=config
     )
-    executor = ParallelExecutor(backend=backend, max_workers=max_workers)
+    executor = ParallelExecutor(
+        backend=backend,
+        max_workers=max_workers,
+        failure_policy=failure_policy,
+        faults=faults,
+    )
     return executor.run(plan, config, bus=bus, cancel=cancel)

@@ -81,6 +81,7 @@ from repro.engine.streams import InputLike, ListStream, RecordStream, as_stream
 from repro.engine.tuples import Record, Schema
 from repro.joins.base import JoinAttribute, JoinSide, MatchEvent, OperationCounters
 from repro.joins.fastpath import GramInterner
+from repro.runtime.failures import ShardFailure
 from repro.runtime.session import AdaptiveJoinResult
 
 #: Chunk size for splitting bulk-capable streams (one slice per chunk).
@@ -419,7 +420,14 @@ class ShardInput:
     name: str = ""
 
     def stream(self) -> ListStream:
-        """A fresh stream over this shard input (streams are single-use)."""
+        """A fresh stream over this shard input (streams are single-use).
+
+        May be called any number of times: the records are materialised
+        buffers, so every call replays the identical sequence.  This
+        replayability is a *contract* — shard retry
+        (:mod:`repro.runtime.failures`) and job resume re-run shards
+        through it and rely on the re-run being bit-identical.
+        """
         return ListStream(self.schema, self.records, name=self.name)
 
     def __len__(self) -> int:
@@ -432,7 +440,10 @@ class ShardPlan:
     Build one with :meth:`build`; hand it to
     :class:`~repro.runtime.parallel.ParallelExecutor`.  The plan owns the
     materialised shard records (not live streams), so one plan can be
-    executed any number of times and shipped to worker processes.
+    executed any number of times and shipped to worker processes —
+    :meth:`shard_streams` replays a shard's inputs identically on every
+    call, the contract shard retry and :meth:`JobHandle.resume`-style
+    partial re-execution are built on (see :meth:`ShardInput.stream`).
 
     Splitting honours the stream contract: inputs advertising
     ``supports_bulk_pull`` (tables, in-memory streams) are split through
@@ -553,10 +564,40 @@ class ShardPlan:
         )
 
     def shard_streams(self, shard_id: int) -> Tuple[ListStream, ListStream]:
-        """Fresh (left, right) streams for one shard."""
+        """Fresh (left, right) streams for one shard (replayable at will)."""
         return (
             self.left_shards[shard_id].stream(),
             self.right_shards[shard_id].stream(),
+        )
+
+    def subset(self, shard_ids: Sequence[int]) -> "ShardPlan":
+        """A plan containing only the given shards, renumbered ``0..m-1``.
+
+        The partial-re-execution primitive behind ``JobHandle.resume()``:
+        re-run just the failed/cancelled/unstarted shards of an earlier
+        run, then map the sub-plan's shard ids back to the originals
+        (position ``i`` of ``shard_ids`` ↔ sub-plan shard ``i``) before
+        merging with the shards that already completed.  Shard inputs are
+        shared by reference (materialised buffers, never copied), and the
+        original input sizes are carried over so replication factors and
+        recall accounting stay relative to the *full* inputs.
+        """
+        ids = list(shard_ids)
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate shard ids in subset: {ids}")
+        for shard_id in ids:
+            if not 0 <= shard_id < self.shard_count:
+                raise ValueError(
+                    f"shard id {shard_id} out of range for a "
+                    f"{self.shard_count}-shard plan"
+                )
+        return ShardPlan(
+            self.attribute,
+            self.partitioner,
+            [self.left_shards[shard_id] for shard_id in ids],
+            [self.right_shards[shard_id] for shard_id in ids],
+            left_input_size=self.left_input_size,
+            right_input_size=self.right_input_size,
         )
 
     def __repr__(self) -> str:
@@ -746,10 +787,20 @@ class ShardedJoinResult:
     #: completed: ``shards`` then holds only the shards that ran (the
     #: last of which may itself carry a partial, ``cancelled`` result).
     cancelled: bool = False
+    #: Shards dropped by a ``degrade`` failure policy, one
+    #: :class:`~repro.runtime.failures.ShardFailure` record each (shard
+    #: id, attempts, error, input records lost) — the merged views below
+    #: exclude their contributions, and :meth:`estimated_recall` /
+    #: :meth:`coverage` quantify what was lost.  Empty on any
+    #: non-degraded run.
+    failed_shards: Tuple[ShardFailure, ...] = ()
 
     def __post_init__(self) -> None:
         self.shards = tuple(
             sorted(self.shards, key=lambda outcome: outcome.shard_id)
+        )
+        self.failed_shards = tuple(
+            sorted(self.failed_shards, key=lambda failure: failure.shard_id)
         )
 
     # -- merged views ----------------------------------------------------------------
@@ -928,4 +979,76 @@ class ShardedJoinResult:
                 "wall_seconds": round(outcome.wall_seconds, 4),
             }
             for outcome in self.shards
+        ]
+
+    # -- degraded-run accounting -----------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """Whether a degrade policy dropped shards from this result.
+
+        A degraded result is *honest but partial*: every merged view
+        excludes the dropped shards' matches, and the loss is quantified
+        by :attr:`failed_shards`, :meth:`coverage` and
+        :meth:`estimated_recall`.
+        """
+        return bool(self.failed_shards)
+
+    def coverage(self) -> Tuple[float, float]:
+        """Per-side fraction of shard records that reached a completed shard.
+
+        ``(1.0, 1.0)`` on non-degraded runs; computed over shard records
+        (replicas included), so under a replicating partitioner it
+        measures the fraction of *assigned work* that completed.
+        """
+        left_done = sum(len(outcome.left_origins) for outcome in self.shards)
+        right_done = sum(len(outcome.right_origins) for outcome in self.shards)
+        left_lost = sum(failure.left_records for failure in self.failed_shards)
+        right_lost = sum(failure.right_records for failure in self.failed_shards)
+        left_total = left_done + left_lost
+        right_total = right_done + right_lost
+        return (
+            left_done / left_total if left_total else 1.0,
+            right_done / right_total if right_total else 1.0,
+        )
+
+    def estimated_recall(self) -> float:
+        """Estimated fraction of the full run's matches this result holds.
+
+        Matches a shard can find scale with its candidate-pair volume
+        ``l_k · r_k`` (each shard joins its left records against its
+        right records), so the estimate is the completed shards' share of
+        it::
+
+            Σ_completed (l_k · r_k) / Σ_all (l_k · r_k)
+
+        ``1.0`` on non-degraded runs.  An *estimate*: the true loss
+        depends on where the matching pairs actually lived — the point
+        is that a degraded result always discloses an expected loss
+        rather than silently posing as complete.
+        """
+        done = sum(
+            len(outcome.left_origins) * len(outcome.right_origins)
+            for outcome in self.shards
+        )
+        lost = sum(
+            failure.left_records * failure.right_records
+            for failure in self.failed_shards
+        )
+        total = done + lost
+        return done / total if total else 1.0
+
+    def failed_shard_summary(self) -> List[Dict[str, object]]:
+        """One flat row per dropped shard (the CLI / statistics feed)."""
+        return [
+            {
+                "shard": failure.shard_id,
+                "attempts": failure.attempts,
+                "error_type": failure.error_type,
+                "error": failure.message,
+                "timed_out": failure.timed_out,
+                "left_records": failure.left_records,
+                "right_records": failure.right_records,
+            }
+            for failure in self.failed_shards
         ]

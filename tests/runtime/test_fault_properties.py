@@ -1,0 +1,162 @@
+"""Property tests: failure handling never changes *what* a run computes.
+
+Two invariants, pinned over randomly drawn workloads and fault plans:
+
+* **Retry transparency** — a run whose injected faults all clear within
+  the retry budget is bit-identical to a failure-free run (matches,
+  merged order, per-shard final states).
+* **Degrade honesty** — a degraded run equals the failure-free run
+  restricted to the surviving shards, and its accounting (failed-shard
+  records, coverage, recall estimate) describes exactly what was lost.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.thresholds import Thresholds
+from repro.datagen.testcases import TestCaseSpec, generate_test_case
+from repro.runtime.config import RunConfig
+from repro.runtime.failures import DegradePolicy, RetryPolicy
+from repro.runtime.faults import FaultPlan
+from repro.runtime.parallel import ParallelExecutor
+from repro.runtime.sharding import ShardPlan
+
+FAST = RunConfig.from_thresholds(Thresholds(delta_adapt=25, window_size=25))
+
+#: Datasets and plans are deterministic in (seed, shards) — cache them so
+#: every Hypothesis example does one faulty run, not a full rebuild.
+_PLANS = {}
+
+
+def _plan(seed: int, shards: int) -> ShardPlan:
+    key = (seed, shards)
+    if key not in _PLANS:
+        dataset = generate_test_case(
+            TestCaseSpec(
+                name=f"prop_{seed}",
+                pattern="few_high",
+                variants_in="child",
+                parent_size=120,
+                child_size=200,
+                seed=seed,
+            )
+        )
+        _PLANS[key] = ShardPlan.build(
+            dataset.parent, dataset.child, "location", shards, "hash",
+            config=FAST,
+        )
+    return _PLANS[key]
+
+
+_BASELINES = {}
+
+
+def _baseline(seed: int, shards: int):
+    key = (seed, shards)
+    if key not in _BASELINES:
+        _BASELINES[key] = ParallelExecutor(backend="serial").run(
+            _plan(seed, shards), FAST
+        )
+    return _BASELINES[key]
+
+
+def _assert_identical(result, reference) -> None:
+    assert result.pair_set() == reference.pair_set()
+    assert result.matched_pairs() == reference.matched_pairs()
+    assert {s: st_.label for s, st_ in result.final_states.items()} == {
+        s: st_.label for s, st_ in reference.final_states.items()
+    }
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=3),
+    shards=st.integers(min_value=2, max_value=3),
+    fault_seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_retry_that_clears_is_bit_identical_to_failure_free(
+    seed, shards, fault_seed
+):
+    faults = FaultPlan.seeded(
+        fault_seed, shard_count=shards,
+        fail_probability=0.8, max_failed_attempts=2, max_after_batches=2,
+    )
+    executor = ParallelExecutor(
+        backend="serial",
+        # max_attempts exceeds every injected attempt window, so the plan
+        # always clears and nothing may be lost.
+        failure_policy=RetryPolicy(max_attempts=3),
+        faults=faults,
+    )
+    result = executor.run(_plan(seed, shards), FAST)
+    assert not result.degraded
+    assert result.failed_shards == ()
+    _assert_identical(result, _baseline(seed, shards))
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=3),
+    shards=st.integers(min_value=2, max_value=3),
+    data=st.data(),
+)
+def test_degrade_equals_run_restricted_to_surviving_shards(
+    seed, shards, data
+):
+    plan = _plan(seed, shards)
+    dead = sorted(
+        data.draw(
+            st.sets(
+                st.integers(min_value=0, max_value=shards - 1),
+                min_size=1,
+                max_size=shards - 1,
+            ),
+            label="irrecoverable shards",
+        )
+    )
+    faults = FaultPlan.none()
+    for shard_id in dead:
+        faults = faults + FaultPlan.crash(shard_id, attempts=None)
+    degraded = ParallelExecutor(
+        backend="serial", failure_policy=DegradePolicy(), faults=faults
+    ).run(plan, FAST)
+
+    assert degraded.degraded
+    assert [f.shard_id for f in degraded.failed_shards] == dead
+    survivors = [s for s in range(shards) if s not in dead]
+    assert [o.shard_id for o in degraded.shards] == survivors
+
+    restricted = ParallelExecutor(backend="serial").run(
+        plan.subset(survivors), FAST
+    )
+    # subset() renumbers shards 0..m-1 but keeps global origins, so the
+    # merged pair identities must agree exactly.
+    assert degraded.pair_set() == restricted.pair_set()
+    assert sorted(degraded.matched_pairs()) == sorted(
+        restricted.matched_pairs()
+    )
+
+    # Honest accounting: the dropped input volume matches the records
+    # the failed shards were responsible for.
+    lost_left = sum(f.left_records for f in degraded.failed_shards)
+    lost_right = sum(f.right_records for f in degraded.failed_shards)
+    left_cov, right_cov = degraded.coverage()
+    total_left = plan.left_input_size or sum(
+        len(s.records) for s in plan.left_shards
+    )
+    total_right = plan.right_input_size or sum(
+        len(s.records) for s in plan.right_shards
+    )
+    assert left_cov == (total_left - lost_left) / total_left
+    assert right_cov == (total_right - lost_right) / total_right
+    assert 0.0 <= degraded.estimated_recall() < 1.0

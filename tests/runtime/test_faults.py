@@ -1,0 +1,112 @@
+"""Tests for the deterministic fault-injection harness (FaultPlan/FaultSpec)."""
+
+import pickle
+
+import pytest
+
+from repro.runtime.faults import FaultPlan, FaultSpec, InjectedFaultError
+
+
+class TestFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec(0, "explode")
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultSpec(-1, "fail")
+        with pytest.raises(ValueError, match="1-based"):
+            FaultSpec(0, "fail", attempt=0)
+        with pytest.raises(ValueError, match="after_batches"):
+            FaultSpec(0, "fail", after_batches=-1)
+
+    def test_fires_on_specific_attempt(self):
+        spec = FaultSpec(0, "fail", attempt=2)
+        assert not spec.fires_on(1)
+        assert spec.fires_on(2)
+        assert not spec.fires_on(3)
+
+    def test_fires_on_every_attempt_when_none(self):
+        spec = FaultSpec(0, "fail", attempt=None)
+        assert all(spec.fires_on(attempt) for attempt in (1, 2, 7))
+
+
+class TestFaultPlanConstructors:
+    def test_none_is_empty_and_falsy(self):
+        plan = FaultPlan.none()
+        assert not plan
+        assert plan.action_for(0, 1) is None
+
+    def test_crash_covers_requested_attempts(self):
+        plan = FaultPlan.crash(3, attempts=(2, 1))
+        assert plan.action_for(3, 1).kind == "fail"
+        assert plan.action_for(3, 2).kind == "fail"
+        assert plan.action_for(3, 3) is None
+        assert plan.action_for(0, 1) is None
+
+    def test_crash_every_attempt(self):
+        plan = FaultPlan.crash(1, attempts=None)
+        assert plan.action_for(1, 99) is not None
+        assert plan.max_attempt_failed(1) is None
+
+    def test_hang_kind(self):
+        plan = FaultPlan.hang(2, attempts=(1,), after_batches=4)
+        spec = plan.action_for(2, 1)
+        assert spec.kind == "hang"
+        assert spec.after_batches == 4
+
+    def test_max_attempt_failed(self):
+        plan = FaultPlan.crash(0, attempts=(1, 2, 3))
+        assert plan.max_attempt_failed(0) == 3
+        assert plan.max_attempt_failed(1) == 0
+
+
+class TestFaultPlanComposition:
+    def test_add_concatenates(self):
+        plan = FaultPlan.crash(0) + FaultPlan.hang(1)
+        assert plan.shards_affected() == (0, 1)
+        assert plan.action_for(0, 1).kind == "fail"
+        assert plan.action_for(1, 1).kind == "hang"
+
+    def test_first_spec_in_declaration_order_wins(self):
+        plan = FaultPlan.hang(0) + FaultPlan.crash(0)
+        assert plan.action_for(0, 1).kind == "hang"
+
+    def test_for_shard_subsets(self):
+        plan = FaultPlan.crash(0) + FaultPlan.crash(2)
+        sub = plan.for_shard(2)
+        assert sub.shards_affected() == (2,)
+        assert sub.action_for(0, 1) is None
+
+    def test_plans_pickle(self):
+        plan = FaultPlan.crash(0, attempts=(1, 2)) + FaultPlan.hang(1)
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+class TestSeededPlans:
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.seeded(99, shard_count=8, hang_probability=0.2)
+        b = FaultPlan.seeded(99, shard_count=8, hang_probability=0.2)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        plans = {
+            FaultPlan.seeded(seed, shard_count=16).faults
+            for seed in range(10)
+        }
+        assert len(plans) > 1
+
+    def test_failed_attempts_bounded_for_retry_clearance(self):
+        plan = FaultPlan.seeded(
+            7, shard_count=32, fail_probability=1.0, max_failed_attempts=2
+        )
+        for shard_id in plan.shards_affected():
+            assert plan.max_attempt_failed(shard_id) <= 2
+
+    def test_hang_takes_precedence_over_fail(self):
+        plan = FaultPlan.seeded(
+            3, shard_count=32, fail_probability=1.0, hang_probability=1.0
+        )
+        assert all(spec.kind == "hang" for spec in plan.faults)
+
+
+def test_injected_fault_error_is_runtime_error():
+    assert issubclass(InjectedFaultError, RuntimeError)

@@ -460,3 +460,112 @@ class TestCalibrateCommand:
         output = capsys.readouterr().out
         assert "paper_step_weight" in output
         assert "lap/rap" in output
+
+
+class TestFailureFlags:
+    """`repro link --on-failure/--retries/--shard-timeout` + fault injection."""
+
+    @staticmethod
+    def _generate(tmp_path):
+        parent = tmp_path / "parent.csv"
+        child = tmp_path / "child.csv"
+        main([
+            "generate",
+            "--pattern", "few_high",
+            "--parent-size", "80",
+            "--child-size", "160",
+            "--parent-output", str(parent),
+            "--child-output", str(child),
+            "--truth-output", str(tmp_path / "truth.csv"),
+        ])
+        return parent, child
+
+    @staticmethod
+    def _link_args(parent, child, output, *extra):
+        return [
+            "link", str(parent), str(child),
+            "--attribute", "location",
+            "--strategy", "adaptive",
+            "--delta-adapt", "25",
+            "--window-size", "25",
+            "--shards", "2",
+            "--output", str(output),
+            *extra,
+        ]
+
+    def test_retry_recovers_an_injected_crash_exactly(self, tmp_path, capsys):
+        parent, child = self._generate(tmp_path)
+        clean = tmp_path / "clean.csv"
+        assert main(self._link_args(parent, child, clean)) == 0
+        retried = tmp_path / "retried.csv"
+        exit_code = main(self._link_args(
+            parent, child, retried,
+            "--on-failure", "retry", "--retries", "2", "--inject-crash", "1",
+        ))
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert retried.read_text() == clean.read_text()
+        assert "degraded" not in captured.err
+
+    def test_degraded_run_reports_on_stderr_and_exits_3(self, tmp_path, capsys):
+        parent, child = self._generate(tmp_path)
+        matches = tmp_path / "matches.csv"
+        exit_code = main(self._link_args(
+            parent, child, matches,
+            "--on-failure", "degrade", "--inject-crash", "1",
+        ))
+        captured = capsys.readouterr()
+        assert exit_code == 3
+        assert "degraded run" in captured.err
+        assert "estimated recall" in captured.err
+        assert "shard 1" in captured.err
+        # The partial output is still written — fewer pairs, never junk.
+        lines = matches.read_text().splitlines()
+        assert lines[0] == "left_index,right_index"
+        assert len(lines) > 1
+
+    def test_fail_fast_crash_is_a_clean_error_exit(self, tmp_path, capsys):
+        parent, child = self._generate(tmp_path)
+        exit_code = main(self._link_args(
+            parent, child, tmp_path / "matches.csv", "--inject-crash", "0",
+        ))
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "error:" in captured.err
+        assert "shard 0" in captured.err
+
+    def test_shard_timeout_accepted_on_a_clean_run(self, tmp_path, capsys):
+        parent, child = self._generate(tmp_path)
+        matches = tmp_path / "matches.csv"
+        exit_code = main(self._link_args(
+            parent, child, matches, "--shard-timeout", "30",
+        ))
+        assert exit_code == 0
+        assert "matched pairs written" in capsys.readouterr().out
+
+    def test_retries_require_a_retrying_policy(self, tmp_path, capsys):
+        parent, child = self._generate(tmp_path)
+        exit_code = main(self._link_args(
+            parent, child, tmp_path / "m.csv", "--retries", "2",
+        ))
+        assert exit_code == 2
+        assert "fail-fast" in capsys.readouterr().err
+
+    def test_negative_retries_rejected(self, tmp_path, capsys):
+        parent, child = self._generate(tmp_path)
+        exit_code = main(self._link_args(
+            parent, child, tmp_path / "m.csv",
+            "--on-failure", "retry", "--retries", "-1",
+        ))
+        assert exit_code == 2
+        assert "retries" in capsys.readouterr().err
+
+    def test_failure_flags_are_adaptive_only(self, tmp_path, capsys):
+        parent, child = self._generate(tmp_path)
+        args = self._link_args(
+            parent, child, tmp_path / "m.csv", "--on-failure", "degrade",
+        )
+        args[args.index("--strategy") + 1] = "exact"
+        exit_code = main(args)
+        assert exit_code == 2
+        assert "adaptive" in capsys.readouterr().err
