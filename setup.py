@@ -1,10 +1,25 @@
-"""Legacy setup shim.
+"""Packaging metadata.
 
-Kept so that ``pip install -e .`` works in offline environments where the
-``wheel`` package (required by PEP 660 editable builds) is unavailable; all
-project metadata lives in ``pyproject.toml``.
+The base install is dependency-free on purpose — the reproduction runs on
+a bare CPython.  The ``[fast]`` extra pulls in numpy for the columnar
+verification kernels (:mod:`repro.kernels`); without it the ``numpy-*``
+``gram_verification`` modes silently fall back to their pure-Python twins
+(identical matches and counters, just slower).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-adaptive-similarity-join",
+    version="0.7.0",
+    description=(
+        "Reproduction of the EDBT'09 adaptive exact/similarity symmetric "
+        "join operator"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    extras_require={
+        "fast": ["numpy"],
+    },
+)

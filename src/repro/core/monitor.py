@@ -31,11 +31,13 @@ in DESIGN.md).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict
+from itertools import repeat
+from typing import Deque, Dict, List
 
 from repro.joins.base import JoinMode, JoinSide
-from repro.joins.engine import StepResult
+from repro.joins.engine import StepBatch, StepResult
 from repro.stats.windows import SlidingWindowCounter
 
 
@@ -92,7 +94,7 @@ class Monitor:
             side: SlidingWindowCounter(window_size) for side in JoinSide
         }
         self._approx_active_window = SlidingWindowCounter(window_size)
-        self._min_similarity_window: list = []
+        self._min_similarity_window: Deque[float] = deque(maxlen=window_size)
         self._observed_matches = 0
         self._scanned: Dict[JoinSide, int] = {JoinSide.LEFT: 0, JoinSide.RIGHT: 0}
         self._step = 0
@@ -102,17 +104,19 @@ class Monitor:
     def attach(self, bus) -> "Monitor":
         """Subscribe this monitor to a runtime event bus.
 
-        After attachment every :class:`~repro.joins.engine.StepResult` the
-        engine publishes flows into :meth:`observe_step`; the session loop
-        no longer calls the monitor explicitly.  Returns ``self`` so
-        construction and attachment chain.
+        The monitor consumes the engine's aggregate
+        :class:`~repro.joins.engine.StepBatch` events: every executed step
+        is covered by exactly one published batch (the fast-path aggregate,
+        or a batch of one from single-stepping), so batch observation is
+        bit-identical to observing every step — see :meth:`observe_batch`.
+        Returns ``self`` so construction and attachment chain.
         """
-        bus.subscribe(StepResult, self.observe_step)
+        bus.subscribe(StepBatch, self.observe_batch)
         return self
 
     def detach(self, bus) -> None:
         """Remove this monitor's subscription from ``bus`` (no-op if absent)."""
-        bus.unsubscribe(StepResult, self.observe_step)
+        bus.unsubscribe(StepBatch, self.observe_batch)
 
     def observe_step(self, result: StepResult) -> None:
         """Record one engine step."""
@@ -134,14 +138,93 @@ class Monitor:
         for side in JoinSide:
             self._approx_match_windows[side].record(attributed[side])
         self._approx_active_window.record(result.mode is JoinMode.APPROXIMATE)
-        # Track the lowest similarity inside the window with a bounded list
-        # (one entry per step).
-        self._min_window_similarity_append(step_min_similarity if result.matches else 1.0)
+        # Track the lowest similarity inside the window with a bounded deque
+        # (one entry per step; maxlen evicts the oldest automatically).
+        self._min_similarity_window.append(
+            step_min_similarity if result.matches else 1.0
+        )
 
-    def _min_window_similarity_append(self, value: float) -> None:
-        self._min_similarity_window.append(value)
-        if len(self._min_similarity_window) > self.window_size:
-            self._min_similarity_window.pop(0)
+    def observe_batch(self, batch: StepBatch) -> None:
+        """Record a contiguous run of engine steps in one update.
+
+        Bit-identical to calling :meth:`observe_step` for each step of the
+        batch: totals are simple sums, and the sliding windows advance by
+        runs — matchless steps form runs of identical window entries, so
+        only the (typically sparse) steps that produced matches are touched
+        individually.  The approximate-activity window needs the per-step
+        scan side only when the two sides run in different modes; the batch
+        carries ``sides`` exactly in that case.
+        """
+        count = batch.count
+        if count <= 0:
+            return
+        self._step = batch.first_step + count - 1
+        self._scanned[JoinSide.LEFT] += batch.left_steps
+        self._scanned[JoinSide.RIGHT] += batch.right_steps
+        matches = batch.match_events
+        self._observed_matches += len(matches)
+
+        left_approx = batch.left_mode is JoinMode.APPROXIMATE
+        right_approx = batch.right_mode is JoinMode.APPROXIMATE
+        if left_approx == right_approx:
+            self._approx_active_window.record_run(left_approx, count)
+        else:
+            # Hybrid state: activity depends on which side each step scanned.
+            record_active = self._approx_active_window.record
+            for side in batch.sides:
+                record_active(
+                    left_approx if side is JoinSide.LEFT else right_approx
+                )
+
+        left_window = self._approx_match_windows[JoinSide.LEFT]
+        right_window = self._approx_match_windows[JoinSide.RIGHT]
+        if not matches:
+            left_window.record_run(False, count)
+            right_window.record_run(False, count)
+            self._record_similarity_run(count)
+            return
+
+        # Group match events by step (events arrive in step order, so the
+        # dict iterates in ascending step order): per match step we need the
+        # two attribution booleans and the step's minimum similarity.
+        per_step: Dict[int, List] = {}
+        both = self.count_unattributed_against_both
+        for event in matches:
+            entry = per_step.get(event.step)
+            if entry is None:
+                entry = per_step[event.step] = [False, False, 1.0]
+            if event.similarity < entry[2]:
+                entry[2] = event.similarity
+            if event.exact_value_match:
+                continue
+            evidence = event.variant_evidence
+            if evidence is not None:
+                entry[0 if evidence is JoinSide.LEFT else 1] = True
+            elif both:
+                entry[0] = True
+                entry[1] = True
+
+        previous = batch.first_step - 1
+        for step, (left_hit, right_hit, min_similarity) in per_step.items():
+            gap = step - previous - 1
+            if gap:
+                left_window.record_run(False, gap)
+                right_window.record_run(False, gap)
+                self._record_similarity_run(gap)
+            left_window.record(left_hit)
+            right_window.record(right_hit)
+            self._min_similarity_window.append(min_similarity)
+            previous = step
+        tail = self._step - previous
+        if tail:
+            left_window.record_run(False, tail)
+            right_window.record_run(False, tail)
+            self._record_similarity_run(tail)
+
+    def _record_similarity_run(self, count: int) -> None:
+        """Append ``count`` matchless-step entries (1.0) to the window."""
+        window = self._min_similarity_window
+        window.extend(repeat(1.0, min(count, self.window_size)))
 
     # -- reporting ---------------------------------------------------------------
 

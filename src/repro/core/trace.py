@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.assessor import Assessment
 from repro.core.state_machine import JoinState, TransitionGuards
 from repro.joins.base import JoinSide
-from repro.joins.engine import StepResult, SwitchRecord
+from repro.joins.engine import StepBatch, StepResult, SwitchRecord
 from repro.runtime.events import AssessmentEvent, TransitionEvent
 
 
@@ -85,10 +85,18 @@ class ExecutionTrace:
         Returns ``self`` so construction and attachment chain.
         """
 
-        record_step = self.record_step
+        record_batch = self.record_batch
 
-        def on_step(result: StepResult) -> None:
-            record_step(state_machine.state, result.side, len(result.matches))
+        def on_batch(batch: StepBatch) -> None:
+            # Batches never span an activation, so the state read at publish
+            # time is the state every step of the batch ran in.
+            record_batch(
+                state_machine.state,
+                batch.count,
+                batch.left_steps,
+                batch.right_steps,
+                len(batch.match_events),
+            )
 
         def on_transition(event: TransitionEvent) -> None:
             self.record_transition(
@@ -101,7 +109,7 @@ class ExecutionTrace:
             )
 
         subscriptions = [
-            (StepResult, bus.subscribe(StepResult, on_step)),
+            (StepBatch, bus.subscribe(StepBatch, on_batch)),
             (TransitionEvent, bus.subscribe(TransitionEvent, on_transition)),
             (AssessmentEvent, bus.subscribe(AssessmentEvent, on_assessment)),
         ]
@@ -124,6 +132,26 @@ class ExecutionTrace:
             self.left_scanned += 1
         else:
             self.right_scanned += 1
+
+    def record_batch(
+        self,
+        state: JoinState,
+        count: int,
+        left_steps: int,
+        right_steps: int,
+        matches: int,
+    ) -> None:
+        """Record ``count`` contiguous steps executed in ``state`` in O(1).
+
+        Equivalent to ``count`` :meth:`record_step` calls — the trace keeps
+        only sums, so a batch folds into six additions.
+        """
+        self.steps_per_state[state] += count
+        self.matches_per_state[state] += matches
+        self.total_steps += count
+        self.total_matches += matches
+        self.left_scanned += left_steps
+        self.right_scanned += right_steps
 
     def record_transition(
         self,

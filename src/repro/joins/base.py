@@ -44,6 +44,8 @@ from repro.joins.fastpath import (
     jaccard_length_bounds,
     sorted_intersection_count,
 )
+from repro.kernels import create_kernel, resolve_gram_verification
+from repro.similarity.setsim import jaccard_from_shared
 
 #: Upper bound on cached frequency-ordered probe plans per side; the cache
 #: is cleared wholesale when it fills (plans are cheap to rebuild).
@@ -56,8 +58,22 @@ _PLAN_CACHE_LIMIT = 8192
 #: thousand interned grams (huge alphabets, q ≥ 4).
 BITSET_VOCAB_LIMIT = 4096
 
-#: Accepted ``gram_verification`` modes of :class:`SideState`.
-GRAM_VERIFICATION_MODES = ("auto", "bitset", "array")
+#: Accepted ``gram_verification`` modes of :class:`SideState`.  The
+#: ``numpy-*`` modes run the columnar kernels of :mod:`repro.kernels`
+#: (falling back to their pure-Python twin when numpy is absent);
+#: ``auto`` deliberately selects between the dependency-free modes only,
+#: so its flip semantics are identical with or without numpy installed.
+GRAM_VERIFICATION_MODES = ("auto", "bitset", "array", "numpy-bitset", "numpy-array")
+
+#: Filtered approximate probes observed before the length filter's
+#: usefulness is judged (see ``SideState._note_filter_outcome``).
+LENGTH_FILTER_SAMPLE_PROBES = 64
+
+#: Minimum fraction of scanned bucket entries the length filter must
+#: reject to keep paying its per-entry bounds test; below this the filter
+#: auto-disables (sticky), leaving the match set untouched — the filter
+#: only ever removes candidates that cannot pass the match decision.
+LENGTH_FILTER_MIN_REJECT_RATE = 0.02
 
 
 class JoinSide(enum.Enum):
@@ -298,12 +314,27 @@ class SideState:
         # limit.  The flip happens only inside ``catch_up_qgram`` (which
         # advances the plan-cache stamp), so cached probe plans can never
         # carry a verify key of the wrong kind for longer than one probe
-        # (the per-plan ``is_array`` flag guards even that).
+        # (the per-plan verify-kind tag guards even that).  The "numpy-*"
+        # modes route verification through a columnar kernel
+        # (:mod:`repro.kernels`); when numpy is missing they resolve to
+        # their pure-Python twins, so requesting them never fails.
         self.gram_verification = gram_verification
+        self.effective_gram_verification = resolve_gram_verification(
+            gram_verification
+        )
+        self._kernel = create_kernel(self.effective_gram_verification)
         self._bitset_vocab_limit = (
             BITSET_VOCAB_LIMIT if bitset_vocab_limit is None else bitset_vocab_limit
         )
-        self._array_verification = gram_verification == "array"
+        self._array_verification = self.effective_gram_verification == "array"
+        # Length-filter self-profiling (deterministic, per probe stream):
+        # once enough filtered probes accumulate, a filter that rejects too
+        # few scanned entries to pay for its bounds tests is switched off
+        # for the rest of the run (sticky).
+        self._length_filter_disabled = False
+        self._filter_probes = 0
+        self._filter_scanned = 0
+        self._filter_rejected = 0
         # Distinct-gram count per ordinal (dense, append-ordered with the
         # catch-up) — the length filter reads this in the hot loop.
         self._gram_counts: array = array("i")
@@ -393,6 +424,28 @@ class SideState:
         gram_counts = self._gram_counts
         counters = self.counters
         intern_value = self.interner.intern_value
+        kernel = self._kernel
+        if kernel is not None:
+            # Columnar kernel: buckets and gram counts update exactly as
+            # below (the candidate stage reads them), but the verify keys
+            # live in the kernel's matrix/CSR buffer instead of
+            # _gram_bits/_gram_arrays.
+            while self._qgram_synced < total:
+                stored = tuples[self._qgram_synced]
+                ordinal = stored.ordinal
+                gram_ids = intern_value(stored.value)
+                counters.qgrams_obtained += len(gram_ids)
+                counters.approx_hash_updates += len(gram_ids)
+                gram_counts.append(len(gram_ids))
+                for gram_id in gram_ids:
+                    bucket = index.get(gram_id)
+                    if bucket is None:
+                        index[gram_id] = bucket = array("i")
+                    bucket.append(ordinal)
+                kernel.append(gram_ids)
+                self._qgram_synced += 1
+                caught_up += 1
+            return caught_up
         use_arrays = self._array_verification
         while self._qgram_synced < total:
             stored = tuples[self._qgram_synced]
@@ -453,9 +506,16 @@ class SideState:
         the verification mode flipped since it was cached).
         """
         stamp = self._qgram_synced
-        use_arrays = self._array_verification
+        kernel = self._kernel
+        # The verify-kind tag: a bool for the pure-Python modes, the mode
+        # string for kernel sides (the two never collide, so a plan cached
+        # under one kind is invisible to the other).
+        if kernel is not None:
+            kind: object = self.effective_gram_verification
+        else:
+            kind = self._array_verification
         cached = self._plan_cache.get(value)
-        if cached is not None and cached[0] == stamp and cached[3] == use_arrays:
+        if cached is not None and cached[0] == stamp and cached[3] == kind:
             return cached[1], cached[2]
         gram_ids = self.interner.intern_value(value)
         index = self._qgram_index
@@ -468,15 +528,17 @@ class SideState:
             for position, gram_id in enumerate(gram_ids)
         )
         ordered = [entry[2] for entry in decorated]
-        if cached is not None and cached[3] == use_arrays:
+        if cached is not None and cached[3] == kind:
             verify_key = cached[2]
-        elif use_arrays:
+        elif kernel is not None:
+            verify_key = kernel.probe_key(gram_ids)
+        elif self._array_verification:
             verify_key = array("i", sorted(gram_ids))
         else:
             verify_key = GramInterner.bits_of(gram_ids)
         if len(self._plan_cache) >= _PLAN_CACHE_LIMIT:
             self._plan_cache.clear()
-        self._plan_cache[value] = (stamp, ordered, verify_key, use_arrays)
+        self._plan_cache[value] = (stamp, ordered, verify_key, kind)
         return ordered, verify_key
 
     # -- probing ---------------------------------------------------------------
@@ -534,6 +596,11 @@ class SideState:
         """
         counters = self.counters
         counters.approx_probes += 1
+        if use_length_filter and self._length_filter_disabled:
+            # Self-profiling verdict (see _note_filter_outcome): the filter
+            # rejected too little on this probe stream to pay for its
+            # bounds tests.  Match set is identical either way.
+            use_length_filter = False
         ordered, verify_key = self._probe_plan(value)
         gram_count = len(ordered)
         counters.qgrams_obtained += gram_count
@@ -548,6 +615,17 @@ class SideState:
             # Ablation: disable the reverse-frequency prefix optimisation and
             # let every probe gram add candidates (larger T(t), same result).
             inserting_prefix = gram_count
+        if self._kernel is not None:
+            return self._probe_qgram_kernel(
+                ordered,
+                verify_key,
+                gram_count,
+                required,
+                inserting_prefix,
+                similarity_threshold,
+                verify_jaccard,
+                use_length_filter,
+            )
         index = self._qgram_index
         gram_bits = self._gram_bits
         scan_work = 0
@@ -564,6 +642,7 @@ class SideState:
                 gram_count, similarity_threshold, verify_jaccard, required=required
             )
             gram_counts = self._gram_counts
+            rejected = 0
             for gram_id in ordered[:inserting_prefix]:
                 bucket = index.get(gram_id)
                 if bucket is None:
@@ -572,10 +651,13 @@ class SideState:
                     continue
                 scan_work += len(bucket)
                 for ordinal in bucket:
-                    if ordinal not in candidates and (
-                        min_grams <= gram_counts[ordinal] <= max_grams
-                    ):
+                    if ordinal in candidates:
+                        continue
+                    if min_grams <= gram_counts[ordinal] <= max_grams:
                         candidates[ordinal] = 0
+                    else:
+                        rejected += 1
+            self._note_filter_outcome(scan_work, rejected)
         else:
             for gram_id in ordered[:inserting_prefix]:
                 bucket = index.get(gram_id)
@@ -627,8 +709,7 @@ class SideState:
                 if shared < required:
                     continue
                 counters.approx_verifications += 1
-                union = gram_count + stored_count - shared
-                similarity = shared / union if union else 1.0
+                similarity = jaccard_from_shared(shared, gram_count, stored_count)
                 if verify_jaccard and similarity < similarity_threshold:
                     continue
                 matches.append((tuples[ordinal], similarity))
@@ -650,12 +731,101 @@ class SideState:
             if shared < required:
                 continue
             counters.approx_verifications += 1
-            union = gram_count + stored_count - shared
-            similarity = shared / union if union else 1.0
+            similarity = jaccard_from_shared(shared, gram_count, stored_count)
             if verify_jaccard and similarity < similarity_threshold:
                 continue
             matches.append((tuples[ordinal], similarity))
         return matches
+
+    def _probe_qgram_kernel(
+        self,
+        ordered: List[int],
+        verify_key: object,
+        gram_count: int,
+        required: int,
+        inserting_prefix: int,
+        similarity_threshold: float,
+        verify_jaccard: bool,
+        use_length_filter: bool,
+    ) -> List[Tuple[StoredTuple, float]]:
+        """Columnar twin of the :meth:`probe_qgram` candidate + verify stages.
+
+        Counters, match set, similarities, and emission order are
+        bit-identical to the pure-Python paths (see
+        :mod:`repro.kernels.candidates` for the equivalence contract of
+        each counter).
+        """
+        counters = self.counters
+        index = self._qgram_index
+        buckets = []
+        for gram_id in ordered[:inserting_prefix]:
+            bucket = index.get(gram_id)
+            if bucket is not None:
+                buckets.append(bucket)
+        if use_length_filter:
+            min_grams, max_grams = jaccard_length_bounds(
+                gram_count, similarity_threshold, verify_jaccard, required=required
+            )
+        else:
+            min_grams = max_grams = None
+        candidates, scan_work, rejected = self._kernel.gather_candidates(
+            buckets, self._gram_counts, min_grams, max_grams
+        )
+        if use_length_filter:
+            self._note_filter_outcome(scan_work, rejected)
+        n_candidates = int(candidates.size)
+        for gram_id in ordered[inserting_prefix:]:
+            bucket = index.get(gram_id)
+            bucket_length = len(bucket) if bucket is not None else 0
+            scan_work += (
+                bucket_length if bucket_length <= n_candidates else n_candidates
+            )
+        counters.candidate_scan_work += scan_work
+        counters.candidate_set_size += n_candidates
+        if not n_candidates:
+            return []
+        ordinals, similarities, verified = self._kernel.verify(
+            candidates,
+            verify_key,
+            gram_count,
+            required,
+            similarity_threshold,
+            verify_jaccard,
+        )
+        counters.approx_verifications += verified
+        tuples = self.tuples
+        return [
+            (tuples[ordinal], similarity)
+            for ordinal, similarity in zip(ordinals, similarities)
+        ]
+
+    def _note_filter_outcome(self, scanned: int, rejected: int) -> None:
+        """Accumulate length-filter profiling; disable it when unproductive.
+
+        After ``LENGTH_FILTER_SAMPLE_PROBES`` filtered probes, if fewer
+        than ``LENGTH_FILTER_MIN_REJECT_RATE`` of all scanned bucket
+        entries were rejected, the filter's bounds tests cost more than
+        they save and the side turns it off for the rest of the run
+        (sticky, and deterministic given the probe stream — the decision
+        depends only on probes seen so far, so serial re-runs and
+        single-shard runs stay bit-identical).
+        """
+        self._filter_probes += 1
+        self._filter_scanned += scanned
+        self._filter_rejected += rejected
+        if (
+            not self._length_filter_disabled
+            and self._filter_probes >= LENGTH_FILTER_SAMPLE_PROBES
+            and self._filter_scanned > 0
+            and self._filter_rejected
+            < LENGTH_FILTER_MIN_REJECT_RATE * self._filter_scanned
+        ):
+            self._length_filter_disabled = True
+
+    @property
+    def length_filter_disabled(self) -> bool:
+        """Whether self-profiling has switched the length filter off."""
+        return self._length_filter_disabled
 
     # -- introspection -------------------------------------------------------------
 

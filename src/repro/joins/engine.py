@@ -76,6 +76,62 @@ class StepResult:
     catch_up_tuples: int = 0
 
 
+@dataclass(slots=True)
+class StepBatch:
+    """Aggregate of a contiguous run of engine steps.
+
+    Published once per :meth:`SymmetricJoinEngine.run_batch` call (and once
+    per :meth:`~SymmetricJoinEngine.step` as a batch of one), this is the
+    event the runtime's built-in observers — monitor, trace, session
+    accumulator, progress collector — consume instead of per-step
+    :class:`StepResult` objects.  Batches never span a mode switch, so the
+    two ``*_mode`` fields describe every step in the batch.
+
+    Every executed step is covered by exactly one published ``StepBatch``:
+    either the aggregate of a fast-path ``run_batch`` or a batch-of-one from
+    ``step``.  ``run_batch`` falls back to per-step execution (publishing
+    batches of one) whenever the bus has ``StepResult`` subscribers, so
+    batch-level observers can never double-count.
+
+    Attributes
+    ----------
+    first_step:
+        1-based number of the first step in the batch.
+    count:
+        Number of steps covered (≥ 1; empty batches are never published).
+    left_steps, right_steps:
+        How many of those steps scanned the left / right input
+        (``left_steps + right_steps == count``).
+    left_mode, right_mode:
+        The per-side matching modes in force throughout the batch.
+    match_events:
+        All match events produced by the batch, flat, in emission order;
+        each event carries its own ``step``.
+    catch_up_tuples:
+        Total tuples re-indexed mid-step because a probed index was stale
+        (0 in steady state).
+    sides:
+        Per-step scan sides, populated only when the two sides run in
+        *different* modes (the monitor then needs the per-step scan side to
+        attribute its approximate-activity window); ``None`` otherwise.
+    """
+
+    first_step: int
+    count: int
+    left_steps: int
+    right_steps: int
+    left_mode: JoinMode
+    right_mode: JoinMode
+    match_events: List[MatchEvent] = field(default_factory=list)
+    catch_up_tuples: int = 0
+    sides: Optional[Tuple[JoinSide, ...]] = None
+
+    @property
+    def last_step(self) -> int:
+        """1-based number of the final step in the batch."""
+        return self.first_step + self.count - 1
+
+
 @dataclass(frozen=True, slots=True)
 class SwitchRecord:
     """One adaptive mode switch performed by the engine."""
@@ -144,9 +200,13 @@ class SymmetricJoinEngine:
     bus:
         Optional :class:`~repro.runtime.events.EventBus` the engine
         publishes onto: every :class:`StepResult` (after the step
-        completes), every :class:`~repro.joins.base.MatchEvent` of the
-        step (only when the bus has ``MatchEvent`` subscribers — the hot
-        loop never pays for unobserved matches) and every
+        completes, only via :meth:`step` / :meth:`run_steps` — the
+        :meth:`run_batch` fast path skips per-step events entirely when
+        nothing subscribes to them), every
+        :class:`~repro.joins.base.MatchEvent` (only when the bus has
+        ``MatchEvent`` subscribers — the hot loop never pays for
+        unobserved matches), one :class:`StepBatch` aggregate per executed
+        batch (or per step, as a batch of one) and every
         :class:`SwitchRecord` performed by :meth:`set_mode`.  ``None``
         (the default) keeps the engine observer-free, as the non-adaptive
         operators use it.
@@ -225,9 +285,11 @@ class SymmetricJoinEngine:
         if bus is not None:
             self._step_channel = bus.channel(StepResult)
             self._match_channel = bus.channel(MatchEvent)
+            self._batch_channel = bus.channel(StepBatch)
         else:
             self._step_channel = None
             self._match_channel = None
+            self._batch_channel = None
         self._emitted_pairs: Set[Tuple[int, int]] = set()
         self._next_scan = JoinSide.LEFT
         self._step = 0
@@ -361,6 +423,24 @@ class SymmetricJoinEngine:
                 for event in matches:
                     for handler in match_channel:
                         handler(event)
+        batch_channel = self._batch_channel
+        if batch_channel:
+            left_mode = self.modes[JoinSide.LEFT]
+            right_mode = self.modes[JoinSide.RIGHT]
+            hybrid = left_mode is not right_mode
+            batch = StepBatch(
+                first_step=result.step,
+                count=1,
+                left_steps=1 if side is JoinSide.LEFT else 0,
+                right_steps=1 if side is JoinSide.RIGHT else 0,
+                left_mode=left_mode,
+                right_mode=right_mode,
+                match_events=matches,
+                catch_up_tuples=catch_up,
+                sides=(side,) if hybrid else None,
+            )
+            for handler in batch_channel:
+                handler(batch)
         return result
 
     def run_steps(self, limit: int) -> List[StepResult]:
@@ -387,16 +467,131 @@ class SymmetricJoinEngine:
             append(result)
         return results
 
+    def run_batch(self, limit: int) -> Optional[StepBatch]:
+        """Execute up to ``limit`` steps as one amortised batch.
+
+        The fast path of the runtime: when the bus has no ``StepResult``
+        subscribers (the common case — the session's built-in observers all
+        consume :class:`StepBatch`), the loop builds **no** per-step
+        ``StepResult`` objects at all; per-step work is the scan, the index
+        insert and the probe, nothing else.  Match events are still
+        published one by one (in emission order) when ``MatchEvent`` has
+        subscribers, and the aggregate ``StepBatch`` is published once at
+        the end.
+
+        When the bus *does* have ``StepResult`` subscribers, the batch is
+        executed via :meth:`run_steps` so every per-step observable —
+        ``StepResult`` publication order, batch-of-one ``StepBatch``
+        events — is preserved exactly; the returned aggregate is then built
+        from the per-step results and **not** re-published (each step
+        already published its own batch-of-one).
+
+        Returns ``None`` when the inputs are exhausted (no step executed).
+        Mode switches remain legal between batches, never inside one.
+        """
+        if limit < 1:
+            raise ValueError(f"limit must be at least 1, got {limit}")
+        if self._step_channel:
+            results = self.run_steps(limit)
+            if not results:
+                return None
+            left_steps = 0
+            match_events: List[MatchEvent] = []
+            catch_up_total = 0
+            for result in results:
+                if result.side is JoinSide.LEFT:
+                    left_steps += 1
+                if result.matches:
+                    match_events.extend(result.matches)
+                catch_up_total += result.catch_up_tuples
+            left_mode = self.modes[JoinSide.LEFT]
+            right_mode = self.modes[JoinSide.RIGHT]
+            return StepBatch(
+                first_step=results[0].step,
+                count=len(results),
+                left_steps=left_steps,
+                right_steps=len(results) - left_steps,
+                left_mode=left_mode,
+                right_mode=right_mode,
+                match_events=match_events,
+                catch_up_tuples=catch_up_total,
+                sides=tuple(result.side for result in results)
+                if left_mode is not right_mode
+                else None,
+            )
+        modes = self.modes
+        left_mode = modes[JoinSide.LEFT]
+        right_mode = modes[JoinSide.RIGHT]
+        hybrid = left_mode is not right_mode
+        match_channel = self._match_channel
+        sides_map = self.sides
+        scan_next = self._scan_next
+        probe = self._probe
+        eager = self.eager_indexing
+        first_step = self._step + 1
+        count = 0
+        left_steps = 0
+        catch_up_total = 0
+        match_events: List[MatchEvent] = []
+        scan_sides: Optional[List[JoinSide]] = [] if hybrid else None
+        for _ in range(limit):
+            side, record = scan_next()
+            if record is None:
+                break
+            self._step += 1
+            own = sides_map[side]
+            other = sides_map[side.other]
+            stored = own.add(record)
+            if eager:
+                own.catch_up_exact()
+                own.catch_up_qgram()
+                other.catch_up_exact()
+                other.catch_up_qgram()
+            else:
+                own.index_for_mode(modes[side.other])
+                catch_up_total += other.index_for_mode(modes[side])
+            matches = probe(side, stored)
+            if matches:
+                match_events.extend(matches)
+                if match_channel:
+                    for event in matches:
+                        for handler in match_channel:
+                            handler(event)
+            count += 1
+            if side is JoinSide.LEFT:
+                left_steps += 1
+            if hybrid:
+                scan_sides.append(side)
+        if not count:
+            return None
+        batch = StepBatch(
+            first_step=first_step,
+            count=count,
+            left_steps=left_steps,
+            right_steps=count - left_steps,
+            left_mode=left_mode,
+            right_mode=right_mode,
+            match_events=match_events,
+            catch_up_tuples=catch_up_total,
+            sides=tuple(scan_sides) if hybrid else None,
+        )
+        batch_channel = self._batch_channel
+        if batch_channel:
+            for handler in batch_channel:
+                handler(batch)
+        return batch
+
     def run_to_completion(self) -> List[MatchEvent]:
         """Run every remaining step and return all match events produced."""
         events: List[MatchEvent] = []
         extend = events.extend
         while True:
-            batch = self.run_steps(_RUN_BATCH)
-            for result in batch:
-                if result.matches:
-                    extend(result.matches)
-            if len(batch) < _RUN_BATCH:
+            batch = self.run_batch(_RUN_BATCH)
+            if batch is None:
+                return events
+            if batch.match_events:
+                extend(batch.match_events)
+            if batch.count < _RUN_BATCH:
                 return events
 
     def iter_steps(self) -> Iterator[StepResult]:

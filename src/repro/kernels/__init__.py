@@ -1,0 +1,80 @@
+"""Optional columnar (numpy-backed) verification kernels.
+
+The probe hot path of :class:`repro.joins.base.SideState` keeps its index
+in a columnar layout — interned gram ids, ``gram id → array('i')``
+ordinal buckets, a dense per-ordinal gram-count array — that vectorises
+directly.  This package holds the numpy kernels that exploit it:
+
+* :class:`~repro.kernels.columnar.NumpyBitsetKernel` — per-ordinal gram
+  bitsets packed into a 2-D ``uint64`` matrix; shared-gram counts come
+  from one batched AND + popcount over all candidates at once (the
+  vectorised twin of ``gram_verification="bitset"``);
+* :class:`~repro.kernels.columnar.NumpyArrayKernel` — per-ordinal sorted
+  gram-id arrays in one CSR-style flat buffer; shared-gram counts come
+  from a batched membership test + segmented reduction (the vectorised
+  twin of ``gram_verification="array"``);
+* :func:`~repro.kernels.candidates.gather_candidates` — batched candidate
+  generation over the rare-gram buckets (concatenate → first-occurrence
+  dedup → length-filter mask), replacing the per-entry Python loop.
+
+**Import gating contract**: this module imports without numpy installed —
+the base install stays dependency-free (numpy ships via the ``[fast]``
+extra).  :func:`resolve_gram_verification` maps the ``numpy-*`` modes to
+their pure-Python twins when numpy is absent, so a
+:class:`~repro.runtime.config.RunConfig` requesting a numpy kernel
+degrades gracefully instead of failing; matches and counters are
+bit-identical in every mode, so the fallback changes speed only.  The
+numpy-importing submodules (:mod:`~repro.kernels.columnar`,
+:mod:`~repro.kernels.candidates`) are only imported once a kernel is
+actually created.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+try:
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - exercised via resolve(available=False)
+    _numpy = None
+
+#: The ``gram_verification`` modes served by this package.
+NUMPY_GRAM_VERIFICATION_MODES = ("numpy-bitset", "numpy-array")
+
+#: Pure-Python twin of each numpy mode (the no-numpy fallback).
+_FALLBACK_MODES = {"numpy-bitset": "bitset", "numpy-array": "array"}
+
+
+def numpy_available() -> bool:
+    """Whether numpy imported successfully (the ``[fast]`` extra)."""
+    return _numpy is not None
+
+
+def resolve_gram_verification(mode: str, available: Optional[bool] = None) -> str:
+    """Map a requested ``gram_verification`` mode to the effective one.
+
+    Pure-Python modes pass through untouched; the ``numpy-*`` modes fall
+    back to their pure-Python twins (``bitset`` / ``array``) when numpy is
+    not importable.  ``available`` overrides the detection (tests).
+    """
+    if available is None:
+        available = _numpy is not None
+    if not available:
+        return _FALLBACK_MODES.get(mode, mode)
+    return mode
+
+
+def create_kernel(mode: str):
+    """Instantiate the columnar kernel for ``mode``; ``None`` for others.
+
+    Callers resolve the mode first (:func:`resolve_gram_verification`), so
+    by the time a ``numpy-*`` mode reaches this factory numpy is known to
+    be importable.
+    """
+    if mode not in NUMPY_GRAM_VERIFICATION_MODES:
+        return None
+    from repro.kernels.columnar import NumpyArrayKernel, NumpyBitsetKernel
+
+    if mode == "numpy-bitset":
+        return NumpyBitsetKernel()
+    return NumpyArrayKernel()

@@ -1,0 +1,99 @@
+"""Batched candidate generation over rare-gram buckets.
+
+The probe's candidate set ``T(t)`` is the first-occurrence-ordered union
+of the ``g − k + 1`` rarest grams' ordinal buckets, optionally restricted
+by the Jaccard length filter.  The pure-Python loop in
+:meth:`repro.joins.base.SideState.probe_qgram` walks every bucket entry
+in the interpreter; this module does the same set construction with three
+numpy primitives over zero-copy views of the ``array('i')`` buckets.
+
+Equivalence contract (pinned by the kernel-equivalence tests):
+
+* candidate order — ``np.unique(..., return_index=True)`` plus a stable
+  argsort of the first-occurrence indices reproduces the dict
+  insertion order of the Python loop exactly, so match emission order is
+  bit-identical;
+* ``scan_work`` — one unit per bucket entry scanned, i.e. the concatenated
+  length, exactly as the loop counts;
+* ``rejected`` — one unit per scanned entry whose ordinal fails the
+  length bounds.  The Python loop re-tests a failing ordinal at every
+  occurrence (it is never admitted, so it never short-circuits) while an
+  admitted ordinal is bounds-tested only once — counting *entries of
+  failing ordinals* therefore matches it exactly.
+
+The views taken here (``np.frombuffer`` of the buckets and of the dense
+gram-count array) live only for the duration of the call: ``array``
+objects refuse to grow while a buffer view is exported, and the index
+appends happen between probes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+#: dtype matching the C ``int`` of the ``array('i')`` buckets.
+_BUCKET_DTYPE = np.intc
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def gather_candidates(
+    buckets: List[object],
+    gram_counts: object,
+    min_grams: Optional[int] = None,
+    max_grams: Optional[int] = None,
+) -> Tuple[np.ndarray, int, int]:
+    """Build the candidate set from the rare grams' buckets.
+
+    Parameters
+    ----------
+    buckets:
+        The non-empty ``array('i')`` ordinal buckets of the probe's
+        inserting prefix, in reverse-frequency order.
+    gram_counts:
+        The side's dense per-ordinal distinct-gram-count ``array('i')``.
+    min_grams, max_grams:
+        Inclusive length-filter bounds; ``None`` disables the filter.
+
+    Returns ``(candidates, scan_work, rejected)``: the int64 candidate
+    ordinals in first-occurrence order, the bucket entries scanned, and
+    the entries rejected by the length filter (0 when disabled).
+    """
+    if not buckets:
+        return _EMPTY, 0, 0
+    rejected = 0
+    if len(buckets) == 1:
+        # One bucket holds each ordinal at most once (the index appends one
+        # entry per (gram, ordinal)), already in first-occurrence order —
+        # no dedup pass needed.
+        cat = np.frombuffer(buckets[0], dtype=_BUCKET_DTYPE)
+        scan_work = int(cat.size)
+        if min_grams is not None:
+            counts = np.frombuffer(gram_counts, dtype=_BUCKET_DTYPE)
+            scanned_counts = counts[cat]
+            in_bounds = (scanned_counts >= min_grams) & (
+                scanned_counts <= max_grams
+            )
+            rejected = scan_work - int(np.count_nonzero(in_bounds))
+            cat = cat[in_bounds]
+        return cat.astype(np.int64), scan_work, rejected
+    cat = np.concatenate(
+        [np.frombuffer(bucket, dtype=_BUCKET_DTYPE) for bucket in buckets]
+    )
+    scan_work = int(cat.size)
+    values, first_index, occurrences = np.unique(
+        cat, return_index=True, return_counts=True
+    )
+    if min_grams is not None:
+        counts = np.frombuffer(gram_counts, dtype=_BUCKET_DTYPE)
+        value_counts = counts[values]
+        in_bounds = (value_counts >= min_grams) & (value_counts <= max_grams)
+        # Every occurrence of an out-of-bounds ordinal counts as rejected,
+        # exactly as the Python loop re-tests each scanned entry.
+        rejected = int(occurrences.sum() - occurrences[in_bounds].sum())
+        values = values[in_bounds]
+        first_index = first_index[in_bounds]
+    candidates = values[np.argsort(first_index, kind="stable")].astype(np.int64)
+    return candidates, scan_work, rejected

@@ -1,0 +1,221 @@
+"""The columnar verification kernels (numpy required).
+
+Both kernels answer the same question as the pure-Python verification
+loops of :meth:`repro.joins.base.SideState.probe_qgram` — "how many
+distinct q-grams does each candidate share with the probe value?" — but
+for the whole candidate batch at once:
+
+* :class:`NumpyBitsetKernel` packs each stored value's gram bitset into a
+  row of a 2-D ``uint64`` matrix; a probe gathers the candidate rows and
+  takes one vectorised AND + popcount.
+* :class:`NumpyArrayKernel` stores each value's sorted gram ids in one
+  CSR-style flat buffer (offsets + lengths); a probe gathers the
+  candidate segments and runs a batched membership test + segmented sum —
+  the batch equivalent of the two-pointer sorted intersection.
+
+The match decision (counter test, Jaccard similarity, optional strict
+verification) is shared in :meth:`_ColumnarKernel.verify` and kept
+bit-identical to the scalar paths: numpy's float64 division is the same
+IEEE operation as Python's ``/``, comparisons use the same threshold, and
+results are converted back to built-in ``int``/``float`` on return.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.kernels.candidates import gather_candidates as _gather_candidates
+from repro.similarity.setsim import jaccard_from_shared
+
+if hasattr(np, "bitwise_count"):  # numpy ≥ 2.0
+
+    def _row_popcounts(blocks: np.ndarray) -> np.ndarray:
+        """Per-row popcount of a 2-D ``uint64`` block matrix."""
+        return np.bitwise_count(blocks).sum(axis=1, dtype=np.int64)
+
+else:  # pragma: no cover - exercised only on numpy < 2.0
+    _POPCOUNT8 = np.array(
+        [bin(value).count("1") for value in range(256)], dtype=np.uint8
+    )
+
+    def _row_popcounts(blocks: np.ndarray) -> np.ndarray:
+        """Per-row popcount via a byte lookup table (pre-2.0 numpy)."""
+        as_bytes = np.ascontiguousarray(blocks).view(np.uint8)
+        return _POPCOUNT8[as_bytes].sum(axis=1, dtype=np.int64)
+
+
+class _ColumnarKernel:
+    """Shared row bookkeeping and the batched match decision."""
+
+    def __init__(self) -> None:
+        self._counts = np.zeros(64, dtype=np.int64)
+        self._rows = 0
+
+    @property
+    def size(self) -> int:
+        """Number of stored values appended so far."""
+        return self._rows
+
+    def _note_count(self, gram_count: int) -> None:
+        """Record a new row's distinct-gram count (call last in append)."""
+        if self._rows == self._counts.size:
+            grown = np.zeros(self._counts.size * 2, dtype=np.int64)
+            grown[: self._rows] = self._counts[: self._rows]
+            self._counts = grown
+        self._counts[self._rows] = gram_count
+        self._rows += 1
+
+    def gather_candidates(
+        self,
+        buckets: List[object],
+        gram_counts: object,
+        min_grams: Optional[int] = None,
+        max_grams: Optional[int] = None,
+    ) -> Tuple[np.ndarray, int, int]:
+        """Batched candidate generation (see :mod:`repro.kernels.candidates`)."""
+        return _gather_candidates(buckets, gram_counts, min_grams, max_grams)
+
+    def verify(
+        self,
+        candidates: np.ndarray,
+        probe_key: np.ndarray,
+        gram_count: int,
+        required: int,
+        similarity_threshold: float,
+        verify_jaccard: bool,
+    ) -> Tuple[List[int], List[float], int]:
+        """Run the match decision over the whole candidate batch.
+
+        Returns ``(ordinals, similarities, verified)`` where ``verified``
+        counts the candidates whose shared-gram count reached ``required``
+        (the Table 1 operation-4 increment), and the parallel lists hold
+        the matching ordinals — in candidate (first-occurrence) order, so
+        emission order equals the scalar paths' — with their Jaccard
+        similarities as built-in floats.
+        """
+        shared = self._shared_counts(candidates, probe_key)
+        passing = shared >= required
+        verified = int(np.count_nonzero(passing))
+        if not verified:
+            return [], [], 0
+        kept = candidates[passing]
+        shared = shared[passing]
+        stored_counts = self._counts[kept]
+        # union ≥ 1 (candidates come from buckets, so they hold ≥ 1 gram),
+        # which keeps jaccard_from_shared on its vectorised division path.
+        similarities = jaccard_from_shared(shared, gram_count, stored_counts)
+        if verify_jaccard:
+            keep = similarities >= similarity_threshold
+            kept = kept[keep]
+            similarities = similarities[keep]
+        return kept.tolist(), similarities.tolist(), verified
+
+    def _shared_counts(
+        self, candidates: np.ndarray, probe_key: np.ndarray
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+
+class NumpyBitsetKernel(_ColumnarKernel):
+    """Gram bitsets as rows of a growing 2-D ``uint64`` matrix."""
+
+    mode = "numpy-bitset"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._words = 1
+        self._matrix = np.zeros((64, 1), dtype=np.uint64)
+
+    def append(self, gram_ids) -> None:
+        """Store the next ordinal's gram bitset (rows append densely)."""
+        bits = 0
+        for gram_id in gram_ids:
+            bits |= 1 << gram_id
+        words = ((bits.bit_length() + 63) >> 6) or 1
+        if words > self._words:
+            widened = np.zeros((self._matrix.shape[0], words), dtype=np.uint64)
+            widened[:, : self._words] = self._matrix
+            self._matrix = widened
+            self._words = words
+        if self._rows == self._matrix.shape[0]:
+            grown = np.zeros(
+                (self._matrix.shape[0] * 2, self._words), dtype=np.uint64
+            )
+            grown[: self._rows] = self._matrix[: self._rows]
+            self._matrix = grown
+        self._matrix[self._rows] = np.frombuffer(
+            bits.to_bytes(self._words * 8, "little"), dtype=np.uint64
+        )
+        self._note_count(len(gram_ids))
+
+    def probe_key(self, gram_ids) -> np.ndarray:
+        """The probe value's bitset as ``uint64`` words (plan-cacheable)."""
+        bits = 0
+        for gram_id in gram_ids:
+            bits |= 1 << gram_id
+        words = ((bits.bit_length() + 63) >> 6) or 1
+        return np.frombuffer(bits.to_bytes(words * 8, "little"), dtype=np.uint64)
+
+    def _shared_counts(
+        self, candidates: np.ndarray, probe_key: np.ndarray
+    ) -> np.ndarray:
+        # Widths may differ (vocabulary grows between plan build and use);
+        # beyond the common width at least one operand is all-zero, so
+        # truncating to it is exact.
+        width = min(self._words, probe_key.size)
+        rows = self._matrix[candidates, :width]
+        return _row_popcounts(rows & probe_key[:width])
+
+
+class NumpyArrayKernel(_ColumnarKernel):
+    """Sorted gram-id segments in one CSR-style flat buffer."""
+
+    mode = "numpy-array"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._flat = np.zeros(1024, dtype=np.int64)
+        self._used = 0
+        self._starts = np.zeros(64, dtype=np.int64)
+
+    def append(self, gram_ids) -> None:
+        """Store the next ordinal's sorted gram ids (rows append densely)."""
+        ids = sorted(gram_ids)
+        length = len(ids)
+        while self._used + length > self._flat.size:
+            grown = np.zeros(self._flat.size * 2, dtype=np.int64)
+            grown[: self._used] = self._flat[: self._used]
+            self._flat = grown
+        if self._rows == self._starts.size:
+            grown = np.zeros(self._starts.size * 2, dtype=np.int64)
+            grown[: self._rows] = self._starts[: self._rows]
+            self._starts = grown
+        self._starts[self._rows] = self._used
+        self._flat[self._used : self._used + length] = ids
+        self._used += length
+        self._note_count(length)
+
+    def probe_key(self, gram_ids) -> np.ndarray:
+        """The probe value's sorted gram ids (plan-cacheable)."""
+        return np.array(sorted(gram_ids), dtype=np.int64)
+
+    def _shared_counts(
+        self, candidates: np.ndarray, probe_key: np.ndarray
+    ) -> np.ndarray:
+        lengths = self._counts[candidates]
+        starts = self._starts[candidates]
+        total = int(lengths.sum())
+        if total == 0:  # pragma: no cover - candidates always hold ≥ 1 gram
+            return np.zeros(candidates.size, dtype=np.int64)
+        # Ragged gather: for candidate j, positions start[j] .. start[j] +
+        # len[j] of the flat buffer.  Segment starts are strictly
+        # increasing because every candidate's length is ≥ 1 (it came from
+        # a bucket), which reduceat requires.
+        segment_starts = np.cumsum(lengths) - lengths
+        gather = np.repeat(starts - segment_starts, lengths) + np.arange(
+            total, dtype=np.int64
+        )
+        hits = np.isin(self._flat[gather], probe_key)
+        return np.add.reduceat(hits.astype(np.int64), segment_starts)

@@ -16,9 +16,15 @@ Collectors follow one convention: ``attach(bus)`` subscribes and returns
 ``self`` so construction and attachment chain.
 
 :class:`ProgressCollector` is the streaming-observer workhorse: it rides
-``StepResult`` (per-step, in-process backends) and ``ShardCompleted``
-(per-shard, every backend including ``process``) and powers
-``JobHandle.progress()`` and the CLI ``--progress`` ticker.
+``StepBatch`` (per engine batch, in-process backends) and
+``ShardCompleted`` (per-shard, every backend including ``process``) and
+powers ``JobHandle.progress()`` and the CLI ``--progress`` ticker.
+
+Note the granularity choice: collectors that subscribe to per-step
+``StepResult`` events (:class:`StateDwellCollector`,
+:class:`ThroughputCollector`) opt the session into the engine's per-step
+execution path; batch-level collectors (:class:`ProgressCollector`) keep
+the engine on its fast batched path.
 """
 
 from __future__ import annotations
@@ -28,7 +34,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.joins.base import JoinMode, MatchEvent
-from repro.joins.engine import StepResult, SwitchRecord
+from repro.joins.engine import StepBatch, StepResult, SwitchRecord
 from repro.runtime.events import (
     EventBus,
     ShardCompleted,
@@ -212,7 +218,7 @@ class ProgressSnapshot:
 
 
 class ProgressCollector:
-    """Live progress over a join run, fed by ``StepResult``/``ShardCompleted``.
+    """Live progress over a join run, fed by ``StepBatch``/``ShardCompleted``.
 
     The reusable observer behind ``JobHandle.progress()`` and the CLI's
     ``--progress`` ticker — attach it to any bus (a session's
@@ -220,8 +226,9 @@ class ProgressCollector:
     :class:`~repro.runtime.parallel.AggregatedEventBus`) and poll
     :meth:`snapshot` from anywhere, any time:
 
-    * per-step counts come from the :class:`StepResult` stream (live on
-      every in-process backend);
+    * step counts come from the :class:`StepBatch` stream (one aggregate
+      per engine batch, live on every in-process backend; batch-level so
+      progress observation never forces the engine off its fast path);
     * per-shard counts come from the :class:`ShardCompleted` lifecycle
       events — the only feed that crosses the process-backend boundary,
       so steps/matches observed through completed shards act as a floor
@@ -252,7 +259,7 @@ class ProgressCollector:
         self._retries = 0
 
     def attach(self, bus: EventBus) -> "ProgressCollector":
-        bus.subscribe(StepResult, self._on_step)
+        bus.subscribe(StepBatch, self._on_batch)
         bus.subscribe(ShardCompleted, self._on_shard_completed)
         bus.subscribe(ShardFailed, self._on_shard_failed)
         bus.subscribe(ShardRetrying, self._on_shard_retrying)
@@ -268,10 +275,10 @@ class ProgressCollector:
         """
         self._started = self._clock()
 
-    def _on_step(self, result: StepResult) -> None:
-        self._steps += 1
-        if result.matches:
-            self._step_matches += len(result.matches)
+    def _on_batch(self, batch: StepBatch) -> None:
+        self._steps += batch.count
+        if batch.match_events:
+            self._step_matches += len(batch.match_events)
 
     def _on_shard_completed(self, event: ShardCompleted) -> None:
         self._shards_done += 1

@@ -12,6 +12,7 @@ engine + control stack from it.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
@@ -21,6 +22,18 @@ from repro.core.state_machine import JoinState
 from repro.core.thresholds import Thresholds
 from repro.engine.table import Table
 from repro.joins.base import GRAM_VERIFICATION_MODES, JoinSide
+
+
+def _default_gram_verification() -> str:
+    """Default ``gram_verification``: the ``REPRO_GRAM_VERIFICATION`` env var.
+
+    Lets CI (and users) pin every :class:`RunConfig`-driven run to one
+    verification mode without touching call sites; unset means ``"auto"``.
+    Read per instantiation (``default_factory``), so changing the variable
+    between runs takes effect without re-importing.  Invalid values fail
+    in ``__post_init__`` exactly like an explicit argument would.
+    """
+    return os.environ.get("REPRO_GRAM_VERIFICATION", "auto")
 
 
 def input_size(source: object) -> Optional[int]:
@@ -86,10 +99,14 @@ class RunConfig:
     gram_verification:
         How approximate probes recover a candidate's shared-gram count:
         ``"bitset"`` (gram bitsets + ``bit_count``), ``"array"`` (sorted
-        gram-id array intersections) or ``"auto"`` (default: bitsets,
+        gram-id array intersections), ``"auto"`` (default: bitsets,
         switching to arrays once the gram vocabulary outgrows the bitset
-        regime — huge alphabets / q ≥ 4).  Match sets and counters are
-        identical either way; see PERFORMANCE.md "Known scale limits".
+        regime — huge alphabets / q ≥ 4), or the columnar kernels
+        ``"numpy-bitset"`` / ``"numpy-array"`` (batched verification via
+        :mod:`repro.kernels`; each falls back to its pure-Python twin when
+        numpy is absent).  Match sets and counters are identical in every
+        mode; see PERFORMANCE.md.  The default honours the
+        ``REPRO_GRAM_VERIFICATION`` environment variable when set.
     scan_batch:
         Engine read-ahead batch size (bulk stream pulls; ``1`` disables).
     eager_indexing:
@@ -112,7 +129,7 @@ class RunConfig:
     verify_jaccard: bool = False
     use_prefix_filter: bool = True
     use_length_filter: bool = True
-    gram_verification: str = "auto"
+    gram_verification: str = field(default_factory=_default_gram_verification)
     scan_batch: int = 32
     eager_indexing: bool = False
     padded_qgrams: bool = True

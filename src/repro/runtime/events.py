@@ -15,8 +15,16 @@ Event taxonomy
 Events are dispatched **by concrete type**; any object can be an event.
 The runtime publishes:
 
+* :class:`~repro.joins.engine.StepBatch` — one aggregate per executed
+  engine batch (or per single step, as a batch of one); the stream the
+  runtime's built-in observers (monitor, trace, session accumulator,
+  progress collector) consume — every executed step is covered by exactly
+  one published batch;
 * :class:`~repro.joins.engine.StepResult` — one per engine step, emitted
-  by the engine itself (the quiescent-state transition of Sec. 2.1);
+  by the engine *only on the per-step execution paths* (``step`` /
+  ``run_steps``; the batched fast path skips per-step events when nothing
+  subscribes to them — attaching a ``StepResult`` subscriber before the
+  run is what opts a session into per-step granularity);
 * :class:`~repro.joins.base.MatchEvent` — one per matched pair, emitted by
   the engine *only when at least one subscriber is registered* (so the hot
   probe loop never pays for unobserved matches);
@@ -34,9 +42,11 @@ The runtime publishes:
   error and whether a retry follows), one ``ShardRetrying`` per retry
   scheduled, on every backend.
 
-Ordering guarantee: for one engine step, the ``StepResult`` is published
-first, then the step's ``MatchEvent``s in emission order.  Subscribers to
-the same event type run in subscription order.
+Ordering guarantee: for one engine step, the ``StepResult`` (when the
+per-step path is active) is published first, then the step's
+``MatchEvent``\\ s in emission order, then the ``StepBatch`` covering the
+step(s) — the batch always arrives after every per-step event it
+aggregates.  Subscribers to the same event type run in subscription order.
 """
 
 from __future__ import annotations

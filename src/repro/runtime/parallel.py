@@ -90,7 +90,7 @@ from typing import Callable, Dict, Generator, List, Optional, Tuple, Type, Union
 from repro.engine.streams import InputLike
 from repro.engine.tuples import Record, Schema
 from repro.joins.base import JoinAttribute, MatchEvent
-from repro.joins.engine import StepResult, SwitchRecord
+from repro.joins.engine import StepBatch, StepResult, SwitchRecord
 from repro.runtime.config import RunConfig
 from repro.runtime.errors import ShardExecutionError, ShardTimeoutError
 from repro.runtime.events import (
@@ -146,12 +146,21 @@ _HANG_POLL_SECONDS = 0.02
 
 #: Event types forwarded live from shard buses by the in-process backends.
 FORWARDED_EVENT_TYPES: Tuple[Type, ...] = (
+    StepBatch,
     StepResult,
     MatchEvent,
     SwitchRecord,
     TransitionEvent,
     AssessmentEvent,
 )
+
+#: Forwarded types whose shard-bus subscription is demand-gated: attaching
+#: a forwarder *enables* publication on the shard bus (match events) or
+#: forces the shard engine off its batched fast path (per-step results),
+#: so the forwarder is only attached when the aggregated bus actually has
+#: a consumer — a direct subscriber of the type, or a ``ShardEvent``
+#: subscriber (which receives every forwarded event, tagged).
+_DEMAND_GATED_TYPES: Tuple[Type, ...] = (StepResult, MatchEvent)
 
 
 class AggregatedEventBus(EventBus):
@@ -182,10 +191,12 @@ class AggregatedEventBus(EventBus):
         Each shard event is re-published here twice: raw (existing
         shard-agnostic subscribers keep working) and wrapped in a
         :class:`ShardEvent` (only when someone subscribed to those).
-        Match events are only forwarded when the aggregated bus has
-        match-interested subscribers — subscribing to ``MatchEvent`` on a
-        shard bus is what *enables* its publication, so an unobserved
-        match stream must stay unobserved on the shard too.
+        Match events and per-step results are demand-gated
+        (:data:`_DEMAND_GATED_TYPES`): subscribing to ``MatchEvent`` on a
+        shard bus is what *enables* its publication, and subscribing to
+        ``StepResult`` forces the shard engine off its batched fast path —
+        so those forwarders are only attached when the aggregated bus has
+        a consumer for them.
         """
         tag_channel = self.channel(ShardEvent)
 
@@ -201,8 +212,8 @@ class AggregatedEventBus(EventBus):
                         handler(tagged)
 
         for event_type in FORWARDED_EVENT_TYPES:
-            if event_type is MatchEvent and not (
-                self.has_subscribers(MatchEvent) or self.has_subscribers(ShardEvent)
+            if event_type in _DEMAND_GATED_TYPES and not (
+                self.has_subscribers(event_type) or self.has_subscribers(ShardEvent)
             ):
                 continue
             shard_bus.subscribe(event_type, forward)

@@ -5,6 +5,7 @@ A session takes two inputs, a join attribute and a
 
 * the switchable :class:`~repro.joins.engine.SymmetricJoinEngine`;
 * an :class:`~repro.runtime.events.EventBus` the engine publishes
+  :class:`~repro.joins.engine.StepBatch` /
   :class:`~repro.joins.engine.StepResult` /
   :class:`~repro.joins.base.MatchEvent` /
   :class:`~repro.joins.engine.SwitchRecord` events onto;
@@ -34,7 +35,7 @@ from repro.core.trace import ExecutionTrace
 from repro.engine.streams import InputLike, as_stream
 from repro.engine.tuples import Record, Schema
 from repro.joins.base import JoinAttribute, JoinSide, MatchEvent, OperationCounters
-from repro.joins.engine import StepResult, SymmetricJoinEngine
+from repro.joins.engine import StepBatch, SymmetricJoinEngine
 from repro.runtime.config import RunConfig, input_size
 from repro.runtime.events import EventBus, TransitionEvent
 from repro.runtime.policy import SwitchPolicy, create_policy
@@ -188,19 +189,23 @@ class JoinSession:
         self._finished = False
         self._cancelled = False
 
-        # Subscription order fixes the per-step observer order: monitor
-        # first, then trace, then match accumulation — the same order the
-        # pre-runtime processor loop used (kept for bit-identical traces).
+        # The session's built-in observers consume the engine's aggregate
+        # StepBatch events (one per batch — or per step, as a batch of one —
+        # never both), so the engine's fast path skips per-step event
+        # construction entirely.  Subscription order fixes the observer
+        # order: monitor first, then trace, then match accumulation — the
+        # same order the pre-runtime processor loop used (kept for
+        # bit-identical traces).
         self.monitor.attach(self.bus)
         self.trace.attach(self.bus, self.state_machine)
 
         matches_extend = self._matches.extend
 
-        def accumulate(result: StepResult) -> None:
-            if result.matches:
-                matches_extend(result.matches)
+        def accumulate(batch: StepBatch) -> None:
+            if batch.match_events:
+                matches_extend(batch.match_events)
 
-        self._accumulate_handler = self.bus.subscribe(StepResult, accumulate)
+        self._accumulate_handler = self.bus.subscribe(StepBatch, accumulate)
         self._detached = False
         self.policy.bind(self)
 
@@ -264,7 +269,7 @@ class JoinSession:
         self._detached = True
         self.monitor.detach(self.bus)
         self.trace.detach(self.bus)
-        self.bus.unsubscribe(StepResult, self._accumulate_handler)
+        self.bus.unsubscribe(StepBatch, self._accumulate_handler)
 
     def _mark_finished(self) -> None:
         self._finished = True
@@ -323,10 +328,10 @@ class JoinSession:
         policy activations the processor state cannot change, so the
         engine is asked for the whole run of steps up to the policy's next
         activation boundary (:meth:`SwitchPolicy.next_activation_step`) at
-        once (:meth:`SymmetricJoinEngine.run_steps`); every step still
-        flows through the event bus individually, so the monitor window,
-        the trace and the activation points are identical to stepping one
-        tuple at a time via :meth:`step`.
+        once (:meth:`SymmetricJoinEngine.run_batch`); observers consume
+        one aggregate :class:`~repro.joins.engine.StepBatch` per batch, so
+        the monitor windows, the trace and the activation points are
+        bit-identical to stepping one tuple at a time via :meth:`step`.
 
         ``cancel`` (anything with an ``is_set()`` method, typically a
         :class:`threading.Event`) stops the run at the next batch
@@ -382,21 +387,16 @@ class JoinSession:
                 chunk = boundary - engine.step_count
             if max_batch is not None and chunk > max_batch:
                 chunk = max_batch
-            batch = engine.run_steps(chunk)
-            if not batch:
+            batch = engine.run_batch(chunk)
+            if batch is None:
                 self._mark_finished()
                 break
-            last_step = batch[-1].step
+            last_step = batch.last_step
             if policy.should_activate(last_step):
                 policy.activate(last_step)
-            if len(batch) < chunk:
+            if batch.count < chunk:
                 self._mark_finished()
-            yield [
-                event
-                for result in batch
-                if result.matches
-                for event in result.matches
-            ]
+            yield batch.match_events
 
     def result(self) -> AdaptiveJoinResult:
         """Snapshot the current outcome (also valid mid-run)."""

@@ -50,6 +50,38 @@ class SlidingWindowCounter:
         for event in events:
             self.record(event)
 
+    def record_run(self, positive: bool, count: int) -> None:
+        """Record ``count`` identical events at once.
+
+        Bit-identical to calling :meth:`record` ``count`` times — the
+        batched observers of the runtime (one window update per engine
+        batch instead of one per step) rely on that equivalence.  A run at
+        least as long as the window simply *becomes* the window; shorter
+        runs evict exactly the entries ``count`` appends would have
+        evicted.
+        """
+        if count <= 0:
+            return
+        positive = bool(positive)
+        events = self._events
+        window_size = self.window_size
+        if count >= window_size:
+            events.clear()
+            events.extend([positive] * window_size)
+            self._positives = window_size if positive else 0
+            return
+        evict = len(events) + count - window_size
+        if evict > 0:
+            positives = self._positives
+            popleft = events.popleft
+            for _ in range(evict):
+                if popleft():
+                    positives -= 1
+            self._positives = positives
+        events.extend([positive] * count)
+        if positive:
+            self._positives += count
+
     @property
     def positives(self) -> int:
         """Number of positive events currently inside the window (``A_{t,W}``)."""

@@ -187,9 +187,22 @@ class TestConfigPlumbing:
             assert session.engine.sides[side].gram_verification == "array"
             assert session.engine.sides[side]._array_verification
 
+    def test_env_var_sets_the_default_mode(self, monkeypatch):
+        from repro.runtime.config import RunConfig
+
+        monkeypatch.setenv("REPRO_GRAM_VERIFICATION", "numpy-array")
+        assert RunConfig().gram_verification == "numpy-array"
+        monkeypatch.setenv("REPRO_GRAM_VERIFICATION", "magic")
+        with pytest.raises(ValueError, match="gram_verification"):
+            RunConfig()
+        monkeypatch.delenv("REPRO_GRAM_VERIFICATION")
+        assert RunConfig().gram_verification == "auto"
+
 
 class TestEngineLevel:
-    @pytest.mark.parametrize("mode", ["bitset", "array"])
+    @pytest.mark.parametrize(
+        "mode", ["bitset", "array", "numpy-bitset", "numpy-array"]
+    )
     def test_engine_modes_agree_end_to_end(self, mode):
         left_values = _values(60, seed=21)
         right_values = _values(60, seed=22) + left_values[:15]

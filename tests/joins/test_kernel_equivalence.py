@@ -1,0 +1,236 @@
+"""Equivalence of the columnar (numpy) kernels with the pure-Python paths.
+
+Every ``gram_verification`` mode — the big-int ``bitset`` path, the
+two-pointer ``array`` path, and the batched ``numpy-bitset`` /
+``numpy-array`` kernels of :mod:`repro.kernels` — must return the
+identical match list (ordinals, similarities, emission order) and the
+identical Table-1 operation counters.  The property-based tests sweep
+random workloads over thresholds and q; the unit tests pin the
+import-gating/fallback contract and the length-filter self-profiling.
+"""
+
+import random
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.tuples import Record, Schema
+from repro.joins.base import (
+    LENGTH_FILTER_SAMPLE_PROBES,
+    JoinSide,
+    SideState,
+)
+from repro.joins.fastpath import NaiveQGramProber
+from repro.kernels import (
+    NUMPY_GRAM_VERIFICATION_MODES,
+    create_kernel,
+    numpy_available,
+    resolve_gram_verification,
+)
+
+SCHEMA = Schema(["value"], name="values")
+ALL_FIXED_MODES = ("bitset", "array") + tuple(NUMPY_GRAM_VERIFICATION_MODES)
+
+values_strategy = st.lists(
+    st.text(alphabet="abcdef", min_size=0, max_size=14), min_size=1, max_size=40
+)
+probes_strategy = st.lists(
+    st.text(alphabet="abcdef", min_size=0, max_size=14), min_size=1, max_size=20
+)
+
+
+def _build(values, mode, q=3):
+    side = SideState(JoinSide.LEFT, "value", q=q, gram_verification=mode)
+    for value in values:
+        side.add(Record(SCHEMA, {"value": value}))
+    side.catch_up_qgram()
+    return side
+
+
+def _probe_all(side, probes, theta, **kwargs):
+    results = []
+    for probe in probes:
+        for stored, similarity in side.probe_qgram(probe, theta, **kwargs):
+            results.append((probe, stored.ordinal, similarity))
+    return results
+
+
+class TestModeEquivalenceProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values_strategy,
+        probes_strategy,
+        st.sampled_from([0.5, 0.7, 0.85, 1.0]),
+        st.integers(min_value=2, max_value=4),
+        st.booleans(),
+        st.booleans(),
+    )
+    def test_all_modes_identical(
+        self, values, probes, theta, q, verify_jaccard, use_length_filter
+    ):
+        reference = None
+        for mode in ALL_FIXED_MODES:
+            side = _build(values, mode, q=q)
+            results = _probe_all(
+                side,
+                probes,
+                theta,
+                verify_jaccard=verify_jaccard,
+                use_length_filter=use_length_filter,
+            )
+            snapshot = (results, side.counters.as_dict())
+            if reference is None:
+                reference = snapshot
+            else:
+                assert snapshot == reference, mode
+
+    @settings(max_examples=25, deadline=None)
+    @given(values_strategy, probes_strategy, st.sampled_from([0.6, 0.85]))
+    def test_kernels_match_naive_reference(self, values, probes, theta):
+        naive = NaiveQGramProber()
+        for value in values:
+            naive.add(value)
+        expected = [
+            (probe, ordinal)
+            for probe in probes
+            for ordinal, _ in naive.probe(probe, theta)
+        ]
+        for mode in NUMPY_GRAM_VERIFICATION_MODES:
+            side = _build(values, mode)
+            got = [
+                (probe, ordinal)
+                for probe, ordinal, _ in _probe_all(side, probes, theta)
+            ]
+            assert got == expected, mode
+
+    @settings(max_examples=20, deadline=None)
+    @given(values_strategy, probes_strategy)
+    def test_incremental_indexing_stays_equivalent(self, values, probes):
+        sides = {mode: _build([], mode) for mode in ALL_FIXED_MODES}
+        results = {mode: [] for mode in sides}
+        half = max(1, len(values) // 2)
+        for chunk in (values[:half], values[half:]):
+            for mode, side in sides.items():
+                for value in chunk:
+                    side.add(Record(SCHEMA, {"value": value}))
+                side.catch_up_qgram()
+                results[mode].extend(_probe_all(side, probes, 0.8))
+        reference = results["bitset"]
+        reference_counters = sides["bitset"].counters.as_dict()
+        for mode in ALL_FIXED_MODES[1:]:
+            assert results[mode] == reference, mode
+            assert sides[mode].counters.as_dict() == reference_counters, mode
+
+
+class TestImportGating:
+    def test_numpy_modes_resolve_to_python_twins_without_numpy(self):
+        assert resolve_gram_verification("numpy-bitset", available=False) == "bitset"
+        assert resolve_gram_verification("numpy-array", available=False) == "array"
+
+    def test_python_modes_pass_through(self):
+        for mode in ("auto", "bitset", "array"):
+            assert resolve_gram_verification(mode, available=False) == mode
+            assert resolve_gram_verification(mode, available=True) == mode
+
+    def test_create_kernel_returns_none_for_python_modes(self):
+        for mode in ("auto", "bitset", "array"):
+            assert create_kernel(mode) is None
+
+    def test_side_state_falls_back_when_numpy_absent(self, monkeypatch):
+        import repro.joins.base as base
+
+        monkeypatch.setattr(
+            base,
+            "resolve_gram_verification",
+            lambda mode: resolve_gram_verification(mode, available=False),
+        )
+        side = SideState(JoinSide.LEFT, "value", gram_verification="numpy-bitset")
+        assert side.gram_verification == "numpy-bitset"  # the requested mode
+        assert side.effective_gram_verification == "bitset"
+        assert side._kernel is None
+        # The fallback side behaves exactly like a bitset side.
+        values = ["genova", "genovb", "milano"]
+        for value in values:
+            side.add(Record(SCHEMA, {"value": value}))
+        side.catch_up_qgram()
+        expected = _probe_all(_build(values, "bitset"), ["genova"], 0.7)
+        assert _probe_all(side, ["genova"], 0.7) == expected
+
+    @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+    def test_kernel_sides_report_effective_mode(self):
+        for mode in NUMPY_GRAM_VERIFICATION_MODES:
+            side = SideState(JoinSide.LEFT, "value", gram_verification=mode)
+            assert side.gram_verification == mode
+            assert side.effective_gram_verification == mode
+            assert side._kernel is not None
+            assert side._kernel.mode == mode
+
+
+class TestLengthFilterAutoDisable:
+    @staticmethod
+    def _uniform_workload(count, length=8, seed=3):
+        rng = random.Random(seed)
+        return [
+            "".join(rng.choice(string.ascii_lowercase[:6]) for _ in range(length))
+            for _ in range(count)
+        ]
+
+    @pytest.mark.parametrize("mode", ALL_FIXED_MODES)
+    def test_unproductive_filter_disables_after_sampling(self, mode):
+        # Uniform value lengths: the length filter can never reject, so
+        # after the sampling window it must switch itself off.
+        values = self._uniform_workload(200)
+        side = _build(values, mode)
+        probes = self._uniform_workload(LENGTH_FILTER_SAMPLE_PROBES + 10, seed=4)
+        for probe in probes:
+            side.probe_qgram(probe, 0.7)
+        assert side.length_filter_disabled
+
+    @pytest.mark.parametrize("mode", ALL_FIXED_MODES)
+    def test_productive_filter_stays_enabled(self, mode):
+        # Widely varying lengths at a high threshold: the bounds reject a
+        # large share of scanned entries, so the filter stays on.
+        rng = random.Random(9)
+        values = [
+            "".join(rng.choice("abc") for _ in range(rng.choice((4, 30))))
+            for _ in range(200)
+        ]
+        side = _build(values, mode)
+        probes = [
+            "".join(rng.choice("abc") for _ in range(rng.choice((4, 30))))
+            for _ in range(LENGTH_FILTER_SAMPLE_PROBES + 10)
+        ]
+        for probe in probes:
+            side.probe_qgram(probe, 0.9)
+        assert not side.length_filter_disabled
+
+    def test_disable_does_not_change_matches(self):
+        values = self._uniform_workload(150)
+        probes = self._uniform_workload(LENGTH_FILTER_SAMPLE_PROBES * 2, seed=5)
+        filtered = _build(values, "bitset")
+        unfiltered = _build(values, "bitset")
+        filtered_results = _probe_all(filtered, probes, 0.7)
+        unfiltered_results = _probe_all(
+            unfiltered, probes, 0.7, use_length_filter=False
+        )
+        assert filtered.length_filter_disabled
+        assert filtered_results == unfiltered_results
+
+    def test_disable_is_deterministic_across_reruns(self):
+        values = self._uniform_workload(150)
+        probes = self._uniform_workload(LENGTH_FILTER_SAMPLE_PROBES + 5, seed=6)
+
+        def profile():
+            side = _build(values, "array")
+            for probe in probes:
+                side.probe_qgram(probe, 0.7)
+            return (
+                side.length_filter_disabled,
+                side._filter_probes,
+                side._filter_scanned,
+                side._filter_rejected,
+            )
+
+        assert profile() == profile()

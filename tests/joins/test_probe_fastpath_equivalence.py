@@ -60,9 +60,11 @@ def make_values(rng: random.Random, count: int):
     return values
 
 
-def build_pair(stored_values, q):
+def build_pair(stored_values, q, gram_verification="auto"):
     """A fast-path side and a naive prober loaded with the same values."""
-    side = SideState(JoinSide.LEFT, "value", q=q)
+    side = SideState(
+        JoinSide.LEFT, "value", q=q, gram_verification=gram_verification
+    )
     naive = NaiveQGramProber(q=q)
     for row_id, value in enumerate(stored_values):
         side.add(Record(SCHEMA, {"row_id": row_id, "value": value}))
@@ -127,6 +129,33 @@ class TestFastPathEquivalence:
             filtered.counters.approx_verifications
             == naive.counters.approx_verifications
         )
+
+
+@pytest.mark.parametrize("mode", ["numpy-bitset", "numpy-array"])
+@pytest.mark.parametrize("theta", [0.6, 0.9])
+@pytest.mark.parametrize("q", [2, 3])
+class TestColumnarKernelEquivalence:
+    """The numpy kernels against the naive seed, counters included."""
+
+    def test_matches_and_counters_identical_without_length_filter(
+        self, mode, theta, q
+    ):
+        rng = random.Random(20260808 + q * 1000 + int(theta * 100))
+        stored_values = make_values(rng, 150)
+        probe_values = make_values(rng, 100)
+        for verify_jaccard in (False, True):
+            side, naive = build_pair(stored_values, q, gram_verification=mode)
+            for probe in probe_values:
+                fast = side.probe_qgram(
+                    probe,
+                    theta,
+                    verify_jaccard=verify_jaccard,
+                    use_length_filter=False,
+                )
+                assert as_pairs(fast) == naive.probe(
+                    probe, theta, verify_jaccard=verify_jaccard
+                )
+            assert side.counters.as_dict() == naive.counters.as_dict()
 
 
 class TestFastPathBuildingBlocks:

@@ -1,0 +1,184 @@
+"""Batch-dispatch equivalence: the fast path observes exactly what stepping does.
+
+PR 7 made ``run_batches`` publish one aggregate
+:class:`~repro.joins.engine.StepBatch` per engine batch instead of one
+``StepResult`` per step; the monitor, trace, session accumulator and
+progress collector all consume batches.  These tests pin the contract
+that makes the optimisation safe: batch observation is bit-identical to
+per-step observation, every executed step is covered by exactly one
+published batch, and attaching a ``StepResult`` subscriber (which opts
+the session into per-step execution) changes nothing observable.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.state_machine import JoinState
+from repro.core.thresholds import Thresholds
+from repro.core.trace import ExecutionTrace
+from repro.joins.base import JoinSide
+from repro.joins.engine import StepBatch, StepResult
+from repro.runtime.config import RunConfig
+from repro.runtime.events import EventBus
+from repro.runtime.session import JoinSession
+from repro.stats.windows import SlidingWindowCounter
+
+FAST = Thresholds(delta_adapt=25, window_size=25)
+
+
+def make_session(dataset, bus=None, **overrides):
+    return JoinSession(
+        dataset.parent,
+        dataset.child,
+        "location",
+        RunConfig.from_thresholds(FAST, **overrides),
+        bus=bus,
+    )
+
+
+class TestSlidingWindowRecordRun:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=0, max_value=30)),
+            max_size=12,
+        ),
+    )
+    def test_record_run_equals_record_loop(self, window_size, runs):
+        batched = SlidingWindowCounter(window_size)
+        stepped = SlidingWindowCounter(window_size)
+        for positive, count in runs:
+            batched.record_run(positive, count)
+            for _ in range(count):
+                stepped.record(positive)
+            assert batched.positives == stepped.positives
+            assert batched.observed == stepped.observed
+            assert batched.fraction == stepped.fraction
+
+
+class TestExactlyOneBatchPerStep:
+    def test_run_covers_every_step_once(self, small_dataset):
+        bus = EventBus()
+        batches = []
+        bus.subscribe(StepBatch, batches.append)
+        session = make_session(small_dataset, bus=bus)
+        result = session.run()
+        total = len(small_dataset.parent) + len(small_dataset.child)
+        assert sum(batch.count for batch in batches) == total
+        # Contiguous, non-overlapping coverage in step order.
+        expected_next = 1
+        for batch in batches:
+            assert batch.first_step == expected_next
+            assert batch.left_steps + batch.right_steps == batch.count
+            expected_next = batch.last_step + 1
+        assert expected_next == total + 1
+        assert sum(len(batch.match_events) for batch in batches) == len(
+            result.matches
+        )
+
+    def test_single_stepping_publishes_batches_of_one(self, small_dataset):
+        bus = EventBus()
+        batches = []
+        bus.subscribe(StepBatch, batches.append)
+        session = make_session(small_dataset, bus=bus)
+        for _ in range(10):
+            session.step()
+        assert [batch.count for batch in batches] == [1] * 10
+        assert [batch.first_step for batch in batches] == list(range(1, 11))
+
+    def test_step_result_subscriber_forces_batches_of_one(self, small_dataset):
+        bus = EventBus()
+        step_results, batches = [], []
+        bus.subscribe(StepResult, step_results.append)
+        bus.subscribe(StepBatch, batches.append)
+        session = make_session(small_dataset, bus=bus)
+        session.run()
+        total = len(small_dataset.parent) + len(small_dataset.child)
+        # Per-step path: one StepResult per step AND one batch-of-one per
+        # step, so batch-only observers never miss or double-count.
+        assert len(step_results) == total
+        assert all(batch.count == 1 for batch in batches)
+        assert sum(batch.count for batch in batches) == total
+
+
+class TestPerStepPathEquivalence:
+    def test_step_subscriber_changes_nothing_observable(self, small_dataset):
+        fast = make_session(small_dataset)
+        fast_result = fast.run()
+
+        bus = EventBus()
+        bus.subscribe(StepResult, lambda result: None)  # opt into per-step
+        slow = make_session(small_dataset, bus=bus)
+        slow_result = slow.run()
+
+        assert [e.pair_key() for e in fast_result.matches] == [
+            e.pair_key() for e in slow_result.matches
+        ]
+        assert fast_result.counters.as_dict() == slow_result.counters.as_dict()
+        assert fast.trace.steps_per_state == slow.trace.steps_per_state
+        assert fast.trace.total_steps == slow.trace.total_steps
+        assert fast.trace.left_scanned == slow.trace.left_scanned
+        assert fast.trace.right_scanned == slow.trace.right_scanned
+        assert fast.trace.transition_count == slow.trace.transition_count
+        assert fast.monitor.observation() == slow.monitor.observation()
+
+    def test_stepping_equals_running(self, small_dataset):
+        stepped = make_session(small_dataset)
+        while not stepped.finished:
+            stepped.step()
+        ran = make_session(small_dataset)
+        ran_result = ran.run()
+        assert [e.pair_key() for e in stepped.matches] == [
+            e.pair_key() for e in ran_result.matches
+        ]
+        assert stepped.monitor.observation() == ran.monitor.observation()
+        assert stepped.trace.steps_per_state == ran.trace.steps_per_state
+
+
+class TestTraceBatchFold:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(list(JoinState)),
+                st.integers(min_value=1, max_value=20),
+                st.integers(min_value=0, max_value=5),
+            ),
+            max_size=10,
+        ),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    def test_record_batch_equals_record_step_loop(self, entries, seed):
+        rng = random.Random(seed)
+        batched = ExecutionTrace()
+        stepped = ExecutionTrace()
+        for state, count, matches in entries:
+            left_steps = rng.randint(0, count)
+            batched.record_batch(
+                state, count, left_steps, count - left_steps, matches
+            )
+            match_steps = sorted(
+                rng.sample(range(count), min(matches, count))
+            )
+            per_step_matches = [0] * count
+            for position, match_step in enumerate(match_steps):
+                per_step_matches[match_step] += 1
+            # Distribute any excess matches onto the first step, as a batch
+            # can carry several matches per step.
+            excess = matches - sum(per_step_matches)
+            if count and excess:
+                per_step_matches[0] += excess
+            sides = [JoinSide.LEFT] * left_steps + [JoinSide.RIGHT] * (
+                count - left_steps
+            )
+            for side, step_matches in zip(sides, per_step_matches):
+                stepped.record_step(state, side, step_matches)
+        assert batched.steps_per_state == stepped.steps_per_state
+        assert batched.matches_per_state == stepped.matches_per_state
+        assert batched.total_steps == stepped.total_steps
+        assert batched.total_matches == stepped.total_matches
+        assert batched.left_scanned == stepped.left_scanned
+        assert batched.right_scanned == stepped.right_scanned
