@@ -21,16 +21,29 @@ bar below is exact rather than fixture-dependent) is sharded under each
 probed partitioner and compared with its unsharded reference, isolating
 what the *partitioner* loses from what per-shard adaptive scheduling
 loses.  ``hash`` drops the cross-shard variant pairs; ``gram``
-(gram-replicated partitioning with merge-time dedup) must reproduce the
-unsharded match set *exactly* — the probe enforces that bar (lost or
-extra pairs both fail) and also records the replication factor and
-raw-vs-deduped match counts, i.e. the work the recall guarantee costs.
+(gram-replicated partitioning with merge-time dedup) and ``gram-prefix``
+(prefix-signature replication, strictly fewer replicas) must reproduce
+the unsharded match set *exactly* — the probe enforces that bar (lost or
+extra pairs both fail) and also records each partitioner's replication
+factor and raw-vs-deduped match counts, i.e. the work the recall
+guarantee costs and what the prefix signature saves.
+
+Every entry additionally records the **shard handoff accounting**
+(ISSUE 8): the resolved handoff of the sweep, the per-shard wire payload
+a process-backend task pickles to under each representation
+(``payload_bytes_per_shard``: full records under ``pickle``, a fixed-size
+descriptor under ``shared-memory``), the one-time encode + publish cost
+(``handoff_seconds``), and — when the process backend is probed — the
+process speedup under both handoffs (``process_speedup_pickle`` /
+``process_speedup_shm``), so the representation's effect on the
+multi-core path is measured, not asserted.
 
 Sanity bars enforced every run: the serial backend must be
 bit-deterministic (two runs, identical pair sets), every backend must
-produce the identical merged result at every shard count, 1-shard
-serial must reproduce the unsharded session exactly, and the gram
-partitioner's probe recall must be exactly 1.0.
+produce the identical merged result at every shard count, the two
+handoffs must produce the identical merged result on the process
+backend, 1-shard serial must reproduce the unsharded session exactly,
+and the gram/gram-prefix probe recall must be exactly 1.0.
 
 Results are appended to ``BENCH_shard_scaling.json`` (one entry per
 invocation), the shard-layer counterpart of ``BENCH_probe_fastpath.json``.
@@ -40,11 +53,17 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_shard_scaling.py                # full
     PYTHONPATH=src python benchmarks/bench_shard_scaling.py --smoke        # CI
     PYTHONPATH=src python benchmarks/bench_shard_scaling.py --recall-smoke # CI recall bar
+    PYTHONPATH=src python benchmarks/bench_shard_scaling.py --zero-copy-smoke
 
 The smoke run does 1 vs 2 shards on the serial backend only and finishes
-in seconds; ``--recall-smoke`` runs *only* the recall probe (gram vs
-hash, 2 shards) and fails the process if gram recall ≠ 1.0 — the CI
-recall-preservation gate.  See PERFORMANCE.md for how to read the output.
+in seconds; ``--recall-smoke`` runs *only* the recall probe (hash vs
+gram vs gram-prefix, 2 shards) and fails the process if replicated
+recall ≠ 1.0 — the CI recall-preservation gate.  ``--zero-copy-smoke``
+is the CI gate for the shared-memory handoff: a process-backend run at
+2 shards under each handoff must merge bit-identically, and the
+shared-memory segment registry must drain to zero on both the success
+and the (fault-injected) failure path; any drift or leak exits 1.
+See PERFORMANCE.md for how to read the output.
 """
 
 from __future__ import annotations
@@ -60,7 +79,15 @@ from typing import Dict, List
 from repro.core.state_machine import JoinState
 from repro.datagen.testcases import STANDARD_TEST_CASES, generate_test_case
 from repro.runtime.config import RunConfig
-from repro.runtime.parallel import run_sharded
+from repro.runtime.errors import ShardExecutionError
+from repro.runtime.faults import FaultPlan
+from repro.runtime.handoff import (
+    HANDOFF_MODES,
+    live_block_count,
+    live_block_names,
+    shared_memory_available,
+)
+from repro.runtime.parallel import estimate_shard_payload_bytes, run_sharded
 from repro.runtime.session import JoinSession
 from repro.runtime.sharding import ShardPlan
 
@@ -80,16 +107,22 @@ DEFAULT_BACKENDS = ("serial", "thread", "process", "async")
 #: pools), pinning serial/async agreement at 1 and 2 shards.
 SMOKE_BACKENDS = ("serial", "async")
 #: Partitioners compared by the recall probe: the exact-semantics default
-#: against the gram-replicated full-recall partitioner.
-RECALL_PARTITIONERS = ("hash", "gram")
+#: against the two gram-replicated full-recall partitioners.
+RECALL_PARTITIONERS = ("hash", "gram", "gram-prefix")
+#: Partitioners the probe holds to the exact-reproduction bar.
+REPLICATED_PARTITIONERS = ("gram", "gram-prefix")
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_shard_scaling.json"
 
 
-def _run(dataset, config, shards: int, backend: str, partitioner: str = "hash"):
+def _run(
+    dataset, config, shards: int, backend: str, partitioner: str = "hash",
+    handoff: str = "auto",
+):
     started = time.perf_counter()
     result = run_sharded(
         dataset.parent, dataset.child, "location", config,
         shards=shards, backend=backend, partitioner=partitioner,
+        handoff=handoff,
     )
     return time.perf_counter() - started, result
 
@@ -130,8 +163,10 @@ def recall_probe(dataset, shard_counts, partitioners=RECALL_PARTITIONERS):
     probe removes the schedule — a fixed all-approximate run loses
     exactly the pairs its partitioner separates.  Returns one row per
     shard count mapping partitioner → recall / match counts (raw and
-    deduped) plus the gram replication factor, and asserts the gram bar:
-    recall must be exactly 1.0 at every probed shard count.
+    deduped) plus each replicated partitioner's replication factor —
+    the side-by-side gram vs gram-prefix factors quantify what the
+    prefix signature saves — and asserts the replication bar: gram and
+    gram-prefix recall must be exactly 1.0 at every probed shard count.
     """
     config = all_approximate_config()
     reference = JoinSession(dataset.parent, dataset.child, "location", config).run()
@@ -152,7 +187,10 @@ def recall_probe(dataset, shard_counts, partitioners=RECALL_PARTITIONERS):
                 "matches": result.result_size,
                 "raw_matches": result.raw_result_size,
             }
-            if result.raw_result_size != result.result_size or name == "gram":
+            if (
+                result.raw_result_size != result.result_size
+                or name in REPLICATED_PARTITIONERS
+            ):
                 left_factor, right_factor = result.replication_factors()
                 stats["replication_factor"] = round(
                     (left_factor + right_factor) / 2, 2
@@ -161,11 +199,14 @@ def recall_probe(dataset, shard_counts, partitioners=RECALL_PARTITIONERS):
             # The gate compares pair *sets*, not the rounded stat: one
             # lost pair must fail even when it rounds to 1.0, and one
             # spurious extra pair is just as much a divergence.
-            if name == "gram" and found_pairs != reference_pairs:
+            if (
+                name in REPLICATED_PARTITIONERS
+                and found_pairs != reference_pairs
+            ):
                 lost = len(reference_pairs - found_pairs)
                 extra = len(found_pairs - reference_pairs)
                 raise AssertionError(
-                    f"gram partitioner diverged from the unsharded match "
+                    f"{name} partitioner diverged from the unsharded match "
                     f"set at {shards} shards: {lost} lost, {extra} extra"
                 )
         rows.append(row)
@@ -173,13 +214,18 @@ def recall_probe(dataset, shard_counts, partitioners=RECALL_PARTITIONERS):
             f"[recall probe, {shards} shard(s)] " + " ".join(
                 f"{name}={row[name]['match_recall_vs_unsharded']}"
                 for name in partitioners
+            ) + "".join(
+                f" {name}_factor={row[name]['replication_factor']}"
+                for name in partitioners
+                if "replication_factor" in row[name]
             )
         )
     return rows
 
 
 def bench_shard_counts(
-    dataset, config, shard_counts, backends, partitioner: str = "hash"
+    dataset, config, shard_counts, backends, partitioner: str = "hash",
+    handoff: str = "auto",
 ) -> List[Dict]:
     # Unsharded reference: the completeness and determinism oracle.
     started = time.perf_counter()
@@ -189,20 +235,55 @@ def bench_shard_counts(
 
     entries: List[Dict] = []
     for shards in shard_counts:
+        # Two plans for the handoff accounting: what the process backend
+        # would ship per shard task under each representation.  The
+        # pickle build also baselines the shared-memory build so the
+        # recorded handoff_seconds is the *extra* one-time cost of the
+        # zero-copy path: columnar encode (the build delta) + segment
+        # publish (allocate + copy), paid once per side per run.
+        build_started = time.perf_counter()
+        pickle_plan = ShardPlan.build(
+            dataset.parent, dataset.child, "location", shards,
+            partitioner, config=config, handoff="pickle",
+        )
+        pickle_build_seconds = time.perf_counter() - build_started
+        build_started = time.perf_counter()
         plan = ShardPlan.build(
             dataset.parent, dataset.child, "location", shards,
-            partitioner, config=config,
+            partitioner, config=config, handoff=handoff,
         )
+        build_seconds = time.perf_counter() - build_started
         sizes = plan.shard_sizes()
+        payload_bytes = {
+            "pickle": max(estimate_shard_payload_bytes(pickle_plan, config)),
+        }
         entry: Dict[str, object] = {
             "shards": shards,
             "unsharded_seconds": round(unsharded_seconds, 4),
             "shard_sizes_min": min(left + right for left, right in sizes),
             "shard_sizes_max": max(left + right for left, right in sizes),
+            "handoff": plan.handoff,
+            "payload_bytes_per_shard": payload_bytes,
         }
+        if plan.handoff == "shared-memory":
+            payload_bytes["shared-memory"] = max(
+                estimate_shard_payload_bytes(plan, config)
+            )
+            publish_started = time.perf_counter()
+            published = plan.publish_blocks()
+            publish_seconds = time.perf_counter() - publish_started
+            if published is not None:
+                published.release()
+            entry["handoff_seconds"] = round(
+                max(0.0, build_seconds - pickle_build_seconds)
+                + publish_seconds,
+                4,
+            )
         pair_sets = {}
         for backend in backends:
-            seconds, result = _run(dataset, config, shards, backend, partitioner)
+            seconds, result = _run(
+                dataset, config, shards, backend, partitioner, handoff
+            )
             entry[f"{backend}_seconds"] = round(seconds, 4)
             pair_sets[backend] = result.pair_set()
             if backend == "serial":
@@ -213,7 +294,9 @@ def bench_shard_counts(
                     pair_sets["serial"], reference_pairs
                 )
                 # Bit-determinism bar: a repeat serial run must agree.
-                _, repeat = _run(dataset, config, shards, "serial", partitioner)
+                _, repeat = _run(
+                    dataset, config, shards, "serial", partitioner, handoff
+                )
                 if repeat.pair_set() != pair_sets["serial"]:
                     raise AssertionError(
                         f"serial backend is not deterministic at {shards} shards"
@@ -231,6 +314,30 @@ def bench_shard_counts(
                 entry[f"{backend}_speedup"] = round(
                     serial_seconds / entry[f"{backend}_seconds"], 2
                 )
+        # Handoff comparison on the multi-core path: the same plan shape
+        # through the process backend under each representation must
+        # merge identically, and both speedups are recorded so the
+        # payload reduction's effect is measured rather than asserted.
+        if "process" in backends and plan.handoff == "shared-memory":
+            for suffix, mode in (("pickle", "pickle"), ("shm", "shared-memory")):
+                seconds, result = _run(
+                    dataset, config, shards, "process", partitioner, mode
+                )
+                if result.pair_set() != pair_sets["serial"]:
+                    raise AssertionError(
+                        f"process backend under the {mode} handoff diverged "
+                        f"from serial at {shards} shards"
+                    )
+                entry[f"process_seconds_{suffix}"] = round(seconds, 4)
+                if seconds:
+                    entry[f"process_speedup_{suffix}"] = round(
+                        serial_seconds / seconds, 2
+                    )
+            if live_block_count() != 0:
+                raise AssertionError(
+                    f"{live_block_count()} shared-memory segment(s) leaked "
+                    f"by the process sweep at {shards} shards"
+                )
         entries.append(entry)
         print(
             f"[{shards} shard(s)] " + " ".join(
@@ -241,6 +348,18 @@ def bench_shard_counts(
                 if backend != "serial"
             ) + f" matches={entry['matches']}"
             f" recall_vs_unsharded={entry['match_recall_vs_unsharded']}"
+        )
+        payload_note = " ".join(
+            f"{name}={size}B"
+            for name, size in entry["payload_bytes_per_shard"].items()
+        )
+        print(
+            f"    handoff={entry['handoff']} payload/shard: {payload_note}"
+            + (
+                f" handoff_seconds={entry['handoff_seconds']}"
+                if "handoff_seconds" in entry
+                else ""
+            )
         )
     return entries
 
@@ -260,11 +379,12 @@ def run_benchmark(
     backends,
     partitioner: str = "hash",
     recall_probe_tuples: int = RECALL_PROBE_TUPLES,
+    handoff: str = "auto",
 ) -> Dict[str, object]:
     dataset = _probe_dataset(total_tuples)
     config = RunConfig()
     entries = bench_shard_counts(
-        dataset, config, shard_counts, backends, partitioner
+        dataset, config, shard_counts, backends, partitioner, handoff
     )
     probe_shards = tuple(count for count in shard_counts if count > 1) or (2,)
     return {
@@ -272,6 +392,7 @@ def run_benchmark(
         "total_tuples": total_tuples,
         "policy": config.policy,
         "partitioner": partitioner,
+        "handoff": handoff,
         "backends": list(backends),
         # Speedup ratios are only meaningful relative to the cores the
         # run actually had: on a single-core machine process_speedup < 1
@@ -288,6 +409,69 @@ def run_benchmark(
             ),
         },
     }
+
+
+def zero_copy_smoke(total_tuples: int) -> int:
+    """CI gate for the shared-memory handoff (process backend, 2 shards).
+
+    Three bars, all hard failures (exit 1):
+
+    1. a shared-memory run must actually resolve to shared memory and
+       merge **bit-identically** (pair order, counters) to the pickle
+       run — representation drift is a correctness bug, not noise;
+    2. the segment registry must drain to zero after the successful run;
+    3. it must *also* drain to zero after a fault-injected shard failure
+       (the teardown-on-failure path, where a leak would silently
+       accumulate across retrying CI jobs).
+    """
+    if not shared_memory_available():
+        print("zero-copy smoke: multiprocessing.shared_memory unavailable")
+        return 1
+    dataset = _probe_dataset(total_tuples)
+    config = RunConfig()
+    failures: List[str] = []
+    _, pickled = _run(dataset, config, 2, "process", handoff="pickle")
+    _, shared = _run(dataset, config, 2, "process", handoff="shared-memory")
+    if shared.handoff != "shared-memory":
+        failures.append(
+            f"requested shared-memory handoff resolved to {shared.handoff!r}"
+        )
+    if shared.matched_pairs() != pickled.matched_pairs():
+        failures.append(
+            f"handoffs diverged: {len(shared.pair_set() ^ pickled.pair_set())} "
+            f"pair(s) differ (or emission order changed)"
+        )
+    if shared.counters.as_dict() != pickled.counters.as_dict():
+        failures.append("operation counters differ between handoffs")
+    if live_block_count() != 0:
+        failures.append(
+            f"{live_block_count()} segment(s) leaked after the successful "
+            f"run: {', '.join(live_block_names())}"
+        )
+    try:
+        run_sharded(
+            dataset.parent, dataset.child, "location", config,
+            shards=2, backend="process", handoff="shared-memory",
+            faults=FaultPlan.crash(0, attempts=None),
+        )
+    except ShardExecutionError:
+        pass
+    else:
+        failures.append("injected shard crash did not fail the run")
+    if live_block_count() != 0:
+        failures.append(
+            f"{live_block_count()} segment(s) leaked on the failure path"
+        )
+    if failures:
+        for failure in failures:
+            print(f"zero-copy smoke FAILED: {failure}")
+        return 1
+    print(
+        f"zero-copy smoke passed: process backend, 2 shards, "
+        f"{shared.result_size} matches bit-identical across handoffs, "
+        f"0 live segments after success and failure"
+    )
+    return 0
 
 
 def append_trajectory(result: Dict[str, object], output: Path) -> None:
@@ -315,14 +499,30 @@ def main(argv=None) -> int:
         "--recall-smoke",
         action="store_true",
         help="CI recall-preservation gate: run only the all-approximate "
-             "recall probe (hash vs gram, 2 shards) and fail unless the "
-             "gram partitioner's recall is exactly 1.0; appends nothing",
+             "recall probe (hash vs gram vs gram-prefix, 2 shards) and "
+             "fail unless both replicated partitioners' recall is exactly "
+             "1.0; appends nothing",
+    )
+    parser.add_argument(
+        "--zero-copy-smoke",
+        action="store_true",
+        help="CI shared-memory handoff gate: process backend at 2 shards "
+             "must merge bit-identically under both handoffs and leak no "
+             "segments on the success or failure path; appends nothing",
     )
     parser.add_argument(
         "--partitioner",
         default="hash",
         help="partitioner for the timing sweep (default hash; the recall "
-             "probe always compares hash vs gram)",
+             "probe always compares hash vs gram vs gram-prefix)",
+    )
+    parser.add_argument(
+        "--handoff",
+        choices=HANDOFF_MODES,
+        default="auto",
+        help="shard-input representation for the timing sweep (default "
+             "auto = shared-memory where available); entries always "
+             "record both representations' per-shard payload bytes",
     )
     parser.add_argument(
         "--total-tuples",
@@ -353,13 +553,15 @@ def main(argv=None) -> int:
     if args.shards and any(count < 1 for count in args.shards):
         parser.error("--shards values must be at least 1")
     if args.recall_smoke:
-        # The probe raises AssertionError when gram recall is not 1.0.
+        # The probe raises AssertionError when replicated recall is not 1.0.
         rows = recall_probe(
             _probe_dataset(args.total_tuples or SMOKE_RECALL_PROBE_TUPLES),
             tuple(args.shards) if args.shards else (2,),
         )
         print(f"recall-preservation gate passed ({len(rows)} shard count(s))")
         return 0
+    if args.zero_copy_smoke:
+        return zero_copy_smoke(args.total_tuples or SMOKE_TOTAL_TUPLES)
     total = args.total_tuples or (
         SMOKE_TOTAL_TUPLES if args.smoke else DEFAULT_TOTAL_TUPLES
     )
@@ -375,7 +577,8 @@ def main(argv=None) -> int:
         SMOKE_RECALL_PROBE_TUPLES if args.smoke else RECALL_PROBE_TUPLES
     )
     result = run_benchmark(
-        total, shard_counts, backends, args.partitioner, recall_tuples
+        total, shard_counts, backends, args.partitioner, recall_tuples,
+        args.handoff,
     )
     append_trajectory(result, args.output)
     return 0

@@ -136,6 +136,7 @@ def run_experiment(
     shards: int = 1,
     backend: str = "serial",
     partitioner: str = "hash",
+    handoff: str = "auto",
 ) -> ExperimentOutcome:
     """Run the three strategies for one test case and assemble the outcome.
 
@@ -169,8 +170,13 @@ def run_experiment(
         and the merged result is measured.  ``partitioner="gram"``
         replicates records across gram-owning shards so the adaptive
         run's recall is shard-count-independent (duplicates removed at
-        merge).  The baselines always run unsharded — they are the
+        merge); ``"gram-prefix"`` does the same at a lower replication
+        factor.  The baselines always run unsharded — they are the
         reference costs the gain/cost report compares against.
+    handoff:
+        Shard-input representation for the sharded run (``"auto"`` /
+        ``"pickle"`` / ``"shared-memory"``; performance knob only, see
+        ARCHITECTURE.md "Shard handoff").
     """
     if shards < 1:
         raise ValueError(f"shards must be at least 1, got {shards}")
@@ -226,6 +232,7 @@ def run_experiment(
             shards=shards,
             partitioner=partitioner,
             backend=backend,
+            handoff=handoff,
         )
     else:
         session = JoinSession(dataset.parent, dataset.child, "location", run_config)

@@ -67,6 +67,7 @@ from repro.linkage.api import STRATEGIES
 from repro.runtime.errors import ShardError
 from repro.runtime.failures import available_failure_policies
 from repro.runtime.faults import FaultPlan
+from repro.runtime.handoff import HANDOFF_MODES
 from repro.runtime.parallel import available_backends
 from repro.runtime.policy import available_policies
 from repro.runtime.sharding import available_partitioners
@@ -119,7 +120,17 @@ def _add_sharding_arguments(parser: argparse.ArgumentParser) -> None:
                              "both sides by join-key value (exact semantics), "
                              "gram replicates records across gram-owning "
                              "shards for full approximate recall (duplicates "
-                             "removed at merge)")
+                             "removed at merge), gram-prefix keeps that "
+                             "recall at a lower replication factor via "
+                             "frequency-ordered prefix signatures")
+    parser.add_argument("--handoff", choices=HANDOFF_MODES, default="auto",
+                        help="shard-input representation: pickle copies "
+                             "records into every task, shared-memory encodes "
+                             "each side once into columnar shared-memory "
+                             "blocks and ships only descriptors to process "
+                             "workers, auto (default) prefers shared-memory "
+                             "and falls back to pickle; results are "
+                             "bit-identical either way")
 
 
 def _add_failure_arguments(parser: argparse.ArgumentParser) -> None:
@@ -353,7 +364,7 @@ def _command_link(args: argparse.Namespace) -> int:
         job.policy(args.policy, budget=args.budget, seconds=args.deadline)
     if args.shards != 1:
         job.sharded(args.shards, backend=args.backend,
-                    partitioner=args.partitioner)
+                    partitioner=args.partitioner, handoff=args.handoff)
     if failure_requested:
         job.on_failure(args.on_failure, retries=args.retries,
                        shard_timeout=args.shard_timeout)
@@ -447,6 +458,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         shards=args.shards,
         backend=args.backend,
         partitioner=args.partitioner,
+        handoff=args.handoff,
     )
     print(format_table([outcome.fig6_row()], title="-- gain / cost (Fig. 6 row) --"))
     print()

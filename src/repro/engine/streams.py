@@ -149,6 +149,61 @@ class ListStream(RecordStream):
         return len(self._records)
 
 
+class RowSliceStream(RecordStream):
+    """A stream over selected rows of a row-addressable record source.
+
+    The source is anything exposing ``schema`` and ``record(row) -> Record``
+    (e.g. a columnar handoff block, see :mod:`repro.runtime.handoff`); the
+    stream delivers ``source.record(row)`` for each row index in ``rows``,
+    in order.  Rows may repeat — replicated sharding expresses replication
+    as repeated indices rather than copied records.  Records are decoded
+    lazily, one bulk pull at a time, so a shard worker never materialises
+    rows it does not consume.
+
+    Like :class:`ListStream` it is an in-memory source: bulk pulls are a
+    tight loop over the index slice, and :func:`len` reports the total row
+    count so sized-input heuristics keep working.
+    """
+
+    supports_bulk_pull = True
+
+    def __init__(self, source, rows: Sequence[int], name: str = "") -> None:
+        super().__init__(source.schema, name=name)
+        self._source = source
+        self._rows = rows
+        self._cursor = 0
+
+    def _next(self) -> Optional[Record]:
+        if self._cursor >= len(self._rows):
+            return None
+        record = self._source.record(self._rows[self._cursor])
+        self._cursor += 1
+        return record
+
+    def next_records(self, limit: int) -> List[Record]:
+        """Bulk pull by decoding one slice of row indices."""
+        if limit < 0:
+            raise ValueError(f"limit must be non-negative, got {limit}")
+        if self._exhausted or limit == 0:
+            return []
+        rows = self._rows[self._cursor : self._cursor + limit]
+        record_of = self._source.record
+        records = [record_of(row) for row in rows]
+        self._cursor += len(records)
+        self._delivered += len(records)
+        if len(records) < limit:
+            self._exhausted = True
+        return records
+
+    @property
+    def remaining(self) -> int:
+        """Number of records not yet delivered."""
+        return len(self._rows) - self._cursor
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
 class TableStream(ListStream):
     """A stream over the records of a :class:`~repro.engine.table.Table`."""
 
@@ -247,7 +302,19 @@ InputLike = Union[RecordStream, Table]
 
 
 def as_stream(source: InputLike) -> RecordStream:
-    """Accept either a stream or a table as a stream source."""
+    """Accept a stream, a table, or any ``.stream()``-bearing source.
+
+    Tables wrap in a :class:`TableStream`; sources exposing a
+    ``stream()`` factory (e.g. a shard input backed by a columnar block)
+    contribute the stream they build — for block-backed inputs that is a
+    zero-copy :class:`RowSliceStream` over the shared buffers.  Streams
+    pass through unchanged.
+    """
     if isinstance(source, Table):
         return TableStream(source)
+    if isinstance(source, RecordStream):
+        return source
+    stream_factory = getattr(source, "stream", None)
+    if callable(stream_factory):
+        return stream_factory()
     return source

@@ -179,6 +179,23 @@ class Record:
             )
         return cls(schema, dict(zip(schema.attributes, values)))
 
+    @classmethod
+    def from_trusted(cls, schema: Schema, values: Tuple[Any, ...]) -> "Record":
+        """Build a record from an already-validated positional value tuple.
+
+        Skips schema validation and the dict round-trip of
+        :meth:`from_values`; the caller guarantees that ``values`` is a
+        tuple with exactly one value per schema attribute, in order.  Used
+        by decoders that reconstruct records from a representation that was
+        itself built from validated records (e.g. the columnar shard
+        handoff blocks), where re-validating every row would dominate the
+        decode cost.
+        """
+        record = cls.__new__(cls)
+        record._schema = schema
+        record._values = values
+        return record
+
     @property
     def schema(self) -> Schema:
         """The schema this record conforms to."""

@@ -45,6 +45,7 @@ from repro.runtime.failures import (
     create_failure_policy,
 )
 from repro.runtime.faults import FaultPlan
+from repro.runtime.handoff import HANDOFF_MODES
 from repro.runtime.parallel import available_backends
 from repro.runtime.policy import available_policies
 from repro.runtime.sharding import available_partitioners
@@ -90,6 +91,9 @@ class JobSpec:
     backend: str
     partitioner: str
     max_workers: Optional[int]
+    #: Shard-handoff mode (``auto`` / ``pickle`` / ``shared-memory``),
+    #: forwarded to :meth:`~repro.runtime.sharding.ShardPlan.build`.
+    handoff: str
     progress_enabled: bool
     failure_policy: Optional[FailurePolicy] = None
     fault_plan: Optional[FaultPlan] = None
@@ -121,6 +125,7 @@ class LinkageJob:
         self._shards = 1
         self._backend = "serial"
         self._partitioner = "hash"
+        self._handoff = "auto"
         self._max_workers: Optional[int] = None
         self._progress = False
         self._failure_policy: Optional[FailurePolicy] = None
@@ -256,16 +261,20 @@ class LinkageJob:
         backend: Optional[str] = None,
         partitioner: Optional[str] = None,
         max_workers: Optional[int] = None,
+        handoff: Optional[str] = None,
     ) -> "LinkageJob":
         """Split the run into ``shards`` partitioned sessions on ``backend``.
 
         ``backend`` is any registered execution backend (``serial`` /
         ``thread`` / ``process`` / ``async``), ``partitioner`` any
         registered partitioner (``hash`` / ``round-robin`` / ``range`` /
-        ``gram``).  ``shards=1`` restores unsharded execution.  Omitted
-        keywords keep their current setting (initially ``serial`` /
-        ``hash`` / no worker cap), like every other fluent setter — a
-        later ``.sharded(4)`` re-scales without resetting the backend or
+        ``gram`` / ``gram-prefix``), ``handoff`` the shard-input
+        representation (``auto`` — the default — / ``pickle`` /
+        ``shared-memory``; see :mod:`repro.runtime.handoff`).
+        ``shards=1`` restores unsharded execution.  Omitted keywords keep
+        their current setting (initially ``serial`` / ``hash`` / ``auto``
+        / no worker cap), like every other fluent setter — a later
+        ``.sharded(4)`` re-scales without resetting the backend or
         partitioner.
         """
         if shards < 1:
@@ -280,6 +289,11 @@ class LinkageJob:
                 f"unknown partitioner {partitioner!r}; registered: "
                 f"{available_partitioners()}"
             )
+        if handoff is not None and handoff not in HANDOFF_MODES:
+            raise ValueError(
+                f"unknown handoff mode {handoff!r}; expected one of "
+                f"{HANDOFF_MODES}"
+            )
         if max_workers is not None and max_workers < 1:
             raise ValueError(
                 f"max_workers must be at least 1, got {max_workers}"
@@ -289,6 +303,8 @@ class LinkageJob:
             self._backend = backend
         if partitioner is not None:
             self._partitioner = partitioner
+        if handoff is not None:
+            self._handoff = handoff
         if max_workers is not None:
             self._max_workers = max_workers
         return self
@@ -454,6 +470,7 @@ class LinkageJob:
                 backend=self._backend,
                 partitioner=self._partitioner,
                 max_workers=self._max_workers,
+                handoff=self._handoff,
                 progress_enabled=self._progress,
                 failure_policy=self._failure_policy,
                 fault_plan=self._faults,

@@ -268,6 +268,7 @@ class JobHandle:
             spec.shards,
             spec.partitioner,
             config=spec.run_config,
+            handoff=spec.handoff,
         )
         self._plan = plan
         sharded = self._execute_plan(plan, spec.fault_plan)
@@ -324,6 +325,7 @@ class JobHandle:
             "shards": sharded.shard_count,
             "backend": sharded.backend,
             "partitioner": sharded.partitioner,
+            "handoff": sharded.handoff,
             "final_states": {
                 shard: state.label
                 for shard, state in sharded.final_states.items()
@@ -428,6 +430,7 @@ class JobHandle:
             right_input_size=plan.right_input_size,
             cancelled=sub_result.cancelled,
             failed_shards=failed,
+            handoff=plan.handoff,
         )
         self._sharded = sharded
         result = self._sharded_result(sharded)
@@ -612,6 +615,7 @@ class JobHandle:
             spec.shards,
             spec.partitioner,
             config=spec.run_config,
+            handoff=spec.handoff,
         )
         self._plan = plan
         owner = FirstShardWins()
@@ -651,6 +655,7 @@ class JobHandle:
                 left_input_size=plan.left_input_size,
                 right_input_size=plan.right_input_size,
                 cancelled=self._cancel.is_set(),
+                handoff=plan.handoff,
             )
             self._sharded = sharded
             result = self._sharded_result(sharded)

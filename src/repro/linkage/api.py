@@ -79,6 +79,7 @@ def link_tables(
     shards: int = 1,
     backend: str = "serial",
     partitioner: str = "hash",
+    handoff: str = "auto",
     on_failure: Union[str, FailurePolicy, None] = None,
     retries: Optional[int] = None,
     shard_timeout: Optional[float] = None,
@@ -95,7 +96,11 @@ def link_tables(
     ``partitioner`` request sharded execution of the adaptive strategy
     (``backend``: serial / thread / process / async; ``partitioner``:
     hash preserves exact semantics, gram preserves full approximate
-    recall via replication — see ARCHITECTURE.md "Sharded execution").
+    recall via replication, gram-prefix the same at a lower replication
+    factor — see ARCHITECTURE.md "Sharded execution").  ``handoff``
+    selects the shard-input representation (``auto`` / ``pickle`` /
+    ``shared-memory``; see ARCHITECTURE.md "Shard handoff") — a
+    performance knob only, results are bit-identical either way.
 
     ``on_failure`` / ``retries`` / ``shard_timeout`` configure the
     failure policy of the sharded execution layer (``fail-fast`` —
@@ -125,7 +130,9 @@ def link_tables(
         else:
             job.policy(policy, budget=budget, seconds=deadline)
     if shards != 1:
-        job.sharded(shards, backend=backend, partitioner=partitioner)
+        job.sharded(
+            shards, backend=backend, partitioner=partitioner, handoff=handoff
+        )
     if on_failure is not None or retries is not None or shard_timeout is not None:
         if on_failure is None:
             # A bare `retries=` implies the retry policy; a bare

@@ -108,9 +108,11 @@ from repro.runtime.failures import (
     create_failure_policy,
 )
 from repro.runtime.faults import FaultPlan, FaultSpec, InjectedFaultError
+from repro.runtime.handoff import BlockDescriptor
 from repro.runtime.session import AdaptiveJoinResult, JoinSession
 from repro.runtime.sharding import (
     Partitioner,
+    PublishedPlanBlocks,
     ShardedJoinResult,
     ShardOutcome,
     ShardPlan,
@@ -123,6 +125,7 @@ __all__ = [
     "ShardCompleted",  # re-exported; defined in repro.runtime.events
     "ShardEvent",  # re-exported; defined in repro.runtime.events
     "available_backends",
+    "estimate_shard_payload_bytes",
     "register_backend",
     "run_sharded",
 ]
@@ -273,7 +276,10 @@ def _run_shard_inline(
     outcome then carries a partial, ``cancelled`` result).
     """
     started = time.perf_counter()
-    left, right = plan.shard_streams(shard_id)
+    # Shard inputs go to the session as-is; its stream normalisation
+    # builds the zero-copy RowSliceStream view for block-backed shards.
+    left = plan.left_shards[shard_id]
+    right = plan.right_shards[shard_id]
     shard_bus = EventBus()
     if bus is not None:
         bus.forward_from(shard_id, shard_bus)
@@ -622,8 +628,11 @@ class FailureContext:
             message=error.message or str(error),
             batches=error.batches,
             timed_out=isinstance(error, ShardTimeoutError),
-            left_records=len(self.plan.left_shards[shard_id].records),
-            right_records=len(self.plan.right_shards[shard_id].records),
+            # len(shard input), not len(.records): under the zero-copy
+            # handoff the record list is decoded lazily, and accounting a
+            # failure must not force a full shard decode.
+            left_records=len(self.plan.left_shards[shard_id]),
+            right_records=len(self.plan.right_shards[shard_id]),
         )
         with self._lock:
             self._failures[shard_id] = record
@@ -711,6 +720,104 @@ def _run_shard_task(task: _ShardTask) -> Tuple[int, AdaptiveJoinResult, float]:
             ),
             time.sleep,
         )
+    return task.shard_id, result, time.perf_counter() - started
+
+
+@dataclass
+class _BlockShardTask:
+    """The zero-copy counterpart of :class:`_ShardTask`.
+
+    Ships no records at all: both sides' payloads live in shared-memory
+    segments published once per run by the coordinator
+    (:meth:`~repro.runtime.sharding.ShardPlan.publish_blocks`), and the
+    task carries only the two :class:`~repro.runtime.handoff.BlockDescriptor`
+    handles (plus this shard's stream names).  A task therefore pickles to
+    O(descriptor) bytes regardless of shard size or replication factor —
+    and since retries are coordinator-side resubmissions of a fresh task,
+    *retry* payloads are O(descriptor) too, where the classic path
+    re-pickled the entire shard per attempt.
+    """
+
+    shard_id: int
+    attribute: JoinAttribute
+    config: RunConfig
+    left: BlockDescriptor
+    right: BlockDescriptor
+    left_name: str
+    right_name: str
+    attempt: int = 1
+    timeout_seconds: Optional[float] = None
+    faults: Optional[FaultPlan] = None
+
+
+def _run_block_shard_task(
+    task: _BlockShardTask,
+) -> Tuple[int, AdaptiveJoinResult, float]:
+    """Process-pool worker for the shared-memory handoff.
+
+    Attaches both side blocks, streams the shard's rows as zero-copy
+    views (:class:`~repro.engine.streams.RowSliceStream` over the mapped
+    buffers — cell values are materialised lazily as the join consumes
+    them) and runs the identical attempt machinery as
+    :func:`_run_shard_task`.  The attachments are closed before
+    returning on every path; the result carries only decoded records, so
+    nothing in it references the segment once the worker is done.
+    """
+    from repro.engine.streams import RowSliceStream
+
+    started = time.perf_counter()
+    left_attached = task.left.attach()
+    try:
+        right_attached = task.right.attach()
+        try:
+            left = RowSliceStream(
+                left_attached.block,
+                left_attached.shard_rows(task.shard_id),
+                name=task.left_name,
+            )
+            right = RowSliceStream(
+                right_attached.block,
+                right_attached.shard_rows(task.shard_id),
+                name=task.right_name,
+            )
+            fault = (
+                task.faults.action_for(task.shard_id, task.attempt)
+                if task.faults
+                else None
+            )
+            if fault is None and task.timeout_seconds is None:
+                try:
+                    session = JoinSession(left, right, task.attribute, task.config)
+                    result = session.run()
+                except Exception as error:
+                    raise ShardExecutionError(
+                        task.shard_id,
+                        task.attempt,
+                        0,
+                        f"{type(error).__name__}: {error}",
+                    ) from error
+            else:
+                result = _drain(
+                    _run_attempt(
+                        left,
+                        right,
+                        task.attribute,
+                        task.config,
+                        task.shard_id,
+                        task.attempt,
+                        None,
+                        None,
+                        task.timeout_seconds,
+                        fault,
+                        time.perf_counter,
+                        None,
+                    ),
+                    time.sleep,
+                )
+        finally:
+            right_attached.close()
+    finally:
+        left_attached.close()
     return task.shard_id, result, time.perf_counter() - started
 
 
@@ -876,7 +983,13 @@ def _process_backend(
 ) -> List[ShardOutcome]:
     """One worker process per shard (capped at ``max_workers``).
 
-    Requires a picklable :class:`RunConfig` and picklable shard records
+    Under the zero-copy handoff (``plan.handoff == "shared-memory"``)
+    both side blocks are published to shared memory once per run and
+    every task — first attempts and retries alike — ships only a
+    :class:`_BlockShardTask` of O(descriptor) bytes; the segments are
+    closed and unlinked in a ``finally`` on every exit path.  Under the
+    pickle handoff each task carries its shard's full record payload and
+    requires a picklable :class:`RunConfig` and picklable shard records
     (checked up front).  Shard events are not streamed back — only
     :class:`ShardCompleted` is published per shard, after the fact.  A
     shard failure cancels every still-queued shard task and re-raises
@@ -896,37 +1009,76 @@ def _process_backend(
     ctx = ctx or FailureContext.default(plan, config, bus)
     _ensure_picklable(config, "the run configuration (RunConfig)")
 
-    def make_task(shard_id: int, attempt: int) -> _ShardTask:
-        left_input = plan.left_shards[shard_id]
-        right_input = plan.right_shards[shard_id]
-        return _ShardTask(
-            shard_id=shard_id,
-            attribute=plan.attribute,
-            config=config,
-            left=ShardInputPayload(
-                left_input.schema, left_input.records, left_input.name
-            ),
-            right=ShardInputPayload(
-                right_input.schema, right_input.records, right_input.name
-            ),
-            attempt=attempt,
-            timeout_seconds=ctx.policy.shard_timeout_seconds,
-            faults=ctx.faults.for_shard(shard_id) if ctx.faults else None,
-        )
+    # Zero-copy handoff: publish both side blocks into shared memory once
+    # for this run and ship only descriptors.  A platform that refuses the
+    # allocation degrades to the classic pickle shipping — the plan's
+    # shard inputs can always materialise their records.
+    published: Optional[PublishedPlanBlocks] = None
+    if plan.handoff == "shared-memory":
+        try:
+            published = plan.publish_blocks()
+        except OSError:
+            published = None
 
-    tasks = []
-    for shard_id in range(plan.shard_count):
-        task = make_task(shard_id, 1)
-        _ensure_picklable(task, f"shard {shard_id}'s input records")
-        tasks.append(task)
-    workers = min(max_workers or plan.shard_count, plan.shard_count)
-    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        if published is not None:
+            left_descriptor, right_descriptor = published.descriptors
+
+            def make_task(shard_id: int, attempt: int) -> _BlockShardTask:
+                return _BlockShardTask(
+                    shard_id=shard_id,
+                    attribute=plan.attribute,
+                    config=config,
+                    left=left_descriptor,
+                    right=right_descriptor,
+                    left_name=plan.left_shards[shard_id].name,
+                    right_name=plan.right_shards[shard_id].name,
+                    attempt=attempt,
+                    timeout_seconds=ctx.policy.shard_timeout_seconds,
+                    faults=ctx.faults.for_shard(shard_id) if ctx.faults else None,
+                )
+
+            run_task = _run_block_shard_task
+        else:
+
+            def make_task(shard_id: int, attempt: int) -> _ShardTask:
+                left_input = plan.left_shards[shard_id]
+                right_input = plan.right_shards[shard_id]
+                return _ShardTask(
+                    shard_id=shard_id,
+                    attribute=plan.attribute,
+                    config=config,
+                    left=ShardInputPayload(
+                        left_input.schema, left_input.records, left_input.name
+                    ),
+                    right=ShardInputPayload(
+                        right_input.schema, right_input.records, right_input.name
+                    ),
+                    attempt=attempt,
+                    timeout_seconds=ctx.policy.shard_timeout_seconds,
+                    faults=ctx.faults.for_shard(shard_id) if ctx.faults else None,
+                )
+
+            run_task = _run_shard_task
+
+        tasks = []
+        for shard_id in range(plan.shard_count):
+            task = make_task(shard_id, 1)
+            if published is None:
+                _ensure_picklable(task, f"shard {shard_id}'s input records")
+            tasks.append(task)
+        workers = min(max_workers or plan.shard_count, plan.shard_count)
+        pool = ProcessPoolExecutor(max_workers=workers)
+    except BaseException:
+        if published is not None:
+            published.release()
+        raise
     failed = True
     completed: Dict[int, Tuple[AdaptiveJoinResult, float]] = {}
     next_publish = 0
     try:
         future_tasks = {
-            pool.submit(_run_shard_task, task): task for task in tasks
+            pool.submit(run_task, task): task for task in tasks
         }
         pending = set(future_tasks)
         while pending:
@@ -969,8 +1121,12 @@ def _process_backend(
                     delay = ctx.note_retry(shard_id, task.attempt)
                     if delay > 0:
                         ctx.sleep(delay)
+                    # Retry resubmission goes through the same task
+                    # factory: under the zero-copy handoff that is a
+                    # fresh descriptor-only task — the records stay in
+                    # the already-published segments.
                     retry_task = make_task(shard_id, task.attempt + 1)
-                    retry_future = pool.submit(_run_shard_task, retry_task)
+                    retry_future = pool.submit(run_task, retry_task)
                     future_tasks[retry_future] = retry_task
                     pending.add(retry_future)
                 elif action == "drop":
@@ -1046,6 +1202,11 @@ def _process_backend(
                     bus.publish(ShardCompleted(shard_id, result, wall_seconds))
     finally:
         pool.shutdown(wait=not failed, cancel_futures=True)
+        # Segments live exactly one run: close + unlink on success,
+        # failure and cancellation alike.  Workers attach read-only and
+        # close before returning, so nothing dangles.
+        if published is not None:
+            published.release()
     return [
         ShardOutcome(
             shard_id=shard_id,
@@ -1278,7 +1439,56 @@ class ParallelExecutor:
             cancelled=_cancelled(cancel)
             or any(outcome.result.cancelled for outcome in outcomes),
             failed_shards=ctx.failure_records(),
+            handoff=plan.handoff,
         )
+
+
+def estimate_shard_payload_bytes(
+    plan: ShardPlan, config: Optional[RunConfig] = None, attempt: int = 1
+) -> List[int]:
+    """Pickled bytes the process backend ships per shard task.
+
+    Builds, per shard, exactly the task object the backend's task factory
+    would submit for ``attempt`` under the plan's resolved handoff —
+    a :class:`_BlockShardTask` with placeholder segment names for
+    shared-memory plans (no segment is allocated; the name does not
+    change the size class), a full-payload :class:`_ShardTask` for pickle
+    plans — and measures ``len(pickle.dumps(task))``.  The bench harness
+    records these as ``payload_bytes_per_shard``, and the regression test
+    for descriptor-only retries is built on the same measurement.
+    """
+    config = config or RunConfig()
+    descriptors = plan.block_descriptors()
+    sizes: List[int] = []
+    for shard_id in range(plan.shard_count):
+        if descriptors is not None:
+            task: object = _BlockShardTask(
+                shard_id=shard_id,
+                attribute=plan.attribute,
+                config=config,
+                left=descriptors[0],
+                right=descriptors[1],
+                left_name=plan.left_shards[shard_id].name,
+                right_name=plan.right_shards[shard_id].name,
+                attempt=attempt,
+            )
+        else:
+            left_input = plan.left_shards[shard_id]
+            right_input = plan.right_shards[shard_id]
+            task = _ShardTask(
+                shard_id=shard_id,
+                attribute=plan.attribute,
+                config=config,
+                left=ShardInputPayload(
+                    left_input.schema, left_input.records, left_input.name
+                ),
+                right=ShardInputPayload(
+                    right_input.schema, right_input.records, right_input.name
+                ),
+                attempt=attempt,
+            )
+        sizes.append(len(pickle.dumps(task)))
+    return sizes
 
 
 def run_sharded(
@@ -1294,6 +1504,7 @@ def run_sharded(
     cancel: Optional[object] = None,
     failure_policy: Union[str, FailurePolicy, None] = None,
     faults: Optional[FaultPlan] = None,
+    handoff: str = "auto",
 ) -> ShardedJoinResult:
     """One-call sharded join: partition, execute on a backend, merge.
 
@@ -1303,11 +1514,14 @@ def run_sharded(
     to the plan build, so a partitioner given *by name* is constructed
     against it (:meth:`Partitioner.from_config`) — which is what keeps
     the ``gram`` partitioner's tokenisation (``q``, gram padding) in
-    lock-step with the engine's approximate operator.
+    lock-step with the engine's approximate operator.  ``handoff``
+    selects the shard-input representation (see
+    :meth:`ShardPlan.build`); the result records what was resolved.
     """
     config = config or RunConfig()
     plan = ShardPlan.build(
-        left, right, attribute, shards, partitioner, config=config
+        left, right, attribute, shards, partitioner, config=config,
+        handoff=handoff,
     )
     executor = ParallelExecutor(
         backend=backend,

@@ -99,7 +99,9 @@ class JoinSession:
     Parameters
     ----------
     left, right:
-        The two inputs (tables or streams).
+        The two inputs: tables, streams, or any ``.stream()``-bearing
+        source (e.g. a shard input, whose block-backed form reads
+        zero-copy from shared columnar buffers).
     attribute:
         Join attribute name (same on both sides) or a
         :class:`~repro.joins.base.JoinAttribute`.
@@ -130,6 +132,14 @@ class JoinSession:
             attribute = JoinAttribute(attribute, attribute)
         self.attribute = attribute
         self.bus = bus if bus is not None else EventBus()
+
+        # Normalise both inputs to record streams once, up front: tables
+        # wrap in a TableStream, shard inputs contribute their stream view
+        # (for block-backed shards a zero-copy RowSliceStream over the
+        # shared columnar buffers), streams pass through.  Sizing, parent
+        # size resolution and the engine all observe the same objects.
+        left = as_stream(left)
+        right = as_stream(right)
 
         # Parent size resolves lazily (first access of `parent_size`): only
         # policies that actually consume |R| — MAR's assessor binds it —
@@ -165,8 +175,8 @@ class JoinSession:
 
         thresholds = config.thresholds
         self.engine = SymmetricJoinEngine(
-            as_stream(left),
-            as_stream(right),
+            left,
+            right,
             attribute,
             similarity_threshold=thresholds.theta_sim,
             q=thresholds.q,

@@ -69,6 +69,7 @@ the full guarantee table.
 
 from __future__ import annotations
 
+import math
 import zlib
 from dataclasses import dataclass
 from functools import cached_property
@@ -77,11 +78,26 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from repro.core.cost_model import CostModel
 from repro.core.state_machine import JoinState
 from repro.core.trace import ExecutionTrace, merge_traces
-from repro.engine.streams import InputLike, ListStream, RecordStream, as_stream
+from repro.engine.streams import (
+    InputLike,
+    ListStream,
+    RecordStream,
+    RowSliceStream,
+    as_stream,
+)
 from repro.engine.tuples import Record, Schema
 from repro.joins.base import JoinAttribute, JoinSide, MatchEvent, OperationCounters
 from repro.joins.fastpath import GramInterner
 from repro.runtime.failures import ShardFailure
+from repro.runtime.handoff import (
+    HANDOFF_MODES,
+    BlockDescriptor,
+    PublishedBlock,
+    SideBlock,
+    build_descriptor,
+    publish_block,
+    shared_memory_available,
+)
 from repro.runtime.session import AdaptiveJoinResult
 
 #: Chunk size for splitting bulk-capable streams (one slice per chunk).
@@ -137,6 +153,25 @@ class Partitioner:
         return every owning shard (duplicate-free, deterministic order).
         """
         return (self.assign(side, ordinal, value, shard_count),)
+
+    def prepare(
+        self,
+        left_keys: Sequence[str],
+        right_keys: Sequence[str],
+        shard_count: int,
+    ) -> None:
+        """Observe both sides' full join-key corpus before routing begins.
+
+        :meth:`ShardPlan.build` collects both inputs first and calls this
+        exactly once, before the first :meth:`assign_many`.  Partitioners
+        whose assignment depends on *global* statistics (the
+        ``gram-prefix`` partitioner ranks grams by corpus frequency)
+        override it; the default is a no-op.  Whatever state ``prepare``
+        derives must be a pure function of its arguments, preserving the
+        determinism contract of :meth:`assign` — and it is per-plan state,
+        so a partitioner instance must not be shared across plans over
+        different inputs.
+        """
 
     @classmethod
     def from_config(cls, config) -> "Partitioner":
@@ -393,6 +428,12 @@ class GramPartitioner(Partitioner):
             # Gram-free values can only equi-match: hash co-partitioning
             # is exactly sufficient (and avoids pointless replication).
             return (stable_value_shard(value, shard_count),)
+        return self._owning_shards(gram_ids, shard_count)
+
+    def _owning_shards(
+        self, gram_ids: Sequence[int], shard_count: int
+    ) -> Tuple[int, ...]:
+        """The sorted distinct shards owning the given gram buckets."""
         gram = self._interner.gram
         gram_crc = self._gram_crc
         owners = set()
@@ -405,33 +446,204 @@ class GramPartitioner(Partitioner):
         return tuple(sorted(owners))
 
 
+@register_partitioner("gram-prefix")
+class PrefixGramPartitioner(GramPartitioner):
+    """Gram replication restricted to each record's *prefix* grams.
+
+    The frequency-aware refinement of :class:`GramPartitioner`: instead of
+    replicating a record to the shard of **every** distinct gram (factor ≈
+    min(shard count, gram count)), it replicates only on the record's
+    ``p = g − ⌈θ·g⌉ + 1`` grams that come *first* in a global
+    rarest-first order — the classic prefix-filter signature (Chaudhuri et
+    al.'s SSJoin framing, the same signature scheme distributed similarity
+    joins ship records by).
+
+    Why recall is preserved: order all grams by corpus frequency
+    (ascending, ties broken by gram string — any fixed total order works).
+    A pair the approximate operator can match has gram overlap
+    ``o ≥ ⌈θ·g⌉`` for *both* records' gram counts ``g``.  If two sets
+    with ``|X| = g_x, |Y| = g_y`` share ``o ≥ max(req_x, req_y)``
+    elements, their prefixes of lengths ``g_x − req_x + 1`` and
+    ``g_y − req_y + 1`` must intersect: drop the prefix of X and you drop
+    at most ``g_x − (g_x − req_x + 1) = req_x − 1 < o`` shared elements,
+    so a shared gram survives into X's prefix; symmetrically for Y; and
+    the *smallest* shared gram under the global order sits in both
+    prefixes.  That shared prefix gram's owning shard holds both records
+    in full — the same co-location guarantee as full gram replication,
+    at a replication factor bounded by the prefix length (≈ ``0.15·g + 1``
+    at θ = 0.85) instead of the gram count.
+
+    The threshold ``θ`` must mirror the run's similarity threshold — a
+    larger θ than the engine's would shorten prefixes below what the
+    overlap bound licenses.  :meth:`from_config` reads it (with ``q`` /
+    padding) from the run configuration; :meth:`check_config` rejects
+    mismatched hand-built instances.  The prefix computation rounds the
+    required overlap *down* through a small epsilon before ``ceil`` so a
+    floating-point wobble in ``θ·g`` can only lengthen a prefix, never
+    shorten it.
+
+    Corpus frequencies come from :meth:`prepare`, which
+    :meth:`ShardPlan.build` feeds with both sides' key corpus before
+    routing.  Outside a plan build (no :meth:`prepare` call) the
+    partitioner behaves exactly like ``gram`` — full replication is
+    always a safe over-approximation of the prefix.
+
+    Like ``gram``, the in-shard probe sees complete records (prefixes
+    restrict *routing*, never the gram sets the operator compares), the
+    exactness guarantee is the symmetric predicate's
+    (``verify_jaccard=True``), and gram-free values fall back to hash
+    co-partitioning.
+    """
+
+    def __init__(self, q: int = 3, padded: bool = True, theta: float = 0.85) -> None:
+        super().__init__(q=q, padded=padded)
+        if not 0.0 < theta <= 1.0:
+            raise ValueError(f"theta must be in (0, 1], got {theta}")
+        self.theta = theta
+        #: Gram id → dense rank in the corpus rarest-first order; filled
+        #: by :meth:`prepare` (per plan).
+        self._rank: Dict[int, int] = {}
+        self._prepared = False
+
+    @classmethod
+    def from_config(cls, config) -> "PrefixGramPartitioner":
+        if config is None:
+            return cls()
+        return cls(
+            q=config.thresholds.q,
+            padded=config.padded_qgrams,
+            theta=config.thresholds.theta_sim,
+        )
+
+    def check_config(self, config) -> None:
+        super().check_config(config)
+        if config is None:
+            return
+        if self.theta != config.thresholds.theta_sim:
+            raise ValueError(
+                f"gram-prefix partitioner assumes theta={self.theta} but the "
+                f"run configuration uses theta_sim="
+                f"{config.thresholds.theta_sim}: a larger partitioner theta "
+                f"shortens prefixes below the overlap bound and silently "
+                f"breaks the recall guarantee — build the partitioner with "
+                f"PrefixGramPartitioner.from_config(config) or pass it by "
+                f"name"
+            )
+
+    def prepare(
+        self,
+        left_keys: Sequence[str],
+        right_keys: Sequence[str],
+        shard_count: int,
+    ) -> None:
+        """Rank every corpus gram rarest-first (ties by gram string)."""
+        frequency: Dict[int, int] = {}
+        intern_value = self._interner.intern_value
+        for keys in (left_keys, right_keys):
+            for key in keys:
+                for gram_id in intern_value(key):
+                    frequency[gram_id] = frequency.get(gram_id, 0) + 1
+        gram = self._interner.gram
+        ordered = sorted(
+            frequency, key=lambda gram_id: (frequency[gram_id], gram(gram_id))
+        )
+        self._rank = {gram_id: rank for rank, gram_id in enumerate(ordered)}
+        self._prepared = True
+
+    def prefix_length(self, gram_count: int) -> int:
+        """The signature length for a record with ``gram_count`` grams."""
+        required = min(
+            gram_count, max(1, math.ceil(self.theta * gram_count - 1e-12))
+        )
+        return gram_count - required + 1
+
+    def assign_many(
+        self, side: JoinSide, ordinal: int, value: str, shard_count: int
+    ) -> Tuple[int, ...]:
+        gram_ids = self._interner.intern_value(value)
+        if not gram_ids:
+            return (stable_value_shard(value, shard_count),)
+        if self._prepared:
+            prefix = self.prefix_length(len(gram_ids))
+            if prefix < len(gram_ids):
+                rank = self._rank
+                # Grams outside the prepared corpus cannot occur during a
+                # plan build; rank them last (stably) for direct callers.
+                unseen = len(rank)
+                gram_ids = sorted(
+                    gram_ids, key=lambda gram_id: rank.get(gram_id, unseen)
+                )[:prefix]
+        return self._owning_shards(gram_ids, shard_count)
+
+
 # -- shard plans ------------------------------------------------------------------------
 
 
-@dataclass
 class ShardInput:
-    """One shard's slice of one side: the records plus their origin indices."""
+    """One shard's slice of one side: row identities plus their storage.
 
-    schema: Schema
-    records: List[Record]
-    #: ``origins[i]`` is the position of ``records[i]`` in the original
-    #: input's arrival order — the global ordinal merged results report.
-    origins: List[int]
-    name: str = ""
+    Two storage modes, one interface:
 
-    def stream(self) -> ListStream:
+    *Record-backed* (the classic pickle handoff): ``records`` holds the
+    shard's materialised record list, one entry per origin (replication
+    copies references).
+    *Block-backed* (the zero-copy handoff): the shard holds only its
+    ``origins`` row-index array over the side's shared
+    :class:`~repro.runtime.handoff.SideBlock` — replication is repeated
+    indices, and :attr:`records` is decoded lazily (then cached) for the
+    few consumers that genuinely need record objects (e.g. the pickle
+    fallback when shared memory cannot be published).
+
+    In both modes ``origins[i]`` is the position of the shard's ``i``-th
+    record in the original input's arrival order — the global ordinal
+    merged results report.  Block-backed shards exploit that the block's
+    row order *is* the arrival order, so the origin array doubles as the
+    row-index array.
+    """
+
+    __slots__ = ("schema", "origins", "name", "block", "_records")
+
+    def __init__(
+        self,
+        schema: Schema,
+        records: Optional[List[Record]] = None,
+        origins: Optional[List[int]] = None,
+        name: str = "",
+        block: Optional[SideBlock] = None,
+    ) -> None:
+        self.schema = schema
+        self.origins = origins if origins is not None else []
+        self.name = name
+        self.block = block
+        if records is None and block is None:
+            records = []
+        self._records = records
+
+    @property
+    def records(self) -> List[Record]:
+        """The shard's records (decoded from the block on first access)."""
+        if self._records is None:
+            self._records = self.block.records(self.origins)
+        return self._records
+
+    def stream(self) -> RecordStream:
         """A fresh stream over this shard input (streams are single-use).
 
-        May be called any number of times: the records are materialised
-        buffers, so every call replays the identical sequence.  This
-        replayability is a *contract* — shard retry
-        (:mod:`repro.runtime.failures`) and job resume re-run shards
-        through it and rely on the re-run being bit-identical.
+        May be called any number of times: the backing store (record list
+        or columnar block) is immutable, so every call replays the
+        identical sequence.  This replayability is a *contract* — shard
+        retry (:mod:`repro.runtime.failures`) and job resume re-run
+        shards through it and rely on the re-run being bit-identical.
         """
-        return ListStream(self.schema, self.records, name=self.name)
+        if self.block is not None:
+            return RowSliceStream(self.block, self.origins, name=self.name)
+        return ListStream(self.schema, self._records, name=self.name)
 
     def __len__(self) -> int:
-        return len(self.records)
+        if self.origins:
+            return len(self.origins)
+        # Hand-built record-backed inputs may omit the origin map.
+        return len(self._records) if self._records is not None else 0
 
 
 class ShardPlan:
@@ -469,6 +681,9 @@ class ShardPlan:
         right_shards: List[ShardInput],
         left_input_size: Optional[int] = None,
         right_input_size: Optional[int] = None,
+        handoff: str = "pickle",
+        left_block: Optional[SideBlock] = None,
+        right_block: Optional[SideBlock] = None,
     ) -> None:
         if len(left_shards) != len(right_shards):
             raise ValueError(
@@ -479,6 +694,16 @@ class ShardPlan:
         self.partitioner = partitioner
         self.left_shards = left_shards
         self.right_shards = right_shards
+        #: The *resolved* handoff representation: ``"shared-memory"``
+        #: exactly when the plan carries columnar side blocks, else
+        #: ``"pickle"`` (``"auto"`` never survives :meth:`build`).
+        self.handoff = handoff
+        #: The per-side columnar encodings (``None`` under pickle
+        #: handoff).  Plain process memory owned by the plan — shared
+        #: memory segments are published per process-backend run, see
+        #: :meth:`publish_blocks`.
+        self.left_block = left_block
+        self.right_block = right_block
         #: Records the original inputs produced (before any replication);
         #: inferred from the origin maps when not given explicitly.
         self.left_input_size = (
@@ -501,6 +726,7 @@ class ShardPlan:
         shard_count: int,
         partitioner: Union[str, Partitioner] = "hash",
         config=None,
+        handoff: str = "auto",
     ) -> "ShardPlan":
         """Partition both inputs into ``shard_count`` co-numbered shards.
 
@@ -511,9 +737,28 @@ class ShardPlan:
         partitioners (``gram`` mirrors the engine's ``q`` / gram
         padding) in lock-step with the engine — the recall guarantee
         depends on it.  ``run_sharded`` does this automatically.
+
+        ``handoff`` selects the shard-input representation (see
+        :mod:`repro.runtime.handoff`): ``"pickle"`` materialises per-shard
+        record lists (the classic path); ``"auto"`` and
+        ``"shared-memory"`` encode each side **once** into a columnar
+        :class:`~repro.runtime.handoff.SideBlock` and give every shard
+        only a row-index array over it — replication becomes repeated
+        indices.  Both block modes fall back to ``"pickle"`` when a side
+        holds values outside the encodable set or the platform lacks
+        ``multiprocessing.shared_memory``; the plan's :attr:`handoff`
+        records what was actually resolved, so callers that *require*
+        zero-copy can check it.  The representation never changes
+        results: all four backends produce bit-identical matches,
+        emission order and counters under either handoff.
         """
         if shard_count < 1:
             raise ValueError(f"shard_count must be at least 1, got {shard_count}")
+        if handoff not in HANDOFF_MODES:
+            raise ValueError(
+                f"unknown handoff mode {handoff!r}; expected one of "
+                f"{HANDOFF_MODES}"
+            )
         if isinstance(attribute, str):
             attribute = JoinAttribute(attribute, attribute)
         if isinstance(partitioner, str):
@@ -522,19 +767,62 @@ class ShardPlan:
             # A hand-built instance must agree with the run parameters
             # (the gram partitioner's recall guarantee depends on it).
             partitioner.check_config(config)
-        left_shards, left_size = _split_side(
-            as_stream(left), JoinSide.LEFT, attribute.left, shard_count, partitioner
+        left_stream = as_stream(left)
+        right_stream = as_stream(right)
+        # Resolve both join-attribute positions before consuming either
+        # stream: an unknown attribute must fail without a partial drain.
+        left_position = left_stream.schema.position(attribute.left)
+        right_position = right_stream.schema.position(attribute.right)
+        # Collect-then-route (left fully, then right, preserving the
+        # arrival order and the exactly-once pull contract) so that (a)
+        # corpus-statistics partitioners can observe both sides before
+        # the first routing decision and (b) each side can be encoded
+        # once into a columnar block.
+        left_records = _collect_records(left_stream)
+        right_records = _collect_records(right_stream)
+        left_keys = [
+            _join_key(record.value_at(left_position)) for record in left_records
+        ]
+        right_keys = [
+            _join_key(record.value_at(right_position)) for record in right_records
+        ]
+        partitioner.prepare(left_keys, right_keys, shard_count)
+        left_rows = _route_side(
+            JoinSide.LEFT, left_keys, shard_count, partitioner
         )
-        right_shards, right_size = _split_side(
-            as_stream(right), JoinSide.RIGHT, attribute.right, shard_count, partitioner
+        right_rows = _route_side(
+            JoinSide.RIGHT, right_keys, shard_count, partitioner
+        )
+        left_block = right_block = None
+        if handoff != "pickle" and shared_memory_available():
+            left_block = SideBlock.encode(
+                left_stream.schema, left_records, stream_name=left_stream.name
+            )
+            if left_block is not None:
+                right_block = SideBlock.encode(
+                    right_stream.schema,
+                    right_records,
+                    stream_name=right_stream.name,
+                )
+            if right_block is None:
+                left_block = None
+        resolved = "shared-memory" if left_block is not None else "pickle"
+        left_shards = _shard_inputs(
+            left_stream, left_records, left_rows, left_block, shard_count
+        )
+        right_shards = _shard_inputs(
+            right_stream, right_records, right_rows, right_block, shard_count
         )
         return cls(
             attribute,
             partitioner,
             left_shards,
             right_shards,
-            left_input_size=left_size,
-            right_input_size=right_size,
+            left_input_size=len(left_records),
+            right_input_size=len(right_records),
+            handoff=resolved,
+            left_block=left_block,
+            right_block=right_block,
         )
 
     @property
@@ -563,11 +851,61 @@ class ShardPlan:
             right_total / self.right_input_size if self.right_input_size else 1.0,
         )
 
-    def shard_streams(self, shard_id: int) -> Tuple[ListStream, ListStream]:
-        """Fresh (left, right) streams for one shard (replayable at will)."""
+    def shard_streams(self, shard_id: int) -> Tuple[RecordStream, RecordStream]:
+        """Fresh (left, right) streams for one shard (replayable at will).
+
+        Record-backed shards replay a :class:`ListStream`; block-backed
+        shards replay a :class:`~repro.engine.streams.RowSliceStream`
+        over the plan's side blocks — this is how the serial, thread and
+        async backends (and the coordinator-side inline paths) read the
+        zero-copy representation without any shipping at all.
+        """
         return (
             self.left_shards[shard_id].stream(),
             self.right_shards[shard_id].stream(),
+        )
+
+    def publish_blocks(self) -> Optional["PublishedPlanBlocks"]:
+        """Copy the side blocks into fresh shared-memory segments.
+
+        Returns ``None`` for pickle-handoff plans.  The caller (the
+        process backend) owns the returned pair and **must** call
+        :meth:`PublishedPlanBlocks.release` in a ``finally`` — segments
+        live exactly one run; resume and re-execution publish fresh ones
+        from the plan's retained blocks.  Raises ``OSError`` when the
+        platform refuses the allocation (callers fall back to pickle
+        shipping).
+        """
+        if self.left_block is None or self.right_block is None:
+            return None
+        left = publish_block(
+            self.left_block, [shard.origins for shard in self.left_shards]
+        )
+        try:
+            right = publish_block(
+                self.right_block, [shard.origins for shard in self.right_shards]
+            )
+        except BaseException:
+            left.release()
+            raise
+        return PublishedPlanBlocks(left, right)
+
+    def block_descriptors(
+        self,
+    ) -> Optional[Tuple[BlockDescriptor, BlockDescriptor]]:
+        """The (left, right) descriptors a publish *would* ship, without
+        allocating shared memory — the wire-payload measurement hook used
+        by :func:`repro.runtime.parallel.estimate_shard_payload_bytes`.
+        ``None`` for pickle-handoff plans."""
+        if self.left_block is None or self.right_block is None:
+            return None
+        return (
+            build_descriptor(
+                self.left_block, [shard.origins for shard in self.left_shards]
+            ),
+            build_descriptor(
+                self.right_block, [shard.origins for shard in self.right_shards]
+            ),
         )
 
     def subset(self, shard_ids: Sequence[int]) -> "ShardPlan":
@@ -578,7 +916,9 @@ class ShardPlan:
         run, then map the sub-plan's shard ids back to the originals
         (position ``i`` of ``shard_ids`` ↔ sub-plan shard ``i``) before
         merging with the shards that already completed.  Shard inputs are
-        shared by reference (materialised buffers, never copied), and the
+        shared by reference (materialised buffers, never copied) and so
+        are the columnar side blocks — a resumed zero-copy run re-encodes
+        nothing, it only re-publishes the retained blocks — and the
         original input sizes are carried over so replication factors and
         recall accounting stay relative to the *full* inputs.
         """
@@ -598,13 +938,34 @@ class ShardPlan:
             [self.right_shards[shard_id] for shard_id in ids],
             left_input_size=self.left_input_size,
             right_input_size=self.right_input_size,
+            handoff=self.handoff,
+            left_block=self.left_block,
+            right_block=self.right_block,
         )
 
     def __repr__(self) -> str:
         return (
             f"<ShardPlan {self.partitioner.name or type(self.partitioner).__name__} "
-            f"shards={self.shard_count} sizes={self.shard_sizes()}>"
+            f"shards={self.shard_count} handoff={self.handoff} "
+            f"sizes={self.shard_sizes()}>"
         )
+
+
+class PublishedPlanBlocks:
+    """Both sides' shared-memory segments for one process-backend run."""
+
+    def __init__(self, left: PublishedBlock, right: PublishedBlock) -> None:
+        self.left = left
+        self.right = right
+
+    @property
+    def descriptors(self) -> Tuple[BlockDescriptor, BlockDescriptor]:
+        return (self.left.descriptor, self.right.descriptor)
+
+    def release(self) -> None:
+        """Close and unlink both segments (idempotent)."""
+        self.left.release()
+        self.right.release()
 
 
 def _distinct_origin_count(shards: Sequence[ShardInput]) -> int:
@@ -612,39 +973,50 @@ def _distinct_origin_count(shards: Sequence[ShardInput]) -> int:
     return len({origin for shard in shards for origin in shard.origins})
 
 
-def _split_side(
-    stream: RecordStream,
+def _join_key(value) -> str:
+    """Same normalisation the join's tuple store applies (None → "")."""
+    return "" if value is None else str(value)
+
+
+def _collect_records(stream: RecordStream) -> List[Record]:
+    """Drain a stream into a list, honouring the pull contract.
+
+    Bulk-capable streams are drained through chunked bulk pulls; lazy or
+    live sources are pulled one record at a time — each record is pulled
+    exactly once and never ahead of need.
+    """
+    records: List[Record] = []
+    if stream.supports_bulk_pull:
+        while True:
+            batch = stream.next_records(_BULK_SPLIT_BATCH)
+            if not batch:
+                break
+            records.extend(batch)
+    else:
+        while True:
+            record = stream.next_record()
+            if record is None:
+                break
+            records.append(record)
+    return records
+
+
+def _route_side(
     side: JoinSide,
-    attribute: str,
+    keys: Sequence[str],
     shard_count: int,
     partitioner: Partitioner,
-) -> Tuple[List[ShardInput], int]:
-    """Route one side's records to per-shard inputs (single stream pass).
+) -> List[List[int]]:
+    """Route one side's records (by join key) to per-shard row lists.
 
-    Returns the shard inputs plus the input record count.  A record is
-    appended to every shard its partitioner names
-    (:meth:`Partitioner.assign_many`), with the same global origin
-    recorded in each — replicated records keep one identity.
+    Returns, per shard, the arrival-order row indices assigned to it.  A
+    record's index is appended to every shard its partitioner names
+    (:meth:`Partitioner.assign_many`) — replication repeats the index,
+    never the record.
     """
-    schema = stream.schema
-    position = schema.position(attribute)
-    shards = [
-        ShardInput(
-            schema=schema,
-            records=[],
-            origins=[],
-            name=f"{stream.name}[shard {shard_id}/{shard_count}]",
-        )
-        for shard_id in range(shard_count)
-    ]
+    rows: List[List[int]] = [[] for _ in range(shard_count)]
     assign_many = partitioner.assign_many
-    ordinal = 0
-
-    def route(record: Record) -> None:
-        nonlocal ordinal
-        value = record.value_at(position)
-        # Same normalisation the join's tuple store applies (None → "").
-        key = "" if value is None else str(value)
+    for ordinal, key in enumerate(keys):
         targets = assign_many(side, ordinal, key, shard_count)
         if not targets:
             raise ValueError(
@@ -668,27 +1040,35 @@ def _split_side(
                     f"assigned {side.value} record {ordinal} to shard "
                     f"{shard_index}, outside [0, {shard_count})"
                 )
-            shard = shards[shard_index]
-            shard.records.append(record)
-            shard.origins.append(ordinal)
-        ordinal += 1
+            rows[shard_index].append(ordinal)
+    return rows
 
-    if stream.supports_bulk_pull:
-        while True:
-            batch = stream.next_records(_BULK_SPLIT_BATCH)
-            if not batch:
-                break
-            for record in batch:
-                route(record)
-    else:
-        # Lazy/live source: single-pass fan-out, one record per pull —
-        # each record is pulled exactly once and never ahead of need.
-        while True:
-            record = stream.next_record()
-            if record is None:
-                break
-            route(record)
-    return shards, ordinal
+
+def _shard_inputs(
+    stream: RecordStream,
+    records: List[Record],
+    rows: List[List[int]],
+    block: Optional[SideBlock],
+    shard_count: int,
+) -> List[ShardInput]:
+    """Materialise one side's :class:`ShardInput` list from its routing.
+
+    With a block, every shard holds only its row-index array (the
+    zero-copy representation); without one, per-shard record lists are
+    materialised exactly as the classic pickle path always did.
+    """
+    return [
+        ShardInput(
+            schema=stream.schema,
+            records=(
+                None if block is not None else [records[row] for row in shard_rows]
+            ),
+            origins=shard_rows,
+            name=f"{stream.name}[shard {shard_id}/{shard_count}]",
+            block=block,
+        )
+        for shard_id, shard_rows in enumerate(rows)
+    ]
 
 
 # -- mergeable results ------------------------------------------------------------------
@@ -794,6 +1174,11 @@ class ShardedJoinResult:
     #: :meth:`coverage` quantify what was lost.  Empty on any
     #: non-degraded run.
     failed_shards: Tuple[ShardFailure, ...] = ()
+    #: The resolved shard-handoff representation the plan executed under
+    #: (``"pickle"`` or ``"shared-memory"``, see
+    #: :mod:`repro.runtime.handoff`) — reporting only, the results are
+    #: bit-identical either way.
+    handoff: str = "pickle"
 
     def __post_init__(self) -> None:
         self.shards = tuple(

@@ -33,6 +33,17 @@ execution"):
    sits far from the boundary.  Duplicate discoveries are removed at
    merge time (first-shard-wins), serial runs stay bit-deterministic,
    and the raw totals keep the replication overhead visible.
+7. **Handoff is a pure representation change** — the shared-memory
+   columnar handoff produces bit-identical matches, emission order,
+   counter totals and trace summaries to the pickle path on every
+   backend (hash and gram partitioners alike), and no shared-memory
+   segment outlives a run on any exit path: success, shard failure,
+   cancellation, or resume.
+8. **Prefix-gram replication preserves gram's recall** — ``gram-prefix``
+   reproduces the unsharded all-approximate match set exactly (same
+   theorem as guarantee 6: a matching pair's smallest shared gram under
+   the global rarest-first order survives into both prefix signatures)
+   while replicating strictly less than full gram replication.
 """
 
 import pytest
@@ -41,6 +52,9 @@ from repro.core.state_machine import JoinState
 from repro.core.thresholds import Thresholds
 from repro.datagen.testcases import TestCaseSpec, generate_test_case
 from repro.runtime.config import RunConfig
+from repro.runtime.errors import ShardExecutionError
+from repro.runtime.faults import FaultPlan
+from repro.runtime.handoff import live_block_count
 from repro.runtime.parallel import run_sharded
 from repro.runtime.session import JoinSession
 
@@ -396,3 +410,153 @@ class TestGramReplicatedRecall:
             shards=shards, partitioner="gram",
         ).pair_set()
         assert _equal_value_pairs(dataset) <= sharded_pairs
+
+
+class TestHandoffEquivalence:
+    """Guarantee 7: the handoff knob never changes results — only bytes.
+
+    Every combination of backend × handoff reproduces the serial + pickle
+    reference bit-for-bit (matches, order, counters, trace), gram
+    replication works identically over repeated row indices, and the leak
+    fixture plus the explicit failure/cancel/resume tests pin that no
+    shared-memory segment survives any exit path.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _no_leaked_blocks(self):
+        """Every test starts and ends with zero live segments."""
+        assert live_block_count() == 0
+        yield
+        assert live_block_count() == 0
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process", "async"])
+    @pytest.mark.parametrize("handoff", ["pickle", "shared-memory"])
+    def test_bit_identical_to_serial_pickle_reference(
+        self, dataset, backend, handoff
+    ):
+        config = _config()
+        reference = run_sharded(
+            dataset.parent, dataset.child, "location", config,
+            shards=4, handoff="pickle",
+        )
+        result = run_sharded(
+            dataset.parent, dataset.child, "location", config,
+            shards=4, backend=backend, handoff=handoff,
+        )
+        assert reference.handoff == "pickle"
+        assert result.handoff == handoff
+        assert result.matched_pairs() == reference.matched_pairs()
+        assert result.counters.as_dict() == reference.counters.as_dict()
+        assert result.trace.summary() == reference.trace.summary()
+
+    def test_serial_runs_bit_identical_across_handoffs(self, dataset):
+        config = _config()
+        pickled = run_sharded(
+            dataset.parent, dataset.child, "location", config,
+            shards=4, handoff="pickle",
+        )
+        shared = run_sharded(
+            dataset.parent, dataset.child, "location", config,
+            shards=4, handoff="shared-memory",
+        )
+        assert list(shared.matches) == list(pickled.matches)
+        assert shared.counters.as_dict() == pickled.counters.as_dict()
+        assert shared.trace.summary() == pickled.trace.summary()
+
+    def test_auto_resolves_to_shared_memory_on_encodable_inputs(self, dataset):
+        result = run_sharded(
+            dataset.parent, dataset.child, "location", _config(),
+            shards=2, handoff="auto",
+        )
+        assert result.handoff == "shared-memory"
+
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_gram_replication_over_shared_blocks(self, dataset, backend):
+        """Replication = repeated row indices; recall and raw totals agree."""
+        config = _config(
+            policy="fixed", initial_state=JoinState.LAP_RAP, verify_jaccard=True
+        )
+        reference = run_sharded(
+            dataset.parent, dataset.child, "location", config,
+            shards=4, partitioner="gram", handoff="pickle",
+        )
+        shared = run_sharded(
+            dataset.parent, dataset.child, "location", config,
+            shards=4, partitioner="gram", backend=backend,
+            handoff="shared-memory",
+        )
+        assert shared.handoff == "shared-memory"
+        assert shared.pair_set() == reference.pair_set()
+        assert shared.raw_result_size == reference.raw_result_size
+        assert shared.counters.as_dict() == reference.counters.as_dict()
+
+    def test_descriptor_only_retry_is_bit_identical(self, dataset):
+        """A process-backend retry re-ships the descriptor, not the payload,
+        and still merges bit-identically to a failure-free run."""
+        from repro.runtime.failures import RetryPolicy
+
+        config = _config()
+        reference = run_sharded(
+            dataset.parent, dataset.child, "location", config,
+            shards=3, handoff="pickle",
+        )
+        result = run_sharded(
+            dataset.parent, dataset.child, "location", config,
+            shards=3, backend="process", handoff="shared-memory",
+            failure_policy=RetryPolicy(max_attempts=3),
+            faults=FaultPlan.crash(1, attempts=(1,)),
+        )
+        assert result.handoff == "shared-memory"
+        assert result.matched_pairs() == reference.matched_pairs()
+        assert result.counters.as_dict() == reference.counters.as_dict()
+
+    def test_no_segments_leak_on_shard_failure(self, dataset):
+        with pytest.raises(ShardExecutionError):
+            run_sharded(
+                dataset.parent, dataset.child, "location", _config(),
+                shards=3, backend="process", handoff="shared-memory",
+                faults=FaultPlan.crash(1, attempts=None),
+            )
+        assert live_block_count() == 0
+
+    def test_no_segments_leak_on_cancel(self, dataset):
+        import threading
+
+        cancel = threading.Event()
+        cancel.set()
+        result = run_sharded(
+            dataset.parent, dataset.child, "location", _config(),
+            shards=3, backend="process", handoff="shared-memory",
+            cancel=cancel,
+        )
+        assert result.cancelled
+        assert live_block_count() == 0
+
+    def test_resume_reuses_blocks_and_releases_them(self, dataset):
+        """Resume republishes from the retained plan blocks (never
+        re-encodes), completes the run, and leaves nothing live."""
+        from repro.jobs import LinkageJob
+
+        def job():
+            return (
+                LinkageJob.between(dataset.parent, dataset.child)
+                .on("location")
+                .thresholds(Thresholds(delta_adapt=25, window_size=25))
+                .sharded(3, backend="process", handoff="shared-memory")
+            )
+
+        reference = job().build().run()
+        assert live_block_count() == 0
+        handle = (
+            job()
+            .on_failure("degrade")
+            .inject_faults(FaultPlan.crash(1, attempts=None))
+            .build()
+        )
+        degraded = handle.run()
+        assert degraded.statistics["degraded"] is True
+        assert live_block_count() == 0
+        resumed = handle.resume()
+        assert resumed.pairs == reference.pairs
+        assert resumed.statistics["resumed"] is True
+        assert live_block_count() == 0
