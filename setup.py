@@ -11,7 +11,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-adaptive-similarity-join",
-    version="0.7.0",
+    version="0.8.0",
     description=(
         "Reproduction of the EDBT'09 adaptive exact/similarity symmetric "
         "join operator"

@@ -51,6 +51,8 @@ import threading
 from typing import Optional, Sequence
 
 from repro.bench.calibration import calibrate_weights
+from repro.devtools.lint import DEFAULT_WAIVER_FILE
+from repro.devtools.lint import run as run_lint
 from repro.bench.export import outcome_to_dict
 from repro.bench.harness import run_experiment
 from repro.bench.reporting import format_mapping, format_table
@@ -230,6 +232,27 @@ def build_parser() -> argparse.ArgumentParser:
     calibrate.add_argument("--parent-size", type=int, default=600)
     calibrate.add_argument("--child-size", type=int, default=400)
     calibrate.add_argument("--max-steps", type=int, default=400)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="check the repo's architectural invariants (AST-based, "
+             "rules RL001–RL006; see ARCHITECTURE.md 'Enforced invariants')",
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to lint "
+                           "(e.g. src tests benchmarks examples)")
+    lint.add_argument("--format", choices=("text", "github"), default="text",
+                      help="diagnostic format (github = Actions inline "
+                           "annotations)")
+    lint.add_argument("--waivers", default=None, metavar="FILE",
+                      help=f"waiver file (default: {DEFAULT_WAIVER_FILE} "
+                           f"if present)")
+    lint.add_argument("--no-waivers", action="store_true",
+                      help="ignore any waiver file")
+    lint.add_argument("--show-waived", action="store_true",
+                      help="also print waived findings")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list the registered rules and exit")
 
     return parser
 
@@ -487,11 +510,23 @@ def _command_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    return run_lint(
+        args.paths,
+        output_format=args.format,
+        waiver_file=args.waivers,
+        use_waivers=not args.no_waivers,
+        list_rules=args.list_rules,
+        show_waived=args.show_waived,
+    )
+
+
 _COMMANDS = {
     "generate": _command_generate,
     "link": _command_link,
     "experiment": _command_experiment,
     "calibrate": _command_calibrate,
+    "lint": _command_lint,
 }
 
 

@@ -13,10 +13,10 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.assessor import Assessment
+from repro.core.events import AssessmentEvent, TransitionEvent
 from repro.core.state_machine import JoinState, TransitionGuards
 from repro.joins.base import JoinSide
 from repro.joins.engine import StepBatch, StepResult, SwitchRecord
-from repro.runtime.events import AssessmentEvent, TransitionEvent
 
 
 @dataclass(frozen=True)

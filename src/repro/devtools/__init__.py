@@ -1,0 +1,12 @@
+"""Developer tooling for the reproduction repo itself.
+
+This package is *not* part of the paper reproduction: it holds the
+project-specific static-analysis pass (:mod:`repro.devtools.lint`, the
+``repro lint`` sub-command) and the process-boundary class registry
+(:mod:`repro.devtools.pickle_boundary`) it checks against.
+
+Layering contract: ``devtools`` sits at the very bottom of the layer
+order — it may import nothing from the rest of ``repro`` — so the
+checker can lint every layer without itself being tangled into the
+import graph it polices.
+"""

@@ -30,9 +30,10 @@ import threading
 import time
 import warnings
 from dataclasses import dataclass, replace
-from typing import AsyncIterator, Dict, Iterator, List, Optional, Tuple
+from typing import AsyncIterator, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.engine.table import Table
+from repro.engine.tuples import Record
 from repro.joins.base import JoinAttribute, MatchEvent
 from repro.joins.baselines import BlockingLinkageJoin
 from repro.joins.shjoin import SHJoin
@@ -44,7 +45,7 @@ from repro.runtime.config import input_size
 from repro.runtime.events import EventBus, ShardCompleted
 from repro.runtime.faults import FaultPlan
 from repro.runtime.parallel import AggregatedEventBus, ParallelExecutor
-from repro.runtime.session import JoinSession
+from repro.runtime.session import AdaptiveJoinResult, JoinSession
 from repro.runtime.sharding import (
     FirstShardWins,
     ShardedJoinResult,
@@ -235,7 +236,7 @@ class JobHandle:
         return self._session_result(session, outcome)
 
     def _session_result(
-        self, session: JoinSession, outcome, streamed: bool = False
+        self, session: JoinSession, outcome: AdaptiveJoinResult, streamed: bool = False
     ) -> LinkageResult:
         """The one place an unsharded session outcome becomes a result.
 
@@ -793,7 +794,10 @@ class JobHandle:
 
 
 def _pairs_from_records(
-    records, left: Table, right: Table, attribute: JoinAttribute
+    records: Iterable[Record],
+    left: Table,
+    right: Table,
+    attribute: JoinAttribute,
 ) -> List[Tuple[int, int]]:
     """Reconstruct (left index, right index) pairs from joined records.
 

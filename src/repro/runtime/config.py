@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.core.budget import CostBudget
 from repro.core.cost_model import CostModel
@@ -165,12 +165,14 @@ class RunConfig:
     # -- constructors ----------------------------------------------------------------
 
     @classmethod
-    def paper_defaults(cls, **overrides) -> "RunConfig":
+    def paper_defaults(cls, **overrides: Any) -> "RunConfig":
         """The paper's tuned operating point (Sec. 4.2), MAR policy."""
         return cls(**overrides)
 
     @classmethod
-    def from_thresholds(cls, thresholds: Optional[Thresholds], **overrides) -> "RunConfig":
+    def from_thresholds(
+        cls, thresholds: Optional[Thresholds], **overrides: Any
+    ) -> "RunConfig":
         """Build a configuration around an existing ``Thresholds`` instance.
 
         ``None`` falls back to the paper defaults; every other
@@ -178,7 +180,7 @@ class RunConfig:
         """
         return cls(thresholds=thresholds or Thresholds(), **overrides)
 
-    def with_overrides(self, **overrides) -> "RunConfig":
+    def with_overrides(self, **overrides: Any) -> "RunConfig":
         """A copy with the given fields replaced (validation re-runs)."""
         return replace(self, **overrides)
 

@@ -52,41 +52,29 @@ aggregates.  Subscribers to the same event type run in subscription order.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, List, Tuple, Type
+from typing import TYPE_CHECKING, Callable, Dict, List, Type
+
+# TransitionEvent / AssessmentEvent are *consumed* by core observers
+# (ExecutionTrace), so the dataclasses live one layer down in
+# repro.core.events; this re-export keeps every historical import path
+# working (repro lint RL002: core must not import upward from runtime).
+from repro.core.events import AssessmentEvent, TransitionEvent
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
-    from repro.core.assessor import Assessment
-    from repro.core.state_machine import JoinState, TransitionGuards
-    from repro.joins.engine import SwitchRecord
     from repro.runtime.session import AdaptiveJoinResult
 
+__all__ = [
+    "AssessmentEvent",
+    "EventBus",
+    "Handler",
+    "ShardCompleted",
+    "ShardEvent",
+    "ShardFailed",
+    "ShardRetrying",
+    "TransitionEvent",
+]
+
 Handler = Callable[[object], None]
-
-
-@dataclass(frozen=True, slots=True)
-class TransitionEvent:
-    """One state-machine transition enacted by a switch policy."""
-
-    step: int
-    from_state: "JoinState"
-    to_state: "JoinState"
-    #: The per-side engine switches the transition caused (with catch-up).
-    switches: Tuple["SwitchRecord", ...]
-
-    @property
-    def catch_up_tuples(self) -> int:
-        """Tuples re-indexed by the hash-table catch-up of this transition."""
-        return sum(switch.catch_up_tuples for switch in self.switches)
-
-
-@dataclass(frozen=True, slots=True)
-class AssessmentEvent:
-    """One control-loop activation (assessment + guard evaluation)."""
-
-    assessment: "Assessment"
-    guards: "TransitionGuards"
-    state_before: "JoinState"
-    state_after: "JoinState"
 
 
 @dataclass(frozen=True, slots=True)

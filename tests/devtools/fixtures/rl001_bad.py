@@ -1,0 +1,43 @@
+# repro-lint: module=repro.engine.fixture_rl001_bad
+"""RL001 bad examples: ambient clocks and unseeded randomness.
+
+Each ``# expect: CODE`` marker declares the exact line the rule must
+flag; the fixture test compares the linter's output against the markers.
+"""
+
+import random
+import time
+from datetime import datetime
+from random import random as rand
+
+
+def wall_clock() -> float:
+    return time.time()  # expect: RL001
+
+
+def monotonic_clock() -> float:
+    return time.monotonic()  # expect: RL001
+
+
+def nanosecond_clock() -> int:
+    return time.monotonic_ns()  # expect: RL001
+
+
+def timestamp() -> object:
+    return datetime.now()  # expect: RL001
+
+
+def ambient_randomness() -> float:
+    return random.random()  # expect: RL001
+
+
+def imported_ambient() -> float:
+    return rand()  # expect: RL001
+
+
+def unseeded_generator() -> random.Random:
+    return random.Random()  # expect: RL001
+
+
+def system_randomness() -> random.SystemRandom:
+    return random.SystemRandom()  # expect: RL001

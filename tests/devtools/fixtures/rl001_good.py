@@ -1,0 +1,32 @@
+# repro-lint: module=repro.engine.fixture_rl001_good
+"""RL001 good examples: everything here must lint clean.
+
+Injectable clock defaults, seeded generators, instance-method randomness
+and ``perf_counter`` wall-time measurement are all allowed in the
+deterministic layers.
+"""
+
+import random
+import time
+from typing import Callable
+
+
+def seeded(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def seeded_keyword() -> random.Random:
+    return random.Random(x=42)
+
+
+def draw(rng: random.Random) -> float:
+    return rng.random()
+
+
+def injectable_default(clock: Callable[[], float] = time.perf_counter) -> float:
+    started = clock()
+    return clock() - started
+
+
+def wall_measurement() -> float:
+    return time.perf_counter()

@@ -1,0 +1,13 @@
+# repro-lint: module=repro.engine.fixture_rl002_bad
+"""RL002 bad examples: an engine-layer module importing upward."""
+
+from typing import TYPE_CHECKING
+
+from repro.runtime.config import RunConfig  # expect: RL002
+import repro.jobs  # expect: RL002
+from repro import linkage  # expect: RL002
+
+if TYPE_CHECKING:
+    # Type-only imports are the sanctioned way to annotate against a
+    # higher layer; this one must NOT be flagged.
+    from repro.runtime.session import JoinSession

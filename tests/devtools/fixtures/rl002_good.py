@@ -1,0 +1,7 @@
+# repro-lint: module=repro.runtime.fixture_rl002_good
+"""RL002 good examples: a runtime-layer module importing downward."""
+
+from repro.core.thresholds import Thresholds
+from repro.engine.table import Table
+from repro.joins.base import JoinSide
+import repro.similarity

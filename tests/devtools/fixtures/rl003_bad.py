@@ -1,0 +1,9 @@
+# repro-lint: module=repro.joins.fixture_rl003_bad
+"""RL003 bad examples: numpy escaping the repro.kernels gate."""
+
+import numpy  # expect: RL003
+from numpy import ndarray  # expect: RL003
+
+
+def shape(matrix: "numpy.ndarray") -> tuple:
+    return matrix.shape

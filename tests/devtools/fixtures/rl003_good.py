@@ -1,0 +1,8 @@
+# repro-lint: module=repro.kernels.fixture_rl003_good
+"""RL003 good example: inside repro.kernels, numpy is legal."""
+
+import numpy as np
+
+
+def zeros(count: int) -> "np.ndarray":
+    return np.zeros(count)

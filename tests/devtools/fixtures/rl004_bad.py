@@ -1,0 +1,30 @@
+# repro-lint: module=repro.runtime.fixture_rl004_bad
+"""RL004 bad examples: shared-memory handles without a lifecycle bracket."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def unprotected_create() -> None:
+    segment = SharedMemory(name="x", create=True, size=64)  # expect: RL004
+    segment.buf[0] = 1
+    segment.close()  # straight-line close: a failure on the line above leaks
+
+
+def discarded_attach(descriptor) -> None:
+    descriptor.attach()  # expect: RL004
+
+
+def wrong_name_closed(descriptor, other) -> None:
+    attached = descriptor.attach()  # expect: RL004
+    try:
+        attached.read()
+    finally:
+        other.close()
+
+
+def close_in_try_body_only() -> None:
+    segment = SharedMemory(name="y", create=True, size=64)  # expect: RL004
+    try:
+        segment.close()  # in the body, not finally: skipped on failure
+    except ValueError:
+        pass

@@ -1,0 +1,58 @@
+# repro-lint: module=repro.runtime.fixture_rl004_good
+"""RL004 good examples: every handle acquisition is bracketed."""
+
+from contextlib import closing
+from multiprocessing.shared_memory import SharedMemory
+
+
+def bracketed_create() -> None:
+    segment = SharedMemory(name="x", create=True, size=64)
+    try:
+        segment.buf[0] = 1
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def cleanup_on_error_then_transfer(registry) -> SharedMemory:
+    # The publish_block pattern: clean up on failure, re-raise, and on
+    # success hand ownership to a caller-visible registry/owner object.
+    segment = SharedMemory(name="y", create=True, size=64)
+    try:
+        registry.add(segment)
+    except BaseException:
+        segment.close()
+        segment.unlink()
+        raise
+    return segment
+
+
+def context_managed() -> None:
+    with closing(SharedMemory(name="z", create=True, size=64)) as segment:
+        segment.buf[0] = 1
+
+
+def attach_bracketed(descriptor) -> None:
+    attached = descriptor.attach()
+    try:
+        attached.read()
+    finally:
+        attached.close()
+
+
+def attach_assigned_inside_try(descriptor) -> None:
+    outer = descriptor.attach()
+    try:
+        inner = descriptor.attach()
+        try:
+            inner.read()
+        finally:
+            inner.close()
+    finally:
+        outer.close()
+
+
+def attach_transfer(descriptor):
+    # Returning the fresh handle transfers ownership to the caller,
+    # whose own binding is then checked.
+    return descriptor.attach()

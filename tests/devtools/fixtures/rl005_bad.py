@@ -1,0 +1,22 @@
+# repro-lint: module=repro.runtime.config
+"""RL005 bad examples.
+
+The module pragma makes this file pose as ``repro.runtime.config``, so
+its ``RunConfig`` definitions match the process-boundary registry.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    normalizer = staticmethod(lambda value: value)  # expect: RL005
+    mapping: object = field(default_factory=lambda: {})  # expect: RL005
+
+
+def local_boundary_class():
+    @dataclass(frozen=True)
+    class RunConfig:  # expect: RL005
+        name: str = "local"
+
+    return RunConfig

@@ -1,0 +1,20 @@
+# repro-lint: module=repro.runtime.config
+"""RL005 good example: module-level factories, no lambdas, top-level class."""
+
+from dataclasses import dataclass, field
+
+
+def _default_mapping() -> dict:
+    return {}
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    name: str = "run"
+    mapping: dict = field(default_factory=_default_mapping)
+
+
+@dataclass(frozen=True)
+class Unregistered:
+    # Not in the registry, so even a lambda default is out of scope here.
+    hook: object = field(default_factory=lambda: None)

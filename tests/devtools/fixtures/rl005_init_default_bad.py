@@ -1,0 +1,8 @@
+# repro-lint: module=repro.runtime.handoff
+"""RL005 bad example: a lambda hiding in an ``__init__`` default."""
+
+
+class BlockDescriptor:
+    def __init__(self, name, decoder=lambda raw: raw):  # expect: RL005
+        self.name = name
+        self.decoder = decoder

@@ -1,0 +1,16 @@
+# repro-lint: module=repro.core.fixture_rl006_bad
+"""RL006 bad examples: frozen-dataclass mutation outside the escape hatches."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    count: int = 0
+
+    def bump(self) -> None:
+        object.__setattr__(self, "count", self.count + 1)  # expect: RL006
+
+
+def tamper(snapshot: Snapshot) -> None:
+    object.__setattr__(snapshot, "count", 99)  # expect: RL006

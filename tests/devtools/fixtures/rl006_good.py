@@ -1,0 +1,17 @@
+# repro-lint: module=repro.core.fixture_rl006_good
+"""RL006 good examples: mutation only in __post_init__/__setstate__."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    count: int = 0
+    doubled: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "doubled", self.count * 2)
+
+    def __setstate__(self, state) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)

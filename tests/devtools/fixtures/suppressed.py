@@ -1,0 +1,16 @@
+# repro-lint: module=repro.engine.fixture_suppressed
+"""Inline suppressions: every violation here is pragma-silenced."""
+
+import time
+
+
+def justified_wall_clock() -> float:
+    return time.time()  # repro-lint: disable=RL001
+
+
+def suppressed_with_list() -> float:
+    return time.time()  # repro-lint: disable=RL001,RL002
+
+
+def suppressed_all() -> float:
+    return time.time()  # repro-lint: disable=all

@@ -291,7 +291,9 @@ class TestSegmentLifecycle:
         assert live_block_count() == 0
         published.release()  # idempotent
         with pytest.raises(FileNotFoundError):
-            published.descriptor.attach()
+            # The attach is *expected* to raise, so no handle ever exists
+            # for a try/finally to close.
+            published.descriptor.attach()  # repro-lint: disable=RL004
 
     def test_unpublished_descriptor_has_placeholder_name(self):
         block = SideBlock.encode(SCHEMA, _records(["a"]))
