@@ -17,7 +17,7 @@ gain.
 from __future__ import annotations
 
 from repro.bench.reporting import format_table
-from repro.core.adaptive import AdaptiveJoinProcessor
+from repro.runtime.adaptive import AdaptiveJoinProcessor
 from repro.core.budget import CostBudget
 from repro.core.cost_model import CostModel
 from repro.core.metrics import GainCostReport

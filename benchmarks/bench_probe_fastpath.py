@@ -44,7 +44,7 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, List
 
-from repro.core.adaptive import AdaptiveJoinProcessor
+from repro.runtime.adaptive import AdaptiveJoinProcessor
 from repro.datagen.testcases import STANDARD_TEST_CASES, generate_test_case
 from repro.engine.streams import TableStream
 from repro.engine.tuples import Record, Schema

@@ -4,7 +4,7 @@
 The adaptive join was designed for inputs that are only available at query
 time — e.g. data streams.  This example feeds the join from two
 :class:`~repro.engine.streams.RecordStream` objects (no table pre-analysis
-possible), steps the :class:`~repro.core.adaptive.AdaptiveJoinProcessor`
+possible), steps the :class:`~repro.runtime.adaptive.AdaptiveJoinProcessor`
 manually, and prints the processor state every time the MAR loop switches
 operators, so you can watch the algorithm react to a burst of dirty data in
 the middle of the stream and relax back to the exact join afterwards.
@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 
-from repro.core.adaptive import AdaptiveJoinProcessor
+from repro.runtime.adaptive import AdaptiveJoinProcessor
 from repro.core.thresholds import Thresholds
 from repro.datagen.municipalities import generate_location_strings
 from repro.datagen.variants import make_variant

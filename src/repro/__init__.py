@@ -28,8 +28,10 @@ The package is organised in layers, bottom-up:
 ``repro.core``
     The paper's contribution: the Monitor-Assess-Respond adaptive control
     loop, the four-state machine (``lex/rex``, ``lap/rex``, ``lex/rap``,
-    ``lap/rap``), the adaptive join processor, the cost model and the
-    gain/cost/efficiency metrics of Sec. 4.
+    ``lap/rap``), the cost model and the gain/cost/efficiency metrics of
+    Sec. 4.  (The paper-facing ``AdaptiveJoinProcessor`` façade lives in
+    ``repro.runtime.adaptive``; ``repro.core.adaptive`` is a deprecation
+    shim.)
 
 ``repro.runtime``
     The composition layer: ``RunConfig`` (one declarative description of
@@ -61,7 +63,6 @@ The package is organised in layers, bottom-up:
     paper's evaluation (see DESIGN.md and EXPERIMENTS.md).
 """
 
-from repro.core.adaptive import AdaptiveJoinProcessor, AdaptiveJoinResult
 from repro.core.metrics import GainCostReport
 from repro.core.state_machine import JoinState
 from repro.core.thresholds import Thresholds
@@ -71,6 +72,7 @@ from repro.jobs import JobHandle, LinkageJob, LinkageResult, StreamedMatch
 from repro.joins.shjoin import SHJoin
 from repro.joins.sshjoin import SSHJoin
 from repro.linkage.api import link_tables
+from repro.runtime.adaptive import AdaptiveJoinProcessor, AdaptiveJoinResult
 from repro.runtime.config import RunConfig
 from repro.runtime.events import EventBus
 from repro.runtime.policy import available_policies, register_policy

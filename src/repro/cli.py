@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four sub-commands cover the workflows a downstream user needs without
+The sub-commands cover the workflows a downstream user needs without
 writing Python:
 
 ``generate``
@@ -37,6 +37,16 @@ writing Python:
 ``calibrate``
     Measure the cost-model weights of Sec. 4.3 on this machine.
 
+``serve``
+    Run the linkage HTTP server (:mod:`repro.server`): submit JSON job
+    specs over ``POST /jobs``, watch them via ``GET /jobs/{id}``, stream
+    NDJSON matches from ``GET /jobs/{id}/matches`` (byte-identical to
+    ``repro link --stream``) and cancel with ``DELETE``.  ``--store``
+    makes jobs survive restarts: a relaunched server lists prior jobs
+    and automatically resumes interrupted ones.  SIGTERM/SIGINT shut it
+    down cleanly (running jobs stop at the next batch boundary; their
+    completed shards are already on disk).
+
 Run ``python -m repro.cli --help`` (or any sub-command with ``--help``) for
 the full option list.
 """
@@ -46,6 +56,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import sys
 import threading
 from typing import Optional, Sequence
@@ -71,8 +82,10 @@ from repro.runtime.failures import available_failure_policies
 from repro.runtime.faults import FaultPlan
 from repro.runtime.handoff import HANDOFF_MODES
 from repro.runtime.parallel import available_backends
+from repro.runtime.handoff import live_block_count
 from repro.runtime.policy import available_policies
 from repro.runtime.sharding import available_partitioners
+from repro.server import JobScheduler, JsonlJobStore, LinkageServer
 
 #: Seconds between live ``--progress`` ticker lines on stderr.
 _PROGRESS_TICK_SECONDS = 0.5
@@ -233,6 +246,32 @@ def build_parser() -> argparse.ArgumentParser:
     calibrate.add_argument("--child-size", type=int, default=400)
     calibrate.add_argument("--max-steps", type=int, default=400)
 
+    serve = subparsers.add_parser(
+        "serve", help="run the linkage HTTP job server (see repro.server)"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default: loopback only)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="port to bind (0 = pick an ephemeral port and "
+                            "print it)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="shared worker budget: shard sessions running "
+                            "concurrently across all jobs")
+    serve.add_argument("--max-queued", type=int, default=16,
+                       help="admission cap on open (non-terminal) jobs; "
+                            "submissions past it get HTTP 429")
+    serve.add_argument("--store", default=None, metavar="FILE",
+                       help="append-only JSONL job store; jobs survive "
+                            "restarts and interrupted ones resume "
+                            "automatically (default: in-memory only)")
+    # Undocumented testing hooks: slow every engine batch down and
+    # shrink the batch so smoke tests can reliably catch a job mid-run
+    # (cancel it, SIGTERM us) at a batch boundary.
+    serve.add_argument("--shard-delay", type=float, default=0.0,
+                       help=argparse.SUPPRESS)
+    serve.add_argument("--shard-batch", type=int, default=None,
+                       help=argparse.SUPPRESS)
+
     lint = subparsers.add_parser(
         "lint",
         help="check the repo's architectural invariants (AST-based, "
@@ -293,17 +332,12 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 
 def _match_json(match: StreamedMatch) -> str:
-    """One NDJSON line for a streamed match (the ``--stream`` format)."""
-    payload = {
-        "left_index": match.left_index,
-        "right_index": match.right_index,
-        "similarity": round(match.event.similarity, 4),
-        "mode": match.event.mode.value,
-        "step": match.event.step,
-    }
-    if match.shard_id is not None:
-        payload["shard"] = match.shard_id
-    return json.dumps(payload)
+    """One NDJSON line for a streamed match (the ``--stream`` format).
+
+    Delegates to :meth:`StreamedMatch.to_json` — the one wire mapping the
+    CLI and the HTTP server's match feed share byte-for-byte.
+    """
+    return json.dumps(match.to_json())
 
 
 def _progress_ticker(handle: JobHandle):
@@ -510,6 +544,55 @@ def _command_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        print(f"error: --workers must be at least 1, got {args.workers}",
+              file=sys.stderr)
+        return 2
+    if args.max_queued < 1:
+        print(f"error: --max-queued must be at least 1, got {args.max_queued}",
+              file=sys.stderr)
+        return 2
+    store = JsonlJobStore(args.store) if args.store else None
+    scheduler_options = {}
+    if args.shard_batch is not None:
+        scheduler_options["shard_batch"] = args.shard_batch
+    scheduler = JobScheduler(
+        max_workers=args.workers,
+        max_queued=args.max_queued,
+        store=store,
+        shard_delay=args.shard_delay,
+        **scheduler_options,
+    )
+    if args.store:
+        resumed = scheduler.restore()
+        restored = scheduler.job_ids()
+        if restored:
+            print(f"restored {len(restored)} job(s) from {args.store}"
+                  + (f"; resuming {', '.join(resumed)}" if resumed else ""),
+                  file=sys.stderr)
+    server = LinkageServer(host=args.host, port=args.port, scheduler=scheduler)
+    stop = threading.Event()
+
+    def handle_signal(signum: int, frame: object) -> None:
+        del frame
+        print(f"received {signal.Signals(signum).name}, shutting down",
+              file=sys.stderr, flush=True)
+        stop.set()
+
+    signal.signal(signal.SIGTERM, handle_signal)
+    signal.signal(signal.SIGINT, handle_signal)
+    server.start()
+    # The parseable contract line: smoke tests and scripts read the port
+    # off it (mandatory with --port 0).
+    print(f"serving on {server.url}", flush=True)
+    stop.wait()
+    server.shutdown()
+    # Shared-memory hygiene: every columnar handoff block must be gone.
+    print(f"live shared-memory blocks: {live_block_count()}", flush=True)
+    return 0
+
+
 def _command_lint(args: argparse.Namespace) -> int:
     return run_lint(
         args.paths,
@@ -526,6 +609,7 @@ _COMMANDS = {
     "link": _command_link,
     "experiment": _command_experiment,
     "calibrate": _command_calibrate,
+    "serve": _command_serve,
     "lint": _command_lint,
 }
 

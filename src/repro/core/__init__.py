@@ -14,17 +14,18 @@ Secs. 2-3 of the paper on top of the switchable symmetric-join engine of
   Table 2.
 * :mod:`repro.core.responder` — mapping of assessments onto state
   transitions.
-* :mod:`repro.core.adaptive` — :class:`AdaptiveJoinProcessor`, the
-  paper-facing façade over :class:`repro.runtime.JoinSession` (which
-  composes the loop from a declarative config), plus an iterator-operator
-  wrapper.
+* :class:`AdaptiveJoinProcessor` — the paper-facing façade over
+  :class:`repro.runtime.JoinSession` — now lives in
+  :mod:`repro.runtime.adaptive` (it *builds* a runtime session, so it
+  belongs above this layer); :mod:`repro.core.adaptive` remains as a
+  deprecation shim and this package forwards the historical re-exports
+  through it.
 * :mod:`repro.core.trace` — per-run execution traces (state occupancy,
   transitions, assessments) feeding Figs. 7-8.
 * :mod:`repro.core.cost_model` — the weighted cost model of Sec. 4.3.
 * :mod:`repro.core.metrics` — relative gain, relative cost and efficiency.
 """
 
-from repro.core.adaptive import AdaptiveJoinProcessor, AdaptiveJoinResult, AdaptiveSymmetricJoin
 from repro.core.assessor import Assessment, Assessor
 from repro.core.budget import CostBudget
 from repro.core.cost_model import (
@@ -44,6 +45,24 @@ from repro.core.trace import (
     TransitionRecord,
     merge_traces,
 )
+
+#: Historical re-exports now living in ``repro.runtime.adaptive``;
+#: forwarded lazily through the :mod:`repro.core.adaptive` shim so the
+#: deprecation warning fires on use, not on ``import repro.core``.
+_MOVED_TO_RUNTIME = (
+    "AdaptiveJoinProcessor",
+    "AdaptiveJoinResult",
+    "AdaptiveSymmetricJoin",
+)
+
+
+def __getattr__(name: str):
+    if name in _MOVED_TO_RUNTIME:
+        from repro.core import adaptive
+
+        return getattr(adaptive, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "AdaptiveJoinProcessor",

@@ -22,9 +22,9 @@ RL001 *determinism*
     ``datagen`` / ``bench`` are out of scope.
 RL002 *layering*
     Imports must flow down the layer order ``engine/similarity/stats ←
-    datagen/kernels ← joins ← core ← runtime ← jobs ← linkage ← bench ←
-    cli`` (an arrow means "may be imported by"); upward imports are
-    only legal inside ``if TYPE_CHECKING:`` blocks.
+    datagen/kernels ← joins ← core ← runtime ← jobs ← linkage ←
+    server/bench ← cli`` (an arrow means "may be imported by"); upward
+    imports are only legal inside ``if TYPE_CHECKING:`` blocks.
 RL003 *numpy gate*
     ``import numpy`` only inside :mod:`repro.kernels` — the one
     import-gated optional-dependency boundary (PR 7).
@@ -124,6 +124,7 @@ LAYER_RANKS: Dict[str, int] = {
     "runtime": 4,
     "jobs": 5,
     "linkage": 6,
+    "server": 7,
     "bench": 7,
     "cli": 8,
 }
@@ -491,7 +492,7 @@ def _rule_layering(ctx: FileContext) -> Iterator[Diagnostic]:
                 f"imports {target} (layer '{target_name}', "
                 f"{target_rank - own_rank} level(s) up); imports must "
                 f"flow engine → joins → core → runtime → jobs → linkage "
-                f"→ bench → cli — gate type-only imports behind "
+                f"→ server/bench → cli — gate type-only imports behind "
                 f"TYPE_CHECKING or move the shared code down a layer",
             )
 

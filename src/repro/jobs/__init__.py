@@ -31,11 +31,23 @@ mid-run with partial results
 The legacy :func:`repro.linkage.api.link_tables` survives as a thin
 wrapper over this builder, so existing call sites keep working
 unchanged.  See ARCHITECTURE.md ("Jobs layer") for the full picture.
+
+:mod:`repro.jobs.serialization` adds the network-facing half: JSON job
+payloads (validated through the same builder) and the pickle+base64
+codec the HTTP server's disk store uses to persist shard outcomes
+across restarts.
 """
 
 from repro.jobs.builder import STRATEGIES, JobSpec, LinkageJob
 from repro.jobs.handle import DEFAULT_STREAM_BATCH, JobHandle, StreamedMatch
 from repro.jobs.result import LinkageResult
+from repro.jobs.serialization import (
+    PayloadError,
+    build_job,
+    decode_shard_outcome,
+    encode_shard_outcome,
+    normalize_payload,
+)
 
 __all__ = [
     "DEFAULT_STREAM_BATCH",
@@ -43,6 +55,11 @@ __all__ = [
     "JobSpec",
     "LinkageJob",
     "LinkageResult",
+    "PayloadError",
     "STRATEGIES",
     "StreamedMatch",
+    "build_job",
+    "decode_shard_outcome",
+    "encode_shard_outcome",
+    "normalize_payload",
 ]

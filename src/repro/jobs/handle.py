@@ -81,6 +81,25 @@ class StreamedMatch:
         """The global ``(left index, right index)`` identity."""
         return (self.left_index, self.right_index)
 
+    def to_json(self) -> Dict[str, object]:
+        """The match as the NDJSON wire mapping (one stable format).
+
+        Exactly the object the CLI ``--stream`` path has always printed —
+        key order included, so ``json.dumps`` output is byte-identical —
+        and the one the HTTP server's match feed emits.  ``shard`` only
+        appears on matches from sharded runs (``shard_id is not None``).
+        """
+        payload: Dict[str, object] = {
+            "left_index": self.left_index,
+            "right_index": self.right_index,
+            "similarity": round(self.event.similarity, 4),
+            "mode": self.event.mode.value,
+            "step": self.event.step,
+        }
+        if self.shard_id is not None:
+            payload["shard"] = self.shard_id
+        return payload
+
 
 class JobHandle:
     """One submitted linkage job (see the module docstring).
@@ -111,6 +130,8 @@ class JobHandle:
         #: The last sharded merge (kept so resume knows which shards
         #: completed and can reuse their outcomes verbatim).
         self._sharded: Optional[ShardedJoinResult] = None
+        #: Open externally-driven run's outcomes (see begin_external).
+        self._external_outcomes: Optional[List[ShardOutcome]] = None
         self._progress: Optional[ProgressCollector] = None
         if spec.progress_enabled:
             left_size = input_size(spec.left)
@@ -317,35 +338,10 @@ class JobHandle:
         )
 
     def _sharded_statistics(self, sharded: ShardedJoinResult) -> Dict[str, object]:
-        statistics: Dict[str, object] = {
-            "result_size": sharded.result_size,
-            "raw_result_size": sharded.raw_result_size,
-            "duplicate_matches": sharded.duplicate_match_count,
-            "replication_factors": sharded.replication_factors(),
-            "policy": self.spec.run_config.policy,
-            "shards": sharded.shard_count,
-            "backend": sharded.backend,
-            "partitioner": sharded.partitioner,
-            "handoff": sharded.handoff,
-            "final_states": {
-                shard: state.label
-                for shard, state in sharded.final_states.items()
-            },
-            "per_shard": sharded.per_shard_summary(),
-        }
-        if sharded.shards:
-            statistics["trace"] = sharded.trace.summary()
-        if sharded.cancelled:
-            statistics["cancelled"] = True
-        if sharded.degraded:
-            # A degraded run must never look like a complete one: the
-            # dropped shards, the recall estimate and the per-side
-            # coverage ride the statistics every consumer reads.
-            statistics["degraded"] = True
-            statistics["failed_shards"] = sharded.failed_shard_summary()
-            statistics["estimated_recall"] = sharded.estimated_recall()
-            statistics["coverage"] = sharded.coverage()
-        return statistics
+        # The mapping itself is the shared wire format, owned by the
+        # result type (the server returns it verbatim); only the policy
+        # name comes from the spec, which the merged result never sees.
+        return sharded.describe_json(policy=self.spec.run_config.policy)
 
     # -- execution: resume -----------------------------------------------------------
 
@@ -470,6 +466,132 @@ class JobHandle:
         self._state = "running"
         if self._progress is not None:
             self._progress.restart_clock()
+
+    # -- execution: external drivers (the server's scheduler) ------------------------
+    #
+    # The HTTP server's scheduler interleaves the shards of *many* jobs
+    # on one shared worker budget, so it cannot hand a whole job to
+    # run()/stream_matches() — it drives shard sessions itself and
+    # funnels lifecycle, progress and results back through the handle so
+    # state/progress()/result() behave exactly as for in-handle runs.
+
+    @property
+    def progress_collector(self) -> Optional[ProgressCollector]:
+        """The handle's progress collector (``None`` unless ``with_progress``).
+
+        External drivers attach it to the buses of the shard sessions
+        they run, the way the in-handle paths do.
+        """
+        return self._progress
+
+    @property
+    def cancel_token(self) -> threading.Event:
+        """The cancel token (thread it into externally-run shard loops)."""
+        return self._cancel
+
+    @property
+    def shard_outcomes(self) -> Tuple[ShardOutcome, ...]:
+        """Per-shard outcomes of the last sharded run (empty before one).
+
+        What a job store persists and a match feed can be rebuilt from:
+        each outcome carries its shard's full match events plus the
+        origin maps that globalise them.
+        """
+        return self._sharded.shards if self._sharded is not None else ()
+
+    def begin_external(self, plan: ShardPlan) -> None:
+        """Claim the one-shot slot for an out-of-handle shard driver.
+
+        ``plan`` must be built from this handle's spec (the driver builds
+        it to schedule against; the handle keeps it for resume).  The
+        driver then runs shard sessions in any interleaving it likes,
+        records each completed shard with :meth:`record_shard_outcome`,
+        and closes the run with :meth:`finish_external`.
+        """
+        self._start()
+        self._plan = plan
+        self._external_outcomes = []
+
+    def record_shard_outcome(self, outcome: ShardOutcome) -> None:
+        """Record one externally-executed shard's complete outcome."""
+        if self._external_outcomes is None:
+            raise RuntimeError(
+                "no external run is open: call begin_external(plan) first"
+            )
+        self._external_outcomes.append(outcome)
+
+    def finish_external(self) -> LinkageResult:
+        """Merge the recorded outcomes and close the externally-driven run.
+
+        Same merge semantics as the streaming path (shard-id-order dedup,
+        ``backend="serial"`` — the external driver ran sessions one batch
+        at a time, whatever thread they were on); honours the cancel
+        token, so a cancelled job closes as a partial result.
+        """
+        plan = self._plan
+        outcomes = self._external_outcomes
+        if plan is None or outcomes is None:
+            raise RuntimeError(
+                "no external run is open: call begin_external(plan) first"
+            )
+        self._external_outcomes = None
+        sharded = ShardedJoinResult(
+            shards=tuple(outcomes),
+            backend="serial",
+            partitioner=self.spec.partitioner,
+            left_input_size=plan.left_input_size,
+            right_input_size=plan.right_input_size,
+            cancelled=self._cancel.is_set(),
+            handoff=plan.handoff,
+        )
+        self._sharded = sharded
+        result = self._sharded_result(sharded)
+        result.statistics["streamed"] = True
+        return self._finish(result)
+
+    def fail_external(self, error: BaseException) -> None:
+        """Close an externally-driven run as ``failed``.
+
+        The counterpart of the in-handle paths' ``except`` clauses: the
+        driver's shard session raised, the exception went to the driver
+        (not through the handle), and the handle must report ``failed``
+        with no result — same contract as a :meth:`run` that raised.
+        """
+        del error  # the driver reports it; the handle only keeps the state
+        self._external_outcomes = None
+        self._state = "failed"
+
+    def restore(self, plan: ShardPlan, outcomes: Iterable[ShardOutcome]) -> None:
+        """Rehydrate a pending handle from persisted shard outcomes.
+
+        The restart path of a disk-backed job store: the server rebuilds
+        the spec, rebuilds ``plan`` from it (planning is deterministic —
+        same spec and inputs, same plan), loads the shard outcomes the
+        previous process persisted, and restores the handle as if that
+        run had been cancelled right after its last completed shard.
+        :meth:`resume` then re-runs exactly the missing shards and merges
+        bit-identically to an uninterrupted run.  A handle restored with
+        *all* shards present closes as ``finished`` instead.
+        """
+        if self._state != "pending":
+            raise RuntimeError(
+                f"cannot restore a {self._state} handle: restore() "
+                "rehydrates a freshly built one"
+            )
+        complete = tuple(o for o in outcomes if not o.result.cancelled)
+        self._plan = plan
+        self._state = "running"
+        sharded = ShardedJoinResult(
+            shards=complete,
+            backend=self.spec.backend,
+            partitioner=self.spec.partitioner,
+            left_input_size=plan.left_input_size,
+            right_input_size=plan.right_input_size,
+            cancelled=len(complete) < plan.shard_count,
+            handoff=plan.handoff,
+        )
+        self._sharded = sharded
+        self._finish(self._sharded_result(sharded))
 
     # -- execution: streaming --------------------------------------------------------
 

@@ -196,6 +196,28 @@ class ProgressSnapshot:
             return min(self.shards_done / self.total_shards, 1.0)
         return None
 
+    def to_json(self) -> Dict[str, object]:
+        """The snapshot as a stable JSON-ready mapping (the wire format).
+
+        One format for every observer: the CLI ``--progress`` ticker, the
+        HTTP server's ``GET /jobs/{id}`` status payload and tests all read
+        these keys.  Optional totals serialise as ``null`` (unknown), and
+        the derived :attr:`fraction` is included so clients need no
+        arithmetic of their own.
+        """
+        fraction = self.fraction
+        return {
+            "steps": self.steps,
+            "total_steps": self.total_steps,
+            "matches": self.matches,
+            "shards_done": self.shards_done,
+            "total_shards": self.total_shards,
+            "shards_failed": self.shards_failed,
+            "retries": self.retries,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "fraction": None if fraction is None else round(fraction, 4),
+        }
+
     def describe(self) -> str:
         """One human-readable progress line (the CLI ``--progress`` ticker)."""
         parts = []

@@ -1366,6 +1366,50 @@ class ShardedJoinResult:
             for outcome in self.shards
         ]
 
+    def describe_json(self, policy: Optional[str] = None) -> Dict[str, object]:
+        """The result's statistics as one stable JSON-ready mapping.
+
+        The single wire format every consumer shares: ``JobHandle``
+        builds its ``LinkageResult.statistics`` from it, the CLI report
+        prints it, and the HTTP server returns it verbatim — so the keys
+        here are a compatibility surface, not an implementation detail.
+        ``policy`` (the run's switch-policy name) is caller-supplied
+        because the merged result does not record it.  Conditional keys
+        appear only when meaningful: ``trace`` needs at least one shard,
+        ``cancelled`` only on interrupted runs, and the degraded-run
+        block (``degraded`` / ``failed_shards`` / ``estimated_recall`` /
+        ``coverage``) only when a degrade policy dropped shards — absence
+        is the happy-path signal.
+        """
+        statistics: Dict[str, object] = {
+            "result_size": self.result_size,
+            "raw_result_size": self.raw_result_size,
+            "duplicate_matches": self.duplicate_match_count,
+            "replication_factors": self.replication_factors(),
+            "policy": policy,
+            "shards": self.shard_count,
+            "backend": self.backend,
+            "partitioner": self.partitioner,
+            "handoff": self.handoff,
+            "final_states": {
+                shard: state.label for shard, state in self.final_states.items()
+            },
+            "per_shard": self.per_shard_summary(),
+        }
+        if self.shards:
+            statistics["trace"] = self.trace.summary()
+        if self.cancelled:
+            statistics["cancelled"] = True
+        if self.degraded:
+            # A degraded run must never look like a complete one: the
+            # dropped shards, the recall estimate and the per-side
+            # coverage ride the statistics every consumer reads.
+            statistics["degraded"] = True
+            statistics["failed_shards"] = self.failed_shard_summary()
+            statistics["estimated_recall"] = self.estimated_recall()
+            statistics["coverage"] = self.coverage()
+        return statistics
+
     # -- degraded-run accounting -----------------------------------------------------
 
     @property

@@ -1,0 +1,189 @@
+"""Pluggable job persistence: the :class:`JobStore` contract.
+
+The scheduler records three things per job — the canonical JSON payload
+at admission, each completed (non-partial) shard outcome as it lands,
+and the terminal status — and asks for all of it back at startup.  That
+contract is deliberately small, so backends are trivial to add:
+
+* :class:`MemoryJobStore` — the in-process default.  Nothing survives a
+  restart (its :meth:`~MemoryJobStore.load` only ever feeds a scheduler
+  sharing the same process), but it exercises the same code paths as a
+  durable backend, so tests run against the real record/replay logic.
+* :class:`JsonlJobStore` — an append-only JSON-lines file.  Every write
+  is one appended line (``job`` / ``shard`` / ``status``), flushed
+  immediately; :meth:`~JsonlJobStore.load` replays the log into per-job
+  state.  Append-only means a crash mid-write loses at most the last
+  line (tolerated on replay), never earlier records — the property the
+  restart-resume guarantee stands on.
+
+What restart-resume relies on, exactly:
+
+* payloads are canonical (:func:`repro.jobs.serialization.normalize_payload`),
+  so rebuilding the job rebuilds the *same* job;
+* planning is deterministic, so the rebuilt job's shard plan equals the
+  original and persisted shard ids line up;
+* only complete shard outcomes are recorded (a shard interrupted by
+  shutdown is simply absent and re-runs whole), so resumed runs merge
+  bit-identically to uninterrupted ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.jobs.serialization import decode_shard_outcome, encode_shard_outcome
+from repro.runtime.sharding import ShardOutcome
+
+__all__ = ["JobStore", "JsonlJobStore", "MemoryJobStore", "StoredJob"]
+
+
+@dataclass
+class StoredJob:
+    """Everything a store holds about one job (the :meth:`JobStore.load` row)."""
+
+    job_id: str
+    payload: Dict[str, object]
+    #: Last recorded terminal status (``finished`` / ``cancelled`` /
+    #: ``failed``) or ``None`` — the job was interrupted mid-run and a
+    #: restarted server should resume it.
+    status: Optional[str] = None
+    #: Completed shard outcomes by original shard id.
+    outcomes: Dict[int, ShardOutcome] = field(default_factory=dict)
+
+
+class JobStore:
+    """The persistence contract the scheduler writes through.
+
+    Implementations must be safe to call from multiple scheduler worker
+    threads; each method is one small atomic append-style operation.
+    """
+
+    def add_job(self, job_id: str, payload: Dict[str, object]) -> None:
+        """Record a newly admitted job and its canonical payload."""
+        raise NotImplementedError
+
+    def record_shard(self, job_id: str, outcome: ShardOutcome) -> None:
+        """Record one *complete* shard outcome (never partial ones)."""
+        raise NotImplementedError
+
+    def set_status(self, job_id: str, status: str) -> None:
+        """Record a job's terminal status."""
+        raise NotImplementedError
+
+    def load(self) -> List[StoredJob]:
+        """Replay the store into one row per known job, in admission order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any underlying resources (idempotent)."""
+
+
+class MemoryJobStore(JobStore):
+    """The zero-persistence default backend (plain dicts under a lock)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, StoredJob] = {}
+
+    def add_job(self, job_id: str, payload: Dict[str, object]) -> None:
+        with self._lock:
+            self._jobs[job_id] = StoredJob(job_id=job_id, payload=dict(payload))
+
+    def record_shard(self, job_id: str, outcome: ShardOutcome) -> None:
+        with self._lock:
+            self._jobs[job_id].outcomes[outcome.shard_id] = outcome
+
+    def set_status(self, job_id: str, status: str) -> None:
+        with self._lock:
+            self._jobs[job_id].status = status
+
+    def load(self) -> List[StoredJob]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlJobStore(JobStore):
+    """Append-only JSON-lines disk backend (the restart-survivable one).
+
+    Line types, one JSON object per line::
+
+        {"type": "job",    "job": "job-1", "payload": {…}}
+        {"type": "shard",  "job": "job-1", "shard": 0, "outcome": "<base64>"}
+        {"type": "status", "job": "job-1", "status": "finished"}
+
+    Shard outcomes ride the :mod:`repro.jobs.serialization` pickle+base64
+    codec.  The file is opened in append mode and every write is flushed
+    and fsync'd, so a SIGTERM'd server's completed shards are on disk
+    before the process dies.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._file = open(path, "a", encoding="utf-8")
+
+    def _append(self, record: Dict[str, object]) -> None:
+        line = json.dumps(record)
+        with self._lock:
+            self._file.write(line + "\n")
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def add_job(self, job_id: str, payload: Dict[str, object]) -> None:
+        self._append({"type": "job", "job": job_id, "payload": payload})
+
+    def record_shard(self, job_id: str, outcome: ShardOutcome) -> None:
+        self._append(
+            {
+                "type": "shard",
+                "job": job_id,
+                "shard": outcome.shard_id,
+                "outcome": encode_shard_outcome(outcome),
+            }
+        )
+
+    def set_status(self, job_id: str, status: str) -> None:
+        self._append({"type": "status", "job": job_id, "status": status})
+
+    def load(self) -> List[StoredJob]:
+        jobs: Dict[str, StoredJob] = {}
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        # A crash mid-append can truncate the last line;
+                        # everything before it is intact — skip and go on.
+                        continue
+                    kind = record.get("type")
+                    job_id = record.get("job")
+                    if kind == "job":
+                        jobs[job_id] = StoredJob(
+                            job_id=job_id, payload=record["payload"]
+                        )
+                    elif kind == "shard" and job_id in jobs:
+                        outcome = decode_shard_outcome(record["outcome"])
+                        jobs[job_id].outcomes[outcome.shard_id] = outcome
+                    elif kind == "status" and job_id in jobs:
+                        jobs[job_id].status = record["status"]
+        except FileNotFoundError:
+            return []
+        return list(jobs.values())
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()

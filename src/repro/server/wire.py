@@ -1,0 +1,87 @@
+"""The server's JSON wire formats, in one place.
+
+Every byte the HTTP layer emits is produced here or delegated to a
+format owned by a lower layer — :meth:`StreamedMatch.to_json` for match
+lines (byte-identical to ``repro link --stream``),
+:meth:`ProgressSnapshot.to_json` for progress, and
+:meth:`ShardedJoinResult.describe_json` (via ``LinkageResult.statistics``)
+for result statistics — so the CLI and the server can never drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from repro.jobs.handle import StreamedMatch
+from repro.runtime.collectors import ProgressSnapshot
+
+__all__ = [
+    "error_body",
+    "job_status_body",
+    "match_line",
+    "render_metrics",
+]
+
+
+def match_line(match: StreamedMatch) -> bytes:
+    """One NDJSON line (newline included) for a streamed match.
+
+    ``json.dumps`` over :meth:`StreamedMatch.to_json` — exactly what the
+    CLI ``--stream`` path prints, so the two feeds are byte-identical.
+    """
+    return (json.dumps(match.to_json()) + "\n").encode("utf-8")
+
+
+def error_body(message: str) -> Dict[str, object]:
+    """The uniform error payload (every non-2xx JSON body)."""
+    return {"error": message}
+
+
+def job_status_body(
+    job_id: str,
+    state: str,
+    priority: int,
+    payload: Dict[str, object],
+    progress: Optional[ProgressSnapshot] = None,
+    statistics: Optional[Dict[str, object]] = None,
+    result_size: Optional[int] = None,
+    error: Optional[str] = None,
+) -> Dict[str, object]:
+    """The ``GET /jobs/{id}`` (and ``POST /jobs`` echo) payload.
+
+    ``state`` is the :class:`~repro.jobs.handle.JobHandle` state word
+    prefixed with the scheduler's admission view (``queued`` until the
+    first shard is dispatched).  ``spec`` echoes the descriptive subset
+    of the canonical payload — enough for a client listing jobs to know
+    what each one is, without the (potentially large) inline tables.
+    """
+    body: Dict[str, object] = {
+        "id": job_id,
+        "state": state,
+        "priority": priority,
+        "spec": {
+            "strategy": payload.get("strategy"),
+            "attribute": payload.get("attribute"),
+            "shards": payload.get("shards"),
+            "backend": payload.get("backend"),
+            "partitioner": payload.get("partitioner"),
+            "policy": payload.get("policy"),
+        },
+    }
+    if progress is not None:
+        body["progress"] = progress.to_json()
+    if result_size is not None:
+        body["result_size"] = result_size
+    if statistics is not None:
+        body["statistics"] = statistics
+    if error is not None:
+        body["error"] = error
+    return body
+
+
+def render_metrics(counters: Dict[str, object]) -> str:
+    """``GET /metrics``: one ``name value`` line per counter, sorted."""
+    return (
+        "".join(f"{name} {counters[name]}\n" for name in sorted(counters))
+    )

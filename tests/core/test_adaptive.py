@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.adaptive import AdaptiveJoinProcessor, AdaptiveSymmetricJoin
+from repro.runtime.adaptive import AdaptiveJoinProcessor, AdaptiveSymmetricJoin
 from repro.core.state_machine import JoinState
 from repro.core.thresholds import Thresholds
 from repro.datagen.testcases import TestCaseSpec, generate_test_case

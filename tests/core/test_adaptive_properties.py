@@ -17,7 +17,7 @@ import random
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.adaptive import AdaptiveJoinProcessor
+from repro.runtime.adaptive import AdaptiveJoinProcessor
 from repro.core.cost_model import CostModel
 from repro.core.thresholds import Thresholds
 from repro.datagen.municipalities import generate_location_strings

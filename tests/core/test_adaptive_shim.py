@@ -1,0 +1,65 @@
+"""The ``repro.core.adaptive`` deprecation shim.
+
+The façade moved to :mod:`repro.runtime.adaptive` (paying down the
+repo's one RL002 waiver); the old module must keep working — same
+objects, loud :class:`DeprecationWarning` — until it is removed.
+"""
+
+import warnings
+
+import pytest
+
+import repro.core
+import repro.core.adaptive as shim
+from repro.runtime import adaptive as new_home
+
+
+class TestDeprecationShim:
+    @pytest.mark.parametrize(
+        "name",
+        ["AdaptiveJoinProcessor", "AdaptiveJoinResult", "AdaptiveSymmetricJoin"],
+    )
+    def test_forwards_the_identical_object_with_a_warning(self, name):
+        with pytest.warns(DeprecationWarning, match="repro.runtime.adaptive"):
+            forwarded = getattr(shim, name)
+        assert forwarded is getattr(new_home, name)
+
+    def test_unknown_attribute_raises_attribute_error(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            shim.does_not_exist
+
+    def test_dir_lists_the_moved_names(self):
+        listed = dir(shim)
+        for name in shim.__all__:
+            assert name in listed
+
+    def test_package_level_reexport_still_resolves(self):
+        # repro.core.AdaptiveJoinProcessor stays importable (lazily,
+        # through the shim) for historical callers.
+        with pytest.warns(DeprecationWarning):
+            forwarded = repro.core.AdaptiveJoinProcessor
+        assert forwarded is new_home.AdaptiveJoinProcessor
+
+    def test_importing_the_shim_alone_is_silent(self):
+        import subprocess
+        import sys
+
+        code = (
+            "import warnings; warnings.simplefilter('error');"
+            "import repro.core.adaptive; import repro.core"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    def test_top_level_package_export_warns_nothing(self):
+        # repro.AdaptiveJoinProcessor re-exports from the *new* home.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            import repro
+
+            assert repro.AdaptiveJoinProcessor is new_home.AdaptiveJoinProcessor

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.adaptive import AdaptiveJoinProcessor
+from repro.runtime.adaptive import AdaptiveJoinProcessor
 from repro.core.budget import CostBudget
 from repro.core.cost_model import CostModel
 from repro.core.state_machine import JoinState

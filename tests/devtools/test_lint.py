@@ -258,15 +258,17 @@ class TestSelfCheck:
         )
         assert code == 0, f"repro lint found:\n{out.getvalue()}"
 
-    def test_waived_inversions_are_the_only_waivers(self, monkeypatch):
+    def test_no_waivers_are_carried(self, monkeypatch):
+        # The RL002 waiver for repro.core.adaptive was retired when the
+        # facade moved to repro.runtime.adaptive; the committed tree must
+        # now be clean without any waiver at all.
         monkeypatch.chdir(REPO_ROOT)
         waivers = load_waivers(REPO_ROOT / DEFAULT_WAIVER_FILE)
+        assert waivers == []
         targets = [Path("src"), Path("tests"), Path("benchmarks"), Path("examples")]
         active, waived = lint_paths(targets, waivers)
         assert active == []
-        assert {(d.path, d.code) for d in waived} == {
-            ("src/repro/core/adaptive.py", "RL002"),
-        }
+        assert waived == []
 
     def test_main_entry_point(self, monkeypatch, capsys):
         monkeypatch.chdir(REPO_ROOT)

@@ -33,6 +33,7 @@ class TestExamples:
             "streaming_jobs.py",
             "tuning_exploration.py",
             "runtime_policies.py",
+            "serve_and_stream.py",
         }.issubset(names)
 
     def test_quickstart(self):
@@ -58,6 +59,14 @@ class TestExamples:
         output = run_example("streaming_linkage.py")
         assert "finished in state" in output
         assert "state transitions" in output
+
+    def test_serve_and_stream(self):
+        output = run_example("serve_and_stream.py")
+        assert "server listening on http://" in output
+        assert "first streamed match" in output
+        assert "finished: result_size=" in output
+        assert "DELETE /jobs/" in output
+        assert "server stopped cleanly" in output
 
     def test_runtime_policies(self):
         output = run_example("runtime_policies.py")

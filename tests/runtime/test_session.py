@@ -114,7 +114,7 @@ class TestImmutableMatches:
             result.matches.append  # tuples expose no mutators
 
     def test_processor_facade_matches_cannot_corrupt_state(self, small_dataset):
-        from repro.core.adaptive import AdaptiveJoinProcessor
+        from repro.runtime.adaptive import AdaptiveJoinProcessor
 
         processor = AdaptiveJoinProcessor(
             small_dataset.parent, small_dataset.child, "location", thresholds=FAST

@@ -1,0 +1,36 @@
+"""Shared fixtures for the server-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+
+def inline_table(table) -> dict:
+    """A Table as the payload's inline ``{columns, rows}`` form."""
+    return {
+        "columns": list(table.schema.attributes),
+        "rows": [list(record.values) for record in table],
+    }
+
+
+@pytest.fixture
+def small_payload(small_dataset) -> dict:
+    """A sharded adaptive job over the small generated dataset."""
+    return {
+        "left": inline_table(small_dataset.parent),
+        "right": inline_table(small_dataset.child),
+        "attribute": "location",
+        "shards": 3,
+        "thresholds": {"delta_adapt": 25, "window_size": 25},
+    }
+
+
+@pytest.fixture
+def tiny_payload(atlas_table, accidents_table) -> dict:
+    """An unsharded adaptive job over the hand-written tiny tables."""
+    return {
+        "left": inline_table(atlas_table),
+        "right": inline_table(accidents_table),
+        "attribute": "location",
+        "thresholds": {"delta_adapt": 5, "window_size": 5},
+    }

@@ -1,0 +1,141 @@
+"""Tests that a disk-backed scheduler survives restarts bit-identically."""
+
+import json
+import threading
+import time
+
+from repro.jobs import build_job, normalize_payload
+from repro.server import JobScheduler, JsonlJobStore
+
+
+def _wait_terminal(scheduler, job_id, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        state = scheduler.describe(job_id)["state"]
+        if state in ("finished", "cancelled", "failed"):
+            return state
+        time.sleep(0.01)
+    raise AssertionError(f"{job_id} never reached a terminal state")
+
+
+def _lines(scheduler, job_id):
+    return [
+        json.dumps(match.to_json())
+        for match in scheduler.stream_matches(job_id)
+    ]
+
+
+def _reference_lines(payload):
+    handle = build_job(normalize_payload(payload))
+    return [json.dumps(match.to_json()) for match in handle.stream_matches()]
+
+
+def _interrupt_after_first_shard(path, payload):
+    """Run ``payload`` against ``path`` and shut down mid-job.
+
+    Returns once the store holds the job line, at least one complete
+    shard outcome, and **no** terminal status.
+    """
+    first_shard = threading.Event()
+    scheduler = JobScheduler(
+        max_workers=1,
+        store=JsonlJobStore(path),
+        shard_batch=16,
+        shard_delay=0.01,
+        on_shard_complete=lambda job_id, shard: first_shard.set(),
+    )
+    job_id = scheduler.submit(payload)
+    assert first_shard.wait(timeout=30)
+    scheduler.shutdown(timeout=30)
+    outcomes = JsonlJobStore(path).load()[0].outcomes
+    assert 1 <= len(outcomes) < payload["shards"]
+    return job_id, set(outcomes)
+
+
+class TestRestartResume:
+    def test_interrupted_job_resumes_bit_identically(
+        self, tmp_path, small_payload
+    ):
+        path = str(tmp_path / "jobs.jsonl")
+        job_id, _ = _interrupt_after_first_shard(path, small_payload)
+
+        revived = JobScheduler(max_workers=2, store=JsonlJobStore(path))
+        assert revived.restore() == [job_id]
+        assert revived.counters()["jobs_resumed"] == 1
+        assert _wait_terminal(revived, job_id) == "finished"
+        body = revived.describe(job_id)
+        assert body["statistics"]["resumed"] is True
+        lines = _lines(revived, job_id)
+        revived.shutdown()
+
+        # The resumed stream is the uninterrupted run's stream, exactly.
+        assert lines == _reference_lines(small_payload)
+        # And the resume persisted only the shards that were missing.
+        outcomes = JsonlJobStore(path).load()[0].outcomes
+        assert set(outcomes) == set(range(small_payload["shards"]))
+
+    def test_second_restart_replays_without_rerunning(
+        self, tmp_path, small_payload
+    ):
+        path = str(tmp_path / "jobs.jsonl")
+        job_id, _ = _interrupt_after_first_shard(path, small_payload)
+        revived = JobScheduler(max_workers=2, store=JsonlJobStore(path))
+        revived.restore()
+        _wait_terminal(revived, job_id)
+        revived.shutdown()
+
+        replayed = JobScheduler(max_workers=2, store=JsonlJobStore(path))
+        assert replayed.restore() == []  # finished on disk: nothing to run
+        body = replayed.describe(job_id)
+        assert body["state"] == "finished"
+        assert _lines(replayed, job_id) == _reference_lines(small_payload)
+        replayed.shutdown()
+
+    def test_interrupted_baseline_reruns_whole(self, tmp_path, tiny_payload):
+        payload = dict(tiny_payload)
+        payload["strategy"] = "exact"
+        del payload["thresholds"]
+        path = str(tmp_path / "jobs.jsonl")
+        stalled = JobScheduler(
+            max_workers=1, store=JsonlJobStore(path), autostart=False
+        )
+        job_id = stalled.submit(payload)
+        stalled.shutdown()  # never ran: job line on disk, no status
+
+        revived = JobScheduler(max_workers=1, store=JsonlJobStore(path))
+        assert revived.restore() == [job_id]
+        assert _wait_terminal(revived, job_id) == "finished"
+        assert revived.describe(job_id)["result_size"] > 0
+        revived.shutdown()
+
+    def test_cancelled_job_stays_cancelled_after_restart(
+        self, tmp_path, tiny_payload
+    ):
+        path = str(tmp_path / "jobs.jsonl")
+        scheduler = JobScheduler(
+            max_workers=1, store=JsonlJobStore(path), autostart=False
+        )
+        job_id = scheduler.submit(tiny_payload)
+        scheduler.cancel(job_id)
+        scheduler.shutdown()
+
+        revived = JobScheduler(max_workers=1, store=JsonlJobStore(path))
+        assert revived.restore() == []  # a deliberate cancel is terminal
+        assert revived.describe(job_id)["state"] == "cancelled"
+        revived.shutdown()
+
+    def test_restored_ids_never_collide_with_new_ones(
+        self, tmp_path, tiny_payload
+    ):
+        path = str(tmp_path / "jobs.jsonl")
+        first = JobScheduler(max_workers=1, store=JsonlJobStore(path))
+        _wait_terminal(first, first.submit(tiny_payload))
+        _wait_terminal(first, first.submit(tiny_payload))
+        first.shutdown()
+
+        revived = JobScheduler(max_workers=1, store=JsonlJobStore(path))
+        revived.restore()
+        fresh_id = revived.submit(tiny_payload)
+        assert fresh_id == "job-3"
+        assert revived.job_ids() == ["job-1", "job-2", "job-3"]
+        revived.shutdown()
